@@ -1,0 +1,112 @@
+//! Ablation sweeps over the controller's design parameters (the knobs
+//! §III.B.2 and §IV.A.1 call out): auction window size, history length
+//! `n`, and the increase factor. Each bench runs a fixed 20-iteration
+//! contended scenario, so the measured time reflects the parameter's cost
+//! impact; the companion shape metrics (convergence, oscillation) are
+//! asserted in the test suites.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vfc_controller::{ControlMode, Controller, ControllerConfig};
+use vfc_cpusched::topology::NodeSpec;
+use vfc_simcore::Micros;
+use vfc_vmm::workload::SteadyDemand;
+use vfc_vmm::{SimHost, VmTemplate};
+
+fn contended_host() -> SimHost {
+    let mut host = SimHost::new(NodeSpec::chetemi(), 42);
+    for _ in 0..20 {
+        let vm = host.provision(&VmTemplate::small());
+        host.attach_workload(vm, Box::new(SteadyDemand::full()));
+    }
+    for _ in 0..10 {
+        let vm = host.provision(&VmTemplate::large());
+        host.attach_workload(vm, Box::new(SteadyDemand::full()));
+    }
+    host
+}
+
+fn run_iterations(cfg: ControllerConfig, n: u32) {
+    let mut host = contended_host();
+    let mut controller = Controller::new(cfg, host.topology_info());
+    for _ in 0..n {
+        host.advance_period();
+        black_box(controller.iterate(&mut host).expect("sim backend"));
+    }
+}
+
+fn bench_window(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_window");
+    group.sample_size(10);
+    for window_us in [10_000u64, 100_000, 1_000_000] {
+        group.bench_with_input(
+            BenchmarkId::new("window_us", window_us),
+            &window_us,
+            |b, &w| {
+                b.iter(|| {
+                    let mut cfg = ControllerConfig::paper_defaults();
+                    cfg.window = Micros(w);
+                    run_iterations(cfg, 20);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_history(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_history");
+    group.sample_size(10);
+    for n in [2usize, 5, 20, 60] {
+        group.bench_with_input(BenchmarkId::new("history_len", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut cfg = ControllerConfig::paper_defaults();
+                cfg.history_len = n;
+                run_iterations(cfg, 20);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_increase_factor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_increase_factor");
+    group.sample_size(10);
+    for factor in [0.3f64, 1.0, 3.0] {
+        group.bench_with_input(
+            BenchmarkId::new("factor", format!("{factor}")),
+            &factor,
+            |b, &f| {
+                b.iter(|| {
+                    let mut cfg = ControllerConfig::paper_defaults();
+                    cfg.increase_factor = f;
+                    run_iterations(cfg, 20);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_monitor_vs_full(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_mode");
+    group.sample_size(10);
+    for (name, mode) in [
+        ("monitor_only", ControlMode::MonitorOnly),
+        ("full_control", ControlMode::Full),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| run_iterations(ControllerConfig::paper_defaults().with_mode(mode), 20))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_window,
+    bench_history,
+    bench_increase_factor,
+    bench_monitor_vs_full
+);
+criterion_main!(benches);

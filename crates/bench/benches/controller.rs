@@ -1,0 +1,91 @@
+//! Controller loop cost (§IV.A.2: the paper reports ≈5 ms per 1 s
+//! iteration on 80 hosted vCPUs, ≈4 ms of it monitoring).
+//!
+//! `iteration/*` measures one full six-stage iteration against the
+//! in-memory host at several vCPU counts; `stages/*` isolates the
+//! estimation and auction machinery on synthetic inputs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::HashMap;
+use std::hint::black_box;
+use vfc_bench::{loaded_host, warm_up};
+use vfc_controller::auction::{run_auction, Buyer};
+use vfc_controller::credits::Wallet;
+use vfc_controller::estimate::trend;
+use vfc_controller::ControlMode;
+use vfc_simcore::{Micros, VcpuAddr, VcpuId, VmId};
+
+fn bench_iteration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("iteration");
+    for vcpus in [20u32, 80, 160] {
+        group.bench_with_input(BenchmarkId::new("full_loop", vcpus), &vcpus, |b, &vcpus| {
+            let (mut host, mut ctl) = loaded_host(vcpus, ControlMode::Full);
+            warm_up(&mut host, &mut ctl, 5);
+            b.iter(|| {
+                host.advance_period();
+                black_box(ctl.iterate(&mut host).expect("sim backend"))
+            });
+        });
+    }
+    // Scenario A for comparison: monitoring cost only.
+    group.bench_function("monitor_only_80", |b| {
+        let (mut host, mut ctl) = loaded_host(80, ControlMode::MonitorOnly);
+        warm_up(&mut host, &mut ctl, 5);
+        b.iter(|| {
+            host.advance_period();
+            black_box(ctl.iterate(&mut host).expect("sim backend"))
+        });
+    });
+    group.finish();
+}
+
+fn bench_stages(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stages");
+
+    group.bench_function("trend_n5", |b| {
+        let history = [100_000u64, 120_000, 140_000, 160_000, 180_000];
+        b.iter(|| black_box(trend(black_box(&history))));
+    });
+
+    group.bench_function("auction_80_buyers", |b| {
+        // 40 VMs × 2 vCPUs bidding for a 4 M µs market.
+        b.iter(|| {
+            let mut wallet = Wallet::new();
+            let guarantee: HashMap<VmId, Micros> =
+                (0..40).map(|i| (VmId::new(i), Micros(208_333))).collect();
+            let observations: Vec<_> = (0..40)
+                .flat_map(|i| {
+                    (0..2).map(move |j| vfc_controller::monitor::VcpuObservation {
+                        addr: VcpuAddr::new(VmId::new(i), VcpuId::new(j)),
+                        used: Micros(100_000),
+                        throttled: Micros::ZERO,
+                        last_cpu: vfc_simcore::CpuId::new(0),
+                        freq_est: vfc_simcore::MHz(240),
+                    })
+                })
+                .collect();
+            wallet.earn(&observations, &guarantee);
+            let mut market = Micros(4_000_000);
+            let mut buyers: Vec<Buyer> = observations
+                .iter()
+                .map(|o| Buyer {
+                    addr: o.addr,
+                    want: Micros(500_000),
+                })
+                .collect();
+            let mut alloc = HashMap::new();
+            black_box(run_auction(
+                &mut market,
+                &mut buyers,
+                &mut wallet,
+                Micros(100_000),
+                &mut alloc,
+            ))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_iteration, bench_stages);
+criterion_main!(benches);

@@ -1,0 +1,149 @@
+//! One benchmark per reproduced paper artifact: each measures the cost of
+//! regenerating that table/figure's data. The heavy scenarios (Figs.
+//! 6–14) run truncated (70 post-scale seconds at quick scale) so `cargo
+//! bench` completes in minutes; the `experiments` binary produces the
+//! full-length data.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vfc_controller::ControlMode;
+use vfc_placement::cluster::ArrivalOrder;
+use vfc_scenarios::estimator_figs::{trace, EstimatorFig};
+use vfc_scenarios::eval1::{self, NodeKind};
+use vfc_scenarios::eval2;
+use vfc_scenarios::runner::{run, Scale};
+use vfc_scenarios::{cfs_sides, overhead, placement_eval};
+use vfc_simcore::Micros;
+
+/// Truncated quick-scale spec for one of Figs. 6–9.
+fn eval1_truncated(node: NodeKind, mode: ControlMode) -> vfc_scenarios::ScenarioSpec {
+    let mut s = eval1::spec(node, mode, Scale::quick());
+    s.duration = Micros(700_000_000); // pre-scale → 70 iterations
+    s
+}
+
+fn eval2_truncated(mode: ControlMode) -> vfc_scenarios::ScenarioSpec {
+    let mut s = eval2::spec(mode, Scale::quick());
+    s.duration = Micros(700_000_000);
+    s
+}
+
+fn bench_tables(c: &mut Criterion) {
+    // Tables II/III/V are configuration constructors; Table IV the node
+    // presets — all cheap, benched to pin their cost at "free".
+    let mut group = c.benchmark_group("tables");
+    group.bench_function("table2_table3_specs", |b| {
+        b.iter(|| {
+            black_box(eval1::spec(
+                NodeKind::Chetemi,
+                ControlMode::Full,
+                Scale::paper(),
+            ));
+            black_box(eval1::spec(
+                NodeKind::Chiclet,
+                ControlMode::Full,
+                Scale::paper(),
+            ));
+        })
+    });
+    group.bench_function("table4_node_specs", |b| {
+        b.iter(|| {
+            black_box(vfc_cpusched::topology::NodeSpec::chetemi());
+            black_box(vfc_cpusched::topology::NodeSpec::chiclet());
+        })
+    });
+    group.bench_function("table5_spec", |b| {
+        b.iter(|| black_box(eval2::spec(ControlMode::Full, Scale::paper())))
+    });
+    group.finish();
+}
+
+fn bench_estimator_figs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estimator_figs");
+    group.sample_size(20);
+    for (name, fig) in [
+        ("fig3_increase", EstimatorFig::Increase),
+        ("fig4_decrease", EstimatorFig::Decrease),
+        ("fig5_stable", EstimatorFig::Stable),
+    ] {
+        group.bench_function(name, |b| b.iter(|| black_box(trace(fig))));
+    }
+    group.finish();
+}
+
+fn bench_frequency_figs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frequency_figs");
+    group.sample_size(10);
+    for (name, node, mode) in [
+        (
+            "fig6_chetemi_A",
+            NodeKind::Chetemi,
+            ControlMode::MonitorOnly,
+        ),
+        ("fig7_chetemi_B", NodeKind::Chetemi, ControlMode::Full),
+        (
+            "fig8_chiclet_A",
+            NodeKind::Chiclet,
+            ControlMode::MonitorOnly,
+        ),
+        ("fig9_chiclet_B", NodeKind::Chiclet, ControlMode::Full),
+    ] {
+        group.bench_function(name, |b| {
+            let spec = eval1_truncated(node, mode);
+            b.iter(|| black_box(run(&spec)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_rate_and_eval2_figs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eval2_and_rate_figs");
+    group.sample_size(10);
+    // Figs. 10/11/14 derive from the same runs as 6–9/12–13; the bench
+    // measures the run + rate extraction.
+    group.bench_function("fig10_fig11_rates", |b| {
+        let spec = eval1_truncated(NodeKind::Chetemi, ControlMode::Full);
+        b.iter(|| {
+            let out = run(&spec);
+            black_box(out.iterations_reported("small", "compress"));
+        });
+    });
+    for (name, mode) in [
+        ("fig12_A", ControlMode::MonitorOnly),
+        ("fig13_B", ControlMode::Full),
+    ] {
+        group.bench_function(name, |b| {
+            let spec = eval2_truncated(mode);
+            b.iter(|| black_box(run(&spec)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_studies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("studies");
+    group.sample_size(10);
+    group.bench_function("placement_study", |b| {
+        b.iter(|| black_box(placement_eval::study(ArrivalOrder::RoundRobin)))
+    });
+    group.bench_function("cfs_side_experiments", |b| {
+        b.iter(|| {
+            black_box(cfs_sides::experiment_a());
+            black_box(cfs_sides::experiment_b());
+        })
+    });
+    group.bench_function("overhead_measurement", |b| {
+        b.iter(|| black_box(overhead::measure(80, 3)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tables,
+    bench_estimator_figs,
+    bench_frequency_figs,
+    bench_rate_and_eval2_figs,
+    bench_studies
+);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Shared fixtures for the `vfc` Criterion benchmarks.
+//!
+//! The benches live in `benches/`:
+//!
+//! * `controller` — full-loop iteration cost vs hosted vCPU count, plus
+//!   per-stage microbenchmarks (the §IV.A.2 "5 ms per iteration" claim);
+//! * `scheduler` — engine tick cost vs thread count, `water_fill`
+//!   microbenchmark;
+//! * `placement` — Best/First-Fit over the §IV.C cluster under both
+//!   constraints;
+//! * `figures` — one benchmark per reproduced figure: each measures the
+//!   cost of regenerating that figure's data (truncated scenario runs);
+//! * `ablation` — controller cost under swept design parameters (auction
+//!   window, history length, increase factor).
+
+use vfc_controller::{ControlMode, Controller, ControllerConfig};
+use vfc_cpusched::topology::NodeSpec;
+use vfc_simcore::MHz;
+use vfc_vmm::workload::SteadyDemand;
+use vfc_vmm::{SimHost, VmTemplate};
+
+/// A chetemi host loaded with saturating 2-vCPU VMs until `vcpus` vCPUs
+/// are hosted, plus a ready controller.
+pub fn loaded_host(vcpus: u32, mode: ControlMode) -> (SimHost, Controller) {
+    let spec = NodeSpec::chetemi();
+    let mut host = SimHost::new(spec, 42);
+    let mut hosted = 0;
+    while hosted < vcpus {
+        let vm = host.provision(&VmTemplate::new("bench", 2, MHz(600)));
+        host.attach_workload(vm, Box::new(SteadyDemand::full()));
+        hosted += 2;
+    }
+    let controller = Controller::new(
+        ControllerConfig::paper_defaults().with_mode(mode),
+        host.topology_info(),
+    );
+    (host, controller)
+}
+
+/// Drive `host` and `controller` through `n` warm-up periods so benches
+/// measure steady state, not the cold-start ramp.
+pub fn warm_up(host: &mut SimHost, controller: &mut Controller, n: u32) {
+    for _ in 0..n {
+        host.advance_period();
+        controller.iterate(host).expect("sim backend");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let (mut host, mut ctl) = loaded_host(8, ControlMode::Full);
+        warm_up(&mut host, &mut ctl, 3);
+        assert_eq!(ctl.iterations(), 3);
+        assert_eq!(host.instances().len(), 4);
+    }
+}

@@ -1,0 +1,128 @@
+//! The host abstraction the virtual frequency controller runs against.
+//!
+//! The controller (crate `vfc-controller`) is written once against
+//! [`HostBackend`]; two implementations exist:
+//!
+//! * [`crate::fs::FsBackend`] — a real cgroup-v2 mount + `/proc` +
+//!   `/sys/devices/system/cpu` (or any directory tree with the same
+//!   shape);
+//! * `vfc_vmm::SimHost` — the full host simulator.
+//!
+//! All monitoring reads are cheap, and the controller batches them once
+//! per period, matching the paper's ≈4 ms monitoring budget (§IV.A.2).
+
+use crate::error::Result;
+use crate::model::CpuMax;
+use vfc_simcore::{CpuId, MHz, Micros, Tid, VcpuId, VmId};
+
+/// Static description of the host the controller needs for Eq. 1/2:
+/// the cycle capacity `C^MAX = p × nr_cpus` and the frequency ceiling
+/// `F^MAX` used to translate virtual frequencies into cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TopologyInfo {
+    /// Number of schedulable hardware threads (`k_n^CPU`).
+    pub nr_cpus: u32,
+    /// Maximum all-core frequency (`F_n^MAX`).
+    pub max_mhz: MHz,
+}
+
+impl TopologyInfo {
+    /// Maximum cycles distributable per period `p` (Eq. 1).
+    pub fn c_max(&self, period: Micros) -> Micros {
+        period * self.nr_cpus as u64
+    }
+}
+
+/// One hosted VM as seen through the cgroup hierarchy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VmCgroupInfo {
+    /// Stable identifier assigned by the backend.
+    pub vm: VmId,
+    /// Human-readable VM name (from the scope directory).
+    pub name: String,
+    /// Number of vCPU sub-groups found.
+    pub nr_vcpus: u32,
+    /// The customer-requested virtual frequency `F_v` for this VM, when
+    /// known to the backend (templates in the simulator, a sidecar table
+    /// for the FS backend). `None` means "no guarantee": the controller
+    /// treats such VMs as best-effort with a zero base frequency.
+    pub vfreq: Option<MHz>,
+}
+
+/// Everything the six controller stages need from the host.
+///
+/// Implementations must be cheap for the read methods: they are called for
+/// every vCPU on every iteration.
+pub trait HostBackend {
+    /// CPU count and frequency ceiling.
+    fn topology(&self) -> TopologyInfo;
+
+    /// Hosted VMs, in stable order.
+    fn vms(&self) -> Vec<VmCgroupInfo>;
+
+    /// Cumulative `usage_usec` of a vCPU cgroup since creation
+    /// (`cpu.stat`). Monotone non-decreasing.
+    fn vcpu_usage(&self, vm: VmId, vcpu: VcpuId) -> Result<Micros>;
+
+    /// Cumulative `throttled_usec` of a vCPU cgroup (`cpu.stat`): time
+    /// the group wanted to run but was held back by its quota. Monotone
+    /// non-decreasing. Backends without the counter (cgroup v1 exposes
+    /// it in nanoseconds under a different key; very old kernels not at
+    /// all) may return zero — the controller then simply cannot use
+    /// throttle-aware estimation.
+    fn vcpu_throttled(&self, _vm: VmId, _vcpu: VcpuId) -> Result<Micros> {
+        Ok(Micros::ZERO)
+    }
+
+    /// Thread ids in the vCPU cgroup (`cgroup.threads`; exactly one for
+    /// KVM vCPUs).
+    fn vcpu_threads(&self, vm: VmId, vcpu: VcpuId) -> Result<Vec<Tid>>;
+
+    /// CPU the thread last ran on (`/proc/{tid}/stat`, field 39).
+    fn thread_last_cpu(&self, tid: Tid) -> Result<CpuId>;
+
+    /// Current frequency of a CPU
+    /// (`/sys/devices/system/cpu/cpu{i}/cpufreq/scaling_cur_freq`).
+    fn cpu_cur_freq(&self, cpu: CpuId) -> Result<MHz>;
+
+    /// Write the vCPU cgroup's `cpu.max`.
+    fn set_vcpu_max(&mut self, vm: VmId, vcpu: VcpuId, max: CpuMax) -> Result<()>;
+
+    /// Read back the vCPU cgroup's current `cpu.max`.
+    fn vcpu_max(&self, vm: VmId, vcpu: VcpuId) -> Result<CpuMax>;
+
+    /// Remove any limit (`echo "max" > cpu.max`). Default implementation
+    /// writes [`CpuMax::unlimited`].
+    fn clear_vcpu_max(&mut self, vm: VmId, vcpu: VcpuId) -> Result<()> {
+        self.set_vcpu_max(vm, vcpu, CpuMax::unlimited())
+    }
+
+    /// Write the VM scope's `cpu.weight` (CFS shares, 1–10000; kernel
+    /// default 100). Used by the shares-based baseline policy, not by the
+    /// paper's controller.
+    fn set_vm_weight(&mut self, vm: VmId, weight: u32) -> Result<()>;
+
+    /// Read back the VM scope's `cpu.weight`.
+    fn vm_weight(&self, vm: VmId) -> Result<u32>;
+}
+
+/// Clamp a weight into the kernel's accepted `cpu.weight` range.
+pub fn clamp_cpu_weight(weight: u32) -> u32 {
+    weight.clamp(1, 10_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c_max_follows_eq1() {
+        let t = TopologyInfo {
+            nr_cpus: 40,
+            max_mhz: MHz(2400),
+        };
+        // p = 1 s, 40 hardware threads -> 40 s of CPU time per period.
+        assert_eq!(t.c_max(Micros::SEC), Micros(40_000_000));
+        assert_eq!(t.c_max(Micros(100_000)), Micros(4_000_000));
+    }
+}

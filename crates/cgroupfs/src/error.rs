@@ -1,0 +1,116 @@
+//! Error type shared by all cgroup backends.
+
+use std::fmt;
+use std::io;
+
+/// Errors surfaced by cgroup parsing and backends.
+#[derive(Debug)]
+pub enum CgroupError {
+    /// A kernel interface file did not match its documented format.
+    Parse {
+        /// Which kernel file format failed to parse.
+        what: &'static str,
+        /// The offending content (truncated to 256 bytes).
+        content: String,
+    },
+    /// A cgroup path does not exist in the hierarchy.
+    NoSuchGroup(String),
+    /// The requested VM or vCPU is unknown to the backend.
+    NoSuchVcpu {
+        /// Raw VM id.
+        vm: u32,
+        /// Raw vCPU index.
+        vcpu: u32,
+    },
+    /// Underlying filesystem error (real-FS backend).
+    Io {
+        /// Path of the file that failed.
+        path: String,
+        /// The underlying I/O error.
+        source: io::Error,
+    },
+    /// An operation that is invalid for the hierarchy state, e.g. removing
+    /// a cgroup that still has children.
+    Invalid(String),
+}
+
+impl fmt::Display for CgroupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CgroupError::Parse { what, content } => {
+                write!(f, "failed to parse {what}: {content:?}")
+            }
+            CgroupError::NoSuchGroup(path) => write!(f, "no such cgroup: {path}"),
+            CgroupError::NoSuchVcpu { vm, vcpu } => {
+                write!(f, "no such vCPU: vm{vm}/vcpu{vcpu}")
+            }
+            CgroupError::Io { path, source } => write!(f, "io error on {path}: {source}"),
+            CgroupError::Invalid(msg) => write!(f, "invalid cgroup operation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CgroupError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CgroupError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl CgroupError {
+    /// Wrap an I/O error with the path that produced it.
+    pub fn io(path: impl Into<String>, source: io::Error) -> Self {
+        CgroupError::Io {
+            path: path.into(),
+            source,
+        }
+    }
+
+    /// Build a parse error, truncating pathological content.
+    pub fn parse(what: &'static str, content: &str) -> Self {
+        let mut content = content.to_owned();
+        content.truncate(256);
+        CgroupError::Parse { what, content }
+    }
+}
+
+/// Result alias for cgroup operations.
+pub type Result<T> = std::result::Result<T, CgroupError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = CgroupError::parse("cpu.max", "garbage");
+        assert!(e.to_string().contains("cpu.max"));
+        let e = CgroupError::NoSuchGroup("/a/b".into());
+        assert!(e.to_string().contains("/a/b"));
+        let e = CgroupError::NoSuchVcpu { vm: 1, vcpu: 2 };
+        assert!(e.to_string().contains("vm1/vcpu2"));
+        let e = CgroupError::io("/tmp/x", io::Error::new(io::ErrorKind::NotFound, "nope"));
+        assert!(e.to_string().contains("/tmp/x"));
+        let e = CgroupError::Invalid("busy".into());
+        assert!(e.to_string().contains("busy"));
+    }
+
+    #[test]
+    fn parse_error_truncates() {
+        let long = "x".repeat(10_000);
+        if let CgroupError::Parse { content, .. } = CgroupError::parse("cpu.stat", &long) {
+            assert!(content.len() <= 256);
+        } else {
+            panic!("wrong variant");
+        }
+    }
+
+    #[test]
+    fn io_source_is_chained() {
+        use std::error::Error;
+        let e = CgroupError::io("/p", io::Error::other("inner"));
+        assert!(e.source().is_some());
+    }
+}

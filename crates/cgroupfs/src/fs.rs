@@ -1,0 +1,574 @@
+//! Real-filesystem [`HostBackend`].
+//!
+//! [`FsBackend`] drives an actual cgroup-v2 mount, `/proc`, and
+//! `/sys/devices/system/cpu` — or any directory tree with the same shape,
+//! which is how it is tested (see [`crate::fixture`]). On a cgroup-v2
+//! host with KVM VMs it can be pointed at the real roots:
+//!
+//! ```no_run
+//! use vfc_cgroupfs::fs::FsBackend;
+//! let backend = FsBackend::system().unwrap();
+//! ```
+//!
+//! VM discovery follows the libvirt/systemd layout:
+//! `machine.slice/machine-qemu\x2dN\x2dNAME.scope`, with vCPU sub-groups
+//! either under `…scope/libvirt/vcpuJ` (modern libvirt) or directly under
+//! `…scope/vcpuJ`.
+//!
+//! The guaranteed virtual frequency `F_v` of each VM is not stored in the
+//! kernel; provide it with [`FsBackend::with_vfreq_table`] (in production
+//! this would come from the IaaS control plane's template database).
+
+use crate::backend::{HostBackend, TopologyInfo, VmCgroupInfo};
+use crate::error::{CgroupError, Result};
+use crate::model::CpuMax;
+use crate::parse;
+use crate::tree::kvm_layout;
+use crate::v1;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use vfc_simcore::{CpuId, MHz, Micros, Tid, VcpuId, VmId};
+
+/// One discovered VM scope.
+#[derive(Debug, Clone)]
+struct DiscoveredVm {
+    /// libvirt machine number (ordering key).
+    number: u32,
+    name: String,
+    /// The `machine-qemu…scope` directory itself.
+    scope_dir: PathBuf,
+    /// Paths of the vCPU cgroup directories, indexed by vCPU id.
+    vcpu_dirs: Vec<PathBuf>,
+}
+
+/// Which cgroup hierarchy version the backend speaks. §III.B of the
+/// paper: the controller works on both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CgroupVersion {
+    /// Unified hierarchy: `cpu.max`, `cpu.stat`, `cgroup.threads`.
+    V2,
+    /// Legacy hierarchy: `cpu.cfs_quota_us`/`cpu.cfs_period_us`,
+    /// `cpuacct.usage`, `tasks`.
+    V1,
+}
+
+/// [`HostBackend`] over a real (or fixture) filesystem tree.
+pub struct FsBackend {
+    cgroup_root: PathBuf,
+    proc_root: PathBuf,
+    cpu_root: PathBuf,
+    version: CgroupVersion,
+    vfreq: HashMap<String, MHz>,
+    /// Discovery cache, refreshed by [`HostBackend::vms`].
+    cache: RefCell<Vec<DiscoveredVm>>,
+}
+
+impl FsBackend {
+    /// Backend over explicit roots (fixture trees, containers, tests),
+    /// auto-detecting the hierarchy version from the tree's shape.
+    pub fn new(
+        cgroup_root: impl Into<PathBuf>,
+        proc_root: impl Into<PathBuf>,
+        cpu_root: impl Into<PathBuf>,
+    ) -> Self {
+        let cgroup_root = cgroup_root.into();
+        let version = Self::detect_version(&cgroup_root);
+        FsBackend {
+            cgroup_root,
+            proc_root: proc_root.into(),
+            cpu_root: cpu_root.into(),
+            version,
+            vfreq: HashMap::new(),
+            cache: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Force a hierarchy version instead of auto-detection.
+    pub fn with_version(mut self, version: CgroupVersion) -> Self {
+        self.version = version;
+        self
+    }
+
+    /// Hierarchy version in use.
+    pub fn version(&self) -> CgroupVersion {
+        self.version
+    }
+
+    /// A unified mount has `cgroup.controllers` at its root; anything
+    /// else is treated as a v1 `cpu,cpuacct` hierarchy.
+    fn detect_version(cgroup_root: &Path) -> CgroupVersion {
+        if cgroup_root.join("cgroup.controllers").exists() {
+            CgroupVersion::V2
+        } else {
+            CgroupVersion::V1
+        }
+    }
+
+    /// Backend over the real system paths. Errors if `/sys/fs/cgroup` is
+    /// neither a v2 mount nor a v1 `cpu,cpuacct` hierarchy.
+    pub fn system() -> Result<Self> {
+        let root = Path::new("/sys/fs/cgroup");
+        if root.join("cgroup.controllers").exists() {
+            return Ok(FsBackend::new(root, "/proc", "/sys/devices/system/cpu"));
+        }
+        for legacy in ["cpu,cpuacct", "cpu"] {
+            let candidate = root.join(legacy);
+            if candidate.is_dir() {
+                return Ok(
+                    FsBackend::new(candidate, "/proc", "/sys/devices/system/cpu")
+                        .with_version(CgroupVersion::V1),
+                );
+            }
+        }
+        Err(CgroupError::Invalid(
+            "/sys/fs/cgroup is neither a cgroup-v2 mount nor a v1 cpu hierarchy".into(),
+        ))
+    }
+
+    /// Provide the guaranteed virtual frequency for VMs by name.
+    pub fn with_vfreq_table(mut self, table: HashMap<String, MHz>) -> Self {
+        self.vfreq = table;
+        self
+    }
+
+    /// Set/replace a single VM's guaranteed frequency.
+    pub fn set_vfreq(&mut self, vm_name: impl Into<String>, freq: MHz) {
+        self.vfreq.insert(vm_name.into(), freq);
+    }
+
+    fn read(&self, path: &Path) -> Result<String> {
+        fs::read_to_string(path).map_err(|e| CgroupError::io(path.display().to_string(), e))
+    }
+
+    fn write(&self, path: &Path, content: &str) -> Result<()> {
+        fs::write(path, content).map_err(|e| CgroupError::io(path.display().to_string(), e))
+    }
+
+    /// Scan `machine.slice` for VM scopes; returns them sorted by machine
+    /// number so `VmId`s are stable across rescans while the VM set is
+    /// unchanged.
+    fn discover(&self) -> Result<Vec<DiscoveredVm>> {
+        let slice = self.cgroup_root.join(kvm_layout::MACHINE_SLICE);
+        let mut vms = Vec::new();
+        let entries = match fs::read_dir(&slice) {
+            Ok(e) => e,
+            // No machine.slice yet: no VMs, not an error.
+            Err(_) => return Ok(vms),
+        };
+        for entry in entries {
+            let entry = entry.map_err(|e| CgroupError::io(slice.display().to_string(), e))?;
+            let dir_name = entry.file_name().to_string_lossy().into_owned();
+            let Some((number, name)) = kvm_layout::parse_scope_name(&dir_name) else {
+                continue;
+            };
+            let scope = entry.path();
+            // vCPU groups live under scope/libvirt/ (modern libvirt) or
+            // directly under scope/.
+            let vcpu_parent = if scope.join("libvirt").is_dir() {
+                scope.join("libvirt")
+            } else {
+                scope.clone()
+            };
+            let mut vcpus: Vec<(u32, PathBuf)> = Vec::new();
+            let children = fs::read_dir(&vcpu_parent)
+                .map_err(|e| CgroupError::io(vcpu_parent.display().to_string(), e))?;
+            for c in children {
+                let c = c.map_err(|e| CgroupError::io(vcpu_parent.display().to_string(), e))?;
+                let cname = c.file_name().to_string_lossy().into_owned();
+                if let Some(j) = kvm_layout::parse_vcpu_dir(&cname) {
+                    if c.path().is_dir() {
+                        vcpus.push((j, c.path()));
+                    }
+                }
+            }
+            vcpus.sort_by_key(|(j, _)| *j);
+            vms.push(DiscoveredVm {
+                number,
+                name,
+                scope_dir: scope.clone(),
+                vcpu_dirs: vcpus.into_iter().map(|(_, p)| p).collect(),
+            });
+        }
+        vms.sort_by_key(|v| v.number);
+        Ok(vms)
+    }
+
+    /// Path of a VM's scope directory from the cache, refreshing once on
+    /// miss.
+    fn scope_dir(&self, vm: VmId) -> Result<PathBuf> {
+        let lookup = |cache: &[DiscoveredVm]| -> Option<PathBuf> {
+            cache.get(vm.as_usize()).map(|v| v.scope_dir.clone())
+        };
+        if let Some(p) = lookup(&self.cache.borrow()) {
+            return Ok(p);
+        }
+        let fresh = self.discover()?;
+        *self.cache.borrow_mut() = fresh;
+        lookup(&self.cache.borrow()).ok_or(CgroupError::NoSuchVcpu {
+            vm: vm.as_u32(),
+            vcpu: 0,
+        })
+    }
+
+    /// Path of a vCPU cgroup from the cache, refreshing once on miss.
+    fn vcpu_dir(&self, vm: VmId, vcpu: VcpuId) -> Result<PathBuf> {
+        let lookup = |cache: &[DiscoveredVm]| -> Option<PathBuf> {
+            cache
+                .get(vm.as_usize())
+                .and_then(|v| v.vcpu_dirs.get(vcpu.as_usize()))
+                .cloned()
+        };
+        if let Some(p) = lookup(&self.cache.borrow()) {
+            return Ok(p);
+        }
+        let fresh = self.discover()?;
+        *self.cache.borrow_mut() = fresh;
+        lookup(&self.cache.borrow()).ok_or(CgroupError::NoSuchVcpu {
+            vm: vm.as_u32(),
+            vcpu: vcpu.as_u32(),
+        })
+    }
+}
+
+impl HostBackend for FsBackend {
+    fn topology(&self) -> TopologyInfo {
+        // Count cpuN directories and read cpu0's hardware max frequency.
+        let mut nr_cpus = 0u32;
+        if let Ok(entries) = fs::read_dir(&self.cpu_root) {
+            for e in entries.flatten() {
+                let name = e.file_name().to_string_lossy().into_owned();
+                if let Some(idx) = name.strip_prefix("cpu") {
+                    if idx.chars().all(|c| c.is_ascii_digit()) && !idx.is_empty() {
+                        nr_cpus += 1;
+                    }
+                }
+            }
+        }
+        let max_path = self.cpu_root.join("cpu0/cpufreq/cpuinfo_max_freq");
+        let max_mhz = self
+            .read(&max_path)
+            .ok()
+            .and_then(|s| parse::parse_scaling_cur_freq(&s).ok())
+            .unwrap_or(MHz::ZERO);
+        TopologyInfo { nr_cpus, max_mhz }
+    }
+
+    fn vms(&self) -> Vec<VmCgroupInfo> {
+        let discovered = self.discover().unwrap_or_default();
+        let infos = discovered
+            .iter()
+            .enumerate()
+            .map(|(i, v)| VmCgroupInfo {
+                vm: VmId::new(i as u32),
+                name: v.name.clone(),
+                nr_vcpus: v.vcpu_dirs.len() as u32,
+                vfreq: self.vfreq.get(&v.name).copied(),
+            })
+            .collect();
+        *self.cache.borrow_mut() = discovered;
+        infos
+    }
+
+    fn vcpu_usage(&self, vm: VmId, vcpu: VcpuId) -> Result<Micros> {
+        let dir = self.vcpu_dir(vm, vcpu)?;
+        match self.version {
+            CgroupVersion::V2 => {
+                let stat = parse::parse_cpu_stat(&self.read(&dir.join("cpu.stat"))?)?;
+                Ok(stat.usage_usec)
+            }
+            CgroupVersion::V1 => v1::parse_cpuacct_usage(&self.read(&dir.join("cpuacct.usage"))?),
+        }
+    }
+
+    fn vcpu_throttled(&self, vm: VmId, vcpu: VcpuId) -> Result<Micros> {
+        let dir = self.vcpu_dir(vm, vcpu)?;
+        match self.version {
+            CgroupVersion::V2 => {
+                let stat = parse::parse_cpu_stat(&self.read(&dir.join("cpu.stat"))?)?;
+                Ok(stat.throttled_usec)
+            }
+            CgroupVersion::V1 => {
+                // v1 reports `throttled_time` in ns inside its own
+                // cpu.stat; tolerate its absence (bandwidth control may
+                // be compiled out).
+                match self.read(&dir.join("cpu.stat")) {
+                    Ok(content) => {
+                        let (_, _, throttled) = v1::parse_v1_cpu_stat(&content)?;
+                        Ok(throttled)
+                    }
+                    Err(_) => Ok(Micros::ZERO),
+                }
+            }
+        }
+    }
+
+    fn vcpu_threads(&self, vm: VmId, vcpu: VcpuId) -> Result<Vec<Tid>> {
+        let dir = self.vcpu_dir(vm, vcpu)?;
+        match self.version {
+            CgroupVersion::V2 => parse::parse_threads(&self.read(&dir.join("cgroup.threads"))?),
+            CgroupVersion::V1 => v1::parse_tasks(&self.read(&dir.join("tasks"))?),
+        }
+    }
+
+    fn thread_last_cpu(&self, tid: Tid) -> Result<CpuId> {
+        let path = self.proc_root.join(tid.as_u32().to_string()).join("stat");
+        parse::parse_stat_last_cpu(&self.read(&path)?)
+    }
+
+    fn cpu_cur_freq(&self, cpu: CpuId) -> Result<MHz> {
+        let path = self
+            .cpu_root
+            .join(format!("cpu{}", cpu.as_u32()))
+            .join("cpufreq/scaling_cur_freq");
+        parse::parse_scaling_cur_freq(&self.read(&path)?)
+    }
+
+    fn set_vcpu_max(&mut self, vm: VmId, vcpu: VcpuId, max: CpuMax) -> Result<()> {
+        let dir = self.vcpu_dir(vm, vcpu)?;
+        match self.version {
+            CgroupVersion::V2 => self.write(&dir.join("cpu.max"), &parse::format_cpu_max(&max)),
+            CgroupVersion::V1 => {
+                // Period first: the kernel rejects quotas larger than the
+                // current period.
+                self.write(&dir.join("cpu.cfs_period_us"), &v1::format_cfs_period(&max))?;
+                self.write(&dir.join("cpu.cfs_quota_us"), &v1::format_cfs_quota(&max))
+            }
+        }
+    }
+
+    fn vcpu_max(&self, vm: VmId, vcpu: VcpuId) -> Result<CpuMax> {
+        let dir = self.vcpu_dir(vm, vcpu)?;
+        match self.version {
+            CgroupVersion::V2 => parse::parse_cpu_max(&self.read(&dir.join("cpu.max"))?),
+            CgroupVersion::V1 => v1::parse_cfs_quota(
+                &self.read(&dir.join("cpu.cfs_quota_us"))?,
+                &self.read(&dir.join("cpu.cfs_period_us"))?,
+            ),
+        }
+    }
+
+    fn set_vm_weight(&mut self, vm: VmId, weight: u32) -> Result<()> {
+        let dir = self.scope_dir(vm)?;
+        let weight = crate::backend::clamp_cpu_weight(weight);
+        match self.version {
+            CgroupVersion::V2 => self.write(&dir.join("cpu.weight"), &format!("{weight}\n")),
+            // v1 `cpu.shares` uses 2–262144 with default 1024; convert
+            // from the v2 scale (default 100).
+            CgroupVersion::V1 => {
+                let shares = (weight as u64 * 1_024 / 100).clamp(2, 262_144);
+                self.write(&dir.join("cpu.shares"), &format!("{shares}\n"))
+            }
+        }
+    }
+
+    fn vm_weight(&self, vm: VmId) -> Result<u32> {
+        let dir = self.scope_dir(vm)?;
+        match self.version {
+            CgroupVersion::V2 => {
+                let content = self.read(&dir.join("cpu.weight"))?;
+                content
+                    .trim()
+                    .parse()
+                    .map_err(|_| CgroupError::parse("cpu.weight", &content))
+            }
+            CgroupVersion::V1 => {
+                let content = self.read(&dir.join("cpu.shares"))?;
+                let shares: u64 = content
+                    .trim()
+                    .parse()
+                    .map_err(|_| CgroupError::parse("cpu.shares", &content))?;
+                Ok(crate::backend::clamp_cpu_weight(
+                    (shares * 100 / 1_024) as u32,
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixture::FixtureTree;
+
+    #[test]
+    fn discovers_vms_and_reads_state() {
+        let fx = FixtureTree::builder()
+            .cpus(4, MHz(2400))
+            .vm("small0", 2, &[101, 102])
+            .vm("large0", 1, &[201])
+            .build();
+        let backend = fx.backend();
+
+        let topo = backend.topology();
+        assert_eq!(topo.nr_cpus, 4);
+        assert_eq!(topo.max_mhz, MHz(2400));
+
+        let vms = backend.vms();
+        assert_eq!(vms.len(), 2);
+        assert_eq!(vms[0].name, "small0");
+        assert_eq!(vms[0].nr_vcpus, 2);
+        assert_eq!(vms[1].name, "large0");
+
+        // Fresh groups: zero usage, unlimited cpu.max, one thread each.
+        let u = backend.vcpu_usage(vms[0].vm, VcpuId::new(0)).unwrap();
+        assert_eq!(u, Micros::ZERO);
+        let threads = backend.vcpu_threads(vms[0].vm, VcpuId::new(1)).unwrap();
+        assert_eq!(threads, vec![Tid::new(102)]);
+        assert!(backend
+            .vcpu_max(vms[0].vm, VcpuId::new(0))
+            .unwrap()
+            .is_unlimited());
+    }
+
+    #[test]
+    fn writes_cpu_max_and_reads_back() {
+        let fx = FixtureTree::builder()
+            .cpus(2, MHz(2000))
+            .vm("a", 1, &[11])
+            .build();
+        let mut backend = fx.backend();
+        let vm = backend.vms()[0].vm;
+        let cap = CpuMax::with_period(Micros(25_000), Micros(100_000));
+        backend.set_vcpu_max(vm, VcpuId::new(0), cap).unwrap();
+        assert_eq!(backend.vcpu_max(vm, VcpuId::new(0)).unwrap(), cap);
+        backend.clear_vcpu_max(vm, VcpuId::new(0)).unwrap();
+        assert!(backend.vcpu_max(vm, VcpuId::new(0)).unwrap().is_unlimited());
+    }
+
+    #[test]
+    fn thread_placement_and_core_freq() {
+        let fx = FixtureTree::builder()
+            .cpus(2, MHz(2400))
+            .vm("a", 1, &[11])
+            .build();
+        fx.set_thread_cpu(Tid::new(11), CpuId::new(1));
+        fx.set_cpu_freq(CpuId::new(1), MHz(1800));
+        let backend = fx.backend();
+        assert_eq!(
+            backend.thread_last_cpu(Tid::new(11)).unwrap(),
+            CpuId::new(1)
+        );
+        assert_eq!(backend.cpu_cur_freq(CpuId::new(1)).unwrap(), MHz(1800));
+    }
+
+    #[test]
+    fn usage_updates_are_visible() {
+        let fx = FixtureTree::builder()
+            .cpus(1, MHz(2400))
+            .vm("a", 1, &[11])
+            .build();
+        let backend = fx.backend();
+        let vm = backend.vms()[0].vm;
+        fx.add_vcpu_usage("a", 0, Micros(123_456));
+        assert_eq!(
+            backend.vcpu_usage(vm, VcpuId::new(0)).unwrap(),
+            Micros(123_456)
+        );
+        fx.add_vcpu_usage("a", 0, Micros(1_000));
+        assert_eq!(
+            backend.vcpu_usage(vm, VcpuId::new(0)).unwrap(),
+            Micros(124_456)
+        );
+    }
+
+    #[test]
+    fn vfreq_table_is_surfaced() {
+        let fx = FixtureTree::builder()
+            .cpus(1, MHz(2400))
+            .vm("web", 1, &[11])
+            .build();
+        let mut backend = fx.backend();
+        backend.set_vfreq("web", MHz(500));
+        let vms = backend.vms();
+        assert_eq!(vms[0].vfreq, Some(MHz(500)));
+    }
+
+    #[test]
+    fn unknown_vcpu_errors() {
+        let fx = FixtureTree::builder()
+            .cpus(1, MHz(2400))
+            .vm("a", 1, &[11])
+            .build();
+        let backend = fx.backend();
+        let vm = backend.vms()[0].vm;
+        assert!(backend.vcpu_usage(vm, VcpuId::new(5)).is_err());
+        assert!(backend.vcpu_usage(VmId::new(9), VcpuId::new(0)).is_err());
+    }
+
+    #[test]
+    fn empty_tree_has_no_vms() {
+        let fx = FixtureTree::builder().cpus(1, MHz(1000)).build();
+        let backend = fx.backend();
+        assert!(backend.vms().is_empty());
+    }
+
+    #[test]
+    fn version_is_autodetected() {
+        let v2 = FixtureTree::builder().cpus(1, MHz(1000)).build();
+        assert_eq!(v2.backend().version(), CgroupVersion::V2);
+        let v1 = FixtureTree::builder().cpus(1, MHz(1000)).v1().build();
+        assert_eq!(v1.backend().version(), CgroupVersion::V1);
+    }
+
+    #[test]
+    fn throttled_counter_is_readable_on_both_versions() {
+        for v1 in [false, true] {
+            let b = FixtureTree::builder().cpus(1, MHz(2400)).vm("t", 1, &[5]);
+            let fx = if v1 { b.v1().build() } else { b.build() };
+            let backend = fx.backend();
+            let vm = backend.vms()[0].vm;
+            assert_eq!(
+                backend.vcpu_throttled(vm, VcpuId::new(0)).unwrap(),
+                Micros::ZERO
+            );
+            fx.add_vcpu_throttled("t", 0, Micros(12_345));
+            assert_eq!(
+                backend.vcpu_throttled(vm, VcpuId::new(0)).unwrap(),
+                Micros(12_345),
+                "version v1={v1}"
+            );
+        }
+    }
+
+    #[test]
+    fn v1_tree_reads_and_writes() {
+        let fx = FixtureTree::builder()
+            .cpus(2, MHz(2400))
+            .vm("legacy", 2, &[41, 42])
+            .v1()
+            .build();
+        let mut backend = fx.backend();
+        let vms = backend.vms();
+        assert_eq!(vms.len(), 1);
+        assert_eq!(vms[0].nr_vcpus, 2);
+
+        // Usage via cpuacct.usage (nanoseconds on disk).
+        fx.add_vcpu_usage("legacy", 0, Micros(123_456));
+        assert_eq!(
+            backend.vcpu_usage(vms[0].vm, VcpuId::new(0)).unwrap(),
+            Micros(123_456)
+        );
+
+        // Threads via `tasks`.
+        assert_eq!(
+            backend.vcpu_threads(vms[0].vm, VcpuId::new(1)).unwrap(),
+            vec![Tid::new(42)]
+        );
+
+        // Quota via cfs_quota_us / cfs_period_us.
+        assert!(backend
+            .vcpu_max(vms[0].vm, VcpuId::new(0))
+            .unwrap()
+            .is_unlimited());
+        let cap = CpuMax::with_period(Micros(20_833), Micros(100_000));
+        backend
+            .set_vcpu_max(vms[0].vm, VcpuId::new(0), cap)
+            .unwrap();
+        assert_eq!(backend.vcpu_max(vms[0].vm, VcpuId::new(0)).unwrap(), cap);
+        assert_eq!(fx.vcpu_cpu_max("legacy", 0), cap);
+        backend.clear_vcpu_max(vms[0].vm, VcpuId::new(0)).unwrap();
+        assert!(fx.vcpu_cpu_max("legacy", 0).is_unlimited());
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! cgroup-v2 CPU controller substrate.
+//!
+//! The virtual frequency controller (crate `vfc-controller`) talks to the
+//! host exclusively through the interfaces defined here:
+//!
+//! * [`model`] — the CPU-controller state of a cgroup: [`model::CpuMax`]
+//!   (the `cpu.max` quota/period pair), [`model::CpuStat`] (the `cpu.stat`
+//!   usage and throttling counters) and weights;
+//! * [`parse`] — exact parsers/formatters for the kernel file formats
+//!   (`cpu.max`, `cpu.stat`, `cgroup.threads`, `scaling_cur_freq`,
+//!   `/proc/{tid}/stat`);
+//! * [`tree`] — an in-memory cgroup-v2 hierarchy with KVM's
+//!   `machine.slice/machine-qemu…scope/vcpuN` layout helpers, used by the
+//!   host simulator;
+//! * [`backend`] — the [`backend::HostBackend`] trait: everything the
+//!   controller needs to monitor vCPUs and apply cappings;
+//! * [`fs`] — [`fs::FsBackend`], a real-filesystem implementation of
+//!   `HostBackend` that reads/writes an actual cgroup-v2 mount (or any
+//!   directory tree with the same shape, which is how it is tested);
+//! * [`fixture`] — helpers that materialize a fake `/sys/fs/cgroup` +
+//!   `/proc` + `/sys/devices` tree on disk for tests and examples.
+
+pub mod backend;
+pub mod error;
+pub mod fixture;
+pub mod fs;
+pub mod model;
+pub mod parse;
+pub mod tree;
+pub mod v1;
+
+pub use backend::{HostBackend, TopologyInfo, VmCgroupInfo};
+pub use error::{CgroupError, Result};
+pub use model::{CpuMax, CpuStat};
+pub use tree::{CgroupTree, NodeIdx};

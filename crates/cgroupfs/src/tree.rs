@@ -1,0 +1,509 @@
+//! In-memory cgroup-v2 hierarchy.
+//!
+//! Used by the host simulator (`vfc-vmm`) as its authoritative cgroup
+//! state, and by fixtures to materialize on-disk trees. Nodes are stored
+//! in a flat arena (`Vec`) and addressed by [`NodeIdx`]; removed nodes are
+//! tombstoned so indices stay stable — the hierarchy of a host changes
+//! rarely (VM provision/teardown) while lookups happen every tick.
+//!
+//! The KVM layout helpers create the exact structure libvirt/KVM produce
+//! on a systemd host:
+//!
+//! ```text
+//! /machine.slice
+//!   /machine-qemu\x2d1\x2dsmall0.scope      ← one per VM
+//!     /libvirt
+//!       /vcpu0                              ← one per vCPU (1 thread each)
+//!       /vcpu1
+//!       /emulator
+//! ```
+
+use crate::error::{CgroupError, Result};
+use crate::model::{CpuMax, CpuStat, DEFAULT_WEIGHT};
+use vfc_simcore::Tid;
+
+/// Index of a node in the [`CgroupTree`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeIdx(pub usize);
+
+/// One cgroup directory.
+#[derive(Debug, Clone)]
+pub struct CgroupNode {
+    /// Directory name (single path component).
+    pub name: String,
+    /// Parent group; `None` only for the root.
+    pub parent: Option<NodeIdx>,
+    /// Child indices (may include tombstoned entries; use [`CgroupTree::children`]).
+    pub children: Vec<NodeIdx>,
+    /// `cpu.max` limit.
+    pub cpu_max: CpuMax,
+    /// `cpu.stat` counters.
+    pub cpu_stat: CpuStat,
+    /// `cpu.weight` (CFS shares).
+    pub weight: u32,
+    /// `cgroup.threads` members (leaf groups only in practice).
+    pub threads: Vec<Tid>,
+    /// Marks a VM scope (the `machine-qemu…scope` level) — the grouping
+    /// unit for VM-granular models such as LLC contention.
+    pub vm_scope: bool,
+    alive: bool,
+}
+
+impl CgroupNode {
+    fn new(name: String, parent: Option<NodeIdx>) -> Self {
+        CgroupNode {
+            name,
+            parent,
+            children: Vec::new(),
+            cpu_max: CpuMax::unlimited(),
+            cpu_stat: CpuStat::default(),
+            weight: DEFAULT_WEIGHT,
+            threads: Vec::new(),
+            vm_scope: false,
+            alive: true,
+        }
+    }
+}
+
+/// An in-memory cgroup-v2 hierarchy rooted at `/`.
+#[derive(Debug, Clone)]
+pub struct CgroupTree {
+    nodes: Vec<CgroupNode>,
+}
+
+/// Root node index (always present).
+pub const ROOT: NodeIdx = NodeIdx(0);
+
+impl Default for CgroupTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CgroupTree {
+    /// Create a tree containing only the root group.
+    pub fn new() -> Self {
+        CgroupTree {
+            nodes: vec![CgroupNode::new(String::new(), None)],
+        }
+    }
+
+    /// Immutable node access.
+    pub fn node(&self, idx: NodeIdx) -> &CgroupNode {
+        let n = &self.nodes[idx.0];
+        debug_assert!(n.alive, "access to removed cgroup node");
+        n
+    }
+
+    /// Mutable node access.
+    pub fn node_mut(&mut self, idx: NodeIdx) -> &mut CgroupNode {
+        let n = &mut self.nodes[idx.0];
+        debug_assert!(n.alive, "access to removed cgroup node");
+        n
+    }
+
+    /// Number of live groups, including the root.
+    pub fn len(&self) -> usize {
+        self.nodes.iter().filter(|n| n.alive).count()
+    }
+
+    /// Always `false`: the root group cannot be removed.
+    pub fn is_empty(&self) -> bool {
+        false // the root always exists
+    }
+
+    /// Create a child group under `parent`. Errors if a live child with
+    /// the same name exists.
+    pub fn mkdir(&mut self, parent: NodeIdx, name: &str) -> Result<NodeIdx> {
+        if name.is_empty() || name.contains('/') {
+            return Err(CgroupError::Invalid(format!("bad cgroup name {name:?}")));
+        }
+        if self.child_named(parent, name).is_some() {
+            return Err(CgroupError::Invalid(format!(
+                "cgroup {name:?} already exists under {}",
+                self.path_of(parent)
+            )));
+        }
+        let idx = NodeIdx(self.nodes.len());
+        self.nodes
+            .push(CgroupNode::new(name.to_owned(), Some(parent)));
+        self.nodes[parent.0].children.push(idx);
+        Ok(idx)
+    }
+
+    /// Create every missing component of `path` (like `mkdir -p`).
+    pub fn mkdir_all(&mut self, path: &str) -> Result<NodeIdx> {
+        let mut cur = ROOT;
+        for comp in path.split('/').filter(|c| !c.is_empty()) {
+            cur = match self.child_named(cur, comp) {
+                Some(idx) => idx,
+                None => self.mkdir(cur, comp)?,
+            };
+        }
+        Ok(cur)
+    }
+
+    /// Remove a leaf group. Errors if the group still has children or
+    /// threads (matching kernel `rmdir` semantics).
+    pub fn rmdir(&mut self, idx: NodeIdx) -> Result<()> {
+        if idx == ROOT {
+            return Err(CgroupError::Invalid("cannot remove the root".into()));
+        }
+        let node = &self.nodes[idx.0];
+        if !node.alive {
+            return Err(CgroupError::NoSuchGroup(format!("#{}", idx.0)));
+        }
+        if node.children.iter().any(|c| self.nodes[c.0].alive) {
+            return Err(CgroupError::Invalid(format!(
+                "cgroup {} has children",
+                self.path_of(idx)
+            )));
+        }
+        if !node.threads.is_empty() {
+            return Err(CgroupError::Invalid(format!(
+                "cgroup {} has threads",
+                self.path_of(idx)
+            )));
+        }
+        let parent = node.parent.expect("non-root has a parent");
+        self.nodes[idx.0].alive = false;
+        self.nodes[parent.0].children.retain(|c| *c != idx);
+        Ok(())
+    }
+
+    /// Find a live child by name.
+    pub fn child_named(&self, parent: NodeIdx, name: &str) -> Option<NodeIdx> {
+        self.nodes[parent.0]
+            .children
+            .iter()
+            .copied()
+            .find(|c| self.nodes[c.0].alive && self.nodes[c.0].name == name)
+    }
+
+    /// Resolve an absolute path (`/a/b/c`); empty components ignored.
+    pub fn resolve(&self, path: &str) -> Result<NodeIdx> {
+        let mut cur = ROOT;
+        for comp in path.split('/').filter(|c| !c.is_empty()) {
+            cur = self
+                .child_named(cur, comp)
+                .ok_or_else(|| CgroupError::NoSuchGroup(path.to_owned()))?;
+        }
+        Ok(cur)
+    }
+
+    /// Absolute path of a node.
+    pub fn path_of(&self, idx: NodeIdx) -> String {
+        if idx == ROOT {
+            return "/".to_owned();
+        }
+        let mut comps = Vec::new();
+        let mut cur = Some(idx);
+        while let Some(i) = cur {
+            if i == ROOT {
+                break;
+            }
+            comps.push(self.nodes[i.0].name.as_str());
+            cur = self.nodes[i.0].parent;
+        }
+        let mut out = String::new();
+        for c in comps.iter().rev() {
+            out.push('/');
+            out.push_str(c);
+        }
+        out
+    }
+
+    /// Live children of a node.
+    pub fn children(&self, idx: NodeIdx) -> impl Iterator<Item = NodeIdx> + '_ {
+        self.nodes[idx.0]
+            .children
+            .iter()
+            .copied()
+            .filter(|c| self.nodes[c.0].alive)
+    }
+
+    /// Depth-first iteration over all live nodes, root included.
+    pub fn iter_dfs(&self) -> Vec<NodeIdx> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        let mut stack = vec![ROOT];
+        while let Some(idx) = stack.pop() {
+            out.push(idx);
+            for c in self.nodes[idx.0].children.iter().rev() {
+                if self.nodes[c.0].alive {
+                    stack.push(*c);
+                }
+            }
+        }
+        out
+    }
+
+    /// Attach a thread to a (leaf) group.
+    pub fn attach_thread(&mut self, idx: NodeIdx, tid: Tid) {
+        let node = self.node_mut(idx);
+        if !node.threads.contains(&tid) {
+            node.threads.push(tid);
+        }
+    }
+
+    /// Aggregate `usage_usec` of a subtree (the kernel reports hierarchical
+    /// usage in each group's `cpu.stat`; the simulator stores leaf usage
+    /// and derives parents through this).
+    pub fn subtree_usage(&self, idx: NodeIdx) -> vfc_simcore::Micros {
+        let mut total = self.node(idx).cpu_stat.usage_usec;
+        for c in self.nodes[idx.0].children.clone() {
+            if self.nodes[c.0].alive {
+                total += self.subtree_usage(c);
+            }
+        }
+        total
+    }
+}
+
+/// KVM/libvirt naming helpers.
+pub mod kvm_layout {
+    use super::*;
+
+    /// The slice every machine scope lives under.
+    pub const MACHINE_SLICE: &str = "machine.slice";
+
+    /// Scope directory name for VM number `n` named `name`
+    /// (systemd escapes `-` as `\x2d`).
+    pub fn scope_name(n: u32, name: &str) -> String {
+        format!("machine-qemu\\x2d{n}\\x2d{name}.scope")
+    }
+
+    /// Parse a scope directory name back into `(n, vm_name)`.
+    pub fn parse_scope_name(dir: &str) -> Option<(u32, String)> {
+        let rest = dir.strip_prefix("machine-qemu\\x2d")?;
+        let rest = rest.strip_suffix(".scope")?;
+        let (n, name) = rest.split_once("\\x2d")?;
+        Some((n.parse().ok()?, name.to_owned()))
+    }
+
+    /// vCPU sub-group directory name.
+    pub fn vcpu_dir(j: u32) -> String {
+        format!("vcpu{j}")
+    }
+
+    /// Parse `vcpuN` back to `N`.
+    pub fn parse_vcpu_dir(dir: &str) -> Option<u32> {
+        dir.strip_prefix("vcpu")?.parse().ok()
+    }
+
+    /// Create the full scope + libvirt + vcpu layout for a VM; returns
+    /// `(scope_idx, vcpu_idxs)`.
+    pub fn provision(
+        tree: &mut CgroupTree,
+        n: u32,
+        name: &str,
+        vcpus: u32,
+    ) -> Result<(NodeIdx, Vec<NodeIdx>)> {
+        let slice = match tree.child_named(ROOT, MACHINE_SLICE) {
+            Some(i) => i,
+            None => tree.mkdir(ROOT, MACHINE_SLICE)?,
+        };
+        let scope = tree.mkdir(slice, &scope_name(n, name))?;
+        tree.node_mut(scope).vm_scope = true;
+        let libvirt = tree.mkdir(scope, "libvirt")?;
+        let _emulator = tree.mkdir(libvirt, "emulator")?;
+        let mut vcpu_idx = Vec::with_capacity(vcpus as usize);
+        for j in 0..vcpus {
+            vcpu_idx.push(tree.mkdir(libvirt, &vcpu_dir(j))?);
+        }
+        Ok((scope, vcpu_idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vfc_simcore::Micros;
+
+    #[test]
+    fn mkdir_resolve_path_roundtrip() {
+        let mut t = CgroupTree::new();
+        let a = t.mkdir(ROOT, "a").unwrap();
+        let b = t.mkdir(a, "b").unwrap();
+        assert_eq!(t.path_of(b), "/a/b");
+        assert_eq!(t.resolve("/a/b").unwrap(), b);
+        assert_eq!(t.resolve("/").unwrap(), ROOT);
+        assert_eq!(t.path_of(ROOT), "/");
+        assert!(t.resolve("/a/zz").is_err());
+    }
+
+    #[test]
+    fn mkdir_rejects_duplicates_and_bad_names() {
+        let mut t = CgroupTree::new();
+        t.mkdir(ROOT, "a").unwrap();
+        assert!(t.mkdir(ROOT, "a").is_err());
+        assert!(t.mkdir(ROOT, "").is_err());
+        assert!(t.mkdir(ROOT, "x/y").is_err());
+    }
+
+    #[test]
+    fn mkdir_all_creates_and_reuses() {
+        let mut t = CgroupTree::new();
+        let c = t.mkdir_all("/x/y/z").unwrap();
+        assert_eq!(t.path_of(c), "/x/y/z");
+        let c2 = t.mkdir_all("/x/y/z").unwrap();
+        assert_eq!(c, c2);
+        assert_eq!(t.len(), 4); // root + x + y + z
+    }
+
+    #[test]
+    fn rmdir_semantics() {
+        let mut t = CgroupTree::new();
+        let a = t.mkdir(ROOT, "a").unwrap();
+        let b = t.mkdir(a, "b").unwrap();
+        assert!(t.rmdir(a).is_err(), "non-empty");
+        assert!(t.rmdir(ROOT).is_err(), "root");
+        t.attach_thread(b, Tid::new(1));
+        assert!(t.rmdir(b).is_err(), "has threads");
+        t.node_mut(b).threads.clear();
+        t.rmdir(b).unwrap();
+        assert!(t.resolve("/a/b").is_err());
+        t.rmdir(a).unwrap();
+        assert_eq!(t.len(), 1);
+        // double rmdir errors
+        assert!(t.rmdir(a).is_err());
+    }
+
+    #[test]
+    fn threads_attach_dedup() {
+        let mut t = CgroupTree::new();
+        let a = t.mkdir(ROOT, "a").unwrap();
+        t.attach_thread(a, Tid::new(5));
+        t.attach_thread(a, Tid::new(5));
+        assert_eq!(t.node(a).threads, vec![Tid::new(5)]);
+    }
+
+    #[test]
+    fn dfs_visits_all_live_nodes() {
+        let mut t = CgroupTree::new();
+        let a = t.mkdir(ROOT, "a").unwrap();
+        let _b = t.mkdir(a, "b").unwrap();
+        let c = t.mkdir(ROOT, "c").unwrap();
+        t.rmdir(c).unwrap();
+        let dfs = t.iter_dfs();
+        assert_eq!(dfs.len(), 3); // root, a, b
+        assert_eq!(dfs[0], ROOT);
+    }
+
+    #[test]
+    fn subtree_usage_aggregates() {
+        let mut t = CgroupTree::new();
+        let a = t.mkdir(ROOT, "a").unwrap();
+        let b = t.mkdir(a, "b").unwrap();
+        let c = t.mkdir(a, "c").unwrap();
+        t.node_mut(b).cpu_stat.usage_usec = Micros(100);
+        t.node_mut(c).cpu_stat.usage_usec = Micros(50);
+        assert_eq!(t.subtree_usage(a), Micros(150));
+        assert_eq!(t.subtree_usage(ROOT), Micros(150));
+    }
+
+    #[test]
+    fn kvm_scope_name_roundtrip() {
+        let n = kvm_layout::scope_name(3, "small0");
+        assert_eq!(n, "machine-qemu\\x2d3\\x2dsmall0.scope");
+        assert_eq!(
+            kvm_layout::parse_scope_name(&n),
+            Some((3, "small0".to_owned()))
+        );
+        assert_eq!(kvm_layout::parse_scope_name("user.slice"), None);
+        assert_eq!(kvm_layout::parse_vcpu_dir("vcpu7"), Some(7));
+        assert_eq!(kvm_layout::parse_vcpu_dir("emulator"), None);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// A random operation script against the tree.
+        #[derive(Debug, Clone)]
+        enum Op {
+            Mkdir { parent: usize, name: u8 },
+            Rmdir { node: usize },
+            Attach { node: usize, tid: u32 },
+        }
+
+        fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+            proptest::collection::vec(
+                prop_oneof![
+                    (0usize..32, 0u8..16).prop_map(|(parent, name)| Op::Mkdir { parent, name }),
+                    (0usize..32).prop_map(|node| Op::Rmdir { node }),
+                    (0usize..32, 0u32..100).prop_map(|(node, tid)| Op::Attach { node, tid }),
+                ],
+                0..60,
+            )
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            #[test]
+            fn prop_tree_stays_consistent(ops in arb_ops()) {
+                let mut tree = CgroupTree::new();
+                let mut live: Vec<NodeIdx> = vec![ROOT];
+                for op in ops {
+                    match op {
+                        Op::Mkdir { parent, name } => {
+                            let parent = live[parent % live.len()];
+                            if let Ok(idx) =
+                                tree.mkdir(parent, &format!("g{name}"))
+                            {
+                                live.push(idx);
+                            }
+                        }
+                        Op::Rmdir { node } => {
+                            let idx = live[node % live.len()];
+                            if idx != ROOT && tree.rmdir(idx).is_ok() {
+                                live.retain(|l| *l != idx);
+                            }
+                        }
+                        Op::Attach { node, tid } => {
+                            let idx = live[node % live.len()];
+                            tree.attach_thread(idx, Tid::new(tid));
+                        }
+                    }
+                }
+
+                // Every live node resolves through its own path.
+                for &idx in &live {
+                    let path = tree.path_of(idx);
+                    prop_assert_eq!(tree.resolve(&path).expect("live path"), idx);
+                }
+                // DFS sees exactly the live set.
+                let dfs = tree.iter_dfs();
+                prop_assert_eq!(dfs.len(), live.len());
+                prop_assert_eq!(tree.len(), live.len());
+                // No child lists point at dead nodes, and parent links
+                // agree with child links.
+                for &idx in &dfs {
+                    for c in tree.children(idx) {
+                        prop_assert_eq!(tree.node(c).parent, Some(idx));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kvm_provision_creates_layout() {
+        let mut t = CgroupTree::new();
+        let (scope, vcpus) = kvm_layout::provision(&mut t, 1, "web", 2).unwrap();
+        assert_eq!(
+            t.path_of(scope),
+            "/machine.slice/machine-qemu\\x2d1\\x2dweb.scope"
+        );
+        assert_eq!(vcpus.len(), 2);
+        assert_eq!(
+            t.path_of(vcpus[1]),
+            "/machine.slice/machine-qemu\\x2d1\\x2dweb.scope/libvirt/vcpu1"
+        );
+        // Second VM shares machine.slice.
+        let (scope2, _) = kvm_layout::provision(&mut t, 2, "db", 1).unwrap();
+        assert_ne!(scope, scope2);
+        // Same (n, name) collides, as in systemd.
+        assert!(kvm_layout::provision(&mut t, 1, "web", 1).is_err());
+    }
+}

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! Cluster-level management built on the `vfc` stack.
+//!
+//! The paper's state-of-the-art review (§II) observes that existing
+//! consolidation systems handle overload "relying on migration
+//! mechanism", whereas virtual frequency capping lets the placement
+//! promise be kept *on the node* by the controller. This crate implements
+//! both worlds on the same simulated substrate so they can be compared:
+//!
+//! * [`Strategy::FrequencyControl`] — VMs are admitted under the core
+//!   splitting constraint (Eq. 7); every node runs the paper's six-stage
+//!   controller; no migrations are ever needed;
+//! * [`Strategy::MigrationBased`] — classic overcommitment with a
+//!   consolidation factor and **no** controller; overloaded nodes shed
+//!   VMs via live migration (with realistic downtime), the legacy
+//!   technique the paper argues against.
+//!
+//! The [`manager::ClusterManager`] runs either strategy over a set of
+//! [`vfc_cpusched::topology::NodeSpec`]s, tracking energy, migrations and
+//! per-class SLO violations ([`slo`]).
+
+pub mod manager;
+pub mod slo;
+
+pub use manager::{ClusterManager, ClusterReport, GlobalVmId, PeriodSample, Strategy};
+pub use slo::{SloTracker, VmSlo};

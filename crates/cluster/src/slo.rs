@@ -1,0 +1,143 @@
+//! SLO accounting: did each VM receive the virtual frequency it paid for,
+//! whenever it actually wanted it?
+//!
+//! A period counts as a **violation** for a VM when at least one of its
+//! vCPUs *demanded* at least its guaranteed cycles but *performed* less
+//! than `tolerance ×` the guaranteed work (`F_v × p` hardware cycles).
+//! Migration downtime counts as demanded-but-not-served for a saturating
+//! VM, which is exactly the customer-visible cost the paper attributes to
+//! migration-based consolidation.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Per-VM SLO counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VmSlo {
+    /// Periods in which the VM demanded its guarantee.
+    pub demanding_periods: u64,
+    /// Of those, periods in which the guarantee was not delivered.
+    pub violated_periods: u64,
+}
+
+impl VmSlo {
+    /// Violation rate in [0, 1]; 0 when the VM never demanded.
+    pub fn violation_rate(&self) -> f64 {
+        if self.demanding_periods == 0 {
+            0.0
+        } else {
+            self.violated_periods as f64 / self.demanding_periods as f64
+        }
+    }
+}
+
+/// Tracks SLO compliance per VM class.
+#[derive(Debug, Clone, Default)]
+pub struct SloTracker {
+    per_class: HashMap<String, VmSlo>,
+    tolerance: f64,
+}
+
+impl SloTracker {
+    /// `tolerance` is the delivered/guaranteed work ratio below which a
+    /// demanding period counts as violated (e.g. 0.95).
+    pub fn new(tolerance: f64) -> Self {
+        SloTracker {
+            per_class: HashMap::new(),
+            tolerance: tolerance.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Record one VM-period. `demanded_ratio` = demanded / guaranteed
+    /// cycles; `delivered_ratio` = performed / guaranteed work.
+    pub fn record(&mut self, class: &str, demanded_ratio: f64, delivered_ratio: f64) {
+        let entry = self.per_class.entry(class.to_owned()).or_default();
+        if demanded_ratio >= 1.0 {
+            entry.demanding_periods += 1;
+            if delivered_ratio < self.tolerance {
+                entry.violated_periods += 1;
+            }
+        }
+    }
+
+    /// A VM that was demanding but entirely offline (migration downtime).
+    pub fn record_offline_demanding(&mut self, class: &str) {
+        let entry = self.per_class.entry(class.to_owned()).or_default();
+        entry.demanding_periods += 1;
+        entry.violated_periods += 1;
+    }
+
+    /// Per-class counters, sorted by class name.
+    pub fn by_class(&self) -> Vec<(String, VmSlo)> {
+        let mut v: Vec<_> = self
+            .per_class
+            .iter()
+            .map(|(k, s)| (k.clone(), *s))
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// Aggregate violation rate across all classes.
+    pub fn overall_rate(&self) -> f64 {
+        let (mut demanding, mut violated) = (0u64, 0u64);
+        for s in self.per_class.values() {
+            demanding += s.demanding_periods;
+            violated += s.violated_periods;
+        }
+        if demanding == 0 {
+            0.0
+        } else {
+            violated as f64 / demanding as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn non_demanding_periods_never_violate() {
+        let mut t = SloTracker::new(0.95);
+        t.record("small", 0.5, 0.0); // idle-ish VM, served nothing: fine
+        assert_eq!(t.overall_rate(), 0.0);
+        let slo = t.by_class()[0].1;
+        assert_eq!(slo.demanding_periods, 0);
+    }
+
+    #[test]
+    fn demanding_and_underserved_violates() {
+        let mut t = SloTracker::new(0.95);
+        t.record("large", 1.2, 0.5); // wanted more than base, got half
+        t.record("large", 1.2, 1.0); // fully served
+        let slo = t.by_class()[0].1;
+        assert_eq!(slo.demanding_periods, 2);
+        assert_eq!(slo.violated_periods, 1);
+        assert!((slo.violation_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tolerance_boundary() {
+        let mut t = SloTracker::new(0.95);
+        t.record("x", 1.0, 0.949);
+        t.record("x", 1.0, 0.951);
+        assert_eq!(t.by_class()[0].1.violated_periods, 1);
+    }
+
+    #[test]
+    fn offline_counts_as_violation() {
+        let mut t = SloTracker::new(0.95);
+        t.record_offline_demanding("small");
+        assert_eq!(t.overall_rate(), 1.0);
+    }
+
+    #[test]
+    fn aggregation_across_classes() {
+        let mut t = SloTracker::new(0.95);
+        t.record("a", 1.0, 1.0);
+        t.record("b", 1.0, 0.1);
+        assert!((t.overall_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(t.by_class().len(), 2);
+    }
+}

@@ -1,0 +1,98 @@
+//! Stage 6 — applying the vCPU capping (§III.B.6).
+//!
+//! The per-period allocation `c_{i,j,t}` (µs per controller period `p`)
+//! translates directly into a `cpu.max` quota: the kernel enforces
+//! bandwidth over its own 100 ms period, so the quota is the allocation
+//! scaled by `cgroup_period / p`. An allocation of the full period (the
+//! vCPU may use a whole hardware thread) is written as `max` — no reason
+//! to make the kernel track a limit that cannot bind.
+
+use crate::config::ControllerConfig;
+use std::collections::HashMap;
+use vfc_cgroupfs::backend::HostBackend;
+use vfc_cgroupfs::error::Result;
+use vfc_cgroupfs::model::{CpuMax, DEFAULT_PERIOD};
+use vfc_simcore::{Micros, VcpuAddr};
+
+/// Kernel-imposed floor on `cpu.max` quotas (1 ms).
+pub const KERNEL_MIN_QUOTA: Micros = Micros(1_000);
+
+/// Convert a per-period allocation into the `cpu.max` value to write.
+pub fn allocation_to_cpu_max(alloc: Micros, period: Micros) -> CpuMax {
+    if alloc >= period {
+        // A single KVM vCPU thread cannot use more than one CPU anyway.
+        return CpuMax::unlimited();
+    }
+    let quota = alloc.scale(DEFAULT_PERIOD.as_u64() as f64 / period.as_u64() as f64);
+    CpuMax::with_period(quota.max(KERNEL_MIN_QUOTA), DEFAULT_PERIOD)
+}
+
+/// Write every allocation to the backend. Returns the number of cgroups
+/// updated.
+pub fn apply_allocations<B: HostBackend + ?Sized>(
+    backend: &mut B,
+    cfg: &ControllerConfig,
+    allocations: &HashMap<VcpuAddr, Micros>,
+) -> Result<usize> {
+    // Deterministic write order (useful for fixture-based tests and logs).
+    let mut addrs: Vec<&VcpuAddr> = allocations.keys().collect();
+    addrs.sort();
+    for addr in &addrs {
+        let max = allocation_to_cpu_max(allocations[addr], cfg.period);
+        backend.set_vcpu_max(addr.vm, addr.vcpu, max)?;
+    }
+    Ok(addrs.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn full_period_means_unlimited() {
+        let m = allocation_to_cpu_max(Micros::SEC, Micros::SEC);
+        assert!(m.is_unlimited());
+        let m = allocation_to_cpu_max(Micros(1_200_000), Micros::SEC);
+        assert!(m.is_unlimited());
+    }
+
+    #[test]
+    fn paper_guarantees_scale_to_kernel_period() {
+        // 500 MHz on a 2.4 GHz node: 208 333 µs/s → 20 833 µs per 100 ms.
+        let m = allocation_to_cpu_max(Micros(208_333), Micros::SEC);
+        assert_eq!(m.quota, Some(Micros(20_833)));
+        assert_eq!(m.period, Micros(100_000));
+        // 1800 MHz: 750 000 µs/s → 75 000 µs per 100 ms.
+        let m = allocation_to_cpu_max(Micros(750_000), Micros::SEC);
+        assert_eq!(m.quota, Some(Micros(75_000)));
+    }
+
+    #[test]
+    fn kernel_floor_is_respected() {
+        let m = allocation_to_cpu_max(Micros(1), Micros::SEC);
+        assert_eq!(m.quota, Some(KERNEL_MIN_QUOTA));
+        let m = allocation_to_cpu_max(Micros::ZERO, Micros::SEC);
+        assert_eq!(m.quota, Some(KERNEL_MIN_QUOTA));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_quota_reproduces_the_allocation(alloc in 0u64..1_000_000) {
+            // Scaling to the kernel period and back must reproduce the
+            // allocation within rounding + kernel floor.
+            let m = allocation_to_cpu_max(Micros(alloc), Micros::SEC);
+            match m.quota {
+                None => prop_assert!(alloc >= 1_000_000),
+                Some(q) => {
+                    let back = q.as_u64() * 10; // 100 ms → 1 s
+                    let expected = alloc.max(KERNEL_MIN_QUOTA.as_u64() * 10);
+                    prop_assert!(
+                        back.abs_diff(expected) <= 10,
+                        "alloc {alloc} → quota {} → back {back}", q.as_u64()
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! `vfcd` — the virtual frequency controller daemon.
+//!
+//! ```text
+//! vfcd [--config FILE] [--monitor-only] [--iterations N] [--verbose]
+//!      [--vfreq NAME=MHZ]...
+//!      [--cgroup-root DIR --proc-root DIR --cpu-root DIR]
+//! ```
+//!
+//! Without explicit roots it attaches to the live host
+//! (`/sys/fs/cgroup`, `/proc`, `/sys/devices/system/cpu`; cgroup v1 and
+//! v2 both supported, root privileges required to write `cpu.max`).
+//! See `vfc_controller::daemon` for the config-file format.
+
+use std::process::ExitCode;
+use vfc_controller::daemon;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "vfcd — virtual frequency controller daemon\n\n\
+             usage: vfcd [--config FILE] [--monitor-only] [--iterations N]\n\
+                    [--verbose] [--vfreq NAME=MHZ]...\n\
+                    [--cgroup-root DIR --proc-root DIR --cpu-root DIR]"
+        );
+        return ExitCode::SUCCESS;
+    }
+    let cfg = match daemon::parse_args(&args) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("vfcd: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match daemon::run(cfg) {
+        Ok(n) => {
+            eprintln!("vfcd: exiting after {n} iterations");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("vfcd: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Controller configuration.
+
+use serde::{Deserialize, Serialize};
+use vfc_simcore::Micros;
+
+/// Whether the control part of the loop is active.
+///
+/// The paper's evaluation compares execution **A** (monitoring runs, no
+/// capping is written — the 4 ms monitoring cost stays for a fair
+/// comparison) against execution **B** (full control).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ControlMode {
+    /// Scenario A: stages 1–2 run, nothing is written to `cpu.max`.
+    MonitorOnly,
+    /// Scenario B: all six stages.
+    Full,
+}
+
+/// Tunable parameters of the loop. [`ControllerConfig::paper_defaults`]
+/// reproduces §IV.A.1: increase trigger/factor 95 %/100 %, decrease
+/// trigger/factor 50 %/5 %, `p` = 1 s.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControllerConfig {
+    /// Controller period `p`.
+    pub period: Micros,
+    /// Consumption history length `n` for the trend (Eq. 3).
+    pub history_len: usize,
+    /// Case (a): consumption above this fraction of the current capping
+    /// (with a positive trend) triggers an increase.
+    pub increase_trigger: f64,
+    /// Case (a): the capping grows by this fraction (1.0 = +100 %).
+    pub increase_factor: f64,
+    /// Case (b): consumption below this fraction of the current capping
+    /// (with a negative trend) triggers a decrease.
+    pub decrease_trigger: f64,
+    /// Case (b): the capping shrinks by this fraction (0.05 = −5 %).
+    pub decrease_factor: f64,
+    /// Absolute floor of the trend-significance threshold (µs/iteration).
+    /// A trend must exceed `max(floor, rel × u)` to count as non-stable.
+    pub trend_epsilon_floor: f64,
+    /// Relative component of the trend-significance threshold, as a
+    /// fraction of the current consumption. Filters measurement wiggle on
+    /// heavily-loaded vCPUs without blocking ramp-ups from tiny cappings.
+    pub trend_epsilon_rel: f64,
+    /// Auction window: cycles a vCPU may buy per auction round, bounding
+    /// how much one rich VM can take (§III.B.4).
+    pub window: Micros,
+    /// Floor for any capping we write: the kernel rejects quotas below
+    /// 1 ms, and a vCPU must keep enough cycles to answer its guest
+    /// kernel's housekeeping.
+    pub min_cap: Micros,
+    /// Control or monitor-only.
+    pub mode: ControlMode,
+    /// **Extension beyond the paper** (off by default): treat a vCPU
+    /// whose `cpu.stat::throttled_usec` grew during the period as
+    /// *increasing* regardless of its consumption trend. Consumption
+    /// cannot exceed the capping, so a throttled vCPU bursting from a
+    /// low cap reads as "stable low" to the paper's estimator and takes
+    /// several periods to be noticed; the throttle counter is the
+    /// kernel's direct signal that demand was cut short.
+    pub throttle_aware: bool,
+}
+
+impl ControllerConfig {
+    /// The configuration used in the paper's evaluation (§IV.A.1).
+    pub fn paper_defaults() -> Self {
+        ControllerConfig {
+            period: Micros::SEC,
+            history_len: 5,
+            increase_trigger: 0.95,
+            increase_factor: 1.00,
+            decrease_trigger: 0.50,
+            decrease_factor: 0.05,
+            trend_epsilon_floor: 50.0,
+            trend_epsilon_rel: 0.02,
+            window: Micros(100_000),
+            min_cap: Micros(1_000),
+            mode: ControlMode::Full,
+            throttle_aware: false,
+        }
+    }
+
+    /// Paper defaults plus the throttle-aware estimation extension.
+    pub fn throttle_aware() -> Self {
+        ControllerConfig {
+            throttle_aware: true,
+            ..ControllerConfig::paper_defaults()
+        }
+    }
+
+    /// Paper defaults with control disabled (scenario A).
+    pub fn monitor_only() -> Self {
+        ControllerConfig {
+            mode: ControlMode::MonitorOnly,
+            ..ControllerConfig::paper_defaults()
+        }
+    }
+
+    /// Builder-style mode override.
+    pub fn with_mode(mut self, mode: ControlMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sanity-check parameter ranges; called by the controller at
+    /// construction.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.period.is_zero() {
+            return Err("period must be positive".into());
+        }
+        if self.history_len < 2 {
+            return Err("history_len must be ≥ 2 for a trend".into());
+        }
+        if !(0.0..=1.0).contains(&self.increase_trigger) {
+            return Err(format!(
+                "increase_trigger {} outside [0, 1]",
+                self.increase_trigger
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.decrease_trigger) {
+            return Err(format!(
+                "decrease_trigger {} outside [0, 1]",
+                self.decrease_trigger
+            ));
+        }
+        if self.decrease_trigger > self.increase_trigger {
+            return Err("decrease_trigger must not exceed increase_trigger".into());
+        }
+        if self.increase_factor <= 0.0 {
+            return Err("increase_factor must be positive".into());
+        }
+        if !(0.0..1.0).contains(&self.decrease_factor) {
+            return Err(format!(
+                "decrease_factor {} outside [0, 1)",
+                self.decrease_factor
+            ));
+        }
+        if self.window.is_zero() {
+            return Err("auction window must be positive".into());
+        }
+        if self.trend_epsilon_floor < 0.0 || self.trend_epsilon_rel < 0.0 {
+            return Err("trend epsilons must be non-negative".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_section_iv() {
+        let c = ControllerConfig::paper_defaults();
+        assert_eq!(c.period, Micros::SEC);
+        assert_eq!(c.increase_trigger, 0.95);
+        assert_eq!(c.increase_factor, 1.00);
+        assert_eq!(c.decrease_trigger, 0.50);
+        assert_eq!(c.decrease_factor, 0.05);
+        assert_eq!(c.mode, ControlMode::Full);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn monitor_only_flips_mode() {
+        let c = ControllerConfig::monitor_only();
+        assert_eq!(c.mode, ControlMode::MonitorOnly);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        let base = ControllerConfig::paper_defaults();
+        let bad = |f: &dyn Fn(&mut ControllerConfig)| {
+            let mut c = base.clone();
+            f(&mut c);
+            c.validate().is_err()
+        };
+        assert!(bad(&|c| c.period = Micros::ZERO));
+        assert!(bad(&|c| c.history_len = 1));
+        assert!(bad(&|c| c.increase_trigger = 1.5));
+        assert!(bad(&|c| c.decrease_trigger = -0.1));
+        assert!(bad(&|c| {
+            c.decrease_trigger = 0.9;
+            c.increase_trigger = 0.5;
+        }));
+        assert!(bad(&|c| c.increase_factor = 0.0));
+        assert!(bad(&|c| c.decrease_factor = 1.0));
+        assert!(bad(&|c| c.window = Micros::ZERO));
+    }
+}

@@ -1,0 +1,559 @@
+//! The six-stage control loop (Fig. 2), assembled.
+
+use crate::apply::apply_allocations;
+use crate::auction::{run_auction, AuctionOutcome, Buyer};
+use crate::config::{ControlMode, ControllerConfig};
+use crate::credits::{base_allocations, Wallet};
+use crate::distribute::distribute_leftovers;
+use crate::estimate::{Estimate, EstimateCase, Estimator};
+use crate::monitor::Monitor;
+use crate::vfreq::guaranteed_cycles;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+use vfc_cgroupfs::backend::{HostBackend, TopologyInfo};
+use vfc_cgroupfs::error::Result;
+use vfc_simcore::{MHz, Micros, VcpuAddr, VmId};
+
+/// Wall-clock cost of each stage of one iteration — the paper reports
+/// ≈5 ms total, ≈4 ms of it monitoring, on 60 vCPUs (§IV.A.2).
+#[derive(Debug, Clone, Copy, Default, serde::Serialize)]
+pub struct StageTimings {
+    /// Stage 1: reading usage, placement and core frequencies.
+    pub monitor: Duration,
+    /// Stage 2: trends and estimates.
+    pub estimate: Duration,
+    /// Stage 3: credits and base capping.
+    pub enforce: Duration,
+    /// Stage 4: the cycles auction.
+    pub auction: Duration,
+    /// Stage 5: free distribution of leftovers.
+    pub distribute: Duration,
+    /// Stage 6: writing `cpu.max`.
+    pub apply: Duration,
+    /// Whole iteration, including bookkeeping between stages.
+    pub total: Duration,
+}
+
+/// Everything the controller decided about one vCPU this iteration.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct VcpuReport {
+    /// Which vCPU this row describes.
+    pub addr: VcpuAddr,
+    /// Instance name (from the cgroup scope).
+    pub vm_name: String,
+    /// The template's virtual frequency (`F_v`), if declared.
+    pub vfreq: Option<MHz>,
+    /// Measured consumption over the last period (`u_{i,j,t}`).
+    pub used: Micros,
+    /// Estimated virtual frequency (stage 1).
+    pub freq_est: MHz,
+    /// Predicted next-period consumption (stage 2).
+    pub estimate: Micros,
+    /// Which estimator case fired.
+    pub case: EstimateCase,
+    /// Guaranteed cycles `C_i` (Eq. 2).
+    pub guaranteed: Micros,
+    /// Final allocation `c_{i,j,t}` after all stages.
+    pub alloc: Micros,
+}
+
+/// Summary of one controller iteration.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct IterationReport {
+    /// Per-vCPU rows, sorted by address.
+    pub vcpus: Vec<VcpuReport>,
+    /// Market size after base capping (Eq. 6).
+    pub market_initial: Micros,
+    /// Cycles sold by the auction.
+    pub auction: AuctionOutcome,
+    /// Cycles given away by stage 5.
+    pub distributed: Micros,
+    /// Cycles still unallocated at the end (genuine slack).
+    pub market_left: Micros,
+    /// Credit balances after the iteration, sorted by VM.
+    pub credits: Vec<(VmId, u64)>,
+    /// Wall-clock cost of each stage.
+    pub timings: StageTimings,
+}
+
+impl IterationReport {
+    /// Mean estimated virtual frequency of all vCPUs whose instance name
+    /// starts with `prefix` (e.g. a template name like `"small"`), or
+    /// `None` if no vCPU matches.
+    pub fn mean_freq_of(&self, prefix: &str) -> Option<MHz> {
+        let mut sum = 0u64;
+        let mut n = 0u64;
+        for v in &self.vcpus {
+            if v.vm_name.starts_with(prefix) {
+                sum += v.freq_est.as_u32() as u64;
+                n += 1;
+            }
+        }
+        sum.checked_div(n).map(|mean| MHz(mean as u32))
+    }
+
+    /// Total allocation across all vCPUs.
+    pub fn total_alloc(&self) -> Micros {
+        self.vcpus.iter().map(|v| v.alloc).sum()
+    }
+
+    /// Report entry for one vCPU.
+    pub fn vcpu(&self, addr: VcpuAddr) -> Option<&VcpuReport> {
+        self.vcpus.iter().find(|v| v.addr == addr)
+    }
+}
+
+/// The virtual frequency controller. One instance per node.
+pub struct Controller {
+    cfg: ControllerConfig,
+    topo: TopologyInfo,
+    monitor: Monitor,
+    estimator: Estimator,
+    wallet: Wallet,
+    /// `c_{i,j,t-1}` — what we applied last iteration.
+    prev_alloc: HashMap<VcpuAddr, Micros>,
+    iterations: u64,
+}
+
+impl Controller {
+    /// Build a controller for a node with the given topology.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration (see
+    /// [`ControllerConfig::validate`]); configurations are programmer
+    /// input, not runtime data.
+    pub fn new(cfg: ControllerConfig, topo: TopologyInfo) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid controller config: {e}");
+        }
+        Controller {
+            estimator: Estimator::new(&cfg),
+            cfg,
+            topo,
+            monitor: Monitor::new(),
+            wallet: Wallet::new(),
+            prev_alloc: HashMap::new(),
+            iterations: 0,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ControllerConfig {
+        &self.cfg
+    }
+
+    /// Iterations executed so far.
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    /// Switch between monitor-only (scenario A) and full control
+    /// (scenario B) at runtime.
+    pub fn set_mode(&mut self, mode: ControlMode) {
+        self.cfg.mode = mode;
+    }
+
+    /// Credit balance of a VM.
+    pub fn credit_of(&self, vm: VmId) -> u64 {
+        self.wallet.balance(vm)
+    }
+
+    /// Execute one full iteration against the backend.
+    pub fn iterate<B: HostBackend + ?Sized>(&mut self, backend: &mut B) -> Result<IterationReport> {
+        let t_start = Instant::now();
+        let mut timings = StageTimings::default();
+        let period = self.cfg.period;
+
+        // ---- stage 1: monitor ------------------------------------------------
+        let t = Instant::now();
+        let (vms, observations) = self.monitor.observe(backend, period)?;
+        timings.monitor = t.elapsed();
+
+        // ---- stage 2: estimate ------------------------------------------------
+        let t = Instant::now();
+        let mut estimates: Vec<Estimate> =
+            self.estimator
+                .estimate(&self.cfg, &observations, &self.prev_alloc);
+        timings.estimate = t.elapsed();
+
+        // Guarantees per VM (Eq. 2).
+        let guarantee: HashMap<VmId, Micros> = vms
+            .iter()
+            .map(|vm| {
+                (
+                    vm.vm,
+                    guaranteed_cycles(vm.vfreq.unwrap_or(MHz::ZERO), self.topo.max_mhz, period),
+                )
+            })
+            .collect();
+        let names: HashMap<VmId, &str> = vms.iter().map(|vm| (vm.vm, vm.name.as_str())).collect();
+        let vfreqs: HashMap<VmId, Option<MHz>> = vms.iter().map(|vm| (vm.vm, vm.vfreq)).collect();
+
+        // QoS floors on the estimates (both follow from Eq. 5's premise:
+        // the guarantee must hold whenever the estimated demand reaches
+        // it, and under-estimating a throttled vCPU denies a paid-for
+        // guarantee):
+        //
+        // * cold start — a vCPU seen for the first time has no usable
+        //   history (its first delta reads 0), so until evidence arrives
+        //   it is assumed to need its full guarantee;
+        // * guarantee-first ramp — a vCPU in the *increase* case is
+        //   saturating its current capping, so its true demand is only
+        //   known to be "at least the cap": the estimate jumps at least
+        //   to C_i immediately (instead of doubling its way up from the
+        //   idle floor across many periods), and the increase factor
+        //   governs growth beyond the guarantee.
+        for e in &mut estimates {
+            let floors = !self.prev_alloc.contains_key(&e.addr)
+                || e.case == crate::estimate::EstimateCase::Increase;
+            if floors {
+                let c_i = guarantee.get(&e.addr.vm).copied().unwrap_or(Micros::ZERO);
+                e.estimate = e.estimate.max(c_i);
+            }
+        }
+
+        let mut allocations: HashMap<VcpuAddr, Micros>;
+        let market_initial;
+        let auction_outcome;
+        let distributed;
+        let market_left;
+
+        if self.cfg.mode == ControlMode::Full {
+            // ---- stage 3: credits + base capping (Eqs. 4, 5) ---------------
+            let t = Instant::now();
+            self.wallet.earn(&observations, &guarantee);
+            self.wallet
+                .retain_vms(&vms.iter().map(|v| v.vm).collect::<Vec<_>>());
+            allocations = base_allocations(&estimates, &guarantee);
+            // Over-subscription guard: placement (Eq. 7) should prevent
+            // the sum of guarantees from exceeding the node, but if an
+            // operator over-packs anyway, degrade every base allocation
+            // proportionally instead of writing caps the node cannot
+            // honour.
+            let c_max = self.topo.c_max(period);
+            let base_total: Micros = allocations.values().copied().sum();
+            if base_total > c_max && !base_total.is_zero() {
+                let ratio = c_max.as_u64() as f64 / base_total.as_u64() as f64;
+                for alloc in allocations.values_mut() {
+                    // Floor so the scaled sum can never exceed C_MAX.
+                    *alloc = Micros((alloc.as_u64() as f64 * ratio) as u64);
+                }
+            }
+            timings.enforce = t.elapsed();
+
+            // ---- stage 4: auction (Eq. 6, Alg. 1) ----------------------------
+            let t = Instant::now();
+            let allocated: Micros = allocations.values().copied().sum();
+            let mut market = c_max.saturating_sub(allocated);
+            market_initial = market;
+            let mut buyers: Vec<Buyer> = estimates
+                .iter()
+                .filter_map(|e| {
+                    let alloc = allocations.get(&e.addr).copied().unwrap_or(Micros::ZERO);
+                    (e.estimate > alloc).then(|| Buyer {
+                        addr: e.addr,
+                        want: e.estimate - alloc,
+                    })
+                })
+                .collect();
+            auction_outcome = run_auction(
+                &mut market,
+                &mut buyers,
+                &mut self.wallet,
+                self.cfg.window,
+                &mut allocations,
+            );
+            timings.auction = t.elapsed();
+
+            // ---- stage 5: free distribution ------------------------------------
+            let t = Instant::now();
+            let residual: Vec<(VcpuAddr, Micros)> = estimates
+                .iter()
+                .filter_map(|e| {
+                    let alloc = allocations.get(&e.addr).copied().unwrap_or(Micros::ZERO);
+                    (e.estimate > alloc).then(|| (e.addr, e.estimate - alloc))
+                })
+                .collect();
+            distributed = distribute_leftovers(&mut market, &residual, &mut allocations);
+            market_left = market;
+            timings.distribute = t.elapsed();
+
+            // ---- stage 6: apply ----------------------------------------------------
+            let t = Instant::now();
+            apply_allocations(backend, &self.cfg, &allocations)?;
+            self.prev_alloc = allocations.clone();
+            timings.apply = t.elapsed();
+        } else {
+            // Scenario A: nothing is written; estimates are still computed
+            // (only "the control part of the controller is disabled").
+            allocations = HashMap::new();
+            market_initial = Micros::ZERO;
+            auction_outcome = AuctionOutcome {
+                sold: Micros::ZERO,
+                rounds: 0,
+            };
+            distributed = Micros::ZERO;
+            market_left = Micros::ZERO;
+        }
+
+        // ---- report ------------------------------------------------------------
+        let obs_by_addr: HashMap<VcpuAddr, &crate::monitor::VcpuObservation> =
+            observations.iter().map(|o| (o.addr, o)).collect();
+        let mut vcpus: Vec<VcpuReport> = estimates
+            .iter()
+            .map(|e| {
+                let o = obs_by_addr[&e.addr];
+                VcpuReport {
+                    addr: e.addr,
+                    vm_name: names
+                        .get(&e.addr.vm)
+                        .map(|s| s.to_string())
+                        .unwrap_or_default(),
+                    vfreq: vfreqs.get(&e.addr.vm).copied().flatten(),
+                    used: o.used,
+                    freq_est: o.freq_est,
+                    estimate: e.estimate,
+                    case: e.case,
+                    guaranteed: guarantee.get(&e.addr.vm).copied().unwrap_or(Micros::ZERO),
+                    alloc: allocations.get(&e.addr).copied().unwrap_or(Micros::ZERO),
+                }
+            })
+            .collect();
+        vcpus.sort_by_key(|v| v.addr);
+
+        timings.total = t_start.elapsed();
+        self.iterations += 1;
+
+        Ok(IterationReport {
+            vcpus,
+            market_initial,
+            auction: auction_outcome,
+            distributed,
+            market_left,
+            credits: self.wallet.snapshot(),
+            timings,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vfc_cpusched::dvfs::{Governor, GovernorKind};
+    use vfc_cpusched::engine::Engine;
+    use vfc_cpusched::topology::NodeSpec;
+    use vfc_simcore::VcpuId;
+    use vfc_vmm::workload::{BurstyWeb, IdleWorkload, SteadyDemand};
+    use vfc_vmm::{SimHost, VmTemplate};
+
+    /// Host with deterministic performance governor (no freq noise).
+    fn host(threads: u32) -> SimHost {
+        let spec = NodeSpec::custom("t", 1, threads, 1, MHz(2400));
+        let gov = Governor::new(GovernorKind::Performance, spec.min_mhz, spec.max_mhz, 1)
+            .with_noise_std(0.0);
+        let engine = Engine::with_parts(spec.clone(), Micros(100_000), gov, 42);
+        SimHost::new(spec, 42).with_engine(engine)
+    }
+
+    fn step(host: &mut SimHost, ctl: &mut Controller) -> IterationReport {
+        host.advance_period();
+        ctl.iterate(host).unwrap()
+    }
+
+    #[test]
+    fn guarantees_hold_under_full_contention() {
+        // 2 threads; one 500 MHz VM and one 1800 MHz VM, both saturating
+        // with 2 vCPUs each: without control they'd split evenly; the
+        // controller must deliver ≈500 and ≈1800.
+        let mut h = host(2);
+        let small = h.provision(&VmTemplate::new("small", 1, MHz(500)));
+        let large = h.provision(&VmTemplate::new("large", 1, MHz(1800)));
+        h.attach_workload(small, Box::new(SteadyDemand::full()));
+        h.attach_workload(large, Box::new(SteadyDemand::full()));
+        let mut ctl = Controller::new(ControllerConfig::paper_defaults(), h.topology_info());
+        // Second thread load: add two more saturating 500 MHz VMs so the
+        // node is genuinely contended (total ask 500·3+1800 = 3300 < 4800).
+        let s2 = h.provision(&VmTemplate::new("small", 1, MHz(500)));
+        let s3 = h.provision(&VmTemplate::new("small", 1, MHz(500)));
+        h.attach_workload(s2, Box::new(SteadyDemand::full()));
+        h.attach_workload(s3, Box::new(SteadyDemand::full()));
+
+        let mut last = None;
+        for _ in 0..30 {
+            last = Some(step(&mut h, &mut ctl));
+        }
+        let report = last.unwrap();
+        let large_freq = report
+            .vcpu(VcpuAddr::new(large, VcpuId::new(0)))
+            .unwrap()
+            .freq_est;
+        assert!(
+            large_freq.as_u32() >= 1700,
+            "large should be ≈1800 MHz, got {large_freq}"
+        );
+        // Every small vCPU must be at or above its 500 MHz guarantee.
+        for vm in [small, s2, s3] {
+            let f = report
+                .vcpu(VcpuAddr::new(vm, VcpuId::new(0)))
+                .unwrap()
+                .freq_est;
+            assert!(f.as_u32() >= 450, "small guarantee violated: {f}");
+        }
+    }
+
+    #[test]
+    fn lone_vm_bursts_to_node_maximum() {
+        // A 500 MHz VM alone on the node must not stay capped at 500: the
+        // market sells it everything (Fig. 7 before t = 200 s).
+        let mut h = host(2);
+        let vm = h.provision(&VmTemplate::new("small", 1, MHz(500)));
+        h.attach_workload(vm, Box::new(SteadyDemand::full()));
+        let mut ctl = Controller::new(ControllerConfig::paper_defaults(), h.topology_info());
+        let mut freqs = Vec::new();
+        for _ in 0..25 {
+            let r = step(&mut h, &mut ctl);
+            freqs.push(
+                r.vcpu(VcpuAddr::new(vm, VcpuId::new(0)))
+                    .unwrap()
+                    .freq_est
+                    .as_u32(),
+            );
+        }
+        let final_freq = *freqs.last().unwrap();
+        assert!(
+            final_freq >= 2300,
+            "lone VM should burst to ≈2400 MHz, got {final_freq} (ramp {freqs:?})"
+        );
+    }
+
+    #[test]
+    fn monitor_only_mode_never_writes_caps() {
+        let mut h = host(2);
+        let vm = h.provision(&VmTemplate::new("small", 1, MHz(500)));
+        h.attach_workload(vm, Box::new(SteadyDemand::full()));
+        let mut ctl = Controller::new(ControllerConfig::monitor_only(), h.topology_info());
+        for _ in 0..5 {
+            let r = step(&mut h, &mut ctl);
+            assert!(r.vcpus.iter().all(|v| v.alloc.is_zero()));
+        }
+        assert!(h.vcpu_max(vm, VcpuId::new(0)).unwrap().is_unlimited());
+    }
+
+    #[test]
+    fn idle_vm_earns_credits() {
+        let mut h = host(2);
+        let vm = h.provision(&VmTemplate::new("small", 1, MHz(1200)));
+        h.attach_workload(vm, Box::new(IdleWorkload));
+        let mut ctl = Controller::new(ControllerConfig::paper_defaults(), h.topology_info());
+        for _ in 0..5 {
+            step(&mut h, &mut ctl);
+        }
+        // 1200 MHz on a 2.4 GHz node = 500 000 µs/iteration of credit.
+        let credit = ctl.credit_of(vm);
+        assert_eq!(credit, 5 * 500_000);
+    }
+
+    #[test]
+    fn estimates_drive_caps_down_for_idle_vms() {
+        let mut h = host(2);
+        let vm = h.provision(&VmTemplate::new("small", 1, MHz(1200)));
+        h.attach_workload(vm, Box::new(IdleWorkload));
+        let mut ctl = Controller::new(ControllerConfig::paper_defaults(), h.topology_info());
+        let mut last = None;
+        for _ in 0..5 {
+            last = Some(step(&mut h, &mut ctl));
+        }
+        let r = last.unwrap();
+        let v = r.vcpu(VcpuAddr::new(vm, VcpuId::new(0))).unwrap();
+        // An idle vCPU is allocated only the floor, freeing its guarantee
+        // for the market.
+        assert_eq!(v.alloc, ctl.config().min_cap);
+    }
+
+    #[test]
+    fn bursty_vm_is_served_through_its_credits() {
+        // A bursty VM that was idle accumulates credits; when its burst
+        // comes, the auction serves it beyond its base frequency even on
+        // a contended node.
+        let mut h = host(2);
+        let web = h.provision(&VmTemplate::new("web", 1, MHz(600)));
+        let hog = h.provision(&VmTemplate::new("hog", 2, MHz(600)));
+        h.attach_workload(
+            web,
+            Box::new(BurstyWeb::with_shape(
+                0,
+                0.0,
+                1.0,
+                Micros::from_secs(40),
+                Micros::from_secs(18),
+            )),
+        );
+        h.attach_workload(hog, Box::new(SteadyDemand::full()));
+        let mut ctl = Controller::new(ControllerConfig::paper_defaults(), h.topology_info());
+        let mut web_freqs = Vec::new();
+        for _ in 0..80 {
+            let r = step(&mut h, &mut ctl);
+            web_freqs.push(
+                r.vcpu(VcpuAddr::new(web, VcpuId::new(0)))
+                    .unwrap()
+                    .freq_est
+                    .as_u32(),
+            );
+        }
+        let peak = *web_freqs.iter().max().unwrap();
+        assert!(
+            peak > 900,
+            "bursting web VM should exceed its 600 MHz base, peaked at {peak}: {web_freqs:?}"
+        );
+    }
+
+    #[test]
+    fn allocations_never_exceed_node_capacity() {
+        let mut h = host(4);
+        for i in 0..6 {
+            let vm = h.provision(&VmTemplate::new("vm", 2, MHz(700 + 100 * i)));
+            h.attach_workload(vm, Box::new(SteadyDemand::full()));
+        }
+        let mut ctl = Controller::new(ControllerConfig::paper_defaults(), h.topology_info());
+        let c_max = h.topology_info().c_max(Micros::SEC);
+        for _ in 0..15 {
+            let r = step(&mut h, &mut ctl);
+            assert!(
+                r.total_alloc() <= c_max,
+                "allocated {} > C_MAX {}",
+                r.total_alloc(),
+                c_max
+            );
+        }
+    }
+
+    #[test]
+    fn report_aggregates_work() {
+        let mut h = host(2);
+        let a = h.provision(&VmTemplate::new("small", 1, MHz(500)));
+        let _b = h.provision(&VmTemplate::new("large", 1, MHz(1800)));
+        h.attach_workload(a, Box::new(SteadyDemand::full()));
+        let mut ctl = Controller::new(ControllerConfig::paper_defaults(), h.topology_info());
+        let r = step(&mut h, &mut ctl);
+        assert!(r.mean_freq_of("small").is_some());
+        assert!(r.mean_freq_of("large").is_some());
+        assert!(r.mean_freq_of("ghost").is_none());
+        assert_eq!(r.vcpus.len(), 2);
+        assert_eq!(ctl.iterations(), 1);
+        assert!(r.timings.total >= r.timings.monitor);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid controller config")]
+    fn bad_config_panics() {
+        let mut cfg = ControllerConfig::paper_defaults();
+        cfg.history_len = 0;
+        let _ = Controller::new(
+            cfg,
+            TopologyInfo {
+                nr_cpus: 1,
+                max_mhz: MHz(2400),
+            },
+        );
+    }
+}

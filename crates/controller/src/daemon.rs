@@ -1,0 +1,434 @@
+//! The `vfcd` daemon: the controller as a deployable host agent.
+//!
+//! This is the operational counterpart of the authors' C++
+//! `cgroup-monitor` agent: a process that runs on the host, discovers KVM
+//! VM scopes through the filesystem backend, and executes the control
+//! loop every period, sleeping `p − spent` between iterations (§III.B.6).
+//!
+//! Configuration comes from the command line and/or a minimal
+//! `key = value` config file with a `[vms]` section mapping VM names to
+//! their guaranteed virtual frequencies:
+//!
+//! ```text
+//! period_ms = 1000
+//! mode = full            # or "monitor"
+//! increase_trigger = 0.95
+//! increase_factor = 1.0
+//! decrease_trigger = 0.5
+//! decrease_factor = 0.05
+//! history_len = 5
+//!
+//! [vms]
+//! web-frontend = 500     # MHz
+//! batch-worker = 1800
+//! ```
+
+use crate::config::{ControlMode, ControllerConfig};
+use crate::controller::Controller;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::time::Duration;
+use vfc_cgroupfs::backend::HostBackend;
+use vfc_cgroupfs::fs::FsBackend;
+use vfc_simcore::{MHz, Micros};
+
+/// Parsed daemon configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DaemonConfig {
+    /// The control-loop parameters.
+    pub controller: ControllerConfig,
+    /// VM name → guaranteed virtual frequency.
+    pub vfreq: HashMap<String, MHz>,
+    /// Explicit backend roots (cgroup, proc, cpufreq); `None` = the live
+    /// system mounts.
+    pub roots: Option<(PathBuf, PathBuf, PathBuf)>,
+    /// Stop after this many iterations; `None` = run forever.
+    pub iterations: Option<u64>,
+    /// Print the per-iteration report.
+    pub verbose: bool,
+    /// Append one JSON line per iteration (the full
+    /// [`crate::IterationReport`]) to this file.
+    pub log_json: Option<PathBuf>,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            controller: ControllerConfig::paper_defaults(),
+            vfreq: HashMap::new(),
+            roots: None,
+            iterations: None,
+            verbose: false,
+            log_json: None,
+        }
+    }
+}
+
+/// Parse the config-file format described in the module docs.
+pub fn parse_config_file(content: &str) -> Result<DaemonConfig, String> {
+    let mut cfg = DaemonConfig::default();
+    let mut in_vms = false;
+    for (lineno, raw) in content.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[vms]" {
+            in_vms = true;
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(format!("line {}: unknown section {line}", lineno + 1));
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("line {}: expected key = value", lineno + 1))?;
+        let (key, value) = (key.trim(), value.trim());
+        if in_vms {
+            let mhz: u32 = value
+                .parse()
+                .map_err(|_| format!("line {}: bad frequency {value:?}", lineno + 1))?;
+            cfg.vfreq.insert(key.to_owned(), MHz(mhz));
+            continue;
+        }
+        let parse_f64 = |v: &str| -> Result<f64, String> {
+            v.parse()
+                .map_err(|_| format!("line {}: bad number {v:?}", lineno + 1))
+        };
+        match key {
+            "period_ms" => {
+                let ms: u64 = value
+                    .parse()
+                    .map_err(|_| format!("line {}: bad period {value:?}", lineno + 1))?;
+                cfg.controller.period = Micros::from_millis(ms);
+            }
+            "mode" => {
+                cfg.controller.mode = match value {
+                    "full" => ControlMode::Full,
+                    "monitor" => ControlMode::MonitorOnly,
+                    other => return Err(format!("line {}: bad mode {other:?}", lineno + 1)),
+                };
+            }
+            "increase_trigger" => cfg.controller.increase_trigger = parse_f64(value)?,
+            "increase_factor" => cfg.controller.increase_factor = parse_f64(value)?,
+            "decrease_trigger" => cfg.controller.decrease_trigger = parse_f64(value)?,
+            "decrease_factor" => cfg.controller.decrease_factor = parse_f64(value)?,
+            "history_len" => {
+                cfg.controller.history_len = value
+                    .parse()
+                    .map_err(|_| format!("line {}: bad history_len", lineno + 1))?;
+            }
+            "window_us" => {
+                cfg.controller.window = Micros(
+                    value
+                        .parse()
+                        .map_err(|_| format!("line {}: bad window_us", lineno + 1))?,
+                );
+            }
+            other => return Err(format!("line {}: unknown key {other:?}", lineno + 1)),
+        }
+    }
+    cfg.controller
+        .validate()
+        .map_err(|e| format!("invalid controller parameters: {e}"))?;
+    Ok(cfg)
+}
+
+/// Parse command-line arguments (no external crate; the surface is tiny).
+///
+/// ```text
+/// vfcd [--config FILE] [--monitor-only] [--iterations N] [--verbose]
+///      [--vfreq NAME=MHZ]...
+///      [--cgroup-root DIR --proc-root DIR --cpu-root DIR]
+/// ```
+pub fn parse_args(args: &[String]) -> Result<DaemonConfig, String> {
+    let mut cfg = DaemonConfig::default();
+    let mut cgroup_root = None;
+    let mut proc_root = None;
+    let mut cpu_root = None;
+    let mut i = 0;
+    let next = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{} needs a value", args[*i - 1]))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--config" => {
+                let path = next(&mut i)?;
+                let content = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                let file_cfg = parse_config_file(&content)?;
+                // CLI flags seen later still override; merge file first.
+                cfg.controller = file_cfg.controller;
+                cfg.vfreq.extend(file_cfg.vfreq);
+            }
+            "--monitor-only" => cfg.controller.mode = ControlMode::MonitorOnly,
+            "--verbose" => cfg.verbose = true,
+            "--iterations" => {
+                let n: u64 = next(&mut i)?
+                    .parse()
+                    .map_err(|_| "--iterations needs an integer".to_owned())?;
+                cfg.iterations = Some(n);
+            }
+            "--vfreq" => {
+                let spec = next(&mut i)?;
+                let (name, mhz) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("--vfreq expects NAME=MHZ, got {spec:?}"))?;
+                let mhz: u32 = mhz
+                    .parse()
+                    .map_err(|_| format!("bad frequency in {spec:?}"))?;
+                cfg.vfreq.insert(name.to_owned(), MHz(mhz));
+            }
+            "--log-json" => cfg.log_json = Some(PathBuf::from(next(&mut i)?)),
+            "--cgroup-root" => cgroup_root = Some(PathBuf::from(next(&mut i)?)),
+            "--proc-root" => proc_root = Some(PathBuf::from(next(&mut i)?)),
+            "--cpu-root" => cpu_root = Some(PathBuf::from(next(&mut i)?)),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+        i += 1;
+    }
+    cfg.roots = match (cgroup_root, proc_root, cpu_root) {
+        (None, None, None) => None,
+        (Some(c), Some(p), Some(u)) => Some((c, p, u)),
+        _ => return Err("--cgroup-root, --proc-root and --cpu-root must be given together".into()),
+    };
+    Ok(cfg)
+}
+
+/// Build the backend and run the loop. Returns the number of iterations
+/// executed. The loop sleeps `p − spent` between iterations exactly as
+/// §III.B.6 describes.
+pub fn run(cfg: DaemonConfig) -> Result<u64, String> {
+    let mut backend = match &cfg.roots {
+        Some((c, p, u)) => FsBackend::new(c, p, u),
+        None => FsBackend::system().map_err(|e| e.to_string())?,
+    }
+    .with_vfreq_table(cfg.vfreq.clone());
+
+    let topo = backend.topology();
+    if topo.nr_cpus == 0 {
+        return Err("backend reports zero CPUs — wrong roots?".into());
+    }
+    let period = cfg.controller.period;
+    let mut controller = Controller::new(cfg.controller.clone(), topo);
+    eprintln!(
+        "vfcd: {} CPUs at {}, period {:?}, mode {:?}, {} VM frequencies declared",
+        topo.nr_cpus,
+        topo.max_mhz,
+        Duration::from_micros(period.as_u64()),
+        cfg.controller.mode,
+        cfg.vfreq.len(),
+    );
+
+    let mut json_log = match &cfg.log_json {
+        Some(path) => Some(
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .map_err(|e| format!("cannot open {}: {e}", path.display()))?,
+        ),
+        None => None,
+    };
+
+    let mut done = 0u64;
+    loop {
+        if let Some(limit) = cfg.iterations {
+            if done >= limit {
+                return Ok(done);
+            }
+        }
+        let started = std::time::Instant::now();
+        match controller.iterate(&mut backend) {
+            Ok(report) => {
+                if cfg.verbose {
+                    for v in &report.vcpus {
+                        eprintln!(
+                            "  {} {}: used {} est {} alloc {} ({} MHz)",
+                            v.vm_name, v.addr.vcpu, v.used, v.estimate, v.alloc, v.freq_est
+                        );
+                    }
+                }
+                if let Some(file) = &mut json_log {
+                    use std::io::Write as _;
+                    let line =
+                        serde_json::to_string(&report).expect("report serialization cannot fail");
+                    if let Err(e) = writeln!(file, "{line}") {
+                        eprintln!("vfcd: json log write failed: {e}");
+                    }
+                }
+            }
+            Err(e) => eprintln!("vfcd: iteration failed: {e} (continuing)"),
+        }
+        done += 1;
+        let spent = started.elapsed();
+        let period = Duration::from_micros(period.as_u64());
+        if spent < period {
+            std::thread::sleep(period - spent);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_file_happy_path() {
+        let cfg = parse_config_file(
+            "period_ms = 500\nmode = monitor\nincrease_trigger = 0.9\n\
+             increase_factor = 0.5 # aggressive\nhistory_len = 7\nwindow_us = 50000\n\
+             \n[vms]\nweb = 500\nbatch = 1800\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.controller.period, Micros::from_millis(500));
+        assert_eq!(cfg.controller.mode, ControlMode::MonitorOnly);
+        assert_eq!(cfg.controller.increase_trigger, 0.9);
+        assert_eq!(cfg.controller.increase_factor, 0.5);
+        assert_eq!(cfg.controller.history_len, 7);
+        assert_eq!(cfg.controller.window, Micros(50_000));
+        assert_eq!(cfg.vfreq["web"], MHz(500));
+        assert_eq!(cfg.vfreq["batch"], MHz(1800));
+    }
+
+    #[test]
+    fn config_file_rejects_junk() {
+        assert!(parse_config_file("nonsense").is_err());
+        assert!(parse_config_file("mode = sideways").is_err());
+        assert!(parse_config_file("period_ms = soon").is_err());
+        assert!(parse_config_file("[network]\nmtu = 9000").is_err());
+        assert!(parse_config_file("[vms]\nweb = fast").is_err());
+        assert!(parse_config_file("unknown_key = 1").is_err());
+        // Invalid combinations are caught by ControllerConfig::validate.
+        assert!(parse_config_file("history_len = 1").is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let cfg = parse_config_file("# top comment\n\nperiod_ms = 1000 # inline\n").unwrap();
+        assert_eq!(cfg.controller.period, Micros::SEC);
+    }
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn cli_parsing() {
+        let cfg = parse_args(&args(&[
+            "--monitor-only",
+            "--iterations",
+            "5",
+            "--vfreq",
+            "web=500",
+            "--vfreq",
+            "db=1200",
+            "--verbose",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.controller.mode, ControlMode::MonitorOnly);
+        assert_eq!(cfg.iterations, Some(5));
+        assert!(cfg.verbose);
+        assert_eq!(cfg.vfreq.len(), 2);
+        assert_eq!(cfg.vfreq["db"], MHz(1200));
+    }
+
+    #[test]
+    fn cli_roots_must_come_together() {
+        assert!(parse_args(&args(&["--cgroup-root", "/x"])).is_err());
+        let cfg = parse_args(&args(&[
+            "--cgroup-root",
+            "/a",
+            "--proc-root",
+            "/b",
+            "--cpu-root",
+            "/c",
+        ]))
+        .unwrap();
+        assert!(cfg.roots.is_some());
+    }
+
+    #[test]
+    fn cli_rejects_unknown_and_malformed() {
+        assert!(parse_args(&args(&["--frobnicate"])).is_err());
+        assert!(parse_args(&args(&["--vfreq", "nofreq"])).is_err());
+        assert!(parse_args(&args(&["--iterations"])).is_err());
+        assert!(parse_args(&args(&["--iterations", "many"])).is_err());
+    }
+
+    #[test]
+    fn daemon_runs_against_a_fixture() {
+        use vfc_cgroupfs::fixture::FixtureTree;
+        let fx = FixtureTree::builder()
+            .cpus(2, MHz(2400))
+            .vm("web", 1, &[11])
+            .build();
+        let mut cfg = DaemonConfig {
+            iterations: Some(3),
+            ..DaemonConfig::default()
+        };
+        cfg.vfreq.insert("web".into(), MHz(500));
+        // Short period so the test sleeps ≤150 ms total; must stay well
+        // above min_cap (1 ms) or every capping legitimately rounds up
+        // to "max".
+        cfg.controller.period = Micros::from_millis(50);
+        cfg.roots = Some((fx.cgroup_root(), fx.proc_root(), fx.cpu_root()));
+        let ran = run(cfg).unwrap();
+        assert_eq!(ran, 3);
+        // The idle web VM ends up floored.
+        assert!(!fx.vcpu_cpu_max("web", 0).is_unlimited());
+    }
+
+    #[test]
+    fn daemon_writes_json_lines() {
+        use vfc_cgroupfs::fixture::FixtureTree;
+        let fx = FixtureTree::builder()
+            .cpus(1, MHz(2400))
+            .vm("web", 1, &[12])
+            .build();
+        let log = fx.root().join("vfcd.jsonl");
+        let mut cfg = DaemonConfig {
+            iterations: Some(2),
+            log_json: Some(log.clone()),
+            ..DaemonConfig::default()
+        };
+        cfg.controller.period = Micros::from_millis(50);
+        cfg.roots = Some((fx.cgroup_root(), fx.proc_root(), fx.cpu_root()));
+        run(cfg).unwrap();
+        let content = std::fs::read_to_string(&log).unwrap();
+        let lines: Vec<&str> = content.lines().collect();
+        assert_eq!(lines.len(), 2);
+        // Each line is a valid IterationReport JSON document.
+        for line in lines {
+            let v: serde_json::Value = serde_json::from_str(line).unwrap();
+            assert!(v["vcpus"].is_array());
+            assert!(
+                v["timings"]["total"].is_object()
+                    || v["timings"]["total"].is_number()
+                    || !v["timings"]["total"].is_null()
+            );
+        }
+    }
+
+    #[test]
+    fn cli_accepts_log_json() {
+        let cfg = parse_args(&args(&["--log-json", "/tmp/x.jsonl"])).unwrap();
+        assert_eq!(cfg.log_json, Some(std::path::PathBuf::from("/tmp/x.jsonl")));
+    }
+
+    #[test]
+    fn daemon_errors_on_empty_topology() {
+        let dir = std::env::temp_dir().join(format!("vfcd-empty-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg = DaemonConfig {
+            roots: Some((dir.clone(), dir.clone(), dir.clone())),
+            iterations: Some(1),
+            ..DaemonConfig::default()
+        };
+        assert!(run(cfg).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

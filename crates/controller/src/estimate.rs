@@ -1,0 +1,444 @@
+//! Stage 2 — estimating upcoming vCPU utilization (§III.B.2).
+//!
+//! Per vCPU, a history of the last `n` consumptions feeds a least-squares
+//! **trend** (Eq. 3 — the paper's formula contains a typo, writing the
+//! abscissa deviation as `x − S_n` with `S_n = Σx`; dimensional analysis
+//! and the stated goal require the mean `x̄`, i.e. the ordinary
+//! least-squares slope, which is what we compute). The trend plus two
+//! trigger/factor pairs produce the estimate `e_{i,j,t}` of next-period
+//! consumption, with three cases:
+//!
+//! * **(a) increasing** (Fig. 3) — trend > ε and consumption above
+//!   `increase_trigger × cap`: grow the cap by `increase_factor`;
+//! * **(b) decreasing** (Fig. 4) — trend < −ε and consumption below
+//!   `decrease_trigger × cap`: shrink by `decrease_factor`;
+//! * **(c) stable** (Fig. 5) — otherwise: snap the estimate just above
+//!   the observed consumption (`u / increase_trigger`), close enough to
+//!   avoid waste but high enough not to re-trigger an increase.
+
+use crate::config::ControllerConfig;
+use crate::monitor::VcpuObservation;
+use std::collections::HashMap;
+use vfc_simcore::{Micros, RingBuffer, VcpuAddr};
+
+/// Which estimator case fired (for reporting and the Fig. 3–5 traces).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub enum EstimateCase {
+    /// Case (a): consumption is rising against the capping (Fig. 3).
+    Increase,
+    /// Case (b): consumption is falling well below the capping (Fig. 4).
+    Decrease,
+    /// Case (c): consumption is steady (Fig. 5).
+    Stable,
+}
+
+/// Stage-2 output for one vCPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Estimate {
+    /// The vCPU this estimate is for.
+    pub addr: VcpuAddr,
+    /// Predicted next-period consumption `e_{i,j,t}`, µs per period.
+    pub estimate: Micros,
+    /// Which of the three cases produced the estimate.
+    pub case: EstimateCase,
+}
+
+/// Eq. 3 **exactly as printed** in the paper, abscissa deviation
+/// `(x − S_n)` with `S_n = n(n+1)/2` included.
+///
+/// Interestingly, the typo is harmless for the controller: since
+/// `Σ(y − ȳ) = 0`, the numerator `Σ(x − c)(y − ȳ)` is independent of the
+/// constant `c`, so the printed formula computes the correct least-squares
+/// numerator over an *inflated* denominator — the same slope scaled by
+/// `Σ(x − x̄)² / Σ(x − S_n)²` ∈ (0, 1). Sign and zero-crossings are
+/// identical to [`trend`], only the magnitude shrinks, which slightly
+/// hardens the trend-significance threshold. Kept for fidelity studies;
+/// the controller uses [`trend`]. Property-tested equivalent-in-sign in
+/// this module's tests.
+pub fn trend_paper_literal(history: &[u64]) -> f64 {
+    let n = history.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let s_n = (n * (n + 1) / 2) as f64; // the paper's S_n = Σ x for x = 1..n
+    let y_mean = history.iter().sum::<u64>() as f64 / n as f64;
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (i, &y) in history.iter().enumerate() {
+        let x = (i + 1) as f64; // the paper indexes x from 1
+        num += (x - s_n) * (y as f64 - y_mean);
+        den += (x - s_n) * (x - s_n);
+    }
+    num / den
+}
+
+/// Ordinary least-squares slope of a consumption history
+/// (µs per iteration). Histories shorter than 2 have no trend (0).
+pub fn trend(history: &[u64]) -> f64 {
+    let n = history.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    let x_mean = (nf - 1.0) / 2.0; // x = 0..n-1
+    let y_mean = history.iter().sum::<u64>() as f64 / nf;
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (x, &y) in history.iter().enumerate() {
+        let dx = x as f64 - x_mean;
+        num += dx * (y as f64 - y_mean);
+        den += dx * dx;
+    }
+    num / den
+}
+
+/// Stage-2 state: one consumption history per vCPU.
+#[derive(Debug)]
+pub struct Estimator {
+    histories: HashMap<VcpuAddr, RingBuffer<u64>>,
+    history_len: usize,
+}
+
+impl Estimator {
+    /// Create a fresh estimator sized to the configured history length.
+    pub fn new(cfg: &ControllerConfig) -> Self {
+        Estimator {
+            histories: HashMap::new(),
+            history_len: cfg.history_len,
+        }
+    }
+
+    /// Estimate next-period consumption for every observed vCPU.
+    ///
+    /// `prev_alloc` is `c_{i,j,t-1}` — the capping the controller set last
+    /// iteration; a vCPU without one (first sighting, or monitor-only
+    /// operation) is treated as capped at the full period.
+    pub fn estimate(
+        &mut self,
+        cfg: &ControllerConfig,
+        observations: &[VcpuObservation],
+        prev_alloc: &HashMap<VcpuAddr, Micros>,
+    ) -> Vec<Estimate> {
+        let period = cfg.period;
+        let mut out = Vec::with_capacity(observations.len());
+
+        for obs in observations {
+            let history = self
+                .histories
+                .entry(obs.addr)
+                .or_insert_with(|| RingBuffer::new(self.history_len.max(2)));
+            history.push(obs.used.as_u64());
+            let hist_vec = history.to_vec();
+            let t = trend(&hist_vec);
+
+            let cap = prev_alloc.get(&obs.addr).copied().unwrap_or(period);
+            let cap_f = cap.as_u64() as f64;
+            let u = obs.used.as_u64() as f64;
+            // Trend significance scales with consumption so measurement
+            // wiggle on a busy vCPU is filtered while a ramp-up from a
+            // tiny capping still registers.
+            let epsilon = cfg.trend_epsilon_floor.max(cfg.trend_epsilon_rel * u);
+
+            // Throttle-aware extension (opt-in): a vCPU the kernel had to
+            // throttle was demanding more than its capping, whatever its
+            // consumption trend looks like.
+            let throttled_hard = cfg.throttle_aware && obs.throttled.as_u64() > cap.as_u64() / 10;
+
+            let (case, raw) =
+                if throttled_hard || (t > epsilon && u >= cfg.increase_trigger * cap_f) {
+                    // Case (a): ramp up by the increase factor.
+                    (EstimateCase::Increase, cap_f * (1.0 + cfg.increase_factor))
+                } else if t < -epsilon && u <= cfg.decrease_trigger * cap_f {
+                    // Case (b): back off gently.
+                    (EstimateCase::Decrease, cap_f * (1.0 - cfg.decrease_factor))
+                } else {
+                    // Case (c): track consumption with just enough headroom
+                    // that a stable load does not re-trigger an increase.
+                    (EstimateCase::Stable, u / cfg.increase_trigger)
+                };
+
+            let mut estimate_u64 =
+                (raw.round() as u64).clamp(cfg.min_cap.as_u64(), period.as_u64());
+            if case == EstimateCase::Stable {
+                // Guard against float rounding putting the consumption
+                // back over the increase trigger of the new capping.
+                while estimate_u64 < period.as_u64()
+                    && u >= cfg.increase_trigger * estimate_u64 as f64
+                {
+                    estimate_u64 += 1;
+                }
+            }
+            let estimate = Micros(estimate_u64);
+            out.push(Estimate {
+                addr: obs.addr,
+                estimate,
+                case,
+            });
+        }
+
+        // Forget vCPUs that disappeared.
+        if self.histories.len() > observations.len() {
+            let live: std::collections::HashSet<VcpuAddr> =
+                observations.iter().map(|o| o.addr).collect();
+            self.histories.retain(|addr, _| live.contains(addr));
+        }
+
+        out
+    }
+
+    /// Consumption history of one vCPU (oldest → newest), for reporting.
+    pub fn history_of(&self, addr: VcpuAddr) -> Vec<u64> {
+        self.histories
+            .get(&addr)
+            .map(|h| h.to_vec())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use vfc_simcore::{CpuId, MHz, VcpuId, VmId};
+
+    fn obs(used: u64) -> VcpuObservation {
+        VcpuObservation {
+            addr: VcpuAddr::new(VmId::new(0), VcpuId::new(0)),
+            used: Micros(used),
+            throttled: Micros::ZERO,
+            last_cpu: CpuId::new(0),
+            freq_est: MHz(0),
+        }
+    }
+
+    fn cfg() -> ControllerConfig {
+        ControllerConfig::paper_defaults()
+    }
+
+    /// Run a sequence of consumptions through the estimator with a given
+    /// constant previous cap; returns the per-step estimates.
+    fn run(consumptions: &[u64], cap: u64) -> Vec<Estimate> {
+        let c = cfg();
+        let mut est = Estimator::new(&c);
+        let mut prev = HashMap::new();
+        prev.insert(VcpuAddr::new(VmId::new(0), VcpuId::new(0)), Micros(cap));
+        consumptions
+            .iter()
+            .map(|&u| est.estimate(&c, &[obs(u)], &prev)[0])
+            .collect()
+    }
+
+    #[test]
+    fn trend_of_flat_history_is_zero() {
+        assert_eq!(trend(&[5, 5, 5, 5]), 0.0);
+        assert_eq!(trend(&[]), 0.0);
+        assert_eq!(trend(&[42]), 0.0);
+    }
+
+    #[test]
+    fn paper_literal_trend_is_a_shrunk_copy_of_the_true_slope() {
+        // The printed Eq. 3 has the same sign and zeros as the correct
+        // least-squares slope, with magnitude scaled by a constant < 1
+        // that depends only on n.
+        let h: Vec<u64> = (0..5).map(|x| 10 * x + 3).collect();
+        let literal = trend_paper_literal(&h);
+        let correct = trend(&h);
+        assert!(literal > 0.0 && correct > 0.0);
+        assert!(literal < correct, "{literal} !< {correct}");
+        // The ratio is the deterministic n-dependent shrink factor.
+        let h2: Vec<u64> = (0..5).map(|x| 1000 * x + 77).collect();
+        let r1 = literal / correct;
+        let r2 = trend_paper_literal(&h2) / trend(&h2);
+        assert!((r1 - r2).abs() < 1e-12, "shrink factor is data-independent");
+        assert_eq!(trend_paper_literal(&[7]), 0.0);
+    }
+
+    #[test]
+    fn trend_matches_naive_least_squares() {
+        // y = 3x + 7 → slope exactly 3.
+        let h: Vec<u64> = (0..6).map(|x| 3 * x + 7).collect();
+        assert!((trend(&h) - 3.0).abs() < 1e-9);
+        // Decreasing.
+        let h: Vec<u64> = (0..5).map(|x| 100 - 10 * x).collect();
+        assert!((trend(&h) + 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn case_a_increase_doubles_the_cap() {
+        // Rising consumption at the cap: paper defaults double (+100 %).
+        let estimates = run(&[50_000, 80_000, 100_000], 100_000);
+        let last = estimates.last().unwrap();
+        assert_eq!(last.case, EstimateCase::Increase);
+        assert_eq!(last.estimate, Micros(200_000));
+    }
+
+    #[test]
+    fn case_b_decrease_shrinks_by_five_percent() {
+        // Falling consumption well under the 50 % trigger.
+        let estimates = run(&[100_000, 60_000, 20_000], 100_000);
+        let last = estimates.last().unwrap();
+        assert_eq!(last.case, EstimateCase::Decrease);
+        assert_eq!(last.estimate, Micros(95_000));
+    }
+
+    #[test]
+    fn case_c_stable_snaps_just_above_consumption() {
+        let estimates = run(&[70_000, 70_000, 70_000], 100_000);
+        let last = estimates.last().unwrap();
+        assert_eq!(last.case, EstimateCase::Stable);
+        // 70 000 / 0.95 + 1 ≈ 73 685: above u, below the old cap.
+        let e = last.estimate.as_u64();
+        assert!(e > 70_000 && e < 80_000, "estimate {e}");
+        // And it would not re-trigger an increase next iteration (the
+        // estimator's own trigger comparison, in float):
+        assert!(70_000f64 < 0.95 * e as f64, "would re-trigger: e={e}");
+    }
+
+    #[test]
+    fn stable_case_avoids_oscillation() {
+        // A long stable plateau: after the estimator converges the
+        // estimate must stop moving (the anti-oscillation property the
+        // paper designs for).
+        let c = cfg();
+        let mut est = Estimator::new(&c);
+        let addr = VcpuAddr::new(VmId::new(0), VcpuId::new(0));
+        let mut prev = HashMap::new();
+        let mut cap = Micros(400_000);
+        let mut last_estimates = Vec::new();
+        for _ in 0..20 {
+            prev.insert(addr, cap);
+            let e = est.estimate(&c, &[obs(300_000)], &prev)[0];
+            cap = e.estimate; // controller would apply the estimate
+            last_estimates.push(e.estimate.as_u64());
+        }
+        let tail = &last_estimates[10..];
+        let min = tail.iter().min().unwrap();
+        let max = tail.iter().max().unwrap();
+        assert!(max - min <= 2, "estimates still oscillate: {tail:?}");
+    }
+
+    #[test]
+    fn rising_slowly_below_trigger_is_stable() {
+        // Positive trend but consumption below the 95 % trigger: case (c).
+        let estimates = run(&[10_000, 20_000, 30_000], 100_000);
+        assert_eq!(estimates.last().unwrap().case, EstimateCase::Stable);
+    }
+
+    #[test]
+    fn falling_but_above_decrease_trigger_is_stable() {
+        // Negative trend but consumption above 50 % of the cap: case (c).
+        let estimates = run(&[95_000, 85_000, 75_000], 100_000);
+        assert_eq!(estimates.last().unwrap().case, EstimateCase::Stable);
+    }
+
+    #[test]
+    fn estimates_are_clamped_to_period_and_floor() {
+        let c = cfg();
+        let mut est = Estimator::new(&c);
+        let mut prev = HashMap::new();
+        prev.insert(VcpuAddr::new(VmId::new(0), VcpuId::new(0)), Micros(900_000));
+        // Increase case would give 1.8 s > period.
+        let _ = est.estimate(&c, &[obs(880_000)], &prev);
+        let e = est.estimate(&c, &[obs(900_000)], &prev);
+        assert!(e[0].estimate <= c.period);
+        // Zero consumption floors at min_cap.
+        let mut est = Estimator::new(&c);
+        let e = est.estimate(&c, &[obs(0)], &HashMap::new());
+        assert_eq!(e[0].estimate, c.min_cap);
+    }
+
+    #[test]
+    fn throttle_aware_detects_a_capped_burst() {
+        // A vCPU capped at 1 000 µs starts bursting mid-window: its
+        // consumption reads tiny-and-stable, but the kernel throttled it
+        // for 300 ms. The paper's estimator stays in the stable case; the
+        // throttle-aware extension fires an increase immediately.
+        let addr = VcpuAddr::new(VmId::new(0), VcpuId::new(0));
+        let mut prev = HashMap::new();
+        prev.insert(addr, Micros(1_000));
+        let burst_obs = VcpuObservation {
+            throttled: Micros(300_000),
+            ..obs(400) // consumption below the cap: partial window
+        };
+
+        let paper = cfg();
+        let mut est = Estimator::new(&paper);
+        let e = est.estimate(&paper, &[burst_obs], &prev)[0];
+        assert_eq!(e.case, EstimateCase::Stable, "paper estimator is blind");
+
+        let aware = ControllerConfig::throttle_aware();
+        let mut est = Estimator::new(&aware);
+        let e = est.estimate(&aware, &[burst_obs], &prev)[0];
+        assert_eq!(e.case, EstimateCase::Increase);
+        assert_eq!(e.estimate, Micros(2_000), "cap × (1 + increase factor)");
+    }
+
+    #[test]
+    fn throttle_aware_ignores_negligible_throttling() {
+        // A few µs of throttling (scheduler jitter) must not trigger.
+        let addr = VcpuAddr::new(VmId::new(0), VcpuId::new(0));
+        let mut prev = HashMap::new();
+        prev.insert(addr, Micros(100_000));
+        let aware = ControllerConfig::throttle_aware();
+        let mut est = Estimator::new(&aware);
+        let o = VcpuObservation {
+            throttled: Micros(100), // 0.1 % of the cap
+            ..obs(60_000)
+        };
+        let e = est.estimate(&aware, &[o], &prev)[0];
+        assert_eq!(e.case, EstimateCase::Stable);
+    }
+
+    #[test]
+    fn stale_vcpus_are_dropped() {
+        let c = cfg();
+        let mut est = Estimator::new(&c);
+        est.estimate(&c, &[obs(1)], &HashMap::new());
+        let other = VcpuObservation {
+            addr: VcpuAddr::new(VmId::new(9), VcpuId::new(0)),
+            ..obs(1)
+        };
+        est.estimate(&c, &[other], &HashMap::new());
+        assert!(est
+            .history_of(VcpuAddr::new(VmId::new(0), VcpuId::new(0)))
+            .is_empty());
+        assert_eq!(est.history_of(other.addr), vec![1]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_estimate_bounded(
+            us in proptest::collection::vec(0u64..1_000_000, 1..20),
+            cap in 1_000u64..1_000_000,
+        ) {
+            for e in run(&us, cap) {
+                prop_assert!(e.estimate.as_u64() >= 1_000);
+                prop_assert!(e.estimate <= Micros::SEC);
+            }
+        }
+
+        #[test]
+        fn prop_trend_sign_matches_monotone_series(
+            start in 0u64..100_000,
+            step in 1u64..10_000,
+            len in 3usize..10,
+        ) {
+            let inc: Vec<u64> = (0..len as u64).map(|x| start + x * step).collect();
+            prop_assert!(trend(&inc) > 0.0);
+            let dec: Vec<u64> = inc.iter().rev().copied().collect();
+            prop_assert!(trend(&dec) < 0.0);
+        }
+
+        #[test]
+        fn prop_paper_literal_trend_agrees_in_sign(
+            ys in proptest::collection::vec(0u64..1_000_000, 2..12),
+        ) {
+            let correct = trend(&ys);
+            let literal = trend_paper_literal(&ys);
+            // Same sign (or both ≈ 0), magnitude never larger.
+            prop_assert!(correct * literal >= -1e-9,
+                "sign flip: {correct} vs {literal}");
+            prop_assert!(literal.abs() <= correct.abs() + 1e-9);
+        }
+    }
+}

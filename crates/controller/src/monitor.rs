@@ -1,0 +1,263 @@
+//! Stage 1 — monitoring vCPU resource consumption (§III.B.1).
+//!
+//! Reads, for every vCPU cgroup: the cumulative `cpu.stat::usage_usec`
+//! (differenced against the previous iteration to obtain `u_{i,j,t}`),
+//! the vCPU thread's last CPU from `/proc/{tid}/stat`, and that core's
+//! `scaling_cur_freq` — once per iteration, as the paper argues is
+//! sufficient: busy threads rarely migrate and loaded cores run at
+//! near-identical frequencies, so the virtual-frequency estimate
+//! `û = (u / p) · f_core` stays accurate.
+
+use std::collections::HashMap;
+use vfc_cgroupfs::backend::{HostBackend, VmCgroupInfo};
+use vfc_cgroupfs::error::Result;
+use vfc_simcore::{CpuId, MHz, Micros, VcpuAddr, VcpuId};
+
+/// One vCPU's monitored state for this iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VcpuObservation {
+    /// The observed vCPU.
+    pub addr: VcpuAddr,
+    /// Cycles consumed during the last period (`u_{i,j,t}`).
+    pub used: Micros,
+    /// Time the vCPU spent throttled by its quota during the last period
+    /// (`cpu.stat::throttled_usec` delta) — the signal that consumption
+    /// was capped rather than satisfied. Zero on backends without the
+    /// counter.
+    pub throttled: Micros,
+    /// Core the vCPU thread last ran on.
+    pub last_cpu: CpuId,
+    /// Estimated virtual frequency over the last period.
+    pub freq_est: MHz,
+}
+
+/// Stage-1 state: previous cumulative usage per vCPU.
+#[derive(Debug, Default)]
+pub struct Monitor {
+    prev_usage: HashMap<VcpuAddr, Micros>,
+    prev_throttled: HashMap<VcpuAddr, Micros>,
+}
+
+impl Monitor {
+    /// Create a monitor with no baselines yet.
+    pub fn new() -> Self {
+        Monitor::default()
+    }
+
+    /// Read the host. Returns the VM inventory and one observation per
+    /// vCPU. The first observation of a vCPU reports `used = 0` (there is
+    /// no previous sample to difference against).
+    pub fn observe<B: HostBackend + ?Sized>(
+        &mut self,
+        backend: &B,
+        period: Micros,
+    ) -> Result<(Vec<VmCgroupInfo>, Vec<VcpuObservation>)> {
+        let vms = backend.vms();
+        let mut observations = Vec::new();
+        let mut fresh_usage = HashMap::with_capacity(self.prev_usage.len());
+        let mut fresh_throttled = HashMap::with_capacity(self.prev_throttled.len());
+
+        for vm in &vms {
+            for j in 0..vm.nr_vcpus {
+                let addr = VcpuAddr::new(vm.vm, VcpuId::new(j));
+                let cumulative = backend.vcpu_usage(vm.vm, VcpuId::new(j))?;
+                let used = match self.prev_usage.get(&addr) {
+                    Some(&prev) => cumulative.saturating_sub(prev),
+                    None => Micros::ZERO,
+                };
+                fresh_usage.insert(addr, cumulative);
+                let throttled_cum = backend.vcpu_throttled(vm.vm, VcpuId::new(j))?;
+                let throttled = match self.prev_throttled.get(&addr) {
+                    Some(&prev) => throttled_cum.saturating_sub(prev),
+                    None => Micros::ZERO,
+                };
+                fresh_throttled.insert(addr, throttled_cum);
+
+                // Thread placement → core frequency. A vCPU cgroup holds
+                // exactly one thread under KVM; be tolerant of zero (the
+                // thread may be mid-exit) by reporting core 0.
+                let last_cpu = match backend.vcpu_threads(vm.vm, VcpuId::new(j))?.first() {
+                    Some(&tid) => backend.thread_last_cpu(tid)?,
+                    None => CpuId::new(0),
+                };
+                let core_freq = backend.cpu_cur_freq(last_cpu)?;
+                let freq_est = MHz((used.ratio_of(period) * core_freq.as_f64()).round() as u32);
+
+                observations.push(VcpuObservation {
+                    addr,
+                    used,
+                    throttled,
+                    last_cpu,
+                    freq_est,
+                });
+            }
+        }
+
+        // Drop state for departed vCPUs.
+        self.prev_usage = fresh_usage;
+        self.prev_throttled = fresh_throttled;
+        Ok((vms, observations))
+    }
+
+    /// Number of vCPUs currently tracked.
+    pub fn tracked(&self) -> usize {
+        self.prev_usage.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vfc_cgroupfs::model::CpuMax;
+    use vfc_simcore::{Tid, VmId};
+
+    /// Minimal scripted backend for stage-level tests.
+    struct FakeBackend {
+        vms: Vec<VmCgroupInfo>,
+        usage: HashMap<VcpuAddr, Micros>,
+        freqs: Vec<MHz>,
+        placement: HashMap<Tid, CpuId>,
+    }
+
+    impl FakeBackend {
+        fn new(nr_vms: u32, vcpus: u32) -> Self {
+            let vms = (0..nr_vms)
+                .map(|i| VmCgroupInfo {
+                    vm: VmId::new(i),
+                    name: format!("vm{i}"),
+                    nr_vcpus: vcpus,
+                    vfreq: Some(MHz(500)),
+                })
+                .collect();
+            FakeBackend {
+                vms,
+                usage: HashMap::new(),
+                freqs: vec![MHz(2400); 4],
+                placement: HashMap::new(),
+            }
+        }
+
+        fn bump(&mut self, vm: u32, vcpu: u32, by: Micros) {
+            *self
+                .usage
+                .entry(VcpuAddr::new(VmId::new(vm), VcpuId::new(vcpu)))
+                .or_insert(Micros::ZERO) += by;
+        }
+    }
+
+    impl HostBackend for FakeBackend {
+        fn topology(&self) -> vfc_cgroupfs::backend::TopologyInfo {
+            vfc_cgroupfs::backend::TopologyInfo {
+                nr_cpus: self.freqs.len() as u32,
+                max_mhz: MHz(2400),
+            }
+        }
+        fn vms(&self) -> Vec<VmCgroupInfo> {
+            self.vms.clone()
+        }
+        fn vcpu_usage(&self, vm: VmId, vcpu: VcpuId) -> Result<Micros> {
+            Ok(self
+                .usage
+                .get(&VcpuAddr::new(vm, vcpu))
+                .copied()
+                .unwrap_or(Micros::ZERO))
+        }
+        fn vcpu_threads(&self, vm: VmId, vcpu: VcpuId) -> Result<Vec<Tid>> {
+            Ok(vec![Tid::new(vm.as_u32() * 10 + vcpu.as_u32())])
+        }
+        fn thread_last_cpu(&self, tid: Tid) -> Result<CpuId> {
+            Ok(self.placement.get(&tid).copied().unwrap_or(CpuId::new(0)))
+        }
+        fn cpu_cur_freq(&self, cpu: CpuId) -> Result<MHz> {
+            Ok(self.freqs[cpu.as_usize()])
+        }
+        fn set_vcpu_max(&mut self, _: VmId, _: VcpuId, _: CpuMax) -> Result<()> {
+            Ok(())
+        }
+        fn vcpu_max(&self, _: VmId, _: VcpuId) -> Result<CpuMax> {
+            Ok(CpuMax::unlimited())
+        }
+        fn set_vm_weight(&mut self, _: VmId, _: u32) -> Result<()> {
+            Ok(())
+        }
+        fn vm_weight(&self, _: VmId) -> Result<u32> {
+            Ok(100)
+        }
+    }
+
+    #[test]
+    fn first_observation_is_zero_then_deltas() {
+        let mut backend = FakeBackend::new(1, 1);
+        backend.bump(0, 0, Micros(5_000_000)); // pre-existing usage
+        let mut mon = Monitor::new();
+        let (_, obs) = mon.observe(&backend, Micros::SEC).unwrap();
+        assert_eq!(obs[0].used, Micros::ZERO, "no baseline yet");
+
+        backend.bump(0, 0, Micros(300_000));
+        let (_, obs) = mon.observe(&backend, Micros::SEC).unwrap();
+        assert_eq!(obs[0].used, Micros(300_000));
+
+        backend.bump(0, 0, Micros(700_000));
+        let (_, obs) = mon.observe(&backend, Micros::SEC).unwrap();
+        assert_eq!(obs[0].used, Micros(700_000));
+    }
+
+    #[test]
+    fn freq_estimate_combines_share_and_core_freq() {
+        let mut backend = FakeBackend::new(1, 1);
+        let mut mon = Monitor::new();
+        mon.observe(&backend, Micros::SEC).unwrap();
+        // Half the period on a 2.4 GHz core → 1200 MHz.
+        backend.bump(0, 0, Micros(500_000));
+        let (_, obs) = mon.observe(&backend, Micros::SEC).unwrap();
+        assert_eq!(obs[0].freq_est, MHz(1200));
+        assert_eq!(obs[0].last_cpu, CpuId::new(0));
+    }
+
+    #[test]
+    fn freq_estimate_uses_the_thread_core() {
+        let mut backend = FakeBackend::new(1, 1);
+        backend.freqs = vec![MHz(2400), MHz(1200)];
+        backend.placement.insert(Tid::new(0), CpuId::new(1));
+        let mut mon = Monitor::new();
+        mon.observe(&backend, Micros::SEC).unwrap();
+        backend.bump(0, 0, Micros(1_000_000));
+        let (_, obs) = mon.observe(&backend, Micros::SEC).unwrap();
+        // Full share of a 1.2 GHz core.
+        assert_eq!(obs[0].freq_est, MHz(1200));
+    }
+
+    #[test]
+    fn all_vcpus_of_all_vms_observed() {
+        let backend = FakeBackend::new(3, 2);
+        let mut mon = Monitor::new();
+        let (vms, obs) = mon.observe(&backend, Micros::SEC).unwrap();
+        assert_eq!(vms.len(), 3);
+        assert_eq!(obs.len(), 6);
+        assert_eq!(mon.tracked(), 6);
+    }
+
+    #[test]
+    fn departed_vcpus_are_forgotten() {
+        let mut backend = FakeBackend::new(2, 1);
+        let mut mon = Monitor::new();
+        mon.observe(&backend, Micros::SEC).unwrap();
+        assert_eq!(mon.tracked(), 2);
+        backend.vms.pop();
+        mon.observe(&backend, Micros::SEC).unwrap();
+        assert_eq!(mon.tracked(), 1);
+    }
+
+    #[test]
+    fn counter_reset_does_not_underflow() {
+        // If a vCPU cgroup is recreated its counter restarts from 0;
+        // saturating_sub yields 0 rather than a huge delta.
+        let mut backend = FakeBackend::new(1, 1);
+        backend.bump(0, 0, Micros(1_000_000));
+        let mut mon = Monitor::new();
+        mon.observe(&backend, Micros::SEC).unwrap();
+        backend.usage.clear(); // counter reset
+        let (_, obs) = mon.observe(&backend, Micros::SEC).unwrap();
+        assert_eq!(obs[0].used, Micros::ZERO);
+    }
+}

@@ -1,0 +1,101 @@
+//! Frequency ⇄ cycles translation (Eq. 2).
+//!
+//! On node `n`, guaranteeing a vCPU the virtual frequency `F_v` means
+//! guaranteeing it `C_i = p · F_v / F_n^MAX` cycles (µs of CPU time) per
+//! period `p` — §III.A. The translation is exact when every core runs at
+//! `F^MAX`, which §IV verifies experimentally ("there is a strict relation
+//! between cycles target and frequency target").
+
+use vfc_simcore::{MHz, Micros};
+
+/// `C_i` of Eq. 2: cycles per period guaranteeing `vfreq` on a node whose
+/// sustained maximum is `node_max`.
+///
+/// `vfreq` is clamped to `node_max` (the paper requires
+/// `F_v ≤ F_N(i)^MAX`; a template asking for more than the host can give
+/// is simply granted the host's maximum).
+pub fn guaranteed_cycles(vfreq: MHz, node_max: MHz, period: Micros) -> Micros {
+    if node_max.as_u32() == 0 {
+        return Micros::ZERO;
+    }
+    let f = vfreq.min(node_max);
+    // p × F_v / F_max, in u128 to avoid overflow with large periods.
+    Micros(((period.as_u64() as u128 * f.as_u32() as u128) / node_max.as_u32() as u128) as u64)
+}
+
+/// Inverse of [`guaranteed_cycles`]: the virtual frequency that `cycles`
+/// per `period` represents on a node running at `node_max`.
+pub fn cycles_to_freq(cycles: Micros, node_max: MHz, period: Micros) -> MHz {
+    if period.is_zero() {
+        return MHz::ZERO;
+    }
+    MHz(((cycles.as_u64() as u128 * node_max.as_u32() as u128) / period.as_u64() as u128) as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_values_on_chetemi() {
+        // 2.4 GHz node, p = 1 s.
+        let p = Micros::SEC;
+        let fmax = MHz(2400);
+        // small: 500 MHz → 208 333 µs of each second.
+        assert_eq!(guaranteed_cycles(MHz(500), fmax, p), Micros(208_333));
+        // medium: 1200 MHz → exactly half.
+        assert_eq!(guaranteed_cycles(MHz(1200), fmax, p), Micros(500_000));
+        // large: 1800 MHz → 750 000.
+        assert_eq!(guaranteed_cycles(MHz(1800), fmax, p), Micros(750_000));
+        // The node max itself → the whole period.
+        assert_eq!(guaranteed_cycles(MHz(2400), fmax, p), p);
+    }
+
+    #[test]
+    fn over_asking_is_clamped() {
+        assert_eq!(
+            guaranteed_cycles(MHz(5000), MHz(2400), Micros::SEC),
+            Micros::SEC
+        );
+    }
+
+    #[test]
+    fn zero_node_max_degenerates_safely() {
+        assert_eq!(
+            guaranteed_cycles(MHz(500), MHz(0), Micros::SEC),
+            Micros::ZERO
+        );
+        assert_eq!(cycles_to_freq(Micros(100), MHz(2400), Micros::ZERO), MHz(0));
+    }
+
+    #[test]
+    fn roundtrip_is_tight() {
+        let p = Micros::SEC;
+        let fmax = MHz(2400);
+        for f in [0u32, 1, 499, 500, 1200, 1800, 2400] {
+            let c = guaranteed_cycles(MHz(f), fmax, p);
+            let back = cycles_to_freq(c, fmax, p);
+            assert!(
+                back.as_u32() <= f && f - back.as_u32() <= 1,
+                "f={f} back={back}"
+            );
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_monotone_and_bounded(
+            f in 0u32..5000,
+            fmax in 1u32..5000,
+            p in 1u64..10_000_000u64,
+        ) {
+            let c = guaranteed_cycles(MHz(f), MHz(fmax), Micros(p));
+            // Never exceeds the period (one vCPU = one thread ≤ wall clock).
+            prop_assert!(c.as_u64() <= p);
+            // Monotone in f.
+            let c2 = guaranteed_cycles(MHz(f.saturating_add(100)), MHz(fmax), Micros(p));
+            prop_assert!(c2 >= c);
+        }
+    }
+}

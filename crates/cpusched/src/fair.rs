@@ -1,0 +1,259 @@
+//! Weighted water-filling fair share.
+//!
+//! This is the analytical heart of the CFS-like scheduler: given a
+//! capacity `C` and entities with weights `w_i` and caps `cap_i`
+//! (demand and/or quota), compute allocations `a_i` such that
+//!
+//! 1. `a_i ≤ cap_i` (never allocate what cannot be used),
+//! 2. `Σ a_i ≤ C`,
+//! 3. **work conservation** — if `Σ cap_i ≥ C` then `Σ a_i = C`,
+//! 4. **weighted fairness** — unsaturated entities receive shares
+//!    proportional to their weights (progressive filling / max-min
+//!    fairness).
+//!
+//! The same routine is applied at every level of the cgroup hierarchy:
+//! among the VM scopes of `machine.slice` (equal weights by default —
+//! which is exactly why, in the paper's scenario A, CFS shares *per VM*
+//! rather than per vCPU), and among the vCPU groups inside a VM.
+
+/// One entity competing for capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Entity {
+    /// CFS weight (`cpu.weight`; default 100).
+    pub weight: u32,
+    /// Upper bound on the allocation (µs): min(demand, quota budget, …).
+    pub cap: u64,
+}
+
+impl Entity {
+    /// Entity with the given CFS weight and allocation cap.
+    pub fn new(weight: u32, cap: u64) -> Self {
+        Entity { weight, cap }
+    }
+}
+
+/// Progressive-filling allocation. See module docs for invariants.
+///
+/// Runs in `O(k·n)` where `k` is the number of filling rounds (bounded by
+/// the number of distinct saturation events, ≤ n). Entities with zero
+/// weight receive nothing until all positively-weighted entities are
+/// saturated, then share the remainder equally (degenerate but total).
+pub fn water_fill(capacity: u64, entities: &[Entity]) -> Vec<u64> {
+    let n = entities.len();
+    let mut alloc = vec![0u64; n];
+    if n == 0 || capacity == 0 {
+        return alloc;
+    }
+
+    let mut remaining = capacity.min(
+        entities
+            .iter()
+            .fold(0u64, |acc, e| acc.saturating_add(e.cap)),
+    );
+    // Active = not yet saturated.
+    let mut active: Vec<usize> = (0..n).filter(|&i| entities[i].cap > 0).collect();
+
+    while remaining > 0 && !active.is_empty() {
+        let total_weight: u64 = active.iter().map(|&i| entities[i].weight as u64).sum();
+        let mut next_active = Vec::with_capacity(active.len());
+        let mut distributed = 0u64;
+
+        if total_weight == 0 {
+            // All remaining entities have zero weight: share equally.
+            let share = remaining / active.len() as u64;
+            if share == 0 {
+                // Fewer µs than entities: hand out 1 µs each, front first.
+                for &i in active.iter().take(remaining as usize) {
+                    alloc[i] += 1;
+                }
+                return alloc;
+            }
+            for &i in &active {
+                let headroom = entities[i].cap - alloc[i];
+                let got = share.min(headroom);
+                alloc[i] += got;
+                distributed += got;
+                if alloc[i] < entities[i].cap {
+                    next_active.push(i);
+                }
+            }
+        } else {
+            for &i in &active {
+                let fair =
+                    (remaining as u128 * entities[i].weight as u128 / total_weight as u128) as u64;
+                let headroom = entities[i].cap - alloc[i];
+                let got = fair.min(headroom);
+                alloc[i] += got;
+                distributed += got;
+                if alloc[i] < entities[i].cap {
+                    next_active.push(i);
+                }
+            }
+        }
+
+        if distributed == 0 {
+            // Integer-division dust: hand out 1 µs per unsaturated entity,
+            // round-robin, until the dust is gone or everyone saturates.
+            'dust: loop {
+                let mut progressed = false;
+                for &i in &next_active {
+                    if remaining == 0 {
+                        break 'dust;
+                    }
+                    if alloc[i] < entities[i].cap {
+                        alloc[i] += 1;
+                        remaining -= 1;
+                        progressed = true;
+                    }
+                }
+                if !progressed {
+                    break;
+                }
+            }
+            break;
+        }
+
+        remaining -= distributed;
+        active = next_active;
+    }
+
+    alloc
+}
+
+/// Convenience wrapper: equal weights.
+pub fn water_fill_equal(capacity: u64, caps: &[u64]) -> Vec<u64> {
+    let entities: Vec<Entity> = caps.iter().map(|&c| Entity::new(100, c)).collect();
+    water_fill(capacity, &entities)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_and_zero_capacity() {
+        assert!(water_fill(100, &[]).is_empty());
+        assert_eq!(water_fill(0, &[Entity::new(100, 50)]), vec![0]);
+    }
+
+    #[test]
+    fn equal_weights_split_equally() {
+        let e = vec![Entity::new(100, 1000); 4];
+        assert_eq!(water_fill(400, &e), vec![100; 4]);
+    }
+
+    #[test]
+    fn surplus_from_small_demand_is_redistributed() {
+        // One entity wants only 10; the other two absorb its surplus.
+        let e = vec![
+            Entity::new(100, 10),
+            Entity::new(100, 1000),
+            Entity::new(100, 1000),
+        ];
+        let a = water_fill(310, &e);
+        assert_eq!(a[0], 10);
+        assert_eq!(a[1], 150);
+        assert_eq!(a[2], 150);
+    }
+
+    #[test]
+    fn weights_are_respected() {
+        // 2:1:1 weights, ample caps.
+        let e = vec![
+            Entity::new(200, 10_000),
+            Entity::new(100, 10_000),
+            Entity::new(100, 10_000),
+        ];
+        let a = water_fill(1000, &e);
+        assert_eq!(a, vec![500, 250, 250]);
+    }
+
+    #[test]
+    fn paper_example_fig1() {
+        // Fig. 1: thread a has twice the CPU time of b and c on one core
+        // with 10^6 cycles: 0.5 M / 0.25 M / 0.25 M.
+        let e = vec![
+            Entity::new(200, u64::MAX),
+            Entity::new(100, u64::MAX),
+            Entity::new(100, u64::MAX),
+        ];
+        let a = water_fill(1_000_000, &e);
+        assert_eq!(a, vec![500_000, 250_000, 250_000]);
+    }
+
+    #[test]
+    fn under_demand_is_not_inflated() {
+        let e = vec![Entity::new(100, 30), Entity::new(100, 40)];
+        let a = water_fill(1000, &e);
+        assert_eq!(a, vec![30, 40]);
+    }
+
+    #[test]
+    fn zero_weight_entities_get_leftovers_only() {
+        let e = vec![Entity::new(0, 100), Entity::new(100, 60)];
+        let a = water_fill(100, &e);
+        assert_eq!(a[1], 60, "weighted entity saturates first");
+        assert_eq!(a[0], 40, "zero-weight gets the leftover");
+    }
+
+    #[test]
+    fn dust_is_distributed() {
+        // 7 µs among 3 equal entities: 2/2/2 then 1 more to one of them.
+        let a = water_fill_equal(7, &[100, 100, 100]);
+        assert_eq!(a.iter().sum::<u64>(), 7);
+        assert!(a.iter().all(|&x| x == 2 || x == 3));
+    }
+
+    #[test]
+    fn single_entity_takes_min_of_cap_and_capacity() {
+        assert_eq!(water_fill_equal(100, &[250]), vec![100]);
+        assert_eq!(water_fill_equal(400, &[250]), vec![250]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_invariants(
+            capacity in 0u64..5_000_000,
+            caps in proptest::collection::vec(0u64..2_000_000, 0..40),
+            weights in proptest::collection::vec(1u32..1000, 0..40),
+        ) {
+            let n = caps.len().min(weights.len());
+            let entities: Vec<Entity> = (0..n)
+                .map(|i| Entity::new(weights[i], caps[i]))
+                .collect();
+            let alloc = water_fill(capacity, &entities);
+
+            // (1) caps respected
+            for (a, e) in alloc.iter().zip(&entities) {
+                prop_assert!(*a <= e.cap);
+            }
+            // (2) capacity respected
+            let total: u64 = alloc.iter().sum();
+            prop_assert!(total <= capacity);
+            // (3) work conservation
+            let cap_sum: u64 = entities.iter().map(|e| e.cap).sum();
+            prop_assert_eq!(total, capacity.min(cap_sum));
+        }
+
+        #[test]
+        fn prop_equal_weights_envy_free(
+            capacity in 1u64..1_000_000,
+            caps in proptest::collection::vec(1u64..500_000, 2..20),
+        ) {
+            // With equal weights, an entity with a larger cap never gets
+            // less than one with a smaller cap (max-min fairness).
+            let alloc = water_fill_equal(capacity, &caps);
+            for i in 0..caps.len() {
+                for j in 0..caps.len() {
+                    if caps[i] >= caps[j] {
+                        // allow 1 µs of integer dust
+                        prop_assert!(alloc[i] + 1 >= alloc[j],
+                            "cap[{}]={} got {}, cap[{}]={} got {}",
+                            i, caps[i], alloc[i], j, caps[j], alloc[j]);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! Thread → core placement.
+//!
+//! §III.B.1 of the paper rests on one scheduler behaviour: *vCPU threads
+//! with high workload are moved less often than vCPU threads with low
+//! workload* — which is why reading `/proc/{tid}/stat` once per second is
+//! enough to locate the busy threads whose frequency matters. The placer
+//! reproduces exactly that: a thread's probability of migrating away from
+//! its previous core decreases linearly with its load.
+//!
+//! Within a tick a thread may run on several cores (load balancing); the
+//! *primary* core — where it spent the most time — is what `/proc` reports
+//! in field 39, and is what we record.
+
+use std::collections::HashMap;
+use vfc_simcore::{CpuId, Micros, SplitMix64, Tid};
+
+/// Per-thread placement result for one tick.
+#[derive(Debug, Clone)]
+pub struct ThreadPlacement {
+    /// Time run on each core, largest first.
+    pub slices: Vec<(CpuId, Micros)>,
+}
+
+impl ThreadPlacement {
+    /// The core the thread spent the most time on — what `/proc/{tid}/stat`
+    /// would show at the end of the tick.
+    pub fn primary(&self) -> CpuId {
+        self.slices
+            .first()
+            .map(|(c, _)| *c)
+            .unwrap_or(CpuId::new(0))
+    }
+
+    /// Total time run.
+    pub fn total(&self) -> Micros {
+        self.slices.iter().map(|(_, t)| *t).sum()
+    }
+}
+
+/// Sticky, load-aware placer.
+#[derive(Debug)]
+pub struct Placer {
+    nr_cpus: u32,
+    /// Preferred (last primary) core per thread.
+    sticky: HashMap<Tid, CpuId>,
+    /// Base migration probability for an idle thread; a fully-loaded
+    /// thread migrates with probability `base × (1 − load)² ≈ 0`.
+    base_migration: f64,
+    rng: SplitMix64,
+}
+
+impl Placer {
+    /// Placer for a node with `nr_cpus` hardware threads.
+    pub fn new(nr_cpus: u32, seed: u64) -> Self {
+        Placer {
+            nr_cpus,
+            sticky: HashMap::new(),
+            base_migration: 0.8,
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// Override the idle-thread migration probability (default 0.8/tick).
+    pub fn with_base_migration(mut self, p: f64) -> Self {
+        self.base_migration = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Place one tick's allocations onto cores.
+    ///
+    /// `allocs` is (thread, granted CPU time this tick); `tick` is the tick
+    /// length (per-core capacity). Returns placements plus per-core busy
+    /// time. Threads are packed largest-first; a thread whose preferred
+    /// core lacks room spills the remainder onto the emptiest cores, like
+    /// CFS load balancing does.
+    pub fn place(
+        &mut self,
+        allocs: &[(Tid, Micros)],
+        tick: Micros,
+    ) -> (HashMap<Tid, ThreadPlacement>, Vec<Micros>) {
+        let n = self.nr_cpus as usize;
+        let mut remaining = vec![tick; n];
+        let mut out = HashMap::with_capacity(allocs.len());
+
+        // Largest first for tight packing; tid tiebreak for determinism.
+        let mut order: Vec<(Tid, Micros)> = allocs.to_vec();
+        order.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+        for (tid, want) in order {
+            if want.is_zero() {
+                // Idle threads still have a location; maybe migrate it.
+                let cur = *self
+                    .sticky
+                    .entry(tid)
+                    .or_insert_with(|| CpuId::new((tid.as_u32()) % self.nr_cpus.max(1)));
+                let cur = if self.rng.chance(self.base_migration) {
+                    CpuId::new(self.rng.next_below(self.nr_cpus as u64) as u32)
+                } else {
+                    cur
+                };
+                self.sticky.insert(tid, cur);
+                out.insert(
+                    tid,
+                    ThreadPlacement {
+                        slices: vec![(cur, Micros::ZERO)],
+                    },
+                );
+                continue;
+            }
+
+            let load = want.ratio_of(tick).clamp(0.0, 1.0);
+            let p_migrate = self.base_migration * (1.0 - load) * (1.0 - load);
+            let preferred = match self.sticky.get(&tid) {
+                Some(&c) if !self.rng.chance(p_migrate) => Some(c),
+                _ => None,
+            };
+
+            let mut slices: Vec<(CpuId, Micros)> = Vec::with_capacity(2);
+            let mut left = want;
+
+            // Try the sticky core first.
+            if let Some(c) = preferred {
+                let got = left.min(remaining[c.as_usize()]);
+                if !got.is_zero() {
+                    remaining[c.as_usize()] -= got;
+                    slices.push((c, got));
+                    left -= got;
+                }
+            }
+
+            // Spill to the emptiest cores.
+            while !left.is_zero() {
+                let (idx, &room) = remaining
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(i, r)| (**r, usize::MAX - *i))
+                    .expect("at least one core");
+                if room.is_zero() {
+                    // Node over-committed beyond capacity: drop remainder.
+                    // (The fair scheduler never allocates more than
+                    // nr_cpus × tick, so this is unreachable from the
+                    // engine; kept for standalone robustness.)
+                    break;
+                }
+                let got = left.min(room);
+                remaining[idx] -= got;
+                slices.push((CpuId::new(idx as u32), got));
+                left -= got;
+            }
+
+            slices.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            if let Some((primary, _)) = slices.first() {
+                self.sticky.insert(tid, *primary);
+            }
+            out.insert(tid, ThreadPlacement { slices });
+        }
+
+        let busy: Vec<Micros> = remaining.iter().map(|r| tick - *r).collect();
+        (out, busy)
+    }
+
+    /// Last primary core of a thread (procfs emulation between ticks).
+    pub fn last_cpu(&self, tid: Tid) -> Option<CpuId> {
+        self.sticky.get(&tid).copied()
+    }
+
+    /// Count of migrations is not tracked directly; expose stickiness for
+    /// tests via the preferred-core table size.
+    pub fn tracked_threads(&self) -> usize {
+        self.sticky.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TICK: Micros = Micros(100_000);
+
+    fn total_busy(busy: &[Micros]) -> Micros {
+        busy.iter().copied().sum()
+    }
+
+    #[test]
+    fn single_thread_fits_one_core() {
+        let mut p = Placer::new(4, 1);
+        let (out, busy) = p.place(&[(Tid::new(1), Micros(60_000))], TICK);
+        let pl = &out[&Tid::new(1)];
+        assert_eq!(pl.slices.len(), 1);
+        assert_eq!(pl.total(), Micros(60_000));
+        assert_eq!(total_busy(&busy), Micros(60_000));
+    }
+
+    #[test]
+    fn full_load_threads_fill_all_cores() {
+        let mut p = Placer::new(2, 1);
+        let allocs: Vec<_> = (0..2).map(|i| (Tid::new(i), TICK)).collect();
+        let (out, busy) = p.place(&allocs, TICK);
+        assert_eq!(total_busy(&busy), Micros(200_000));
+        let cores: Vec<CpuId> = out.values().map(|pl| pl.primary()).collect();
+        assert_ne!(cores[0], cores[1], "two full threads on distinct cores");
+    }
+
+    #[test]
+    fn oversized_demand_splits_across_cores() {
+        // 3 threads of 80k on 2 cores (200k capacity): 240k demanded but
+        // the engine would never allocate that; here allocs are already
+        // feasible: 70k+70k+60k = 200k.
+        let mut p = Placer::new(2, 1);
+        let allocs = vec![
+            (Tid::new(1), Micros(70_000)),
+            (Tid::new(2), Micros(70_000)),
+            (Tid::new(3), Micros(60_000)),
+        ];
+        let (out, busy) = p.place(&allocs, TICK);
+        assert_eq!(total_busy(&busy), Micros(200_000));
+        // Everyone got everything they asked for.
+        for (tid, want) in allocs {
+            assert_eq!(out[&tid].total(), want);
+        }
+        // The last-placed thread must have been split.
+        let split = out.values().filter(|pl| pl.slices.len() > 1).count();
+        assert_eq!(split, 1);
+    }
+
+    #[test]
+    fn busy_threads_are_sticky() {
+        let mut p = Placer::new(8, 7);
+        let tid = Tid::new(9);
+        let (out, _) = p.place(&[(tid, TICK)], TICK);
+        let first = out[&tid].primary();
+        let mut moved = 0;
+        for _ in 0..100 {
+            let (out, _) = p.place(&[(tid, TICK)], TICK);
+            if out[&tid].primary() != first {
+                moved += 1;
+            }
+        }
+        assert_eq!(moved, 0, "a fully-loaded thread never migrates");
+    }
+
+    #[test]
+    fn idle_threads_wander() {
+        let mut p = Placer::new(8, 7);
+        let tid = Tid::new(9);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let (out, _) = p.place(&[(tid, Micros::ZERO)], TICK);
+            seen.insert(out[&tid].primary());
+        }
+        assert!(seen.len() > 3, "idle thread visited {} cores", seen.len());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut p = Placer::new(4, 99);
+            let allocs: Vec<_> = (0..6)
+                .map(|i| (Tid::new(i), Micros(30_000 + 1000 * i as u64)))
+                .collect();
+            let mut trace = Vec::new();
+            for _ in 0..20 {
+                let (out, _) = p.place(&allocs, TICK);
+                let mut v: Vec<_> = out.iter().map(|(t, pl)| (*t, pl.primary())).collect();
+                v.sort();
+                trace.push(v);
+            }
+            trace
+        };
+        assert_eq!(run(), run());
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            #[test]
+            fn prop_placement_conserves_time(
+                allocs in proptest::collection::vec(0u64..100_000, 0..24),
+                nr_cpus in 1u32..8,
+                seed in 0u64..1000,
+            ) {
+                // Clamp total to node capacity like the engine guarantees.
+                let capacity = nr_cpus as u64 * TICK.as_u64();
+                let mut feasible = Vec::new();
+                let mut budget = capacity;
+                for (i, a) in allocs.iter().enumerate() {
+                    let a = (*a).min(TICK.as_u64()).min(budget);
+                    budget -= a;
+                    feasible.push((Tid::new(i as u32), Micros(a)));
+                }
+
+                let mut placer = Placer::new(nr_cpus, seed);
+                let (out, busy) = placer.place(&feasible, TICK);
+
+                // Every thread got exactly its allocation.
+                for (tid, want) in &feasible {
+                    prop_assert_eq!(out[tid].total(), *want);
+                }
+                // No core is over wall clock; busy matches slices.
+                let mut per_core = vec![0u64; nr_cpus as usize];
+                for placement in out.values() {
+                    for (cpu, us) in &placement.slices {
+                        per_core[cpu.as_usize()] += us.as_u64();
+                    }
+                }
+                for (i, b) in busy.iter().enumerate() {
+                    prop_assert_eq!(b.as_u64(), per_core[i]);
+                    prop_assert!(b.as_u64() <= TICK.as_u64());
+                }
+                // Primary core is where the thread ran the most.
+                for placement in out.values() {
+                    if let Some((_, first)) = placement.slices.first() {
+                        for (_, rest) in &placement.slices[1..] {
+                            prop_assert!(first >= rest);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_alloc_thread_reports_a_location() {
+        let mut p = Placer::new(4, 3);
+        let (out, busy) = p.place(&[(Tid::new(5), Micros::ZERO)], TICK);
+        assert_eq!(out[&Tid::new(5)].total(), Micros::ZERO);
+        assert_eq!(total_busy(&busy), Micros::ZERO);
+        assert!(out[&Tid::new(5)].primary().as_u32() < 4);
+    }
+}

@@ -1,0 +1,134 @@
+//! Terminal line charts.
+//!
+//! The experiment harness renders every reproduced figure as an ASCII
+//! chart so the shape (plateaus, crossovers, ramps) can be checked
+//! without leaving the terminal; CSVs are emitted alongside for real
+//! plotting.
+
+use crate::series::GroupedSeries;
+
+/// Glyph per series, cycled.
+const GLYPHS: &[char] = &['*', '+', 'o', 'x', '#', '@', '%', '&'];
+
+/// Render a multi-series chart of `width × height` characters plus axes
+/// and a legend. Series are sampled column-wise by index.
+pub fn chart(series: &GroupedSeries, title: &str, width: usize, height: usize) -> String {
+    let width = width.max(10);
+    let height = height.max(4);
+    let names = series.names();
+    if names.is_empty() {
+        return format!("{title}\n(empty)\n");
+    }
+
+    // Global y-range.
+    let mut y_min = f64::INFINITY;
+    let mut y_max = f64::NEG_INFINITY;
+    let mut max_len = 0usize;
+    for name in names {
+        let s = series.get(name).expect("named group exists");
+        max_len = max_len.max(s.len());
+        for v in s.values() {
+            y_min = y_min.min(v);
+            y_max = y_max.max(v);
+        }
+    }
+    if max_len == 0 {
+        return format!("{title}\n(empty)\n");
+    }
+    if (y_max - y_min).abs() < f64::EPSILON {
+        y_max = y_min + 1.0; // flat series: give the axis some span
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, name) in names.iter().enumerate() {
+        let s = series.get(name).expect("named group exists");
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        let pts = s.points();
+        if pts.is_empty() {
+            continue;
+        }
+        // An index loop is the clearest formulation here: the row is a
+        // function of the column, so both dimensions are indexed.
+        #[allow(clippy::needless_range_loop)]
+        for col in 0..width {
+            // Sample the series by position.
+            let idx = col * (pts.len() - 1) / (width - 1).max(1);
+            let v = pts[idx.min(pts.len() - 1)].1;
+            let frac = (v - y_min) / (y_max - y_min);
+            let row = ((1.0 - frac) * (height - 1) as f64).round() as usize;
+            grid[row.min(height - 1)][col] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for (r, row) in grid.iter().enumerate() {
+        let label = if r == 0 {
+            format!("{y_max:>10.0} |")
+        } else if r == height - 1 {
+            format!("{y_min:>10.0} |")
+        } else {
+            format!("{:>10} |", "")
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>10} +{}\n", "", "-".repeat(width)));
+    // Legend.
+    let legend: Vec<String> = names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| format!("{} {}", GLYPHS[i % GLYPHS.len()], n))
+        .collect();
+    out.push_str(&format!("{:>12}{}\n", "", legend.join("   ")));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vfc_simcore::Micros;
+
+    #[test]
+    fn renders_title_axes_and_legend() {
+        let mut g = GroupedSeries::new();
+        for i in 0..50u64 {
+            g.push("small", Micros(i), 500.0 + i as f64);
+            g.push("large", Micros(i), 1800.0);
+        }
+        let c = chart(&g, "Fig X", 40, 10);
+        assert!(c.contains("Fig X"));
+        assert!(c.contains("* small"));
+        assert!(c.contains("+ large"));
+        assert!(c.lines().count() > 10);
+        // y-axis labels present.
+        assert!(c.contains("1800"));
+        assert!(c.contains("500"));
+    }
+
+    #[test]
+    fn empty_series_do_not_panic() {
+        let g = GroupedSeries::new();
+        let c = chart(&g, "empty", 40, 10);
+        assert!(c.contains("(empty)"));
+    }
+
+    #[test]
+    fn flat_series_have_nonzero_span() {
+        let mut g = GroupedSeries::new();
+        g.push("flat", Micros(0), 7.0);
+        g.push("flat", Micros(1), 7.0);
+        let c = chart(&g, "flat", 20, 5);
+        assert!(c.contains('*'));
+    }
+
+    #[test]
+    fn single_point_series() {
+        let mut g = GroupedSeries::new();
+        g.push("dot", Micros(0), 1.0);
+        let c = chart(&g, "dot", 15, 4);
+        assert!(c.contains('*'));
+    }
+}

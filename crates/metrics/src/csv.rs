@@ -1,0 +1,113 @@
+//! Minimal CSV output (no external dependency needed: values are numeric
+//! or simple identifiers; fields containing commas/quotes are quoted per
+//! RFC 4180 anyway for safety).
+
+use crate::series::GroupedSeries;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Quote a field if needed.
+fn field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+/// Render rows of string fields into CSV text.
+pub fn to_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        &headers
+            .iter()
+            .map(|h| field(h))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.iter().map(|c| field(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a [`GroupedSeries`] as CSV with a `t_seconds` column followed by
+/// one column per group.
+pub fn grouped_series_csv(series: &GroupedSeries) -> String {
+    let mut headers: Vec<&str> = vec!["t_seconds"];
+    headers.extend(series.names().iter().map(|s| s.as_str()));
+    let mut out = String::new();
+    out.push_str(&headers.join(","));
+    out.push('\n');
+    for (t, values) in series.rows() {
+        let _ = write!(out, "{}", t.as_secs_f64());
+        for v in values {
+            match v {
+                Some(v) => {
+                    let _ = write!(out, ",{v}");
+                }
+                None => out.push(','),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Write CSV content to a file, creating parent directories.
+pub fn write_csv_file(path: &Path, content: &str) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, content)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vfc_simcore::Micros;
+
+    #[test]
+    fn plain_rows() {
+        let csv = to_csv(
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        );
+        assert_eq!(csv, "a,b\n1,2\n3,4\n");
+    }
+
+    #[test]
+    fn quoting() {
+        let csv = to_csv(
+            &["name"],
+            &[vec!["has,comma".into()], vec!["has\"quote".into()]],
+        );
+        assert_eq!(csv, "name\n\"has,comma\"\n\"has\"\"quote\"\n");
+    }
+
+    #[test]
+    fn grouped_series_rendering() {
+        let mut g = GroupedSeries::new();
+        g.push("small", Micros::from_secs(1), 500.0);
+        g.push("large", Micros::from_secs(1), 1800.0);
+        g.push("small", Micros::from_secs(2), 510.0);
+        let csv = grouped_series_csv(&g);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "t_seconds,small,large");
+        assert_eq!(lines[1], "1,500,1800");
+        assert_eq!(lines[2], "2,510,");
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("vfc-csv-{}", std::process::id()));
+        let path = dir.join("sub/test.csv");
+        write_csv_file(&path, "a,b\n1,2\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "a,b\n1,2\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,211 @@
+//! Paper-vs-measured experiment records.
+//!
+//! Every reproduced table/figure produces an [`ExperimentRecord`]; the
+//! harness collects them into a [`Registry`] which renders the
+//! EXPERIMENTS.md comparison and a machine-readable JSON file.
+
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Did the measured shape match the paper's claim?
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// Shape reproduced (who wins, plateau values, crossovers).
+    Reproduced,
+    /// Same direction, noticeably different magnitude.
+    Partial,
+    /// Could not reproduce.
+    Diverged,
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Verdict::Reproduced => write!(f, "reproduced"),
+            Verdict::Partial => write!(f, "partial"),
+            Verdict::Diverged => write!(f, "diverged"),
+        }
+    }
+}
+
+/// One reproduced experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentRecord {
+    /// Paper artifact id, e.g. `fig7`, `table5`, `placement`.
+    pub id: String,
+    /// Human-readable experiment title.
+    pub title: String,
+    /// What the paper reports (the shape we must match).
+    pub paper_claim: String,
+    /// What this reproduction measured.
+    pub measured: String,
+    /// Shape-match verdict.
+    pub verdict: Verdict,
+    /// Named scalar results, e.g. `small_plateau_mhz → 503.0`.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl ExperimentRecord {
+    /// Start a record; measured text and verdict are filled via the builder methods.
+    pub fn new(id: &str, title: &str, paper_claim: &str) -> Self {
+        ExperimentRecord {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            paper_claim: paper_claim.to_owned(),
+            measured: String::new(),
+            verdict: Verdict::Diverged,
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Attach a named scalar result.
+    pub fn metric(mut self, name: &str, value: f64) -> Self {
+        self.metrics.push((name.to_owned(), value));
+        self
+    }
+
+    /// Set the measured-outcome text.
+    pub fn measured(mut self, text: impl Into<String>) -> Self {
+        self.measured = text.into();
+        self
+    }
+
+    /// Set the verdict.
+    pub fn verdict(mut self, v: Verdict) -> Self {
+        self.verdict = v;
+        self
+    }
+}
+
+/// Collection of experiment records with rendering helpers.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Registry {
+    /// The collected records, in insertion order.
+    pub records: Vec<ExperimentRecord>,
+}
+
+impl Registry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Append a record.
+    pub fn add(&mut self, record: ExperimentRecord) {
+        self.records.push(record);
+    }
+
+    /// Find a record by its artifact id.
+    pub fn get(&self, id: &str) -> Option<&ExperimentRecord> {
+        self.records.iter().find(|r| r.id == id)
+    }
+
+    /// Markdown section for EXPERIMENTS.md.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&format!("## {} — {}\n\n", r.id, r.title));
+            out.push_str(&format!("- **Paper:** {}\n", r.paper_claim));
+            out.push_str(&format!("- **Measured:** {}\n", r.measured));
+            out.push_str(&format!("- **Verdict:** {}\n", r.verdict));
+            if !r.metrics.is_empty() {
+                out.push_str("- **Metrics:**\n");
+                for (k, v) in &r.metrics {
+                    out.push_str(&format!("  - `{k}` = {v:.2}\n"));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Machine-readable dump.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("registry serialization cannot fail")
+    }
+
+    /// Write both renderings into `dir`.
+    pub fn write_to(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)?;
+        fs::write(dir.join("experiments.md"), self.to_markdown())?;
+        fs::write(dir.join("experiments.json"), self.to_json())
+    }
+
+    /// Count per verdict: (reproduced, partial, diverged).
+    pub fn tally(&self) -> (usize, usize, usize) {
+        let mut t = (0, 0, 0);
+        for r in &self.records {
+            match r.verdict {
+                Verdict::Reproduced => t.0 += 1,
+                Verdict::Partial => t.1 += 1,
+                Verdict::Diverged => t.2 += 1,
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExperimentRecord {
+        ExperimentRecord::new("fig7", "Controller on chetemi", "small 500, large 1800")
+            .measured("small 503, large 1795")
+            .metric("small_plateau_mhz", 503.0)
+            .metric("large_plateau_mhz", 1795.0)
+            .verdict(Verdict::Reproduced)
+    }
+
+    #[test]
+    fn builder_fills_fields() {
+        let r = sample();
+        assert_eq!(r.id, "fig7");
+        assert_eq!(r.verdict, Verdict::Reproduced);
+        assert_eq!(r.metrics.len(), 2);
+    }
+
+    #[test]
+    fn markdown_contains_everything() {
+        let mut reg = Registry::new();
+        reg.add(sample());
+        let md = reg.to_markdown();
+        assert!(md.contains("## fig7"));
+        assert!(md.contains("**Paper:** small 500"));
+        assert!(md.contains("small_plateau_mhz"));
+        assert!(md.contains("reproduced"));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut reg = Registry::new();
+        reg.add(sample());
+        let json = reg.to_json();
+        let back: Registry = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.records, reg.records);
+    }
+
+    #[test]
+    fn tally_counts() {
+        let mut reg = Registry::new();
+        reg.add(sample());
+        reg.add(sample().verdict(Verdict::Partial));
+        reg.add(sample().verdict(Verdict::Diverged));
+        assert_eq!(reg.tally(), (1, 1, 1));
+        assert!(reg.get("fig7").is_some());
+        assert!(reg.get("nope").is_none());
+    }
+
+    #[test]
+    fn writes_files() {
+        let dir = std::env::temp_dir().join(format!("vfc-exp-{}", std::process::id()));
+        let mut reg = Registry::new();
+        reg.add(sample());
+        reg.write_to(&dir).unwrap();
+        assert!(dir.join("experiments.md").exists());
+        assert!(dir.join("experiments.json").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

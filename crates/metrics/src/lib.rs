@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! Measurement toolkit for the `vfc` experiments.
+//!
+//! * [`stats`] — streaming (Welford) statistics and percentile summaries;
+//! * [`series`] — time series and per-group aggregation (the "average
+//!   frequency of the vCPUs of each VM class" curves of Figs. 6–9);
+//! * [`csv`] — plain CSV output for external plotting;
+//! * [`gnuplot`] — sibling `.gp` scripts so each CSV renders to PNG with
+//!   one gnuplot invocation;
+//! * [`ascii`] — terminal line charts so every figure can be eyeballed
+//!   straight from the experiment harness;
+//! * [`table`] — fixed-width text tables (Tables II–V and result rows);
+//! * [`experiment`] — paper-vs-measured records, serialized to JSON and
+//!   rendered into EXPERIMENTS.md.
+
+pub mod ascii;
+pub mod csv;
+pub mod experiment;
+pub mod gnuplot;
+pub mod series;
+pub mod stats;
+pub mod table;
+
+pub use experiment::{ExperimentRecord, Registry, Verdict};
+pub use series::{GroupedSeries, TimeSeries};
+pub use stats::Summary;

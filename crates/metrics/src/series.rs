@@ -1,0 +1,213 @@
+//! Time series and per-group aggregation.
+
+use crate::stats::Summary;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use vfc_simcore::Micros;
+
+/// An append-only time series of `(t, value)` points.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    points: Vec<(Micros, f64)>,
+}
+
+impl TimeSeries {
+    /// Create an empty series.
+    pub fn new() -> Self {
+        TimeSeries::default()
+    }
+
+    /// Append a point; `t` must be non-decreasing (debug-asserted).
+    pub fn push(&mut self, t: Micros, value: f64) {
+        debug_assert!(
+            self.points.last().is_none_or(|(last, _)| *last <= t),
+            "time series must be appended in order"
+        );
+        self.points.push((t, value));
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Any points recorded?
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// All points, in time order.
+    pub fn points(&self) -> &[(Micros, f64)] {
+        &self.points
+    }
+
+    /// Values only, in time order.
+    pub fn values(&self) -> impl Iterator<Item = f64> + '_ {
+        self.points.iter().map(|(_, v)| *v)
+    }
+
+    /// Last value, if any.
+    pub fn last(&self) -> Option<f64> {
+        self.points.last().map(|(_, v)| *v)
+    }
+
+    /// Summary statistics over all values.
+    pub fn summary(&self) -> Summary {
+        let mut s = Summary::new();
+        for (_, v) in &self.points {
+            s.push(*v);
+        }
+        s
+    }
+
+    /// Summary over the points with `from <= t < to`.
+    pub fn summary_between(&self, from: Micros, to: Micros) -> Summary {
+        let mut s = Summary::new();
+        for (t, v) in &self.points {
+            if *t >= from && *t < to {
+                s.push(*v);
+            }
+        }
+        s
+    }
+
+    /// Mean over a time window (0 when empty).
+    pub fn mean_between(&self, from: Micros, to: Micros) -> f64 {
+        self.summary_between(from, to).mean()
+    }
+}
+
+/// Named time series sharing a clock — one per VM class, per scenario,
+/// per node… Preserves insertion order of groups for stable output.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct GroupedSeries {
+    order: Vec<String>,
+    groups: BTreeMap<String, TimeSeries>,
+}
+
+impl GroupedSeries {
+    /// Create an empty collection.
+    pub fn new() -> Self {
+        GroupedSeries::default()
+    }
+
+    /// Append a point to a group, creating it on first use.
+    pub fn push(&mut self, group: &str, t: Micros, value: f64) {
+        if !self.groups.contains_key(group) {
+            self.order.push(group.to_owned());
+        }
+        self.groups
+            .entry(group.to_owned())
+            .or_default()
+            .push(t, value);
+    }
+
+    /// Group names in first-use order.
+    pub fn names(&self) -> &[String] {
+        &self.order
+    }
+
+    /// The series of one group, if it exists.
+    pub fn get(&self, group: &str) -> Option<&TimeSeries> {
+        self.groups.get(group)
+    }
+
+    /// Any groups recorded?
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Rows of `(t, values-per-group-in-order)` for CSV output; groups are
+    /// sampled by index, so series recorded on the same cadence line up.
+    pub fn rows(&self) -> Vec<(Micros, Vec<Option<f64>>)> {
+        let max_len = self
+            .order
+            .iter()
+            .map(|g| self.groups[g].len())
+            .max()
+            .unwrap_or(0);
+        let mut rows = Vec::with_capacity(max_len);
+        for i in 0..max_len {
+            let mut t = None;
+            let mut values = Vec::with_capacity(self.order.len());
+            for g in &self.order {
+                let p = self.groups[g].points().get(i);
+                if let Some((pt, v)) = p {
+                    t.get_or_insert(*pt);
+                    values.push(Some(*v));
+                } else {
+                    values.push(None);
+                }
+            }
+            rows.push((t.unwrap_or(Micros::ZERO), values));
+        }
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_query() {
+        let mut s = TimeSeries::new();
+        s.push(Micros(0), 1.0);
+        s.push(Micros(10), 3.0);
+        s.push(Micros(20), 5.0);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.last(), Some(5.0));
+        assert!((s.summary().mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn windowed_summary() {
+        let mut s = TimeSeries::new();
+        for i in 0..10u64 {
+            s.push(Micros(i * 100), i as f64);
+        }
+        // Window [300, 700): values 3, 4, 5, 6.
+        let m = s.mean_between(Micros(300), Micros(700));
+        assert!((m - 4.5).abs() < 1e-12);
+        assert_eq!(s.summary_between(Micros(5000), Micros(6000)).count(), 0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "appended in order")]
+    fn out_of_order_push_panics_in_debug() {
+        let mut s = TimeSeries::new();
+        s.push(Micros(100), 1.0);
+        s.push(Micros(50), 2.0);
+    }
+
+    #[test]
+    fn groups_keep_insertion_order() {
+        let mut g = GroupedSeries::new();
+        g.push("small", Micros(0), 2400.0);
+        g.push("large", Micros(0), 800.0);
+        g.push("small", Micros(10), 500.0);
+        assert_eq!(g.names(), &["small".to_owned(), "large".to_owned()]);
+        assert_eq!(g.get("small").unwrap().len(), 2);
+        assert_eq!(g.get("ghost"), None);
+    }
+
+    #[test]
+    fn rows_align_by_index_and_pad_missing() {
+        let mut g = GroupedSeries::new();
+        g.push("a", Micros(0), 1.0);
+        g.push("a", Micros(10), 2.0);
+        g.push("b", Micros(0), 9.0);
+        let rows = g.rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], (Micros(0), vec![Some(1.0), Some(9.0)]));
+        assert_eq!(rows[1], (Micros(10), vec![Some(2.0), None]));
+    }
+
+    #[test]
+    fn empty_grouped_series() {
+        let g = GroupedSeries::new();
+        assert!(g.is_empty());
+        assert!(g.rows().is_empty());
+    }
+}

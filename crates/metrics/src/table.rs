@@ -1,0 +1,110 @@
+//! Fixed-width text tables for terminal reports.
+
+/// A simple text table builder.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        TextTable {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; shorter rows are padded with empty cells, longer ones
+    /// are truncated to the header width.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        let mut row: Vec<String> = cells.iter().take(self.headers.len()).cloned().collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Convenience for string-ish rows.
+    pub fn row_strs(&mut self, cells: &[&str]) -> &mut Self {
+        let owned: Vec<String> = cells.iter().map(|s| s.to_string()).collect();
+        self.row(&owned)
+    }
+
+    /// Any rows added?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with column widths fitted to content.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let render_row = |cells: &[String]| -> String {
+            let mut line = String::from("|");
+            for (i, cell) in cells.iter().enumerate().take(cols) {
+                line.push_str(&format!(" {:<w$} |", cell, w = widths[i]));
+            }
+            line.push('\n');
+            line
+        };
+        let sep = {
+            let mut s = String::from("+");
+            for w in &widths {
+                s.push_str(&"-".repeat(w + 2));
+                s.push('+');
+            }
+            s.push('\n');
+            s
+        };
+        let mut out = String::new();
+        out.push_str(&sep);
+        out.push_str(&render_row(&self.headers));
+        out.push_str(&sep);
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+        }
+        out.push_str(&sep);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = TextTable::new(&["VM", "vCPUs", "Frequency"]);
+        t.row_strs(&["small", "2", "500 MHz"]);
+        t.row_strs(&["large", "4", "1800 MHz"]);
+        let r = t.render();
+        assert!(r.contains("| VM    | vCPUs | Frequency |"));
+        assert!(r.contains("| small | 2     | 500 MHz   |"));
+        assert!(r
+            .lines()
+            .all(|l| l.len() == r.lines().next().unwrap().len()));
+    }
+
+    #[test]
+    fn pads_and_truncates_rows() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row_strs(&["only-one"]);
+        t.row_strs(&["x", "y", "z-dropped"]);
+        let r = t.render();
+        assert!(r.contains("only-one"));
+        assert!(!r.contains("z-dropped"));
+    }
+
+    #[test]
+    fn empty_table_renders_headers() {
+        let t = TextTable::new(&["h1"]);
+        assert!(t.is_empty());
+        assert!(t.render().contains("h1"));
+    }
+}

@@ -1,0 +1,164 @@
+//! The evaluation cluster and workload of §IV.C.
+
+use crate::model::PlacementRequest;
+use serde::{Deserialize, Serialize};
+use vfc_cpusched::topology::NodeSpec;
+use vfc_simcore::SplitMix64;
+use vfc_vmm::VmTemplate;
+
+/// A named set of nodes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cluster {
+    /// The nodes, in placement order.
+    pub nodes: Vec<NodeSpec>,
+}
+
+impl Cluster {
+    /// Cluster over the given nodes.
+    pub fn new(nodes: Vec<NodeSpec>) -> Self {
+        Cluster { nodes }
+    }
+
+    /// The paper's cluster: 12 *chetemi* + 10 *chiclet* (22 nodes).
+    pub fn paper_cluster() -> Self {
+        let mut nodes = vec![NodeSpec::chetemi(); 12];
+        nodes.extend(vec![NodeSpec::chiclet(); 10]);
+        Cluster::new(nodes)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Any nodes at all?
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Total frequency capacity of the cluster, MHz.
+    pub fn freq_capacity_mhz(&self) -> u64 {
+        self.nodes.iter().map(|n| n.freq_capacity_mhz()).sum()
+    }
+}
+
+/// In which order VM requests arrive at the placer. Bin-packing results
+/// depend on it; the paper does not state theirs, so the harness reports
+/// several.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArrivalOrder {
+    /// All smalls, then mediums, then larges (grouped by template).
+    Grouped,
+    /// Template-interleaved round-robin.
+    RoundRobin,
+    /// Seeded uniform shuffle — closest to a real arrival stream.
+    Shuffled(u64),
+}
+
+/// The paper's workload: 250 small (2 vCPU @ 500 MHz) + 50 medium
+/// (4 @ 1200) + 100 large (4 @ 1800), in the requested arrival order.
+pub fn paper_workload(order: ArrivalOrder) -> Vec<PlacementRequest> {
+    let small = PlacementRequest::from(&VmTemplate::small());
+    let medium = PlacementRequest::from(&VmTemplate::medium());
+    let large = PlacementRequest::from(&VmTemplate::large());
+
+    let mut out: Vec<PlacementRequest> = Vec::with_capacity(400);
+    match order {
+        ArrivalOrder::Grouped => {
+            out.extend(std::iter::repeat_n(small, 250));
+            out.extend(std::iter::repeat_n(medium, 50));
+            out.extend(std::iter::repeat_n(large, 100));
+        }
+        ArrivalOrder::RoundRobin => {
+            // Interleave proportionally: 5 small : 1 medium : 2 large.
+            let (mut s, mut m, mut l) = (250, 50, 100);
+            while s + m + l > 0 {
+                for _ in 0..5 {
+                    if s > 0 {
+                        out.push(small.clone());
+                        s -= 1;
+                    }
+                }
+                if m > 0 {
+                    out.push(medium.clone());
+                    m -= 1;
+                }
+                for _ in 0..2 {
+                    if l > 0 {
+                        out.push(large.clone());
+                        l -= 1;
+                    }
+                }
+            }
+        }
+        ArrivalOrder::Shuffled(seed) => {
+            out.extend(std::iter::repeat_n(small, 250));
+            out.extend(std::iter::repeat_n(medium, 50));
+            out.extend(std::iter::repeat_n(large, 100));
+            SplitMix64::new(seed).shuffle(&mut out);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cluster_matches_section_ivc() {
+        let c = Cluster::paper_cluster();
+        assert_eq!(c.len(), 22);
+        let chetemi = c.nodes.iter().filter(|n| n.name == "chetemi").count();
+        let chiclet = c.nodes.iter().filter(|n| n.name == "chiclet").count();
+        assert_eq!((chetemi, chiclet), (12, 10));
+        // 12×96 000 + 10×153 600 MHz.
+        assert_eq!(c.freq_capacity_mhz(), 1_152_000 + 1_536_000);
+    }
+
+    #[test]
+    fn workload_counts_are_exact_in_every_order() {
+        for order in [
+            ArrivalOrder::Grouped,
+            ArrivalOrder::RoundRobin,
+            ArrivalOrder::Shuffled(7),
+        ] {
+            let w = paper_workload(order);
+            assert_eq!(w.len(), 400);
+            let count = |t: &str| w.iter().filter(|r| r.template == t).count();
+            assert_eq!(count("small"), 250);
+            assert_eq!(count("medium"), 50);
+            assert_eq!(count("large"), 100);
+            // Total demand: 250·1000 + 50·4800 + 100·7200 MHz.
+            let demand: u64 = w.iter().map(|r| r.freq_demand_mhz()).sum();
+            assert_eq!(demand, 1_210_000);
+        }
+    }
+
+    #[test]
+    fn workload_fits_the_cluster_frequency_wise() {
+        let c = Cluster::paper_cluster();
+        let w = paper_workload(ArrivalOrder::Grouped);
+        let demand: u64 = w.iter().map(|r| r.freq_demand_mhz()).sum();
+        assert!(demand <= c.freq_capacity_mhz());
+    }
+
+    #[test]
+    fn shuffle_is_deterministic_per_seed() {
+        let a = paper_workload(ArrivalOrder::Shuffled(3));
+        let b = paper_workload(ArrivalOrder::Shuffled(3));
+        let c = paper_workload(ArrivalOrder::Shuffled(4));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn round_robin_interleaves() {
+        let w = paper_workload(ArrivalOrder::RoundRobin);
+        // The first 8 arrivals contain all three classes.
+        let head: Vec<&str> = w[..8].iter().map(|r| r.template.as_str()).collect();
+        assert!(head.contains(&"small"));
+        assert!(head.contains(&"medium"));
+        assert!(head.contains(&"large"));
+    }
+}

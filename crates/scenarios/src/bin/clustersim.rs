@@ -1,0 +1,162 @@
+//! `clustersim` — run a cluster-scale what-if from the command line.
+//!
+//! ```text
+//! clustersim [--strategy freq|freq-ta|migration]
+//!            [--chetemi N] [--chiclet N]
+//!            [--small N] [--medium N] [--large N]
+//!            [--periods N] [--seed N] [--csv PATH]
+//! ```
+//!
+//! Deploys the requested VM mix (bursty smalls, steady-80 % mediums,
+//! saturating larges — the `vfc-scenarios::cluster_eval` profiles) on the
+//! requested node mix under one strategy and prints the report; `--csv`
+//! additionally writes the per-class SLO rows.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use vfc_cluster::Strategy;
+use vfc_cpusched::topology::NodeSpec;
+use vfc_metrics::csv::{to_csv, write_csv_file};
+use vfc_scenarios::cluster_eval::{run_strategy, ClusterScenario};
+
+struct Args {
+    strategy: Strategy,
+    strategy_name: String,
+    chetemi: u32,
+    chiclet: u32,
+    scenario: ClusterScenario,
+    csv: Option<PathBuf>,
+}
+
+fn parse(args: &[String]) -> Result<Args, String> {
+    let mut out = Args {
+        strategy: Strategy::FrequencyControl,
+        strategy_name: "freq".into(),
+        chetemi: 12,
+        chiclet: 10,
+        scenario: ClusterScenario::default(),
+        csv: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i].clone();
+        i += 1;
+        let value = args
+            .get(i)
+            .ok_or_else(|| format!("{key} needs a value"))?
+            .clone();
+        match key.as_str() {
+            "--strategy" => {
+                out.strategy = match value.as_str() {
+                    "freq" => Strategy::FrequencyControl,
+                    "freq-ta" => Strategy::FrequencyControlThrottleAware,
+                    "migration" => Strategy::migration_default(),
+                    other => return Err(format!("unknown strategy {other:?}")),
+                };
+                out.strategy_name = value.clone();
+            }
+            "--csv" => out.csv = Some(PathBuf::from(&value)),
+            numeric => {
+                let n: u32 = value
+                    .parse()
+                    .map_err(|_| format!("{numeric} expects an integer, got {value:?}"))?;
+                match numeric {
+                    "--chetemi" => out.chetemi = n,
+                    "--chiclet" => out.chiclet = n,
+                    "--small" => out.scenario.smalls = n,
+                    "--medium" => out.scenario.mediums = n,
+                    "--large" => out.scenario.larges = n,
+                    "--periods" => out.scenario.periods = n,
+                    "--seed" => out.scenario.seed = n as u64,
+                    other => return Err(format!("unknown argument {other:?}")),
+                }
+            }
+        }
+        i += 1;
+    }
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "clustersim [--strategy freq|freq-ta|migration] [--chetemi N] [--chiclet N]\n\
+                       [--small N] [--medium N] [--large N] [--periods N] [--seed N]\n\
+                       [--csv PATH]"
+        );
+        return ExitCode::SUCCESS;
+    }
+    let args = match parse(&raw) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("clustersim: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut nodes = vec![NodeSpec::chetemi(); args.chetemi as usize];
+    nodes.extend(vec![NodeSpec::chiclet(); args.chiclet as usize]);
+    if nodes.is_empty() {
+        eprintln!("clustersim: the cluster has no nodes");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "clustersim: {} nodes, {}+{}+{} VMs, strategy {}, {} periods",
+        nodes.len(),
+        args.scenario.smalls,
+        args.scenario.mediums,
+        args.scenario.larges,
+        args.strategy_name,
+        args.scenario.periods
+    );
+
+    let report = run_strategy(args.scenario, nodes, args.strategy);
+    println!(
+        "deployed {} (rejected {}), nodes active {}/{}, migrations {}, energy {:.1} Wh",
+        report.deployed,
+        report.rejected,
+        report.nodes_active,
+        report.nodes_total,
+        report.migrations,
+        report.energy_wh
+    );
+    println!(
+        "SLO violations: {:.2} % overall",
+        100.0 * report.slo_overall
+    );
+    for (class, slo) in &report.slo_by_class {
+        println!(
+            "  {class:<8} {:>6.2} %  ({} of {} demanding periods)",
+            100.0 * slo.violation_rate(),
+            slo.violated_periods,
+            slo.demanding_periods
+        );
+    }
+
+    if let Some(path) = args.csv {
+        let rows: Vec<Vec<String>> = report
+            .slo_by_class
+            .iter()
+            .map(|(class, slo)| {
+                vec![
+                    args.strategy_name.clone(),
+                    class.clone(),
+                    slo.demanding_periods.to_string(),
+                    slo.violated_periods.to_string(),
+                    format!("{:.6}", slo.violation_rate()),
+                ]
+            })
+            .collect();
+        let csv = to_csv(
+            &["strategy", "class", "demanding", "violated", "rate"],
+            &rows,
+        );
+        if let Err(e) = write_csv_file(&path, &csv) {
+            eprintln!("clustersim: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("clustersim: wrote {}", path.display());
+    }
+    ExitCode::SUCCESS
+}

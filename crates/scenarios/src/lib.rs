@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! The paper's evaluation (§IV), encoded as runnable scenarios.
+//!
+//! Every table and figure of the evaluation section maps to a function
+//! here; the `experiments` binary (in `src/bin/experiments.rs`) runs them
+//! and emits CSV + ASCII charts + paper-vs-measured records.
+//!
+//! | paper artifact | module |
+//! |---|---|
+//! | Tables II/III, Figs. 6–11 | [`eval1`] |
+//! | Table V, Figs. 12–14 | [`eval2`] |
+//! | Figs. 3–5 (estimator behaviour) | [`estimator_figs`] |
+//! | §IV.C placement study | [`placement_eval`] |
+//! | §IV.A.2 CFS side experiments | [`cfs_sides`] |
+//! | §IV.A.2 controller overhead | [`overhead`] |
+//! | §IV.A.2 core-frequency variance | part of [`runner`] outcomes |
+
+pub mod ablation;
+pub mod baseline_eval;
+pub mod cfs_sides;
+pub mod cluster_eval;
+pub mod estimator_figs;
+pub mod eval1;
+pub mod eval2;
+pub mod factor_sweep;
+pub mod overhead;
+pub mod placement_eval;
+pub mod runner;
+
+pub use runner::{Scale, ScenarioOutcome, ScenarioSpec, VmGroup, WorkloadKind};

@@ -1,0 +1,118 @@
+//! §IV.A.2 — controller overhead.
+//!
+//! The paper measures ≈5 ms per iteration (≈4 ms of it monitoring) on
+//! *chetemi* during execution B, i.e. with 80 vCPUs hosted (20 small ×2 +
+//! 10 large ×4). We reproduce the measurement methodology: run the full
+//! loop against a loaded host and report mean per-stage wall time.
+//! Absolute numbers differ (our backend is in-memory; theirs crossed the
+//! kernel for every cgroup file), but the *distribution* — monitoring
+//! dominating the loop — is the claim to check.
+
+use vfc_controller::{ControlMode, Controller, ControllerConfig, StageTimings};
+use vfc_cpusched::topology::NodeSpec;
+use vfc_simcore::MHz;
+use vfc_vmm::workload::SteadyDemand;
+use vfc_vmm::{SimHost, VmTemplate};
+
+/// Mean per-stage timings over an overhead run.
+#[derive(Debug, Clone, Copy)]
+pub struct OverheadReport {
+    /// vCPUs hosted during the measurement.
+    pub vcpus: u32,
+    /// Iterations averaged over.
+    pub iterations: u32,
+    /// Mean per-stage wall time.
+    pub mean: StageTimings,
+}
+
+impl OverheadReport {
+    /// Monitoring share of the total loop time, in [0, 1].
+    pub fn monitor_share(&self) -> f64 {
+        let total = self.mean.total.as_secs_f64();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.mean.monitor.as_secs_f64() / total
+        }
+    }
+}
+
+/// Run the overhead measurement with the paper's chetemi VM mix scaled to
+/// roughly `target_vcpus` vCPUs.
+pub fn measure(target_vcpus: u32, iterations: u32) -> OverheadReport {
+    let spec = NodeSpec::chetemi();
+    let mut host = SimHost::new(spec, 99);
+    // 2-vCPU VMs until the target is reached (mix shape does not matter
+    // for the loop cost; the vCPU count does).
+    let mut vcpus = 0u32;
+    while vcpus < target_vcpus {
+        let vm = host.provision(&VmTemplate::new("load", 2, MHz(500)));
+        host.attach_workload(vm, Box::new(SteadyDemand::full()));
+        vcpus += 2;
+    }
+
+    let mut controller = Controller::new(
+        ControllerConfig::paper_defaults().with_mode(ControlMode::Full),
+        host.topology_info(),
+    );
+
+    let mut acc = StageTimings::default();
+    for _ in 0..iterations {
+        host.advance_period();
+        let report = controller.iterate(&mut host).expect("sim backend");
+        acc.monitor += report.timings.monitor;
+        acc.estimate += report.timings.estimate;
+        acc.enforce += report.timings.enforce;
+        acc.auction += report.timings.auction;
+        acc.distribute += report.timings.distribute;
+        acc.apply += report.timings.apply;
+        acc.total += report.timings.total;
+    }
+    let n = iterations.max(1);
+    OverheadReport {
+        vcpus,
+        iterations,
+        mean: StageTimings {
+            monitor: acc.monitor / n,
+            estimate: acc.estimate / n,
+            enforce: acc.enforce / n,
+            auction: acc.auction / n,
+            distribute: acc.distribute / n,
+            apply: acc.apply / n,
+            total: acc.total / n,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn loop_cost_is_far_below_the_period() {
+        // The controller must leave essentially the whole period for
+        // sleeping: the paper reports 5 ms of a 1 s period; allow a very
+        // generous 100 ms bound for debug builds.
+        let r = measure(80, 5);
+        assert_eq!(r.vcpus, 80);
+        assert!(
+            r.mean.total < Duration::from_millis(100),
+            "iteration cost {:?} is not negligible",
+            r.mean.total
+        );
+    }
+
+    #[test]
+    fn stage_times_sum_to_at_most_total() {
+        let r = measure(40, 5);
+        let parts = r.mean.monitor
+            + r.mean.estimate
+            + r.mean.enforce
+            + r.mean.auction
+            + r.mean.distribute
+            + r.mean.apply;
+        assert!(parts <= r.mean.total + Duration::from_micros(500));
+        assert!(r.monitor_share() >= 0.0 && r.monitor_share() <= 1.0);
+    }
+}

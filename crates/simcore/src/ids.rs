@@ -1,0 +1,135 @@
+//! Strongly-typed identifiers for simulation entities.
+//!
+//! Using newtypes rather than bare integers prevents e.g. indexing the
+//! per-core frequency table with a thread id. All ids are small `u32`s
+//! (see the perf-book guidance on smaller integer types) and `Copy`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            #[inline]
+            /// Wrap a raw id.
+            pub const fn new(v: u32) -> Self {
+                $name(v)
+            }
+
+            #[inline]
+            /// Raw value.
+            pub const fn as_u32(self) -> u32 {
+                self.0
+            }
+
+            #[inline]
+            /// Raw value as a container index.
+            pub const fn as_usize(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A VM instance (`i ∈ I` in the paper).
+    VmId,
+    "vm"
+);
+id_type!(
+    /// A vCPU index inside a VM (`j ∈ [0, k_v^vCPU)` in the paper).
+    VcpuId,
+    "vcpu"
+);
+id_type!(
+    /// A physical CPU (hardware thread) on the host node.
+    CpuId,
+    "cpu"
+);
+id_type!(
+    /// A host OS thread id (the single entry of a vCPU cgroup's
+    /// `cgroup.threads` under KVM).
+    Tid,
+    "tid"
+);
+
+/// Fully-qualified vCPU address: which VM, which vCPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VcpuAddr {
+    /// Owning VM.
+    pub vm: VmId,
+    /// vCPU index within the VM.
+    pub vcpu: VcpuId,
+}
+
+impl VcpuAddr {
+    #[inline]
+    /// Combine a VM id and a vCPU index.
+    pub const fn new(vm: VmId, vcpu: VcpuId) -> Self {
+        VcpuAddr { vm, vcpu }
+    }
+}
+
+impl fmt::Display for VcpuAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.vm, self.vcpu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_are_distinct_types() {
+        let vm = VmId::new(3);
+        let vcpu = VcpuId::new(3);
+        // Same raw value, different types — they can coexist in typed maps.
+        assert_eq!(vm.as_u32(), vcpu.as_u32());
+        assert_eq!(vm.to_string(), "vm3");
+        assert_eq!(vcpu.to_string(), "vcpu3");
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let mut set = HashSet::new();
+        set.insert(CpuId::new(0));
+        set.insert(CpuId::new(0));
+        set.insert(CpuId::new(1));
+        assert_eq!(set.len(), 2);
+        assert!(CpuId::new(0) < CpuId::new(1));
+    }
+
+    #[test]
+    fn vcpu_addr_display() {
+        let a = VcpuAddr::new(VmId::new(2), VcpuId::new(1));
+        assert_eq!(a.to_string(), "vm2/vcpu1");
+    }
+
+    #[test]
+    fn from_u32() {
+        let t: Tid = 77u32.into();
+        assert_eq!(t, Tid::new(77));
+        assert_eq!(t.as_usize(), 77usize);
+    }
+}

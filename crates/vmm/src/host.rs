@@ -1,0 +1,744 @@
+//! `SimHost` — a complete simulated IaaS node.
+//!
+//! Combines a [`NodeSpec`] topology, a cgroup tree with the KVM layout, the
+//! scheduling [`Engine`] and a set of [`VmInstance`]s. Each
+//! [`SimHost::tick`] (100 ms):
+//!
+//! 1. asks every VM's workload for per-vCPU demand;
+//! 2. runs the scheduler engine (fair share + quotas + placement + DVFS);
+//! 3. delivers the performed hardware cycles back to the workloads and
+//!    collects their benchmark events;
+//! 4. maintains per-vCPU ground-truth frequency windows and node
+//!    telemetry (utilization, power).
+//!
+//! `SimHost` implements [`HostBackend`], so the controller drives it with
+//! the same code that drives a physical machine through
+//! [`vfc_cgroupfs::fs::FsBackend`].
+
+use crate::instance::VmInstance;
+use crate::template::VmTemplate;
+use crate::workload::{Workload, WorkloadEvent};
+use std::collections::HashMap;
+use vfc_cgroupfs::backend::{HostBackend, TopologyInfo, VmCgroupInfo};
+use vfc_cgroupfs::error::{CgroupError, Result};
+use vfc_cgroupfs::model::CpuMax;
+use vfc_cgroupfs::tree::{kvm_layout, CgroupTree};
+use vfc_cpusched::engine::Engine;
+use vfc_cpusched::topology::NodeSpec;
+use vfc_simcore::{CpuId, Cycles, MHz, Micros, Tid, VcpuAddr, VcpuId, VmId};
+
+/// A workload event, stamped with time and emitting VM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostEvent {
+    /// Simulated time the event fired.
+    pub at: Micros,
+    /// Emitting VM.
+    pub vm: VmId,
+    /// Emitting VM's instance name.
+    pub vm_name: String,
+    /// The workload's event.
+    pub event: WorkloadEvent,
+}
+
+/// Per-tick node telemetry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TickTelemetry {
+    /// End of the tick this sample describes.
+    pub at: Micros,
+    /// Node utilization in [0, 1].
+    pub utilization: f64,
+    /// Node power draw, Watts.
+    pub power_w: f64,
+    /// Mean frequency across all cores.
+    pub mean_core_freq: MHz,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct WindowAcc {
+    ran: Micros,
+    work: Cycles,
+    demanded: Micros,
+}
+
+/// See module documentation.
+pub struct SimHost {
+    spec: NodeSpec,
+    engine: Engine,
+    tree: CgroupTree,
+    vms: Vec<VmInstance>,
+    next_tid: u32,
+    next_machine: u32,
+    per_template_count: HashMap<String, u32>,
+    now: Micros,
+    tick_count: u64,
+    period_ticks: u32,
+    cur_win: HashMap<VcpuAddr, WindowAcc>,
+    last_win: HashMap<VcpuAddr, WindowAcc>,
+    events: Vec<HostEvent>,
+    telemetry: Vec<TickTelemetry>,
+}
+
+impl SimHost {
+    /// Host with the default 100 ms tick, 1 s window, schedutil governor.
+    pub fn new(spec: NodeSpec, seed: u64) -> Self {
+        let engine = Engine::new(spec.clone(), seed);
+        SimHost {
+            spec,
+            engine,
+            tree: CgroupTree::new(),
+            vms: Vec::new(),
+            next_tid: 1000,
+            next_machine: 1,
+            per_template_count: HashMap::new(),
+            now: Micros::ZERO,
+            tick_count: 0,
+            period_ticks: 10,
+            cur_win: HashMap::new(),
+            last_win: HashMap::new(),
+            events: Vec::new(),
+            telemetry: Vec::new(),
+        }
+    }
+
+    /// Replace the scheduling engine (governor, tick length, …). Must be
+    /// called before the first tick.
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        assert_eq!(self.tick_count, 0, "engine swap after ticks started");
+        self.engine = engine;
+        self
+    }
+
+    /// Node description.
+    pub fn spec(&self) -> &NodeSpec {
+        &self.spec
+    }
+
+    /// Simulated wall-clock time.
+    pub fn now(&self) -> Micros {
+        self.now
+    }
+
+    /// Engine tick length.
+    pub fn tick_len(&self) -> Micros {
+        self.engine.tick_len()
+    }
+
+    /// Ticks per ground-truth frequency window (= controller period).
+    pub fn period_ticks(&self) -> u32 {
+        self.period_ticks
+    }
+
+    /// Topology summary (convenience; also available via `HostBackend`).
+    pub fn topology_info(&self) -> TopologyInfo {
+        self.spec.topology_info()
+    }
+
+    /// Provisioned memory across live VMs, GB.
+    pub fn mem_used_gb(&self) -> u64 {
+        self.vms
+            .iter()
+            .filter(|i| i.alive)
+            .map(|i| i.template.mem_gb as u64)
+            .sum()
+    }
+
+    /// Free memory on the node, GB.
+    pub fn mem_free_gb(&self) -> u64 {
+        (self.spec.mem_gb as u64).saturating_sub(self.mem_used_gb())
+    }
+
+    /// Like [`SimHost::provision`], but refuses when the node's DRAM would
+    /// be over-committed — the §V assumption ("enough memory on the host
+    /// nodes for all the VMs"), made checkable.
+    pub fn try_provision(&mut self, template: &VmTemplate) -> Option<VmId> {
+        if template.mem_gb as u64 > self.mem_free_gb() {
+            return None;
+        }
+        Some(self.provision(template))
+    }
+
+    /// Create a VM from a template; its cgroup scope and one thread per
+    /// vCPU appear immediately. Instances of the same template get
+    /// sequential names (`small0`, `small1`, …). Memory is *not* checked
+    /// (KVM happily overcommits); use [`SimHost::try_provision`] to
+    /// enforce the node's DRAM capacity.
+    pub fn provision(&mut self, template: &VmTemplate) -> VmId {
+        let count = self
+            .per_template_count
+            .entry(template.name.clone())
+            .or_insert(0);
+        let name = format!("{}{}", template.name, *count);
+        *count += 1;
+
+        let machine_nr = self.next_machine;
+        self.next_machine += 1;
+        let (scope, vcpu_groups) =
+            kvm_layout::provision(&mut self.tree, machine_nr, &name, template.vcpus)
+                .expect("fresh scope name cannot collide");
+        let mut tids = Vec::with_capacity(template.vcpus as usize);
+        for &g in &vcpu_groups {
+            let tid = Tid::new(self.next_tid);
+            self.next_tid += 1;
+            self.tree.attach_thread(g, tid);
+            tids.push(tid);
+        }
+        let id = VmId::new(self.vms.len() as u32);
+        self.vms.push(VmInstance::new(
+            id,
+            template.clone(),
+            name,
+            scope,
+            vcpu_groups,
+            tids,
+        ));
+        id
+    }
+
+    /// Attach (replace) the guest workload of a VM.
+    pub fn attach_workload(&mut self, vm: VmId, workload: Box<dyn Workload>) {
+        self.vms[vm.as_usize()].workload = workload;
+    }
+
+    /// Change a VM's guaranteed virtual frequency at runtime (the
+    /// customer upgrades/downgrades the template). The controller picks
+    /// the new `F_v` up at its next iteration — no restart, no migration;
+    /// this is precisely the agility the paper's template knob enables.
+    pub fn set_vfreq(&mut self, vm: VmId, vfreq: MHz) {
+        self.vms[vm.as_usize()].template.vfreq = vfreq;
+    }
+
+    /// Tear a VM down (KVM shutdown or migration source side): its
+    /// threads disappear, its cgroups are removed, and its workload —
+    /// with all progress state — is handed back so a migration can resume
+    /// it elsewhere. The `VmId` is tombstoned, never reused.
+    ///
+    /// # Panics
+    /// Panics if the VM is already dead.
+    pub fn deprovision(&mut self, vm: VmId) -> Box<dyn Workload> {
+        let inst = &mut self.vms[vm.as_usize()];
+        assert!(inst.alive, "deprovision of a dead VM {vm}");
+        inst.alive = false;
+        let workload =
+            std::mem::replace(&mut inst.workload, Box::new(crate::workload::IdleWorkload));
+        // Empty and remove the vCPU leaves, then the scope subtree.
+        let vcpu_groups = inst.vcpu_groups.clone();
+        let scope = inst.scope;
+        for g in vcpu_groups {
+            self.tree.node_mut(g).threads.clear();
+            self.tree.rmdir(g).expect("vcpu leaf is empty");
+        }
+        // libvirt/{emulator} then libvirt then the scope.
+        let children: Vec<_> = self.tree.children(scope).collect();
+        for libvirt in children {
+            let grandchildren: Vec<_> = self.tree.children(libvirt).collect();
+            for c in grandchildren {
+                self.tree.rmdir(c).expect("emulator group is empty");
+            }
+            self.tree.rmdir(libvirt).expect("libvirt group is empty");
+        }
+        self.tree.rmdir(scope).expect("scope is empty");
+        // Drop ground-truth windows for the departed vCPUs.
+        self.cur_win.retain(|a, _| a.vm != vm);
+        self.last_win.retain(|a, _| a.vm != vm);
+        workload
+    }
+
+    /// Is the VM still provisioned?
+    pub fn is_alive(&self, vm: VmId) -> bool {
+        self.vms
+            .get(vm.as_usize())
+            .map(|i| i.alive)
+            .unwrap_or(false)
+    }
+
+    /// All hosted instances.
+    pub fn instances(&self) -> &[VmInstance] {
+        &self.vms
+    }
+
+    /// Instance lookup.
+    pub fn instance(&self, vm: VmId) -> &VmInstance {
+        &self.vms[vm.as_usize()]
+    }
+
+    /// Has the VM's workload completed?
+    pub fn workload_done(&self, vm: VmId) -> bool {
+        self.vms[vm.as_usize()].workload.is_done()
+    }
+
+    /// Advance the host by one engine tick.
+    pub fn tick(&mut self) {
+        let tick = self.engine.tick_len();
+        // 1. demands
+        let mut demands: HashMap<Tid, Micros> = HashMap::new();
+        for inst in &mut self.vms {
+            if !inst.alive {
+                continue;
+            }
+            let fracs = inst.workload.demand(self.now, inst.nr_vcpus());
+            for (j, frac) in fracs.iter().enumerate() {
+                demands.insert(inst.tids[j], tick.scale(frac.clamp(0.0, 1.0)));
+            }
+        }
+
+        // 2. schedule
+        let outcome = self.engine.tick(&mut self.tree, &demands);
+        let end = self.now + tick;
+
+        // 3. deliver + events
+        for inst in &mut self.vms {
+            if !inst.alive {
+                continue;
+            }
+            let delivered: Vec<Cycles> = inst
+                .tids
+                .iter()
+                .map(|t| {
+                    outcome
+                        .threads
+                        .get(t)
+                        .map(|s| s.work)
+                        .unwrap_or(Cycles::ZERO)
+                })
+                .collect();
+            inst.workload.deliver(end, &delivered);
+            for event in inst.workload.poll_events() {
+                self.events.push(HostEvent {
+                    at: end,
+                    vm: inst.id,
+                    vm_name: inst.name.clone(),
+                    event,
+                });
+            }
+            // 4. ground-truth windows
+            for (j, t) in inst.tids.iter().enumerate() {
+                if let Some(slice) = outcome.threads.get(t) {
+                    let acc = self
+                        .cur_win
+                        .entry(VcpuAddr::new(inst.id, VcpuId::new(j as u32)))
+                        .or_default();
+                    acc.ran += slice.ran;
+                    acc.work += slice.work;
+                    acc.demanded += demands.get(t).copied().unwrap_or(Micros::ZERO);
+                }
+            }
+        }
+
+        self.telemetry.push(TickTelemetry {
+            at: end,
+            utilization: outcome.utilization,
+            power_w: outcome.power_w,
+            mean_core_freq: outcome.mean_core_freq(),
+        });
+
+        self.now = end;
+        self.tick_count += 1;
+        if self.tick_count.is_multiple_of(self.period_ticks as u64) {
+            self.last_win = std::mem::take(&mut self.cur_win);
+        }
+    }
+
+    /// Advance by one full frequency window (= controller period, 1 s).
+    pub fn advance_period(&mut self) {
+        for _ in 0..self.period_ticks {
+            self.tick();
+        }
+    }
+
+    /// Advance by (at least) the given wall time.
+    pub fn advance(&mut self, wall: Micros) {
+        let target = self.now + wall;
+        while self.now < target {
+            self.tick();
+        }
+    }
+
+    /// Ground-truth average frequency of a vCPU over the last completed
+    /// window: placement-weighted hardware cycles / wall time.
+    pub fn vcpu_freq_exact(&self, vm: VmId, vcpu: VcpuId) -> MHz {
+        let window = self.engine.tick_len() * self.period_ticks as u64;
+        self.last_win
+            .get(&VcpuAddr::new(vm, vcpu))
+            .map(|acc| acc.work.avg_freq_over(window))
+            .unwrap_or(MHz::ZERO)
+    }
+
+    /// CPU time the vCPU *asked for* over the last completed window —
+    /// what an omniscient observer knows and a real host does not; used
+    /// by the cluster SLO accounting to distinguish "did not want" from
+    /// "could not get".
+    pub fn vcpu_demand_last_window(&self, vm: VmId, vcpu: VcpuId) -> Micros {
+        self.last_win
+            .get(&VcpuAddr::new(vm, vcpu))
+            .map(|acc| acc.demanded)
+            .unwrap_or(Micros::ZERO)
+    }
+
+    /// The paper's estimation (§III.B.1): CPU-time share over the last
+    /// window × current frequency of the core the vCPU last ran on.
+    pub fn vcpu_freq_estimate(&self, vm: VmId, vcpu: VcpuId) -> MHz {
+        let window = self.engine.tick_len() * self.period_ticks as u64;
+        let Some(acc) = self.last_win.get(&VcpuAddr::new(vm, vcpu)) else {
+            return MHz::ZERO;
+        };
+        let tid = self.vms[vm.as_usize()].tids[vcpu.as_usize()];
+        let core = self.engine.thread_last_cpu(tid).unwrap_or(CpuId::new(0));
+        let f = self.engine.core_freq(core);
+        MHz((acc.ran.ratio_of(window) * f.as_f64()).round() as u32)
+    }
+
+    /// Drain workload events collected so far.
+    pub fn drain_events(&mut self) -> Vec<HostEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Per-tick telemetry history.
+    pub fn telemetry(&self) -> &[TickTelemetry] {
+        &self.telemetry
+    }
+
+    /// Most recent node utilization, 0 before the first tick.
+    pub fn utilization(&self) -> f64 {
+        self.telemetry.last().map(|t| t.utilization).unwrap_or(0.0)
+    }
+
+    /// Direct read access to the cgroup tree (tests, inspection).
+    pub fn tree(&self) -> &CgroupTree {
+        &self.tree
+    }
+
+    fn vcpu_group(&self, vm: VmId, vcpu: VcpuId) -> Result<vfc_cgroupfs::tree::NodeIdx> {
+        self.vms
+            .get(vm.as_usize())
+            .filter(|i| i.alive)
+            .and_then(|i| i.vcpu_groups.get(vcpu.as_usize()).copied())
+            .ok_or(CgroupError::NoSuchVcpu {
+                vm: vm.as_u32(),
+                vcpu: vcpu.as_u32(),
+            })
+    }
+}
+
+impl HostBackend for SimHost {
+    fn topology(&self) -> TopologyInfo {
+        self.spec.topology_info()
+    }
+
+    fn vms(&self) -> Vec<VmCgroupInfo> {
+        self.vms
+            .iter()
+            .filter(|i| i.alive)
+            .map(|i| VmCgroupInfo {
+                vm: i.id,
+                name: i.name.clone(),
+                nr_vcpus: i.nr_vcpus(),
+                vfreq: Some(i.template.vfreq),
+            })
+            .collect()
+    }
+
+    fn vcpu_usage(&self, vm: VmId, vcpu: VcpuId) -> Result<Micros> {
+        let g = self.vcpu_group(vm, vcpu)?;
+        Ok(self.tree.node(g).cpu_stat.usage_usec)
+    }
+
+    fn vcpu_throttled(&self, vm: VmId, vcpu: VcpuId) -> Result<Micros> {
+        let g = self.vcpu_group(vm, vcpu)?;
+        Ok(self.tree.node(g).cpu_stat.throttled_usec)
+    }
+
+    fn vcpu_threads(&self, vm: VmId, vcpu: VcpuId) -> Result<Vec<Tid>> {
+        let g = self.vcpu_group(vm, vcpu)?;
+        Ok(self.tree.node(g).threads.clone())
+    }
+
+    fn thread_last_cpu(&self, tid: Tid) -> Result<CpuId> {
+        Ok(self.engine.thread_last_cpu(tid).unwrap_or(CpuId::new(0)))
+    }
+
+    fn cpu_cur_freq(&self, cpu: CpuId) -> Result<MHz> {
+        Ok(self.engine.core_freq(cpu))
+    }
+
+    fn set_vcpu_max(&mut self, vm: VmId, vcpu: VcpuId, max: CpuMax) -> Result<()> {
+        let g = self.vcpu_group(vm, vcpu)?;
+        self.tree.node_mut(g).cpu_max = max;
+        Ok(())
+    }
+
+    fn vcpu_max(&self, vm: VmId, vcpu: VcpuId) -> Result<CpuMax> {
+        let g = self.vcpu_group(vm, vcpu)?;
+        Ok(self.tree.node(g).cpu_max)
+    }
+
+    fn set_vm_weight(&mut self, vm: VmId, weight: u32) -> Result<()> {
+        let inst =
+            self.vms
+                .get(vm.as_usize())
+                .filter(|i| i.alive)
+                .ok_or(CgroupError::NoSuchVcpu {
+                    vm: vm.as_u32(),
+                    vcpu: 0,
+                })?;
+        let scope = inst.scope;
+        self.tree.node_mut(scope).weight = vfc_cgroupfs::backend::clamp_cpu_weight(weight);
+        Ok(())
+    }
+
+    fn vm_weight(&self, vm: VmId) -> Result<u32> {
+        let inst =
+            self.vms
+                .get(vm.as_usize())
+                .filter(|i| i.alive)
+                .ok_or(CgroupError::NoSuchVcpu {
+                    vm: vm.as_u32(),
+                    vcpu: 0,
+                })?;
+        Ok(self.tree.node(inst.scope).weight)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{Compress7zip, IdleWorkload, OpensslBench, SteadyDemand};
+    use vfc_cpusched::dvfs::{Governor, GovernorKind};
+
+    fn quiet_host(threads: u32, mhz: u32) -> SimHost {
+        let spec = NodeSpec::custom("t", 1, threads, 1, MHz(mhz));
+        let gov = Governor::new(GovernorKind::Performance, spec.min_mhz, spec.max_mhz, 1)
+            .with_noise_std(0.0);
+        let engine = Engine::with_parts(spec.clone(), Micros(100_000), gov, 42);
+        SimHost::new(spec, 42).with_engine(engine)
+    }
+
+    #[test]
+    fn provision_creates_kvm_layout_and_names() {
+        let mut h = quiet_host(4, 2400);
+        let a = h.provision(&VmTemplate::small());
+        let b = h.provision(&VmTemplate::small());
+        let c = h.provision(&VmTemplate::large());
+        assert_eq!(h.instance(a).name, "small0");
+        assert_eq!(h.instance(b).name, "small1");
+        assert_eq!(h.instance(c).name, "large0");
+        assert_eq!(h.instance(c).nr_vcpus(), 4);
+        // cgroup paths exist
+        let path = h.tree().path_of(h.instance(a).vcpu_groups[0]);
+        assert!(path.contains("machine.slice"));
+        assert!(path.ends_with("libvirt/vcpu0"));
+        // backend view
+        let vms = HostBackend::vms(&h);
+        assert_eq!(vms.len(), 3);
+        assert_eq!(vms[2].vfreq, Some(MHz(1800)));
+    }
+
+    #[test]
+    fn idle_vms_consume_nothing() {
+        let mut h = quiet_host(2, 2400);
+        let vm = h.provision(&VmTemplate::small());
+        h.attach_workload(vm, Box::new(IdleWorkload));
+        h.advance_period();
+        assert_eq!(h.vcpu_usage(vm, VcpuId::new(0)).unwrap(), Micros::ZERO);
+        assert_eq!(h.utilization(), 0.0);
+    }
+
+    #[test]
+    fn saturating_vm_uses_whole_window() {
+        let mut h = quiet_host(4, 2400);
+        let vm = h.provision(&VmTemplate::small());
+        h.attach_workload(vm, Box::new(SteadyDemand::full()));
+        h.advance_period();
+        // 2 vCPUs × 1 s each.
+        let u0 = h.vcpu_usage(vm, VcpuId::new(0)).unwrap();
+        assert_eq!(u0, Micros::SEC);
+        assert_eq!(h.vcpu_freq_exact(vm, VcpuId::new(0)), MHz(2400));
+        let est = h.vcpu_freq_estimate(vm, VcpuId::new(0));
+        assert_eq!(est, MHz(2400));
+    }
+
+    #[test]
+    fn quota_shows_up_in_exact_frequency() {
+        let mut h = quiet_host(4, 2400);
+        let vm = h.provision(&VmTemplate::small());
+        h.attach_workload(vm, Box::new(SteadyDemand::full()));
+        // Cap both vCPUs to 25 % of a core → 600 MHz at 2.4 GHz.
+        for j in 0..2 {
+            h.set_vcpu_max(vm, VcpuId::new(j), CpuMax::limited(Micros(25_000)))
+                .unwrap();
+        }
+        h.advance_period();
+        assert_eq!(h.vcpu_freq_exact(vm, VcpuId::new(0)), MHz(600));
+        // cpu.max round-trips.
+        assert_eq!(
+            h.vcpu_max(vm, VcpuId::new(1)).unwrap(),
+            CpuMax::limited(Micros(25_000))
+        );
+    }
+
+    #[test]
+    fn compress_workload_emits_events_through_host() {
+        let mut h = quiet_host(2, 2400);
+        let vm = h.provision(&VmTemplate::small());
+        h.attach_workload(
+            vm,
+            Box::new(Compress7zip::with_params(
+                Micros::ZERO,
+                2,
+                Cycles(240_000_000),
+                Micros::from_millis(500),
+            )),
+        );
+        h.advance(Micros::from_secs(30));
+        let events = h.drain_events();
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e.event, WorkloadEvent::Finished { .. })),
+            "benchmark should finish within 30 s: {events:?}"
+        );
+        assert!(events.iter().all(|e| e.vm == vm));
+        assert!(h.workload_done(vm));
+    }
+
+    #[test]
+    fn openssl_finishes_and_frees_cpu() {
+        let mut h = quiet_host(4, 2400);
+        let vm = h.provision(&VmTemplate::medium());
+        h.attach_workload(
+            vm,
+            Box::new(OpensslBench::with_work(Micros::ZERO, Cycles(2_400_000_000))),
+        );
+        // 2.4 G cycles per vCPU at 2.4 GHz = 1 s each.
+        h.advance(Micros::from_secs(2));
+        assert!(h.workload_done(vm));
+        let before = h.vcpu_usage(vm, VcpuId::new(0)).unwrap();
+        h.advance_period();
+        let after = h.vcpu_usage(vm, VcpuId::new(0)).unwrap();
+        assert_eq!(before, after, "no more CPU after completion");
+    }
+
+    #[test]
+    fn contended_host_shares_per_vm() {
+        // 2 threads, two VMs with 1 and 3 vCPUs, all saturating: VM-level
+        // fair share gives each VM one thread's worth.
+        let mut h = quiet_host(2, 2400);
+        let a = h.provision(&VmTemplate::new("one", 1, MHz(1000)));
+        let b = h.provision(&VmTemplate::new("three", 3, MHz(1000)));
+        h.attach_workload(a, Box::new(SteadyDemand::full()));
+        h.attach_workload(b, Box::new(SteadyDemand::full()));
+        h.advance_period();
+        let ua = h.vcpu_usage(a, VcpuId::new(0)).unwrap();
+        let ub: Micros = (0..3)
+            .map(|j| h.vcpu_usage(b, VcpuId::new(j)).unwrap())
+            .sum();
+        assert_eq!(ua, Micros::SEC);
+        assert_eq!(ub, Micros::SEC);
+    }
+
+    #[test]
+    fn telemetry_accumulates() {
+        let mut h = quiet_host(1, 2400);
+        let vm = h.provision(&VmTemplate::new("x", 1, MHz(500)));
+        h.attach_workload(vm, Box::new(SteadyDemand::new(0.5)));
+        h.advance_period();
+        assert_eq!(h.telemetry().len(), 10);
+        let t = h.telemetry().last().unwrap();
+        assert!((t.utilization - 0.5).abs() < 1e-9);
+        assert!(t.power_w > 0.0);
+        assert_eq!(h.now(), Micros::SEC);
+    }
+
+    #[test]
+    fn unknown_vcpu_is_an_error() {
+        let h = quiet_host(1, 2400);
+        assert!(h.vcpu_usage(VmId::new(0), VcpuId::new(0)).is_err());
+    }
+
+    #[test]
+    fn memory_accounting_and_try_provision() {
+        let mut h = quiet_host(4, 2400);
+        assert_eq!(h.mem_used_gb(), 0);
+        let total = h.spec().mem_gb as u64;
+        // Default templates carry 4 GB each.
+        let a = h.try_provision(&VmTemplate::small()).expect("fits");
+        assert_eq!(h.mem_used_gb(), 4);
+        assert_eq!(h.mem_free_gb(), total - 4);
+        // A VM bigger than the node is refused.
+        let fat = VmTemplate::new("fat", 1, MHz(100)).with_mem_gb(total as u32 + 1);
+        assert!(h.try_provision(&fat).is_none());
+        // Departure releases the memory.
+        h.deprovision(a);
+        assert_eq!(h.mem_used_gb(), 0);
+    }
+
+    #[test]
+    fn deprovision_removes_vm_and_returns_workload() {
+        let mut h = quiet_host(4, 2400);
+        let a = h.provision(&VmTemplate::small());
+        let b = h.provision(&VmTemplate::large());
+        h.attach_workload(a, Box::new(SteadyDemand::full()));
+        h.attach_workload(b, Box::new(SteadyDemand::full()));
+        h.advance_period();
+        let groups_before = h.tree().len();
+
+        let workload = h.deprovision(a);
+        assert_eq!(workload.name(), "steady");
+        assert!(!h.is_alive(a));
+        assert!(h.is_alive(b));
+        // Backend no longer lists it; accesses error.
+        assert_eq!(HostBackend::vms(&h).len(), 1);
+        assert!(h.vcpu_usage(a, VcpuId::new(0)).is_err());
+        // cgroups gone: scope (1) + libvirt (1) + emulator (1) + 2 vcpus.
+        assert_eq!(h.tree().len(), groups_before - 5);
+
+        // The host keeps running; the survivor gets the freed capacity.
+        h.advance_period();
+        assert!(h.vcpu_usage(b, VcpuId::new(0)).unwrap().as_u64() > 0);
+    }
+
+    #[test]
+    fn deprovisioned_vm_consumes_nothing() {
+        let mut h = quiet_host(2, 2400);
+        let a = h.provision(&VmTemplate::new("x", 2, MHz(500)));
+        h.attach_workload(a, Box::new(SteadyDemand::full()));
+        h.advance_period();
+        h.deprovision(a);
+        let util_before = h.utilization();
+        assert!(util_before > 0.0);
+        h.advance_period();
+        assert_eq!(h.utilization(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "deprovision of a dead VM")]
+    fn double_deprovision_panics() {
+        let mut h = quiet_host(1, 2400);
+        let a = h.provision(&VmTemplate::new("x", 1, MHz(500)));
+        h.deprovision(a);
+        h.deprovision(a);
+    }
+
+    #[test]
+    fn freq_estimate_tracks_exact_under_uniform_freq() {
+        // With the performance governor all cores run at max, so the
+        // paper's estimate equals ground truth regardless of placement.
+        let mut h = quiet_host(8, 2400);
+        let mut ids = Vec::new();
+        for _ in 0..3 {
+            let vm = h.provision(&VmTemplate::small());
+            h.attach_workload(vm, Box::new(SteadyDemand::new(0.6)));
+            ids.push(vm);
+        }
+        for _ in 0..3 {
+            h.advance_period();
+        }
+        for &vm in &ids {
+            for j in 0..2 {
+                let exact = h.vcpu_freq_exact(vm, VcpuId::new(j));
+                let est = h.vcpu_freq_estimate(vm, VcpuId::new(j));
+                let diff = (exact.as_u32() as i64 - est.as_u32() as i64).abs();
+                assert!(diff <= 24, "estimate {est} vs exact {exact}");
+            }
+        }
+    }
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! KVM-style virtual machine substrate.
+//!
+//! This crate models the layer the paper's controller manages but does not
+//! implement: VMs provisioned by KVM/libvirt, each with a cgroup scope and
+//! one host thread per vCPU, running guest workloads.
+//!
+//! * [`template`] — VM templates: capacities + the paper's new **virtual
+//!   frequency** field, with the *small*/*medium*/*large* presets of
+//!   Tables II/III/V;
+//! * [`workload`] — guest workload models ([`workload::Compress7zip`],
+//!   [`workload::OpensslBench`], …) that produce per-vCPU CPU demand and
+//!   consume delivered hardware cycles;
+//! * [`instance`] — a provisioned VM: template + cgroup nodes + vCPU
+//!   threads + attached workload;
+//! * [`host`] — [`SimHost`]: a complete simulated node (topology + cgroup
+//!   tree + scheduler engine + VMs) that implements
+//!   [`vfc_cgroupfs::HostBackend`], so the controller drives it exactly
+//!   as it would drive a real machine.
+
+pub mod host;
+pub mod instance;
+pub mod template;
+pub mod workload;
+
+pub use host::{HostEvent, SimHost};
+pub use instance::VmInstance;
+pub use template::VmTemplate;
+pub use workload::{Workload, WorkloadEvent};

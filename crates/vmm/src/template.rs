@@ -1,0 +1,97 @@
+//! VM templates.
+//!
+//! A template is what the customer picks: a number of vCPUs, memory, and —
+//! the paper's contribution — a **virtual frequency** `F_v` describing the
+//! per-vCPU performance the provider must guarantee (§III.A). The presets
+//! match the evaluation workloads:
+//!
+//! | template | vCPUs | `F_v` |
+//! |---|---|---|
+//! | `small`  | 2 | 500 MHz |
+//! | `medium` | 4 | 1200 MHz |
+//! | `large`  | 4 | 1800 MHz |
+
+use serde::{Deserialize, Serialize};
+use vfc_simcore::MHz;
+
+/// A VM template (`v ∈ V` in the paper).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VmTemplate {
+    /// Template name; instances derive their scope names from it.
+    pub name: String,
+    /// Number of vCPUs (`k_v^vCPUs`).
+    pub vcpus: u32,
+    /// Guaranteed virtual frequency per vCPU (`F_v`).
+    pub vfreq: MHz,
+    /// Provisioned memory (GB). Tracked for placement; the paper assumes
+    /// memory is never the binding constraint (§V).
+    pub mem_gb: u32,
+}
+
+impl VmTemplate {
+    /// A template with a default 4 GB of memory.
+    pub fn new(name: &str, vcpus: u32, vfreq: MHz) -> Self {
+        VmTemplate {
+            name: name.to_owned(),
+            vcpus,
+            vfreq,
+            mem_gb: 4,
+        }
+    }
+
+    /// Builder-style memory override.
+    pub fn with_mem_gb(mut self, mem_gb: u32) -> Self {
+        self.mem_gb = mem_gb;
+        self
+    }
+
+    /// The paper's *small* template: 2 vCPUs @ 500 MHz.
+    pub fn small() -> Self {
+        VmTemplate::new("small", 2, MHz(500))
+    }
+
+    /// The paper's *medium* template: 4 vCPUs @ 1200 MHz.
+    pub fn medium() -> Self {
+        VmTemplate::new("medium", 4, MHz(1200))
+    }
+
+    /// The paper's *large* template: 4 vCPUs @ 1800 MHz.
+    pub fn large() -> Self {
+        VmTemplate::new("large", 4, MHz(1800))
+    }
+
+    /// Frequency-weighted demand of one instance: `k_v^vCPU × F_v`, the
+    /// per-VM term on the left of the core splitting constraint (Eq. 7).
+    pub fn freq_demand_mhz(&self) -> u64 {
+        self.vcpus as u64 * self.vfreq.as_u32() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_the_paper() {
+        let s = VmTemplate::small();
+        assert_eq!((s.vcpus, s.vfreq), (2, MHz(500)));
+        let m = VmTemplate::medium();
+        assert_eq!((m.vcpus, m.vfreq), (4, MHz(1200)));
+        let l = VmTemplate::large();
+        assert_eq!((l.vcpus, l.vfreq), (4, MHz(1800)));
+    }
+
+    #[test]
+    fn freq_demand() {
+        assert_eq!(VmTemplate::small().freq_demand_mhz(), 1000);
+        assert_eq!(VmTemplate::medium().freq_demand_mhz(), 4800);
+        assert_eq!(VmTemplate::large().freq_demand_mhz(), 7200);
+    }
+
+    #[test]
+    fn builder() {
+        let t = VmTemplate::new("web", 1, MHz(800)).with_mem_gb(16);
+        assert_eq!(t.mem_gb, 16);
+        assert_eq!(t.name, "web");
+    }
+}

@@ -1,0 +1,151 @@
+//! Bursty low-utilization workload — the profile Burst VMs (§II) target.
+//!
+//! A low-traffic web service: near-idle baseline with periodic short
+//! bursts of full demand. Under the paper's controller such a VM
+//! accumulates credits while idle and can buy market cycles during its
+//! bursts — the `burst_credits` example demonstrates exactly that
+//! against the credit wallet of the auction stage.
+
+use super::Workload;
+use vfc_simcore::{Cycles, Micros, SplitMix64};
+
+/// Periodic-burst demand with optional jitter.
+#[derive(Debug, Clone)]
+pub struct BurstyWeb {
+    /// Demand between bursts.
+    baseline: f64,
+    /// Demand during a burst.
+    peak: f64,
+    /// Burst every `period`.
+    period: Micros,
+    /// Burst length.
+    burst_len: Micros,
+    /// Phase offset so co-hosted instances don't burst in lockstep.
+    offset: Micros,
+    /// Multiplicative demand jitter (0 disables).
+    jitter: f64,
+    rng: SplitMix64,
+}
+
+impl BurstyWeb {
+    /// A web-ish profile: 5 % baseline, 100 % bursts of 5 s every 60 s.
+    pub fn new(seed: u64) -> Self {
+        BurstyWeb {
+            baseline: 0.05,
+            peak: 1.0,
+            period: Micros::from_secs(60),
+            burst_len: Micros::from_secs(5),
+            offset: Micros(seed.wrapping_mul(7_919) % 60_000_000),
+            jitter: 0.02,
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// Explicit shape.
+    pub fn with_shape(
+        seed: u64,
+        baseline: f64,
+        peak: f64,
+        period: Micros,
+        burst_len: Micros,
+    ) -> Self {
+        BurstyWeb {
+            baseline: baseline.clamp(0.0, 1.0),
+            peak: peak.clamp(0.0, 1.0),
+            period,
+            burst_len: burst_len.min(period),
+            offset: Micros(seed.wrapping_mul(7_919) % period.as_u64().max(1)),
+            jitter: 0.02,
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// Is a burst active at `now`?
+    fn bursting(&self, now: Micros) -> bool {
+        if self.period.is_zero() {
+            return false;
+        }
+        let phase = (now.as_u64() + self.offset.as_u64()) % self.period.as_u64();
+        phase < self.burst_len.as_u64()
+    }
+}
+
+impl Workload for BurstyWeb {
+    fn demand(&mut self, now: Micros, vcpus: u32) -> Vec<f64> {
+        let base = if self.bursting(now) {
+            self.peak
+        } else {
+            self.baseline
+        };
+        (0..vcpus)
+            .map(|_| {
+                let noise = if self.jitter > 0.0 {
+                    self.rng.normal(0.0, self.jitter)
+                } else {
+                    0.0
+                };
+                (base + noise).clamp(0.0, 1.0)
+            })
+            .collect()
+    }
+
+    fn deliver(&mut self, _now: Micros, _delivered: &[Cycles]) {}
+
+    fn name(&self) -> &'static str {
+        "bursty-web"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bursts_happen_on_schedule() {
+        let mut w = BurstyWeb::with_shape(
+            0, // offset 0
+            0.05,
+            1.0,
+            Micros::from_secs(10),
+            Micros::from_secs(2),
+        );
+        w.jitter = 0.0;
+        // t=0..2s: burst; t=2..10: baseline; t=10: burst again.
+        assert_eq!(w.demand(Micros::ZERO, 1), vec![1.0]);
+        assert_eq!(w.demand(Micros::from_secs(1), 1), vec![1.0]);
+        assert_eq!(w.demand(Micros::from_secs(3), 1), vec![0.05]);
+        assert_eq!(w.demand(Micros::from_secs(9), 1), vec![0.05]);
+        assert_eq!(w.demand(Micros::from_secs(10), 1), vec![1.0]);
+    }
+
+    #[test]
+    fn offset_desynchronizes_instances() {
+        let w1 = BurstyWeb::new(1);
+        let w2 = BurstyWeb::new(2);
+        assert_ne!(w1.offset, w2.offset);
+    }
+
+    #[test]
+    fn average_utilization_is_low() {
+        let mut w = BurstyWeb::new(3);
+        let ticks = 6000; // 600 s at 100 ms
+        let mut acc = 0.0;
+        for t in 0..ticks {
+            let now = Micros(t as u64 * 100_000);
+            acc += w.demand(now, 1)[0];
+        }
+        let avg = acc / ticks as f64;
+        // 5 s of 100 % every 60 s on a 5 % floor ⇒ ≈ 13 %.
+        assert!((0.05..0.25).contains(&avg), "avg {avg}");
+    }
+
+    #[test]
+    fn demand_is_always_in_unit_range() {
+        let mut w = BurstyWeb::new(9);
+        for t in 0..1000 {
+            for d in w.demand(Micros(t * 100_000), 4) {
+                assert!((0.0..=1.0).contains(&d));
+            }
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! Model of the Phoronix `compress-7zip` benchmark.
+//!
+//! The real benchmark runs 7-Zip's internal benchmark: a sequence of timed
+//! iterations, each compressing then decompressing a buffer with one
+//! worker per vCPU, with brief synchronization points between phases where
+//! CPU demand collapses. Those dips are visible in the paper's frequency
+//! plots (Figs. 6–9) and are what exercise the controller's *decrease* /
+//! re-*increase* path and the cycle redistribution to neighbours.
+//!
+//! The model is a work-based state machine:
+//!
+//! ```text
+//! [Waiting until start_at]
+//!   → iteration i ∈ 1..=N:
+//!       Compress   (demand 1.0 until W_c cycles/vCPU delivered)
+//!       Sync       (demand 0.1 for sync_len wall time)
+//!       Decompress (demand 1.0 until W_d cycles/vCPU delivered)
+//!       Sync
+//!   → Finished (demand 0)
+//! ```
+//!
+//! Each phase completion emits an [`WorkloadEvent::IterationCompleted`]
+//! whose `rate` (mega-cycles per second) is proportional to the MIPS
+//! rating the Phoronix suite reports — a vCPU running twice as fast
+//! compresses twice as fast, which is what Figs. 10/11/14 plot.
+
+use super::{Phase, Workload, WorkloadEvent};
+use vfc_simcore::{Cycles, Micros};
+
+const BENCH_NAME: &str = "compress-7zip";
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Waiting,
+    Working {
+        phase: Phase,
+        iteration: u32,
+    },
+    Syncing {
+        /// Phase that just finished (next phase derived from it).
+        after: Phase,
+        iteration: u32,
+        until: Micros,
+    },
+    Finished,
+}
+
+/// See module documentation.
+#[derive(Debug, Clone)]
+pub struct Compress7zip {
+    start_at: Micros,
+    iterations: u32,
+    /// Compression work per vCPU per iteration.
+    compress_work: Cycles,
+    /// Decompression work per vCPU per iteration.
+    decompress_work: Cycles,
+    sync_len: Micros,
+    sync_demand: f64,
+
+    state: State,
+    /// Remaining work in the current phase, summed over vCPUs.
+    remaining: Cycles,
+    /// Total work of the current phase (for rate computation).
+    phase_work: Cycles,
+    phase_started: Micros,
+    events: Vec<WorkloadEvent>,
+    /// vCPU count seen on first demand (phases are sized per vCPU).
+    vcpus: u32,
+}
+
+impl Compress7zip {
+    /// Benchmark starting at `start_at` with the paper's 15 iterations and
+    /// default per-iteration work (≈10 s of compression per iteration for
+    /// a vCPU at 2.4 GHz).
+    pub fn new(start_at: Micros) -> Self {
+        Compress7zip::with_params(start_at, 15, Cycles(24_000_000_000), Micros::from_secs(2))
+    }
+
+    /// Fully parameterized: `compress_work` is per vCPU per iteration;
+    /// decompression is 80 % of it (7-Zip decompression is cheaper).
+    pub fn with_params(
+        start_at: Micros,
+        iterations: u32,
+        compress_work: Cycles,
+        sync_len: Micros,
+    ) -> Self {
+        Compress7zip {
+            start_at,
+            iterations: iterations.max(1),
+            compress_work,
+            decompress_work: Cycles(compress_work.as_u64() * 8 / 10),
+            sync_len,
+            sync_demand: 0.1,
+            state: State::Waiting,
+            remaining: Cycles::ZERO,
+            phase_work: Cycles::ZERO,
+            phase_started: Micros::ZERO,
+            events: Vec::new(),
+            vcpus: 0,
+        }
+    }
+
+    fn begin_phase(&mut self, phase: Phase, iteration: u32, now: Micros) {
+        let per_vcpu = match phase {
+            Phase::Compress => self.compress_work,
+            Phase::Decompress => self.decompress_work,
+        };
+        self.phase_work = Cycles(per_vcpu.as_u64() * self.vcpus.max(1) as u64);
+        self.remaining = self.phase_work;
+        self.phase_started = now;
+        self.state = State::Working { phase, iteration };
+    }
+}
+
+impl Workload for Compress7zip {
+    fn demand(&mut self, now: Micros, vcpus: u32) -> Vec<f64> {
+        self.vcpus = vcpus;
+        // State transitions that depend on wall time happen here, at the
+        // start of the tick.
+        match self.state {
+            State::Waiting if now >= self.start_at => {
+                self.begin_phase(Phase::Compress, 1, now);
+            }
+            State::Syncing {
+                after,
+                iteration,
+                until,
+            } if now >= until => match after {
+                Phase::Compress => self.begin_phase(Phase::Decompress, iteration, now),
+                Phase::Decompress => {
+                    if iteration >= self.iterations {
+                        self.state = State::Finished;
+                        self.events.push(WorkloadEvent::Finished {
+                            benchmark: BENCH_NAME,
+                        });
+                    } else {
+                        self.begin_phase(Phase::Compress, iteration + 1, now);
+                    }
+                }
+            },
+            _ => {}
+        }
+
+        let frac = match self.state {
+            State::Waiting | State::Finished => 0.0,
+            State::Working { .. } => 1.0,
+            State::Syncing { .. } => self.sync_demand,
+        };
+        vec![frac; vcpus as usize]
+    }
+
+    fn deliver(&mut self, now: Micros, delivered: &[Cycles]) {
+        if let State::Working { phase, iteration } = self.state {
+            let got: Cycles = delivered.iter().copied().sum();
+            self.remaining = self.remaining.saturating_sub(got);
+            if self.remaining.is_zero() {
+                let duration = (now - self.phase_started).max(Micros(1));
+                // Mega-cycles per wall second ∝ the Phoronix MIPS rating.
+                let rate = self.phase_work.as_u64() as f64 / 1e6 / duration.as_secs_f64();
+                self.events.push(WorkloadEvent::IterationCompleted {
+                    benchmark: BENCH_NAME,
+                    phase,
+                    iteration,
+                    rate,
+                    duration,
+                });
+                self.state = State::Syncing {
+                    after: phase,
+                    iteration,
+                    until: now + self.sync_len,
+                };
+            }
+        }
+    }
+
+    fn poll_events(&mut self) -> Vec<WorkloadEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    fn is_done(&self) -> bool {
+        self.state == State::Finished
+    }
+
+    fn name(&self) -> &'static str {
+        BENCH_NAME
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TICK: Micros = Micros(100_000);
+
+    /// Drive the workload as a host would: full grants at `freq_mhz` per
+    /// vCPU whenever demanded. Returns (events, ticks elapsed).
+    fn run(
+        w: &mut Compress7zip,
+        vcpus: u32,
+        freq_mhz: u64,
+        max_ticks: u32,
+    ) -> (Vec<WorkloadEvent>, u32) {
+        let mut events = Vec::new();
+        let mut t = 0u32;
+        while t < max_ticks && !w.is_done() {
+            let now = Micros(t as u64 * TICK.as_u64());
+            let demands = w.demand(now, vcpus);
+            let delivered: Vec<Cycles> = demands
+                .iter()
+                .map(|d| Cycles((d * TICK.as_u64() as f64) as u64 * freq_mhz))
+                .collect();
+            w.deliver(now + TICK, &delivered);
+            events.extend(w.poll_events());
+            t += 1;
+        }
+        (events, t)
+    }
+
+    fn small_bench(start: Micros) -> Compress7zip {
+        // 240 M cycles per vCPU per iteration: 1 s of one vCPU at 240 MHz.
+        Compress7zip::with_params(start, 3, Cycles(240_000_000), Micros::from_secs(1))
+    }
+
+    #[test]
+    fn waits_until_start() {
+        let mut w = Compress7zip::new(Micros::from_secs(200));
+        assert_eq!(w.demand(Micros::ZERO, 2), vec![0.0, 0.0]);
+        assert_eq!(w.demand(Micros::from_secs(199), 2), vec![0.0, 0.0]);
+        assert_eq!(w.demand(Micros::from_secs(200), 2), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn completes_all_iterations_and_finishes() {
+        let mut w = small_bench(Micros::ZERO);
+        let (events, _) = run(&mut w, 2, 2400, 100_000);
+        assert!(w.is_done());
+        let iters: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                WorkloadEvent::IterationCompleted {
+                    phase, iteration, ..
+                } => Some((*phase, *iteration)),
+                _ => None,
+            })
+            .collect();
+        // 3 iterations × 2 phases, in order.
+        assert_eq!(
+            iters,
+            vec![
+                (Phase::Compress, 1),
+                (Phase::Decompress, 1),
+                (Phase::Compress, 2),
+                (Phase::Decompress, 2),
+                (Phase::Compress, 3),
+                (Phase::Decompress, 3),
+            ]
+        );
+        assert!(matches!(
+            events.last(),
+            Some(WorkloadEvent::Finished { .. })
+        ));
+    }
+
+    #[test]
+    fn rate_scales_with_frequency() {
+        let run_rate = |freq| {
+            let mut w = small_bench(Micros::ZERO);
+            let (events, _) = run(&mut w, 2, freq, 100_000);
+            events
+                .iter()
+                .find_map(|e| match e {
+                    WorkloadEvent::IterationCompleted { rate, .. } => Some(*rate),
+                    _ => None,
+                })
+                .unwrap()
+        };
+        let fast = run_rate(2400);
+        let slow = run_rate(600);
+        // 4× the frequency → ≈4× the compression rate (tick quantization
+        // allows some slack).
+        let ratio = fast / slow;
+        assert!((3.0..=5.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn sync_phases_drop_demand() {
+        let mut w = small_bench(Micros::ZERO);
+        let mut saw_sync = false;
+        let mut t = 0u64;
+        while !w.is_done() && t < 10_000 {
+            let now = Micros(t * TICK.as_u64());
+            let d = w.demand(now, 2);
+            if (d[0] - 0.1).abs() < 1e-9 {
+                saw_sync = true;
+            }
+            let delivered: Vec<Cycles> = d
+                .iter()
+                .map(|x| Cycles((x * TICK.as_u64() as f64) as u64 * 2400))
+                .collect();
+            w.deliver(now + TICK, &delivered);
+            w.poll_events();
+            t += 1;
+        }
+        assert!(saw_sync, "never saw a synchronization dip");
+    }
+
+    #[test]
+    fn starved_workload_makes_no_progress() {
+        let mut w = small_bench(Micros::ZERO);
+        let (events, ticks) = run(&mut w, 2, 0, 50);
+        assert!(events.is_empty());
+        assert!(!w.is_done());
+        assert_eq!(ticks, 50);
+    }
+
+    #[test]
+    fn durations_reflect_delivered_speed() {
+        let mut w = small_bench(Micros::ZERO);
+        let (events, _) = run(&mut w, 2, 2400, 100_000);
+        let d_fast = match &events[0] {
+            WorkloadEvent::IterationCompleted { duration, .. } => *duration,
+            _ => panic!(),
+        };
+        let mut w = small_bench(Micros::ZERO);
+        let (events, _) = run(&mut w, 2, 1200, 100_000);
+        let d_slow = match &events[0] {
+            WorkloadEvent::IterationCompleted { duration, .. } => *duration,
+            _ => panic!(),
+        };
+        assert!(d_slow > d_fast);
+    }
+}

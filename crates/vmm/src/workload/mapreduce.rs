@@ -1,0 +1,233 @@
+//! A map-reduce-shaped guest: the one workload whose vCPUs demand
+//! *different* amounts of CPU at the same time.
+//!
+//! Every other model in this crate drives all vCPUs identically; real
+//! analytics jobs do not. A [`MapReduce`] job alternates:
+//!
+//! * **map** — every vCPU crunches at 100 % until the map work is done;
+//! * **reduce** — only vCPU 0 (the reducer) stays at 100 %; the mappers
+//!   idle at 2 %.
+//!
+//! For the controller this is the interesting case: Eqs. 3–5 operate per
+//! vCPU, so during the reduce phase the mappers' cappings must decay and
+//! return their guaranteed cycles to the market while the reducer's
+//! capping stays up — behaviour asserted in the tests here and exercised
+//! nowhere else.
+
+use super::{Phase, Workload, WorkloadEvent};
+use vfc_simcore::{Cycles, Micros};
+
+const BENCH_NAME: &str = "mapreduce";
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stage {
+    Waiting,
+    Map { round: u32 },
+    Reduce { round: u32 },
+    Finished,
+}
+
+/// See module documentation.
+#[derive(Debug, Clone)]
+pub struct MapReduce {
+    start_at: Micros,
+    rounds: u32,
+    /// Map work per vCPU per round.
+    map_work: Cycles,
+    /// Reduce work (vCPU 0 only) per round.
+    reduce_work: Cycles,
+    stage: Stage,
+    remaining: Cycles,
+    stage_started: Micros,
+    events: Vec<WorkloadEvent>,
+    vcpus: u32,
+}
+
+impl MapReduce {
+    /// Job with `rounds` map+reduce rounds; the reduce phase is sized to
+    /// roughly half a map phase on one vCPU.
+    pub fn new(start_at: Micros, rounds: u32, map_work_per_vcpu: Cycles) -> Self {
+        MapReduce {
+            start_at,
+            rounds: rounds.max(1),
+            map_work: map_work_per_vcpu,
+            reduce_work: Cycles(map_work_per_vcpu.as_u64() / 2),
+            stage: Stage::Waiting,
+            remaining: Cycles::ZERO,
+            stage_started: Micros::ZERO,
+            events: Vec::new(),
+            vcpus: 0,
+        }
+    }
+
+    fn enter(&mut self, stage: Stage, now: Micros) {
+        self.remaining = match stage {
+            Stage::Map { .. } => Cycles(self.map_work.as_u64() * self.vcpus.max(1) as u64),
+            Stage::Reduce { .. } => self.reduce_work,
+            _ => Cycles::ZERO,
+        };
+        self.stage_started = now;
+        self.stage = stage;
+    }
+}
+
+impl Workload for MapReduce {
+    fn demand(&mut self, now: Micros, vcpus: u32) -> Vec<f64> {
+        self.vcpus = vcpus;
+        if self.stage == Stage::Waiting && now >= self.start_at {
+            self.enter(Stage::Map { round: 1 }, now);
+        }
+        match self.stage {
+            Stage::Waiting | Stage::Finished => vec![0.0; vcpus as usize],
+            Stage::Map { .. } => vec![1.0; vcpus as usize],
+            Stage::Reduce { .. } => {
+                let mut d = vec![0.02; vcpus as usize];
+                if let Some(first) = d.first_mut() {
+                    *first = 1.0;
+                }
+                d
+            }
+        }
+    }
+
+    fn deliver(&mut self, now: Micros, delivered: &[Cycles]) {
+        let got: Cycles = match self.stage {
+            Stage::Map { .. } => delivered.iter().copied().sum(),
+            Stage::Reduce { .. } => delivered.first().copied().unwrap_or(Cycles::ZERO),
+            _ => return,
+        };
+        self.remaining = self.remaining.saturating_sub(got);
+        if !self.remaining.is_zero() {
+            return;
+        }
+        let duration = (now - self.stage_started).max(Micros(1));
+        match self.stage {
+            Stage::Map { round } => {
+                self.events.push(WorkloadEvent::IterationCompleted {
+                    benchmark: BENCH_NAME,
+                    phase: Phase::Compress, // map ≙ the heavy pass
+                    iteration: round,
+                    rate: self.map_work.as_u64() as f64 * self.vcpus as f64
+                        / 1e6
+                        / duration.as_secs_f64(),
+                    duration,
+                });
+                self.enter(Stage::Reduce { round }, now);
+            }
+            Stage::Reduce { round } => {
+                self.events.push(WorkloadEvent::IterationCompleted {
+                    benchmark: BENCH_NAME,
+                    phase: Phase::Decompress, // reduce ≙ the light pass
+                    iteration: round,
+                    rate: self.reduce_work.as_u64() as f64 / 1e6 / duration.as_secs_f64(),
+                    duration,
+                });
+                if round >= self.rounds {
+                    self.stage = Stage::Finished;
+                    self.events.push(WorkloadEvent::Finished {
+                        benchmark: BENCH_NAME,
+                    });
+                } else {
+                    self.enter(Stage::Map { round: round + 1 }, now);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn poll_events(&mut self) -> Vec<WorkloadEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    fn is_done(&self) -> bool {
+        self.stage == Stage::Finished
+    }
+
+    fn name(&self) -> &'static str {
+        BENCH_NAME
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TICK: Micros = Micros(100_000);
+
+    fn drive(w: &mut MapReduce, vcpus: u32, freq: u64, ticks: u32) -> Vec<WorkloadEvent> {
+        let mut events = Vec::new();
+        for t in 0..ticks {
+            if w.is_done() {
+                break;
+            }
+            let now = Micros(t as u64 * TICK.as_u64());
+            let d = w.demand(now, vcpus);
+            let delivered: Vec<Cycles> = d
+                .iter()
+                .map(|x| Cycles((x * TICK.as_u64() as f64) as u64 * freq))
+                .collect();
+            w.deliver(now + TICK, &delivered);
+            events.extend(w.poll_events());
+        }
+        events
+    }
+
+    #[test]
+    fn alternates_map_and_reduce_demands() {
+        let mut w = MapReduce::new(Micros::ZERO, 1, Cycles(480_000_000));
+        // Map: everyone at 1.0 (2 vCPUs × 480 M = 960 M total; at 2400 MHz
+        // full demand that is 2 ticks).
+        assert_eq!(w.demand(Micros::ZERO, 2), vec![1.0, 1.0]);
+        let full = Cycles(240_000_000);
+        w.deliver(TICK, &[full, full]);
+        w.deliver(Micros(200_000), &[full, full]);
+        // Now reducing: only vCPU 0 is hot.
+        assert_eq!(w.demand(Micros(200_000), 2), vec![1.0, 0.02]);
+    }
+
+    #[test]
+    fn completes_rounds_and_reports_both_phases() {
+        let mut w = MapReduce::new(Micros::ZERO, 3, Cycles(240_000_000));
+        let events = drive(&mut w, 2, 2400, 10_000);
+        assert!(w.is_done());
+        let phases: Vec<(Phase, u32)> = events
+            .iter()
+            .filter_map(|e| match e {
+                WorkloadEvent::IterationCompleted {
+                    phase, iteration, ..
+                } => Some((*phase, *iteration)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(phases.len(), 6, "3 rounds × (map + reduce)");
+        assert_eq!(phases[0], (Phase::Compress, 1));
+        assert_eq!(phases[1], (Phase::Decompress, 1));
+        assert!(matches!(
+            events.last(),
+            Some(WorkloadEvent::Finished { .. })
+        ));
+    }
+
+    #[test]
+    fn reduce_progress_only_counts_the_reducer() {
+        let mut w = MapReduce::new(Micros::ZERO, 1, Cycles(240_000_000));
+        // Finish the map quickly.
+        let full = Cycles(240_000_000);
+        w.demand(Micros::ZERO, 2);
+        w.deliver(TICK, &[full, full]);
+        assert!(matches!(w.stage, Stage::Reduce { .. }));
+        let before = w.remaining;
+        // Mapper cycles must not advance the reduce.
+        w.deliver(Micros(200_000), &[Cycles::ZERO, Cycles(999_999_999)]);
+        assert_eq!(w.remaining, before);
+        w.deliver(Micros(300_000), &[Cycles(before.as_u64()), Cycles::ZERO]);
+        assert!(w.is_done() || matches!(w.stage, Stage::Finished));
+    }
+
+    #[test]
+    fn waits_for_start() {
+        let mut w = MapReduce::new(Micros::from_secs(5), 1, Cycles(1));
+        assert_eq!(w.demand(Micros::ZERO, 1), vec![0.0]);
+        assert_eq!(w.demand(Micros::from_secs(5), 1), vec![1.0]);
+    }
+}

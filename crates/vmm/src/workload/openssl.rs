@@ -1,0 +1,172 @@
+//! Model of the Phoronix `openssl` benchmark.
+//!
+//! The real benchmark measures RSA signing throughput: every worker spins
+//! at 100 % CPU until the run completes. The relevant behaviours for the
+//! paper (medium instances in Table V) are: saturating demand from
+//! `start_at`, a finite total amount of work, and a hard stop after which
+//! the instance's guaranteed cycles return to the market — Figs. 12/13
+//! show *small*/*large* frequencies rising when the medium instances
+//! finish.
+
+use super::{Phase, Workload, WorkloadEvent};
+use vfc_simcore::{Cycles, Micros};
+
+const BENCH_NAME: &str = "openssl";
+
+/// See module documentation.
+#[derive(Debug, Clone)]
+pub struct OpensslBench {
+    start_at: Micros,
+    /// Work per vCPU for the whole run.
+    total_work: Cycles,
+    remaining: Cycles,
+    started: Option<Micros>,
+    done: bool,
+    events: Vec<WorkloadEvent>,
+    vcpus: u32,
+    /// Signing throughput is reported once per completed run.
+    signs_per_gcycle: f64,
+}
+
+impl OpensslBench {
+    /// Benchmark starting at `start_at` with the default run length
+    /// (≈300 s for a 4-vCPU VM at 1.2 GHz).
+    pub fn new(start_at: Micros) -> Self {
+        OpensslBench::with_work(start_at, Cycles(360_000_000_000))
+    }
+
+    /// Explicit per-vCPU work budget.
+    pub fn with_work(start_at: Micros, per_vcpu_work: Cycles) -> Self {
+        OpensslBench {
+            start_at,
+            total_work: per_vcpu_work,
+            remaining: Cycles::ZERO,
+            started: None,
+            done: false,
+            events: Vec::new(),
+            vcpus: 0,
+            // RSA-4096 signs ≈ 3.4 Mcycles each on contemporary x86:
+            // ≈ 294 signs per Gcycle. Only used for reporting.
+            signs_per_gcycle: 294.0,
+        }
+    }
+}
+
+impl Workload for OpensslBench {
+    fn demand(&mut self, now: Micros, vcpus: u32) -> Vec<f64> {
+        self.vcpus = vcpus;
+        if self.done {
+            return vec![0.0; vcpus as usize];
+        }
+        if self.started.is_none() && now >= self.start_at {
+            self.started = Some(now);
+            self.remaining = Cycles(self.total_work.as_u64() * vcpus.max(1) as u64);
+        }
+        let frac = if self.started.is_some() { 1.0 } else { 0.0 };
+        vec![frac; vcpus as usize]
+    }
+
+    fn deliver(&mut self, now: Micros, delivered: &[Cycles]) {
+        if self.done || self.started.is_none() {
+            return;
+        }
+        let got: Cycles = delivered.iter().copied().sum();
+        self.remaining = self.remaining.saturating_sub(got);
+        if self.remaining.is_zero() {
+            self.done = true;
+            let started = self.started.expect("delivering to a started run");
+            let duration = (now - started).max(Micros(1));
+            let total = Cycles(self.total_work.as_u64() * self.vcpus.max(1) as u64);
+            let signs = total.as_u64() as f64 / 1e9 * self.signs_per_gcycle;
+            self.events.push(WorkloadEvent::IterationCompleted {
+                benchmark: BENCH_NAME,
+                phase: Phase::Compress, // openssl has a single phase; reuse
+                iteration: 1,
+                rate: signs / duration.as_secs_f64(),
+                duration,
+            });
+            self.events.push(WorkloadEvent::Finished {
+                benchmark: BENCH_NAME,
+            });
+        }
+    }
+
+    fn poll_events(&mut self) -> Vec<WorkloadEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    fn is_done(&self) -> bool {
+        self.done
+    }
+
+    fn name(&self) -> &'static str {
+        BENCH_NAME
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TICK: Micros = Micros(100_000);
+
+    #[test]
+    fn idle_before_start() {
+        let mut w = OpensslBench::new(Micros::from_secs(100));
+        assert_eq!(w.demand(Micros::ZERO, 4), vec![0.0; 4]);
+        assert_eq!(w.demand(Micros::from_secs(100), 4), vec![1.0; 4]);
+    }
+
+    #[test]
+    fn saturates_until_work_done_then_stops() {
+        // 24 M cycles/vCPU at 2400 MHz full tick = 240 M cycles/tick/vCPU:
+        // finishes within the first tick's delivery.
+        let mut w = OpensslBench::with_work(Micros::ZERO, Cycles(24_000_000));
+        let d = w.demand(Micros::ZERO, 2);
+        assert_eq!(d, vec![1.0, 1.0]);
+        let per_vcpu = Cycles(240_000_000);
+        w.deliver(TICK, &[per_vcpu, per_vcpu]);
+        assert!(w.is_done());
+        let events = w.poll_events();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(
+            events[0],
+            WorkloadEvent::IterationCompleted {
+                benchmark: "openssl",
+                ..
+            }
+        ));
+        assert!(matches!(events[1], WorkloadEvent::Finished { .. }));
+        // After completion, zero demand forever.
+        assert_eq!(w.demand(Micros::from_secs(9), 2), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn slow_delivery_takes_proportionally_longer() {
+        let run = |freq: u64| {
+            let mut w = OpensslBench::with_work(Micros::ZERO, Cycles(2_400_000_000));
+            let mut t = 0u64;
+            while !w.is_done() && t < 100_000 {
+                let now = Micros(t * TICK.as_u64());
+                let d = w.demand(now, 1);
+                let delivered = Cycles((d[0] * TICK.as_u64() as f64) as u64 * freq);
+                w.deliver(now + TICK, &[delivered]);
+                t += 1;
+            }
+            t
+        };
+        let fast = run(2400);
+        let slow = run(1200);
+        assert_eq!(slow, 2 * fast);
+    }
+
+    #[test]
+    fn zero_delivery_never_finishes() {
+        let mut w = OpensslBench::with_work(Micros::ZERO, Cycles(1_000));
+        w.demand(Micros::ZERO, 1);
+        for i in 0..100 {
+            w.deliver(Micros(i * 1000), &[Cycles::ZERO]);
+        }
+        assert!(!w.is_done());
+    }
+}

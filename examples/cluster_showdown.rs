@@ -1,0 +1,90 @@
+//! Cluster-scale showdown: frequency-controlled consolidation vs the
+//! migration-based overcommitment the paper argues against (§II, §IV.C).
+//!
+//! Deploys the paper's 400-VM workload (with live demand profiles:
+//! bursty smalls, steady mediums, saturating larges) on the 22-node
+//! cluster under three strategies and prints node usage, migrations,
+//! energy and per-class SLO violations.
+//!
+//! ```text
+//! cargo run --release --example cluster_showdown            # 120 periods
+//! cargo run --release --example cluster_showdown -- --quick # small run
+//! ```
+
+use vfc::cluster::Strategy;
+use vfc::metrics::ascii::chart;
+use vfc::metrics::series::GroupedSeries;
+use vfc::placement::cluster::Cluster;
+use vfc::scenarios::cluster_eval::{
+    class_violation_rate, compare, run_strategy_manager, ClusterScenario,
+};
+use vfc::simcore::Micros;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scenario = if quick {
+        ClusterScenario {
+            periods: 40,
+            ..ClusterScenario::default()
+        }
+    } else {
+        ClusterScenario::default()
+    };
+    println!(
+        "deploying {} small (bursty) + {} medium (steady 80 %) + {} large (saturating)",
+        scenario.smalls, scenario.mediums, scenario.larges
+    );
+    println!(
+        "on 12 chetemi + 10 chiclet, running {} periods per strategy…\n",
+        scenario.periods
+    );
+
+    let cmp = compare(scenario);
+    println!(
+        "{:<24} {:>7} {:>7} {:>12} {:>10} {:>10} {:>10}",
+        "strategy", "nodes", "migr.", "energy(Wh)", "SLO large", "SLO med", "SLO small"
+    );
+    for (label, r) in [
+        ("frequency control", &cmp.frequency),
+        ("freq + throttle-aware", &cmp.frequency_ta),
+        ("migration ×1.8", &cmp.migration),
+    ] {
+        println!(
+            "{:<24} {:>5}/{:<1} {:>7} {:>12.1} {:>9.1}% {:>9.1}% {:>9.1}%",
+            label,
+            r.nodes_active,
+            r.nodes_total,
+            r.migrations,
+            r.energy_wh,
+            100.0 * class_violation_rate(r, "large"),
+            100.0 * class_violation_rate(r, "medium"),
+            100.0 * class_violation_rate(r, "small"),
+        );
+    }
+
+    // Power-over-time for the two main strategies.
+    let mut power = GroupedSeries::new();
+    for (label, strategy) in [
+        ("freq-control", Strategy::FrequencyControl),
+        ("migration", Strategy::migration_default()),
+    ] {
+        let manager = run_strategy_manager(scenario, Cluster::paper_cluster().nodes, strategy);
+        for s in manager.history() {
+            power.push(label, Micros::from_secs(s.period), s.power_w);
+        }
+    }
+    println!(
+        "\n{}",
+        chart(&power, "cluster power draw over time (W)", 72, 14)
+    );
+
+    println!();
+    println!("Reading the table:");
+    println!("* The controller keeps the premium (large) class violation-free on");
+    println!("  ~2/3 of the nodes with zero migrations; the overcommitted baseline");
+    println!("  powers the whole cluster and still breaks the premium class.");
+    println!("* The bursty small class exposes the consumption-driven estimator's");
+    println!("  burst-onset latency; the throttle-aware extension (reading");
+    println!("  cpu.stat::throttled_usec) removes the detection blind spot, leaving");
+    println!("  only the loop's one-period reaction time.");
+}

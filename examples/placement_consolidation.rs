@@ -1,0 +1,63 @@
+//! §IV.C as a demo: place the paper's 400-VM workload on the 22-node
+//! cluster with and without the frequency constraint (Eq. 7) and compare
+//! node counts, packing and power.
+//!
+//! ```text
+//! cargo run --release --example placement_consolidation
+//! ```
+
+use vfc::metrics::table::TextTable;
+use vfc::placement::cluster::{paper_workload, ArrivalOrder, Cluster};
+use vfc::placement::energy::energy_of;
+use vfc::prelude::*;
+
+fn main() {
+    let cluster = Cluster::paper_cluster();
+    let workload = paper_workload(ArrivalOrder::RoundRobin);
+    println!(
+        "cluster: {} nodes ({} MHz of frequency capacity)",
+        cluster.len(),
+        cluster.freq_capacity_mhz()
+    );
+    println!(
+        "workload: {} VMs ({} MHz of frequency demand)\n",
+        workload.len(),
+        workload.iter().map(|r| r.freq_demand_mhz()).sum::<u64>()
+    );
+
+    let mut table = TextTable::new(&[
+        "constraint",
+        "nodes used",
+        "unplaced",
+        "mean util (used nodes)",
+        "cluster power (W)",
+        "saving vs all-on",
+    ]);
+
+    for (label, mode) in [
+        ("core-count (classic)", ConstraintMode::core_count()),
+        ("core-count ×1.8", ConstraintMode::CoreCount { factor: 1.8 }),
+        ("frequency (Eq. 7)", ConstraintMode::Frequency),
+    ] {
+        let placer = Placer::new(PlacementAlgorithm::BestFit, mode);
+        let result = placer.place(&cluster.nodes, &workload);
+        let energy = energy_of(&result);
+        table.row(&[
+            label.to_string(),
+            format!("{}/{}", result.nodes_used(), cluster.len()),
+            result.unplaced.to_string(),
+            format!("{:.0} %", 100.0 * result.mean_used_utilization()),
+            format!("{:.0}", energy.power_used_only_w),
+            format!("{:.0} %", 100.0 * energy.savings_ratio()),
+        ]);
+    }
+    print!("{}", table.render());
+
+    println!();
+    println!("With Eq. 7 the controller-backed cluster hosts the same workload on");
+    println!("roughly two-thirds of the nodes — the paper reports 15 of 22 — and the");
+    println!("freed nodes can be shut down. The ×1.8 consolidation factor reaches a");
+    println!("similar node count but packs e.g. 28 large VMs on a chiclet where the");
+    println!("frequency constraint allows at most 21, so its guarantees rely on");
+    println!("migrations instead of the frequency controller.");
+}

@@ -1,0 +1,80 @@
+#![warn(missing_docs)]
+
+//! # vfc — Virtual Frequency Controller for cloud VMs
+//!
+//! Facade crate for the `vfc` workspace, a from-scratch Rust reproduction
+//! of *"Enabling Dynamic Virtual Frequency Scaling for Virtual Machines in
+//! the Cloud"* (Cadorel & Rouvoy, IEEE CLUSTER 2022).
+//!
+//! The workspace lets you attach a **virtual frequency** (in MHz) to each
+//! VM template and enforce it on a host via cgroup-v2 CPU-time capping,
+//! with bursting above the guarantee when spare cycles exist.
+//!
+//! ## Crate map
+//!
+//! | Re-export | Crate | Contents |
+//! |---|---|---|
+//! | [`simcore`] | `vfc-simcore` | units ([`simcore::Micros`], [`simcore::MHz`], [`simcore::Cycles`]), ids, deterministic RNG |
+//! | [`cgroupfs`] | `vfc-cgroupfs` | cgroup-v2 model, file formats, in-memory & real-FS backends, the [`cgroupfs::HostBackend`] trait |
+//! | [`cpusched`] | `vfc-cpusched` | CPU topology, hierarchical fair scheduler, DVFS governors, power model |
+//! | [`vmm`] | `vfc-vmm` | VM templates/instances, workload models, the [`vmm::SimHost`] full-host simulator |
+//! | [`controller`] | `vfc-controller` | the paper's six-stage virtual-frequency control loop |
+//! | [`placement`] | `vfc-placement` | First/Best-Fit placement with the frequency constraint (Eq. 7), cluster energy |
+//! | [`metrics`] | `vfc-metrics` | statistics, aggregation, CSV/ASCII rendering, experiment records |
+//! | [`scenarios`] | `vfc-scenarios` | the paper's evaluations (Tables II/III/V, Figs. 3–14) as runnable scenarios |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use vfc::prelude::*;
+//!
+//! // A small host: 4 hardware threads at 2.4 GHz.
+//! let spec = NodeSpec::custom("demo", 1, 2, 2, MHz(2400));
+//! let mut host = SimHost::new(spec, 42);
+//!
+//! // Two VMs: one guaranteed 500 MHz, one guaranteed 1800 MHz.
+//! let small = host.provision(&VmTemplate::new("small", 1, MHz(500)));
+//! let large = host.provision(&VmTemplate::new("large", 1, MHz(1800)));
+//! host.attach_workload(small, Box::new(SteadyDemand::full()));
+//! host.attach_workload(large, Box::new(SteadyDemand::full()));
+//!
+//! // Run the controller for 30 one-second iterations.
+//! let cfg = ControllerConfig::paper_defaults();
+//! let mut controller = Controller::new(cfg, host.topology_info());
+//! for _ in 0..30 {
+//!     host.advance_period();
+//!     controller.iterate(&mut host).unwrap();
+//! }
+//!
+//! // Both saturating VMs fit on 2 threads only via the guarantees + burst.
+//! let small_freq = host.vcpu_freq_estimate(small, VcpuId::new(0));
+//! let large_freq = host.vcpu_freq_estimate(large, VcpuId::new(0));
+//! assert!(small_freq.as_u32() >= 450, "small got {small_freq}");
+//! assert!(large_freq.as_u32() >= 1700, "large got {large_freq}");
+//! ```
+
+pub use vfc_baselines as baselines;
+pub use vfc_cgroupfs as cgroupfs;
+pub use vfc_cluster as cluster;
+pub use vfc_controller as controller;
+pub use vfc_cpusched as cpusched;
+pub use vfc_metrics as metrics;
+pub use vfc_placement as placement;
+pub use vfc_scenarios as scenarios;
+pub use vfc_simcore as simcore;
+pub use vfc_vmm as vmm;
+
+/// Convenience re-exports of the most commonly used items.
+pub mod prelude {
+    pub use vfc_cgroupfs::backend::HostBackend;
+    pub use vfc_controller::{Controller, ControllerConfig};
+    pub use vfc_cpusched::topology::NodeSpec;
+    pub use vfc_placement::{
+        Cluster, ConstraintMode, PlacementAlgorithm, PlacementRequest, Placer,
+    };
+    pub use vfc_simcore::{Cycles, MHz, Micros, VcpuAddr, VcpuId, VmId};
+    pub use vfc_vmm::{
+        workload::{Compress7zip, IdleWorkload, OpensslBench, SteadyDemand, Workload},
+        SimHost, VmTemplate,
+    };
+}

@@ -1,0 +1,69 @@
+//! The baseline policies over the **filesystem backend**: every policy
+//! speaks the same `HostBackend` language, so Burst-VM caps and CFS
+//! weights land in real files exactly like the controller's quotas.
+
+use vfc::baselines::{BurstVmConfig, BurstVmPolicy, CfsSharesPolicy, HostPolicy, SharesConfig};
+use vfc::cgroupfs::fixture::FixtureTree;
+use vfc::cgroupfs::HostBackend;
+use vfc::simcore::{MHz, Micros};
+
+#[test]
+fn burst_vm_policy_writes_real_caps() {
+    let fx = FixtureTree::builder()
+        .cpus(2, MHz(2400))
+        .vm("burner", 1, &[11])
+        .build();
+    let mut backend = fx.backend();
+    let mut policy = BurstVmPolicy::new(BurstVmConfig {
+        launch_credit: 1_500_000, // 1.5 s of full burn
+        ..BurstVmConfig::default()
+    });
+
+    // First sight establishes the baseline.
+    policy.iterate(&mut backend).expect("fs backend");
+    assert!(fx.vcpu_cpu_max("burner", 0).is_unlimited());
+
+    // Burn through the credits at full speed: 1 s of usage per period.
+    for _ in 0..3 {
+        fx.add_vcpu_usage("burner", 0, Micros::SEC);
+        policy.iterate(&mut backend).expect("fs backend");
+    }
+    // Exhausted: the 10 % baseline cap is on disk.
+    let cap = fx.vcpu_cpu_max("burner", 0);
+    assert_eq!(cap.quota, Some(Micros(10_000)), "10 % of a 100 ms period");
+
+    // Idle long enough to accrue credits again: the cap lifts.
+    for _ in 0..30 {
+        policy.iterate(&mut backend).expect("fs backend");
+    }
+    assert!(
+        fx.vcpu_cpu_max("burner", 0).is_unlimited(),
+        "credits re-accrued at the baseline rate must uncap the VM"
+    );
+}
+
+#[test]
+fn shares_policy_writes_real_weights_on_v2_and_v1() {
+    for v1 in [false, true] {
+        let builder = FixtureTree::builder()
+            .cpus(2, MHz(2400))
+            .vm("premium", 2, &[21, 22]);
+        let fx = if v1 {
+            builder.v1().build()
+        } else {
+            builder.build()
+        };
+        let mut backend = fx.backend();
+        backend.set_vfreq("premium", MHz(1800));
+        let mut policy = CfsSharesPolicy::new(SharesConfig::default());
+        policy.iterate(&mut backend).expect("fs backend");
+        // 2 vCPUs × 1800 MHz → weight 3600 (v1 stores shares; the
+        // backend converts back on read).
+        let vm = backend.vms()[0].vm;
+        let w = backend.vm_weight(vm).expect("weight readable");
+        assert!(
+            (3590..=3610).contains(&w),
+            "v1={v1}: weight {w} should be ≈3600"
+        );
+    }
+}

@@ -1,0 +1,270 @@
+//! The controller driving the **filesystem backend** end-to-end: every
+//! read and write crosses real files with the kernel formats, against a
+//! fixture tree that a test "hypervisor" animates between iterations.
+
+use vfc::cgroupfs::fixture::FixtureTree;
+use vfc::cgroupfs::HostBackend;
+use vfc::controller::{Controller, ControllerConfig};
+use vfc::simcore::{MHz, Micros};
+
+/// Advance the fixture by one emulated second: each named VM's vCPUs try
+/// to consume `demand` µs, bounded by their current `cpu.max`.
+fn consume(fx: &FixtureTree, vm: &str, vcpus: u32, demand: Micros) {
+    for j in 0..vcpus {
+        let cap = fx.vcpu_cpu_max(vm, j);
+        let allowed = cap.budget_for(Micros::SEC);
+        fx.add_vcpu_usage(vm, j, demand.min(allowed));
+    }
+}
+
+#[test]
+fn caps_are_written_to_disk_and_guarantees_converge() {
+    // Tight node: 2 CPUs = 4800 MHz for 2×500 + 2×1800 = 4600 MHz of
+    // guarantees, so the caps actually bind (on a slack node the
+    // controller correctly writes `max` instead).
+    let fx = FixtureTree::builder()
+        .cpus(2, MHz(2400))
+        .vm("small0", 2, &[101, 102])
+        .vm("large0", 2, &[201, 202])
+        .build();
+    let mut backend = fx.backend();
+    backend.set_vfreq("small0", MHz(500));
+    backend.set_vfreq("large0", MHz(1800));
+
+    let mut ctl = Controller::new(ControllerConfig::paper_defaults(), backend.topology());
+
+    for _ in 0..15 {
+        consume(&fx, "small0", 2, Micros::SEC);
+        consume(&fx, "large0", 2, Micros::SEC);
+        ctl.iterate(&mut backend).expect("fs backend");
+    }
+
+    // The caps on disk encode ≈ the guarantees + any market burst; the
+    // large VM's quota must be ≥ its guarantee (75 000 µs per 100 ms).
+    let large_cap = fx.vcpu_cpu_max("large0", 0);
+    let large_quota = large_cap.quota.expect("large is capped");
+    assert!(
+        large_quota >= Micros(74_000),
+        "large quota {large_quota} below its guarantee"
+    );
+
+    // And consumption converged to the guarantee ratio: with both VMs
+    // saturating on 2 CPUs (4800 MHz) and 4600 MHz guaranteed, everyone
+    // gets at least their base.
+    let report = ctl.iterate(&mut backend).expect("fs backend");
+    for v in &report.vcpus {
+        assert!(
+            v.alloc >= v.guaranteed.min(v.estimate),
+            "{}: alloc {} below min(guarantee {}, estimate {})",
+            v.vm_name,
+            v.alloc,
+            v.guaranteed,
+            v.estimate
+        );
+    }
+}
+
+#[test]
+fn fs_backend_sees_new_vms_between_iterations() {
+    let fx = FixtureTree::builder()
+        .cpus(2, MHz(2400))
+        .vm("only", 1, &[11])
+        .build();
+    let mut backend = fx.backend();
+    backend.set_vfreq("only", MHz(1000));
+    let mut ctl = Controller::new(ControllerConfig::paper_defaults(), backend.topology());
+    consume(&fx, "only", 1, Micros::SEC);
+    let r = ctl.iterate(&mut backend).expect("fs backend");
+    assert_eq!(r.vcpus.len(), 1);
+
+    // A "new VM" appears on disk (as if libvirt had provisioned it).
+    let fx2 = FixtureTree::builder().cpus(1, MHz(2400)).build();
+    drop(fx2); // unrelated tree; the real addition:
+    std::fs::create_dir_all(
+        fx.cgroup_root()
+            .join("machine.slice")
+            .join("machine-qemu\\x2d9\\x2dnewbie.scope/libvirt/vcpu0"),
+    )
+    .unwrap();
+    let vdir = fx
+        .cgroup_root()
+        .join("machine.slice")
+        .join("machine-qemu\\x2d9\\x2dnewbie.scope/libvirt/vcpu0");
+    std::fs::write(vdir.join("cpu.max"), "max 100000\n").unwrap();
+    std::fs::write(
+        vdir.join("cpu.stat"),
+        "usage_usec 0\nuser_usec 0\nsystem_usec 0\nnr_periods 0\nnr_throttled 0\nthrottled_usec 0\n",
+    )
+    .unwrap();
+    std::fs::write(vdir.join("cgroup.threads"), "5555\n").unwrap();
+    fx.set_thread_cpu(vfc::simcore::Tid::new(5555), vfc::simcore::CpuId::new(0));
+
+    let r = ctl.iterate(&mut backend).expect("fs backend");
+    assert_eq!(r.vcpus.len(), 2, "new scope must be discovered");
+    assert!(r.vcpus.iter().any(|v| v.vm_name == "newbie"));
+}
+
+#[test]
+fn vm_without_declared_vfreq_is_best_effort() {
+    let fx = FixtureTree::builder()
+        .cpus(2, MHz(2400))
+        .vm("anon", 1, &[31])
+        .build();
+    let mut backend = fx.backend();
+    // No set_vfreq: the controller treats it as zero-guarantee.
+    let mut ctl = Controller::new(ControllerConfig::paper_defaults(), backend.topology());
+    for _ in 0..5 {
+        consume(&fx, "anon", 1, Micros::SEC);
+        let r = ctl.iterate(&mut backend).expect("fs backend");
+        let v = &r.vcpus[0];
+        assert_eq!(v.guaranteed, Micros::ZERO);
+        assert!(v.vfreq.is_none());
+    }
+    // It still receives cycles (stage 5 gives away the whole idle node).
+    let r = ctl.iterate(&mut backend).expect("fs backend");
+    assert!(r.vcpus[0].alloc > Micros::ZERO);
+}
+
+#[test]
+fn topology_read_from_disk() {
+    let fx = FixtureTree::builder().cpus(7, MHz(2100)).build();
+    let backend = fx.backend();
+    let topo = backend.topology();
+    assert_eq!(topo.nr_cpus, 7);
+    assert_eq!(topo.max_mhz, MHz(2100));
+}
+
+#[test]
+fn vm_teardown_mid_run_is_survivable() {
+    // A VM's whole scope vanishing between iterations (KVM shutdown) must
+    // simply drop it from the next discovery — no error, no stale state.
+    let fx = FixtureTree::builder()
+        .cpus(2, MHz(2400))
+        .vm("stays", 1, &[11])
+        .vm("goes", 1, &[21])
+        .build();
+    let mut backend = fx.backend();
+    backend.set_vfreq("stays", MHz(500));
+    backend.set_vfreq("goes", MHz(500));
+    let mut ctl = Controller::new(ControllerConfig::paper_defaults(), backend.topology());
+    consume(&fx, "stays", 1, Micros::SEC);
+    consume(&fx, "goes", 1, Micros::SEC);
+    let r = ctl.iterate(&mut backend).expect("both alive");
+    assert_eq!(r.vcpus.len(), 2);
+
+    // Tear the second VM down on disk.
+    let scope = fx
+        .cgroup_root()
+        .join("machine.slice")
+        .join("machine-qemu\\x2d2\\x2dgoes.scope");
+    std::fs::remove_dir_all(&scope).unwrap();
+
+    consume(&fx, "stays", 1, Micros::SEC);
+    let r = ctl.iterate(&mut backend).expect("survivor still works");
+    assert_eq!(r.vcpus.len(), 1);
+    assert_eq!(r.vcpus[0].vm_name, "stays");
+}
+
+#[test]
+fn torn_interface_file_errors_cleanly_and_recovers() {
+    // Only the cpu.stat file disappears (a mid-teardown race): the
+    // iteration fails with an Io error — no panic — and once the file is
+    // back the controller resumes.
+    let fx = FixtureTree::builder()
+        .cpus(1, MHz(2400))
+        .vm("racy", 1, &[31])
+        .build();
+    let mut backend = fx.backend();
+    backend.set_vfreq("racy", MHz(500));
+    let mut ctl = Controller::new(ControllerConfig::paper_defaults(), backend.topology());
+    consume(&fx, "racy", 1, Micros::SEC);
+    ctl.iterate(&mut backend).expect("healthy");
+
+    let stat = fx
+        .cgroup_root()
+        .join("machine.slice")
+        .join("machine-qemu\\x2d1\\x2dracy.scope/libvirt/vcpu0/cpu.stat");
+    let content = std::fs::read_to_string(&stat).unwrap();
+    std::fs::remove_file(&stat).unwrap();
+    let err = ctl.iterate(&mut backend).expect_err("file is gone");
+    assert!(err.to_string().contains("cpu.stat"), "{err}");
+
+    std::fs::write(&stat, content).unwrap();
+    consume(&fx, "racy", 1, Micros::SEC);
+    ctl.iterate(&mut backend).expect("recovered");
+}
+
+#[test]
+fn throttle_aware_controller_reacts_over_the_fs_backend() {
+    // End-to-end: a vCPU whose on-disk throttled_usec grows gets its cap
+    // raised even though its consumption is pinned at the old cap.
+    let fx = FixtureTree::builder()
+        .cpus(2, MHz(2400))
+        .vm("bursty", 1, &[41])
+        .build();
+    let mut backend = fx.backend();
+    backend.set_vfreq("bursty", MHz(1200));
+    let mut ctl = Controller::new(
+        vfc::controller::ControllerConfig::throttle_aware(),
+        backend.topology(),
+    );
+    // Settle at idle: cap decays to the floor.
+    for _ in 0..4 {
+        ctl.iterate(&mut backend).expect("fs backend");
+    }
+    let floor = fx.vcpu_cpu_max("bursty", 0);
+    assert_eq!(floor.quota, Some(Micros(1_000)));
+
+    // Burst: consumption clipped at the cap, throttled time huge.
+    let allowed = floor.budget_for(Micros::SEC);
+    fx.add_vcpu_usage("bursty", 0, allowed);
+    fx.add_vcpu_throttled("bursty", 0, Micros(900_000));
+    ctl.iterate(&mut backend).expect("fs backend");
+    let after = fx.vcpu_cpu_max("bursty", 0);
+    let quota = after.quota.expect("still capped");
+    assert!(
+        quota >= Micros(50_000),
+        "throttle signal should jump the cap to the guarantee, got {quota}"
+    );
+}
+
+#[test]
+fn controller_works_identically_on_cgroup_v1() {
+    // §III.B: "the version is not important as our controller works on
+    // both". Same scenario as the v2 convergence test, against a legacy
+    // cpu,cpuacct hierarchy.
+    let fx = FixtureTree::builder()
+        .cpus(2, MHz(2400))
+        .vm("small0", 2, &[101, 102])
+        .vm("large0", 2, &[201, 202])
+        .v1()
+        .build();
+    let mut backend = fx.backend();
+    assert_eq!(
+        backend.version(),
+        vfc::cgroupfs::fs::CgroupVersion::V1,
+        "fixture must be detected as v1"
+    );
+    backend.set_vfreq("small0", MHz(500));
+    backend.set_vfreq("large0", MHz(1800));
+
+    let mut ctl = Controller::new(ControllerConfig::paper_defaults(), backend.topology());
+    for _ in 0..15 {
+        consume(&fx, "small0", 2, Micros::SEC);
+        consume(&fx, "large0", 2, Micros::SEC);
+        ctl.iterate(&mut backend).expect("v1 backend");
+    }
+
+    let large_cap = fx.vcpu_cpu_max("large0", 0);
+    let quota = large_cap.quota.expect("large is capped on the tight node");
+    assert!(
+        quota >= Micros(74_000),
+        "large quota {quota} below its 1800 MHz guarantee"
+    );
+    let small_cap = fx.vcpu_cpu_max("small0", 0);
+    let quota = small_cap.quota.expect("small is capped");
+    assert!(
+        (19_000..=30_000).contains(&quota.as_u64()),
+        "small quota {quota} should encode ≈500 MHz (≈20 833 µs/100 ms)"
+    );
+}

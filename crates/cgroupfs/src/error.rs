@@ -74,6 +74,43 @@ impl CgroupError {
         content.truncate(256);
         CgroupError::Parse { what, content }
     }
+
+    /// Is this error worth retrying on the next control period?
+    ///
+    /// Transient errors cover the failure modes a live kernel interface
+    /// exhibits under load: torn reads that fail to parse, and the
+    /// retriable `errno` family (`EINTR`, `EAGAIN`, `EBUSY`, timeouts).
+    /// The controller's degradation ladder reacts to a transient error by
+    /// skipping the sample (or reusing a recent one) and retrying the
+    /// operation on the next iteration, instead of aborting the loop.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            // A torn/odd read of a kernel file: the next read usually works.
+            CgroupError::Parse { .. } => true,
+            CgroupError::Io { source, .. } => matches!(
+                source.kind(),
+                io::ErrorKind::Interrupted
+                    | io::ErrorKind::WouldBlock
+                    | io::ErrorKind::ResourceBusy
+                    | io::ErrorKind::TimedOut
+            ),
+            _ => false,
+        }
+    }
+
+    /// Did the cgroup (and therefore the VM or vCPU) disappear?
+    ///
+    /// VMs shut down and migrate away between `vms()` enumeration and the
+    /// per-vCPU reads that follow, so the controller treats these as the
+    /// normal end of a VM's life: it drops the VM's wallet and cached
+    /// samples instead of retrying.
+    pub fn is_vanished(&self) -> bool {
+        match self {
+            CgroupError::NoSuchGroup(_) | CgroupError::NoSuchVcpu { .. } => true,
+            CgroupError::Io { source, .. } => source.kind() == io::ErrorKind::NotFound,
+            _ => false,
+        }
+    }
 }
 
 /// Result alias for cgroup operations.
@@ -112,5 +149,36 @@ mod tests {
         use std::error::Error;
         let e = CgroupError::io("/p", io::Error::other("inner"));
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn taxonomy_transient() {
+        assert!(CgroupError::parse("cpu.stat", "torn").is_transient());
+        for kind in [
+            io::ErrorKind::Interrupted,
+            io::ErrorKind::WouldBlock,
+            io::ErrorKind::ResourceBusy,
+            io::ErrorKind::TimedOut,
+        ] {
+            let e = CgroupError::io("/p", io::Error::new(kind, "again"));
+            assert!(e.is_transient(), "{kind:?} should be transient");
+            assert!(!e.is_vanished(), "{kind:?} is not a disappearance");
+        }
+        let denied = CgroupError::io(
+            "/p",
+            io::Error::new(io::ErrorKind::PermissionDenied, "denied"),
+        );
+        assert!(!denied.is_transient());
+    }
+
+    #[test]
+    fn taxonomy_vanished() {
+        assert!(CgroupError::NoSuchGroup("/a".into()).is_vanished());
+        assert!(CgroupError::NoSuchVcpu { vm: 1, vcpu: 0 }.is_vanished());
+        let gone = CgroupError::io("/p", io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert!(gone.is_vanished());
+        assert!(!gone.is_transient());
+        assert!(!CgroupError::Invalid("x".into()).is_vanished());
+        assert!(!CgroupError::parse("cpu.max", "junk").is_vanished());
     }
 }

@@ -24,6 +24,7 @@
 
 pub mod backend;
 pub mod error;
+pub mod fault;
 pub mod fixture;
 pub mod fs;
 pub mod model;
@@ -33,5 +34,6 @@ pub mod v1;
 
 pub use backend::{HostBackend, TopologyInfo, VmCgroupInfo};
 pub use error::{CgroupError, Result};
+pub use fault::{FaultInjectingBackend, FaultKind, FaultOp, FaultPlan, FaultStats};
 pub use model::{CpuMax, CpuStat};
 pub use tree::{CgroupTree, NodeIdx};

@@ -10,9 +10,8 @@
 use crate::config::ControllerConfig;
 use std::collections::HashMap;
 use vfc_cgroupfs::backend::HostBackend;
-use vfc_cgroupfs::error::Result;
 use vfc_cgroupfs::model::{CpuMax, DEFAULT_PERIOD};
-use vfc_simcore::{Micros, VcpuAddr};
+use vfc_simcore::{Micros, VcpuAddr, VmId};
 
 /// Kernel-imposed floor on `cpu.max` quotas (1 ms).
 pub const KERNEL_MIN_QUOTA: Micros = Micros(1_000);
@@ -27,21 +26,53 @@ pub fn allocation_to_cpu_max(alloc: Micros, period: Micros) -> CpuMax {
     CpuMax::with_period(quota.max(KERNEL_MIN_QUOTA), DEFAULT_PERIOD)
 }
 
-/// Write every allocation to the backend. Returns the number of cgroups
-/// updated.
+/// What stage 6 managed to write.
+#[derive(Debug, Clone, Default)]
+pub struct ApplyOutcome {
+    /// Cgroups updated successfully.
+    pub written: usize,
+    /// Writes that failed with a retriable error, with the allocation
+    /// that should be retried next period.
+    pub failed: Vec<(VcpuAddr, Micros)>,
+    /// VMs whose cgroups disappeared mid-write; their pending writes are
+    /// dropped, not retried.
+    pub vanished: Vec<VmId>,
+}
+
+impl ApplyOutcome {
+    /// Total write errors this iteration (retriable + vanished).
+    pub fn errors(&self) -> usize {
+        self.failed.len() + self.vanished.len()
+    }
+}
+
+/// Write every allocation to the backend. A failed write never aborts
+/// the stage: the remaining vCPUs are still updated, and the failure is
+/// reported in the outcome — retriable errors together with the intended
+/// allocation (the controller re-issues them next period), disappeared
+/// VMs separately (nothing left to write to).
 pub fn apply_allocations<B: HostBackend + ?Sized>(
     backend: &mut B,
     cfg: &ControllerConfig,
     allocations: &HashMap<VcpuAddr, Micros>,
-) -> Result<usize> {
+) -> ApplyOutcome {
     // Deterministic write order (useful for fixture-based tests and logs).
     let mut addrs: Vec<&VcpuAddr> = allocations.keys().collect();
     addrs.sort();
+    let mut out = ApplyOutcome::default();
     for addr in &addrs {
-        let max = allocation_to_cpu_max(allocations[addr], cfg.period);
-        backend.set_vcpu_max(addr.vm, addr.vcpu, max)?;
+        if out.vanished.contains(&addr.vm) {
+            continue;
+        }
+        let alloc = allocations[addr];
+        let max = allocation_to_cpu_max(alloc, cfg.period);
+        match backend.set_vcpu_max(addr.vm, addr.vcpu, max) {
+            Ok(()) => out.written += 1,
+            Err(e) if e.is_vanished() => out.vanished.push(addr.vm),
+            Err(_) => out.failed.push((**addr, alloc)),
+        }
     }
-    Ok(addrs.len())
+    out
 }
 
 #[cfg(test)]

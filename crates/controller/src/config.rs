@@ -59,6 +59,11 @@ pub struct ControllerConfig {
     /// several periods to be noticed; the throttle counter is the
     /// kernel's direct signal that demand was cut short.
     pub throttle_aware: bool,
+    /// How many consecutive periods a stale (cached) monitoring sample
+    /// may stand in for a failed per-vCPU read before the vCPU is
+    /// skipped for the iteration (degradation ladder, step 2). `0`
+    /// disables stale reuse: any failed read skips the vCPU immediately.
+    pub stale_sample_ttl: u32,
 }
 
 impl ControllerConfig {
@@ -77,6 +82,7 @@ impl ControllerConfig {
             min_cap: Micros(1_000),
             mode: ControlMode::Full,
             throttle_aware: false,
+            stale_sample_ttl: 2,
         }
     }
 

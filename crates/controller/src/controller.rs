@@ -1,6 +1,6 @@
 //! The six-stage control loop (Fig. 2), assembled.
 
-use crate::apply::apply_allocations;
+use crate::apply::{apply_allocations, ApplyOutcome};
 use crate::auction::{run_auction, AuctionOutcome, Buyer};
 use crate::config::{ControlMode, ControllerConfig};
 use crate::credits::{base_allocations, Wallet};
@@ -32,6 +32,45 @@ pub struct StageTimings {
     pub apply: Duration,
     /// Whole iteration, including bookkeeping between stages.
     pub total: Duration,
+}
+
+/// Degradation bookkeeping for one iteration: what failed, what the
+/// controller did about it. All-zero/empty on a healthy host.
+///
+/// The ladder, mildest first: a failing read is answered from the stale
+/// cache (`stale_reused`), then the vCPU is skipped for the period
+/// (`skipped_vcpus`, its current capping stays in force), failed `cpu.max`
+/// writes are re-issued next period (`write_retries`), and VMs whose
+/// cgroups disappear are dropped cleanly (`vanished_vms`). The daemon
+/// layers a circuit breaker on top: too many consecutive degraded
+/// iterations uncap everything and exit.
+#[derive(Debug, Clone, Default, serde::Serialize)]
+pub struct HealthReport {
+    /// Per-vCPU monitoring reads that failed (stage 1).
+    pub read_errors: u32,
+    /// `cpu.max` writes that failed (stage 6).
+    pub write_errors: u32,
+    /// Writes re-issued this period after failing in the previous one.
+    pub write_retries: u32,
+    /// vCPUs served from the stale-sample cache (stage 1).
+    pub stale_reused: u32,
+    /// vCPUs with no usable sample this period — untouched by stages 2–6.
+    pub skipped_vcpus: Vec<VcpuAddr>,
+    /// VMs that disappeared mid-iteration; wallets and history purged.
+    pub vanished_vms: Vec<VmId>,
+    /// True iff anything above is non-zero/non-empty.
+    pub degraded: bool,
+}
+
+impl HealthReport {
+    fn finalize(&mut self) {
+        self.degraded = self.read_errors > 0
+            || self.write_errors > 0
+            || self.write_retries > 0
+            || self.stale_reused > 0
+            || !self.skipped_vcpus.is_empty()
+            || !self.vanished_vms.is_empty();
+    }
 }
 
 /// Everything the controller decided about one vCPU this iteration.
@@ -74,6 +113,8 @@ pub struct IterationReport {
     pub credits: Vec<(VmId, u64)>,
     /// Wall-clock cost of each stage.
     pub timings: StageTimings,
+    /// Errors encountered and degradations applied this iteration.
+    pub health: HealthReport,
 }
 
 impl IterationReport {
@@ -112,6 +153,9 @@ pub struct Controller {
     wallet: Wallet,
     /// `c_{i,j,t-1}` — what we applied last iteration.
     prev_alloc: HashMap<VcpuAddr, Micros>,
+    /// `cpu.max` writes that failed last iteration, re-issued this one
+    /// for vCPUs that get no fresh allocation.
+    pending_writes: HashMap<VcpuAddr, Micros>,
     iterations: u64,
 }
 
@@ -133,6 +177,7 @@ impl Controller {
             monitor: Monitor::new(),
             wallet: Wallet::new(),
             prev_alloc: HashMap::new(),
+            pending_writes: HashMap::new(),
             iterations: 0,
         }
     }
@@ -159,6 +204,13 @@ impl Controller {
     }
 
     /// Execute one full iteration against the backend.
+    ///
+    /// Degrades instead of aborting: a failed per-vCPU read or `cpu.max`
+    /// write affects only that vCPU (stale reuse, skip, or retry next
+    /// period — see [`HealthReport`]), and a VM whose cgroups disappear
+    /// mid-iteration is dropped cleanly. No single-vCPU failure makes
+    /// this return `Err`; the variant remains for genuinely fatal
+    /// conditions of future backends.
     pub fn iterate<B: HostBackend + ?Sized>(&mut self, backend: &mut B) -> Result<IterationReport> {
         let t_start = Instant::now();
         let mut timings = StageTimings::default();
@@ -166,8 +218,24 @@ impl Controller {
 
         // ---- stage 1: monitor ------------------------------------------------
         let t = Instant::now();
-        let (vms, observations) = self.monitor.observe(backend, period)?;
+        let outcome = self
+            .monitor
+            .observe(backend, period, self.cfg.stale_sample_ttl);
         timings.monitor = t.elapsed();
+        let mut health = HealthReport {
+            read_errors: outcome.read_errors,
+            stale_reused: outcome.stale_reused.len() as u32,
+            skipped_vcpus: outcome.skipped.clone(),
+            vanished_vms: outcome.vanished.clone(),
+            ..HealthReport::default()
+        };
+        // A vanished VM must not leave a ghost capping or a pending write.
+        for vm in &outcome.vanished {
+            self.prev_alloc.retain(|a, _| a.vm != *vm);
+            self.pending_writes.retain(|a, _| a.vm != *vm);
+        }
+        let vms = outcome.vms;
+        let observations = outcome.observations;
 
         // ---- stage 2: estimate ------------------------------------------------
         let t = Instant::now();
@@ -280,8 +348,60 @@ impl Controller {
 
             // ---- stage 6: apply ----------------------------------------------------
             let t = Instant::now();
-            apply_allocations(backend, &self.cfg, &allocations)?;
-            self.prev_alloc = allocations.clone();
+            // Re-issue last period's failed writes for vCPUs that got no
+            // fresh allocation this period (the skipped ones); a fresh
+            // allocation supersedes the stale retry.
+            let mut to_write = allocations.clone();
+            let listed: std::collections::HashSet<VmId> = vms.iter().map(|v| v.vm).collect();
+            for (addr, alloc) in std::mem::take(&mut self.pending_writes) {
+                if !to_write.contains_key(&addr) && listed.contains(&addr.vm) {
+                    to_write.insert(addr, alloc);
+                    health.write_retries += 1;
+                }
+            }
+            let applied: ApplyOutcome = apply_allocations(backend, &self.cfg, &to_write);
+            health.write_errors = applied.errors() as u32;
+
+            // What's actually in force now: the fresh allocations, except
+            // that a failed write leaves the previous capping in place and
+            // a skipped vCPU keeps its previous allocation.
+            let mut new_prev = allocations.clone();
+            for (addr, _) in &applied.failed {
+                match self.prev_alloc.get(addr).copied() {
+                    Some(old) => {
+                        new_prev.insert(*addr, old);
+                    }
+                    None => {
+                        new_prev.remove(addr);
+                    }
+                }
+            }
+            for addr in &health.skipped_vcpus {
+                if let Some(old) = self.prev_alloc.get(addr).copied() {
+                    new_prev.insert(*addr, old);
+                }
+            }
+            new_prev.retain(|a, _| !applied.vanished.contains(&a.vm));
+            self.prev_alloc = new_prev;
+
+            // Retriable write failures are re-issued next period.
+            self.pending_writes = applied.failed.iter().copied().collect();
+
+            // A VM that disappeared during the writes gets the same
+            // cleanup as one that disappeared during monitoring.
+            if !applied.vanished.is_empty() {
+                let keep: Vec<VmId> = vms
+                    .iter()
+                    .map(|v| v.vm)
+                    .filter(|v| !applied.vanished.contains(v))
+                    .collect();
+                self.wallet.retain_vms(&keep);
+                for vm in &applied.vanished {
+                    self.pending_writes.retain(|a, _| a.vm != *vm);
+                    self.monitor.forget_vm(*vm);
+                }
+                health.vanished_vms.extend(applied.vanished.iter().copied());
+            }
             timings.apply = t.elapsed();
         } else {
             // Scenario A: nothing is written; estimates are still computed
@@ -323,6 +443,7 @@ impl Controller {
 
         timings.total = t_start.elapsed();
         self.iterations += 1;
+        health.finalize();
 
         Ok(IterationReport {
             vcpus,
@@ -332,6 +453,7 @@ impl Controller {
             market_left,
             credits: self.wallet.snapshot(),
             timings,
+            health,
         })
     }
 }

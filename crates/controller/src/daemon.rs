@@ -30,7 +30,7 @@ use std::path::PathBuf;
 use std::time::Duration;
 use vfc_cgroupfs::backend::HostBackend;
 use vfc_cgroupfs::fs::FsBackend;
-use vfc_simcore::{MHz, Micros};
+use vfc_simcore::{MHz, Micros, VcpuId};
 
 /// Parsed daemon configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,6 +49,16 @@ pub struct DaemonConfig {
     /// Append one JSON line per iteration (the full
     /// [`crate::IterationReport`]) to this file.
     pub log_json: Option<PathBuf>,
+    /// Circuit breaker: after this many consecutive iterations with hard
+    /// errors (failed reads or writes), uncap every vCPU — uncapped is
+    /// the safe state for tenants — and exit with an error. `0` disables
+    /// the breaker.
+    pub max_consecutive_errors: u32,
+    /// How many times to retry backend discovery (mounts may come up
+    /// after the daemon at boot) before giving up.
+    pub discovery_retries: u32,
+    /// Initial backoff between discovery attempts; doubles per retry.
+    pub discovery_backoff: Duration,
 }
 
 impl Default for DaemonConfig {
@@ -60,6 +70,9 @@ impl Default for DaemonConfig {
             iterations: None,
             verbose: false,
             log_json: None,
+            max_consecutive_errors: 10,
+            discovery_retries: 2,
+            discovery_backoff: Duration::from_millis(50),
         }
     }
 }
@@ -88,7 +101,11 @@ pub fn parse_config_file(content: &str) -> Result<DaemonConfig, String> {
             let mhz: u32 = value
                 .parse()
                 .map_err(|_| format!("line {}: bad frequency {value:?}", lineno + 1))?;
-            cfg.vfreq.insert(key.to_owned(), MHz(mhz));
+            if cfg.vfreq.insert(key.to_owned(), MHz(mhz)).is_some() {
+                // A silently-overwritten guarantee is an operator error
+                // worth failing loudly on.
+                return Err(format!("line {}: duplicate VM name {key:?}", lineno + 1));
+            }
             continue;
         }
         let parse_f64 = |v: &str| -> Result<f64, String> {
@@ -124,6 +141,27 @@ pub fn parse_config_file(content: &str) -> Result<DaemonConfig, String> {
                         .parse()
                         .map_err(|_| format!("line {}: bad window_us", lineno + 1))?,
                 );
+            }
+            "stale_sample_ttl" => {
+                cfg.controller.stale_sample_ttl = value
+                    .parse()
+                    .map_err(|_| format!("line {}: bad stale_sample_ttl", lineno + 1))?;
+            }
+            "max_consecutive_errors" => {
+                cfg.max_consecutive_errors = value
+                    .parse()
+                    .map_err(|_| format!("line {}: bad max_consecutive_errors", lineno + 1))?;
+            }
+            "discovery_retries" => {
+                cfg.discovery_retries = value
+                    .parse()
+                    .map_err(|_| format!("line {}: bad discovery_retries", lineno + 1))?;
+            }
+            "discovery_backoff_ms" => {
+                let ms: u64 = value
+                    .parse()
+                    .map_err(|_| format!("line {}: bad discovery_backoff_ms", lineno + 1))?;
+                cfg.discovery_backoff = Duration::from_millis(ms);
             }
             other => return Err(format!("line {}: unknown key {other:?}", lineno + 1)),
         }
@@ -163,6 +201,9 @@ pub fn parse_args(args: &[String]) -> Result<DaemonConfig, String> {
                 // CLI flags seen later still override; merge file first.
                 cfg.controller = file_cfg.controller;
                 cfg.vfreq.extend(file_cfg.vfreq);
+                cfg.max_consecutive_errors = file_cfg.max_consecutive_errors;
+                cfg.discovery_retries = file_cfg.discovery_retries;
+                cfg.discovery_backoff = file_cfg.discovery_backoff;
             }
             "--monitor-only" => cfg.controller.mode = ControlMode::MonitorOnly,
             "--verbose" => cfg.verbose = true,
@@ -198,16 +239,73 @@ pub fn parse_args(args: &[String]) -> Result<DaemonConfig, String> {
     Ok(cfg)
 }
 
-/// Build the backend and run the loop. Returns the number of iterations
-/// executed. The loop sleeps `p − spent` between iterations exactly as
-/// §III.B.6 describes.
-pub fn run(cfg: DaemonConfig) -> Result<u64, String> {
-    let mut backend = match &cfg.roots {
-        Some((c, p, u)) => FsBackend::new(c, p, u),
-        None => FsBackend::system().map_err(|e| e.to_string())?,
+/// Discover the filesystem backend, retrying with exponential backoff —
+/// at boot the daemon may start before the cgroup/`/sys` mounts are up,
+/// so a failed first probe is not fatal.
+fn discover_backend(cfg: &DaemonConfig) -> Result<FsBackend, String> {
+    let mut backoff = cfg.discovery_backoff;
+    let attempts = cfg.discovery_retries + 1;
+    let mut last_err = String::new();
+    for attempt in 1..=attempts {
+        let probe = match &cfg.roots {
+            Some((c, p, u)) => Ok(FsBackend::new(c, p, u)),
+            None => FsBackend::system().map_err(|e| e.to_string()),
+        };
+        match probe {
+            Ok(backend) => {
+                let backend = backend.with_vfreq_table(cfg.vfreq.clone());
+                if backend.topology().nr_cpus > 0 {
+                    return Ok(backend);
+                }
+                last_err = "backend reports zero CPUs — wrong roots?".into();
+            }
+            Err(e) => last_err = e,
+        }
+        if attempt < attempts {
+            eprintln!(
+                "vfcd: backend discovery attempt {attempt}/{attempts} failed: {last_err}; \
+                 retrying in {backoff:?}"
+            );
+            std::thread::sleep(backoff);
+            backoff = backoff.saturating_mul(2);
+        }
     }
-    .with_vfreq_table(cfg.vfreq.clone());
+    Err(format!(
+        "backend discovery failed after {attempts} attempts: {last_err}"
+    ))
+}
 
+/// Best-effort safety fallback: remove every `cpu.max` cap the backend
+/// knows about, so tenants are never left throttled by a controller that
+/// is about to die. Returns the number of vCPUs uncapped.
+pub fn uncap_all<B: HostBackend + ?Sized>(backend: &mut B) -> usize {
+    let mut cleared = 0;
+    for vm in backend.vms() {
+        for j in 0..vm.nr_vcpus {
+            if backend.clear_vcpu_max(vm.vm, VcpuId::new(j)).is_ok() {
+                cleared += 1;
+            }
+        }
+    }
+    cleared
+}
+
+/// Build the backend (with discovery retries) and run the loop. Returns
+/// the number of iterations executed. The loop sleeps `p − spent`
+/// between iterations exactly as §III.B.6 describes.
+pub fn run(cfg: DaemonConfig) -> Result<u64, String> {
+    let mut backend = discover_backend(&cfg)?;
+    run_with_backend(cfg, &mut backend)
+}
+
+/// Run the control loop against an already-built backend. Split from
+/// [`run`] so tests (and embedders) can drive simulated or
+/// fault-injecting backends through the exact production loop, circuit
+/// breaker included.
+pub fn run_with_backend<B: HostBackend + ?Sized>(
+    cfg: DaemonConfig,
+    backend: &mut B,
+) -> Result<u64, String> {
     let topo = backend.topology();
     if topo.nr_cpus == 0 {
         return Err("backend reports zero CPUs — wrong roots?".into());
@@ -235,6 +333,7 @@ pub fn run(cfg: DaemonConfig) -> Result<u64, String> {
     };
 
     let mut done = 0u64;
+    let mut consecutive_errors = 0u32;
     loop {
         if let Some(limit) = cfg.iterations {
             if done >= limit {
@@ -242,12 +341,24 @@ pub fn run(cfg: DaemonConfig) -> Result<u64, String> {
             }
         }
         let started = std::time::Instant::now();
-        match controller.iterate(&mut backend) {
+        let errored = match controller.iterate(backend) {
             Ok(report) => {
                 if cfg.verbose {
+                    if report.health.degraded {
+                        eprintln!(
+                            "  degraded: {} read errors, {} write errors ({} retried), \
+                             {} stale, {} skipped, {} vanished",
+                            report.health.read_errors,
+                            report.health.write_errors,
+                            report.health.write_retries,
+                            report.health.stale_reused,
+                            report.health.skipped_vcpus.len(),
+                            report.health.vanished_vms.len(),
+                        );
+                    }
                     for v in &report.vcpus {
                         eprintln!(
-                            "  {} {}: used {} est {} alloc {} ({} MHz)",
+                            "  {} {}: used {} est {} alloc {} ({})",
                             v.vm_name, v.addr.vcpu, v.used, v.estimate, v.alloc, v.freq_est
                         );
                     }
@@ -260,10 +371,32 @@ pub fn run(cfg: DaemonConfig) -> Result<u64, String> {
                         eprintln!("vfcd: json log write failed: {e}");
                     }
                 }
+                report.health.read_errors > 0 || report.health.write_errors > 0
             }
-            Err(e) => eprintln!("vfcd: iteration failed: {e} (continuing)"),
-        }
+            Err(e) => {
+                eprintln!("vfcd: iteration failed: {e} (continuing)");
+                true
+            }
+        };
         done += 1;
+
+        // Circuit breaker: a persistently failing host is one we must not
+        // keep half-controlling. Uncap everything (the safe state for
+        // tenants — guarantees become "at least what the scheduler gives
+        // you") and exit so the supervisor can restart us.
+        if errored {
+            consecutive_errors += 1;
+            if cfg.max_consecutive_errors > 0 && consecutive_errors >= cfg.max_consecutive_errors {
+                let cleared = uncap_all(backend);
+                return Err(format!(
+                    "circuit breaker: {consecutive_errors} consecutive degraded iterations; \
+                     uncapped {cleared} vCPUs and giving up"
+                ));
+            }
+        } else {
+            consecutive_errors = 0;
+        }
+
         let spent = started.elapsed();
         let period = Duration::from_micros(period.as_u64());
         if spent < period {
@@ -426,9 +559,77 @@ mod tests {
         let cfg = DaemonConfig {
             roots: Some((dir.clone(), dir.clone(), dir.clone())),
             iterations: Some(1),
+            discovery_retries: 0,
             ..DaemonConfig::default()
         };
-        assert!(run(cfg).is_err());
+        let err = run(cfg).unwrap_err();
+        assert!(err.contains("discovery failed after 1 attempts"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn discovery_retries_before_giving_up() {
+        let dir = std::env::temp_dir().join(format!("vfcd-retry-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut cfg = DaemonConfig {
+            roots: Some((dir.clone(), dir.clone(), dir.clone())),
+            iterations: Some(1),
+            discovery_retries: 2,
+            ..DaemonConfig::default()
+        };
+        cfg.discovery_backoff = Duration::from_millis(1);
+        let started = std::time::Instant::now();
+        let err = run(cfg).unwrap_err();
+        assert!(err.contains("after 3 attempts"), "{err}");
+        // 1 ms + 2 ms of backoff actually elapsed.
+        assert!(started.elapsed() >= Duration::from_millis(3));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn config_file_rejects_duplicate_vm_names() {
+        let err = parse_config_file("[vms]\nweb = 500\ndb = 900\nweb = 800\n").unwrap_err();
+        assert!(err.contains("duplicate VM name"), "{err}");
+        assert!(err.contains("line 4"), "{err}");
+    }
+
+    #[test]
+    fn config_file_accepts_resilience_keys() {
+        let cfg = parse_config_file(
+            "stale_sample_ttl = 4\nmax_consecutive_errors = 25\n\
+             discovery_retries = 7\ndiscovery_backoff_ms = 250\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.controller.stale_sample_ttl, 4);
+        assert_eq!(cfg.max_consecutive_errors, 25);
+        assert_eq!(cfg.discovery_retries, 7);
+        assert_eq!(cfg.discovery_backoff, Duration::from_millis(250));
+    }
+
+    #[test]
+    fn config_file_rejects_bad_resilience_values() {
+        assert!(parse_config_file("stale_sample_ttl = forever").is_err());
+        assert!(parse_config_file("max_consecutive_errors = -1").is_err());
+        assert!(parse_config_file("discovery_retries = 1.5").is_err());
+        assert!(parse_config_file("discovery_backoff_ms = soon").is_err());
+    }
+
+    #[test]
+    fn config_file_resilience_keys_reach_the_merged_cli_config() {
+        let dir = std::env::temp_dir().join(format!("vfcd-cfg-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("vfcd.conf");
+        std::fs::write(
+            &path,
+            "max_consecutive_errors = 5\ndiscovery_retries = 1\ndiscovery_backoff_ms = 9\n\
+             stale_sample_ttl = 3\n",
+        )
+        .unwrap();
+        let cfg = parse_args(&args(&["--config", path.to_str().unwrap()])).unwrap();
+        assert_eq!(cfg.max_consecutive_errors, 5);
+        assert_eq!(cfg.discovery_retries, 1);
+        assert_eq!(cfg.discovery_backoff, Duration::from_millis(9));
+        assert_eq!(cfg.controller.stale_sample_ttl, 3);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -48,6 +48,7 @@ pub mod monitor;
 pub mod vfreq;
 
 pub use config::{ControlMode, ControllerConfig};
-pub use controller::{Controller, IterationReport, StageTimings, VcpuReport};
+pub use controller::{Controller, HealthReport, IterationReport, StageTimings, VcpuReport};
+pub use monitor::MonitorOutcome;
 pub use vfreq::{cycles_to_freq, guaranteed_cycles};
 pub mod daemon;

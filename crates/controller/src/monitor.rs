@@ -7,11 +7,27 @@
 //! sufficient: busy threads rarely migrate and loaded cores run at
 //! near-identical frequencies, so the virtual-frequency estimate
 //! `û = (u / p) · f_core` stays accurate.
+//!
+//! Monitoring is **fault tolerant**: a failed read never aborts the
+//! iteration. Per vCPU, the degradation ladder is
+//!
+//! 1. a read error whose [`vfc_cgroupfs::CgroupError::is_vanished`] is
+//!    true marks the
+//!    whole VM as gone — its cgroup subtree was removed between the
+//!    `vms()` enumeration and our reads — and drops it from this
+//!    iteration's inventory;
+//! 2. any other read error falls back to the vCPU's last good
+//!    observation, as long as it is at most
+//!    [`stale_sample_ttl`](crate::ControllerConfig::stale_sample_ttl)
+//!    periods old;
+//! 3. with no reusable sample, the vCPU is skipped for this iteration:
+//!    it keeps whatever capping it already has, and its history resumes
+//!    when reads succeed again.
 
 use std::collections::HashMap;
 use vfc_cgroupfs::backend::{HostBackend, VmCgroupInfo};
 use vfc_cgroupfs::error::Result;
-use vfc_simcore::{CpuId, MHz, Micros, VcpuAddr, VcpuId};
+use vfc_simcore::{CpuId, MHz, Micros, VcpuAddr, VcpuId, VmId};
 
 /// One vCPU's monitored state for this iteration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,11 +47,33 @@ pub struct VcpuObservation {
     pub freq_est: MHz,
 }
 
-/// Stage-1 state: previous cumulative usage per vCPU.
+/// What stage 1 produced, including its degradation bookkeeping.
+#[derive(Debug, Clone, Default)]
+pub struct MonitorOutcome {
+    /// VM inventory, with vanished VMs already removed.
+    pub vms: Vec<VmCgroupInfo>,
+    /// One observation per readable vCPU (fresh or stale).
+    pub observations: Vec<VcpuObservation>,
+    /// Per-vCPU read errors encountered (vanished VMs not included).
+    pub read_errors: u32,
+    /// vCPUs answered from the stale-sample cache this iteration.
+    pub stale_reused: Vec<VcpuAddr>,
+    /// vCPUs with no observation this iteration (read failed, no
+    /// reusable sample). They keep their current capping.
+    pub skipped: Vec<VcpuAddr>,
+    /// VMs that disappeared between enumeration and reads.
+    pub vanished: Vec<VmId>,
+}
+
+/// Stage-1 state: previous cumulative counters plus the last good
+/// observation per vCPU (for bounded stale reuse).
 #[derive(Debug, Default)]
 pub struct Monitor {
     prev_usage: HashMap<VcpuAddr, Micros>,
     prev_throttled: HashMap<VcpuAddr, Micros>,
+    /// Last successful observation and its age in periods (0 = produced
+    /// by the previous `observe` call).
+    last_good: HashMap<VcpuAddr, (VcpuObservation, u32)>,
 }
 
 impl Monitor {
@@ -44,70 +82,160 @@ impl Monitor {
         Monitor::default()
     }
 
-    /// Read the host. Returns the VM inventory and one observation per
-    /// vCPU. The first observation of a vCPU reports `used = 0` (there is
-    /// no previous sample to difference against).
+    /// Read the host. The first observation of a vCPU reports `used = 0`
+    /// (there is no previous sample to difference against). Never fails:
+    /// per-vCPU errors degrade per the module docs, and `stale_ttl`
+    /// bounds how many periods a cached sample may substitute for a
+    /// failed read.
     pub fn observe<B: HostBackend + ?Sized>(
         &mut self,
         backend: &B,
         period: Micros,
-    ) -> Result<(Vec<VmCgroupInfo>, Vec<VcpuObservation>)> {
+        stale_ttl: u32,
+    ) -> MonitorOutcome {
         let vms = backend.vms();
-        let mut observations = Vec::new();
+        let mut out = MonitorOutcome::default();
         let mut fresh_usage = HashMap::with_capacity(self.prev_usage.len());
         let mut fresh_throttled = HashMap::with_capacity(self.prev_throttled.len());
 
-        for vm in &vms {
+        'vms: for vm in &vms {
+            let vm_start = out.observations.len();
             for j in 0..vm.nr_vcpus {
                 let addr = VcpuAddr::new(vm.vm, VcpuId::new(j));
-                let cumulative = backend.vcpu_usage(vm.vm, VcpuId::new(j))?;
-                let used = match self.prev_usage.get(&addr) {
-                    Some(&prev) => cumulative.saturating_sub(prev),
-                    None => Micros::ZERO,
-                };
-                fresh_usage.insert(addr, cumulative);
-                let throttled_cum = backend.vcpu_throttled(vm.vm, VcpuId::new(j))?;
-                let throttled = match self.prev_throttled.get(&addr) {
-                    Some(&prev) => throttled_cum.saturating_sub(prev),
-                    None => Micros::ZERO,
-                };
-                fresh_throttled.insert(addr, throttled_cum);
-
-                // Thread placement → core frequency. A vCPU cgroup holds
-                // exactly one thread under KVM; be tolerant of zero (the
-                // thread may be mid-exit) by reporting core 0.
-                let last_cpu = match backend.vcpu_threads(vm.vm, VcpuId::new(j))?.first() {
-                    Some(&tid) => backend.thread_last_cpu(tid)?,
-                    None => CpuId::new(0),
-                };
-                let core_freq = backend.cpu_cur_freq(last_cpu)?;
-                let freq_est = MHz((used.ratio_of(period) * core_freq.as_f64()).round() as u32);
-
-                observations.push(VcpuObservation {
-                    addr,
-                    used,
-                    throttled,
-                    last_cpu,
-                    freq_est,
-                });
+                match self.read_vcpu(backend, vm.vm, VcpuId::new(j), period) {
+                    Ok((obs, cumulative, throttled_cum)) => {
+                        fresh_usage.insert(addr, cumulative);
+                        fresh_throttled.insert(addr, throttled_cum);
+                        self.last_good.insert(addr, (obs, 0));
+                        out.observations.push(obs);
+                    }
+                    Err(e) if e.is_vanished() => {
+                        // The VM's cgroups were removed under us. Undo its
+                        // partial observations and forget the VM entirely.
+                        out.observations.truncate(vm_start);
+                        for k in 0..vm.nr_vcpus {
+                            let a = VcpuAddr::new(vm.vm, VcpuId::new(k));
+                            fresh_usage.remove(&a);
+                            fresh_throttled.remove(&a);
+                            self.last_good.remove(&a);
+                        }
+                        out.vanished.push(vm.vm);
+                        continue 'vms;
+                    }
+                    Err(_) => {
+                        out.read_errors += 1;
+                        match self.last_good.get_mut(&addr) {
+                            Some((obs, age)) if *age < stale_ttl => {
+                                *age += 1;
+                                let obs = *obs;
+                                // Carry the old baselines forward so the
+                                // next successful read differences against
+                                // the last *real* counter value.
+                                if let Some(&u) = self.prev_usage.get(&addr) {
+                                    fresh_usage.insert(addr, u);
+                                }
+                                if let Some(&t) = self.prev_throttled.get(&addr) {
+                                    fresh_throttled.insert(addr, t);
+                                }
+                                out.stale_reused.push(addr);
+                                out.observations.push(obs);
+                            }
+                            _ => {
+                                // No (young enough) sample: skip, but keep
+                                // the baselines so history resumes cleanly.
+                                if let Some(&u) = self.prev_usage.get(&addr) {
+                                    fresh_usage.insert(addr, u);
+                                }
+                                if let Some(&t) = self.prev_throttled.get(&addr) {
+                                    fresh_throttled.insert(addr, t);
+                                }
+                                out.skipped.push(addr);
+                            }
+                        }
+                    }
+                }
             }
         }
 
-        // Drop state for departed vCPUs.
+        // Drop state for departed vCPUs (and vanished VMs).
         self.prev_usage = fresh_usage;
         self.prev_throttled = fresh_throttled;
-        Ok((vms, observations))
+        self.last_good.retain(|a, _| {
+            self.prev_usage.contains_key(a)
+                || out.skipped.contains(a)
+                || out.stale_reused.contains(a)
+        });
+        out.vms = vms
+            .into_iter()
+            .filter(|v| !out.vanished.contains(&v.vm))
+            .collect();
+        out
+    }
+
+    /// The fallible per-vCPU read sequence: usage, throttled, placement,
+    /// core frequency. Returns the observation plus the raw cumulative
+    /// counters (for baseline bookkeeping).
+    fn read_vcpu<B: HostBackend + ?Sized>(
+        &self,
+        backend: &B,
+        vm: VmId,
+        vcpu: VcpuId,
+        period: Micros,
+    ) -> Result<(VcpuObservation, Micros, Micros)> {
+        let addr = VcpuAddr::new(vm, vcpu);
+        let cumulative = backend.vcpu_usage(vm, vcpu)?;
+        let used = match self.prev_usage.get(&addr) {
+            Some(&prev) => cumulative.saturating_sub(prev),
+            None => Micros::ZERO,
+        };
+        let throttled_cum = backend.vcpu_throttled(vm, vcpu)?;
+        let throttled = match self.prev_throttled.get(&addr) {
+            Some(&prev) => throttled_cum.saturating_sub(prev),
+            None => Micros::ZERO,
+        };
+
+        // Thread placement → core frequency. A vCPU cgroup holds
+        // exactly one thread under KVM; be tolerant of zero (the
+        // thread may be mid-exit) by reporting core 0.
+        let last_cpu = match backend.vcpu_threads(vm, vcpu)?.first() {
+            Some(&tid) => backend.thread_last_cpu(tid)?,
+            None => CpuId::new(0),
+        };
+        let core_freq = backend.cpu_cur_freq(last_cpu)?;
+        let freq_est = MHz((used.ratio_of(period) * core_freq.as_f64()).round() as u32);
+
+        Ok((
+            VcpuObservation {
+                addr,
+                used,
+                throttled,
+                last_cpu,
+                freq_est,
+            },
+            cumulative,
+            throttled_cum,
+        ))
     }
 
     /// Number of vCPUs currently tracked.
     pub fn tracked(&self) -> usize {
         self.prev_usage.len()
     }
+
+    /// Forget everything about a VM (used when other stages learn that a
+    /// VM vanished, e.g. from a failed write).
+    pub fn forget_vm(&mut self, vm: VmId) {
+        self.prev_usage.retain(|a, _| a.vm != vm);
+        self.prev_throttled.retain(|a, _| a.vm != vm);
+        self.last_good.retain(|a, _| a.vm != vm);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::cell::Cell;
+    use vfc_cgroupfs::error::CgroupError;
     use vfc_cgroupfs::model::CpuMax;
     use vfc_simcore::{Tid, VmId};
 
@@ -117,6 +245,11 @@ mod tests {
         usage: HashMap<VcpuAddr, Micros>,
         freqs: Vec<MHz>,
         placement: HashMap<Tid, CpuId>,
+        /// Fail `vcpu_usage` for these addresses with this error kind.
+        fail_usage: HashMap<VcpuAddr, std::io::ErrorKind>,
+        /// Every per-vCPU read of this VM reports its cgroup as gone.
+        vanished: Option<VmId>,
+        usage_reads: Cell<u32>,
     }
 
     impl FakeBackend {
@@ -134,6 +267,9 @@ mod tests {
                 usage: HashMap::new(),
                 freqs: vec![MHz(2400); 4],
                 placement: HashMap::new(),
+                fail_usage: HashMap::new(),
+                vanished: None,
+                usage_reads: Cell::new(0),
             }
         }
 
@@ -156,13 +292,20 @@ mod tests {
             self.vms.clone()
         }
         fn vcpu_usage(&self, vm: VmId, vcpu: VcpuId) -> Result<Micros> {
-            Ok(self
-                .usage
-                .get(&VcpuAddr::new(vm, vcpu))
-                .copied()
-                .unwrap_or(Micros::ZERO))
+            self.usage_reads.set(self.usage_reads.get() + 1);
+            if self.vanished == Some(vm) {
+                return Err(CgroupError::NoSuchGroup(format!("{vm}.scope")));
+            }
+            let addr = VcpuAddr::new(vm, vcpu);
+            if let Some(&kind) = self.fail_usage.get(&addr) {
+                return Err(CgroupError::io("cpu.stat", std::io::Error::new(kind, "x")));
+            }
+            Ok(self.usage.get(&addr).copied().unwrap_or(Micros::ZERO))
         }
         fn vcpu_threads(&self, vm: VmId, vcpu: VcpuId) -> Result<Vec<Tid>> {
+            if self.vanished == Some(vm) {
+                return Err(CgroupError::NoSuchGroup(format!("{vm}.scope")));
+            }
             Ok(vec![Tid::new(vm.as_u32() * 10 + vcpu.as_u32())])
         }
         fn thread_last_cpu(&self, tid: Tid) -> Result<CpuId> {
@@ -185,33 +328,35 @@ mod tests {
         }
     }
 
+    const TTL: u32 = 2;
+
     #[test]
     fn first_observation_is_zero_then_deltas() {
         let mut backend = FakeBackend::new(1, 1);
         backend.bump(0, 0, Micros(5_000_000)); // pre-existing usage
         let mut mon = Monitor::new();
-        let (_, obs) = mon.observe(&backend, Micros::SEC).unwrap();
-        assert_eq!(obs[0].used, Micros::ZERO, "no baseline yet");
+        let out = mon.observe(&backend, Micros::SEC, TTL);
+        assert_eq!(out.observations[0].used, Micros::ZERO, "no baseline yet");
 
         backend.bump(0, 0, Micros(300_000));
-        let (_, obs) = mon.observe(&backend, Micros::SEC).unwrap();
-        assert_eq!(obs[0].used, Micros(300_000));
+        let out = mon.observe(&backend, Micros::SEC, TTL);
+        assert_eq!(out.observations[0].used, Micros(300_000));
 
         backend.bump(0, 0, Micros(700_000));
-        let (_, obs) = mon.observe(&backend, Micros::SEC).unwrap();
-        assert_eq!(obs[0].used, Micros(700_000));
+        let out = mon.observe(&backend, Micros::SEC, TTL);
+        assert_eq!(out.observations[0].used, Micros(700_000));
     }
 
     #[test]
     fn freq_estimate_combines_share_and_core_freq() {
         let mut backend = FakeBackend::new(1, 1);
         let mut mon = Monitor::new();
-        mon.observe(&backend, Micros::SEC).unwrap();
+        mon.observe(&backend, Micros::SEC, TTL);
         // Half the period on a 2.4 GHz core → 1200 MHz.
         backend.bump(0, 0, Micros(500_000));
-        let (_, obs) = mon.observe(&backend, Micros::SEC).unwrap();
-        assert_eq!(obs[0].freq_est, MHz(1200));
-        assert_eq!(obs[0].last_cpu, CpuId::new(0));
+        let out = mon.observe(&backend, Micros::SEC, TTL);
+        assert_eq!(out.observations[0].freq_est, MHz(1200));
+        assert_eq!(out.observations[0].last_cpu, CpuId::new(0));
     }
 
     #[test]
@@ -220,31 +365,33 @@ mod tests {
         backend.freqs = vec![MHz(2400), MHz(1200)];
         backend.placement.insert(Tid::new(0), CpuId::new(1));
         let mut mon = Monitor::new();
-        mon.observe(&backend, Micros::SEC).unwrap();
+        mon.observe(&backend, Micros::SEC, TTL);
         backend.bump(0, 0, Micros(1_000_000));
-        let (_, obs) = mon.observe(&backend, Micros::SEC).unwrap();
+        let out = mon.observe(&backend, Micros::SEC, TTL);
         // Full share of a 1.2 GHz core.
-        assert_eq!(obs[0].freq_est, MHz(1200));
+        assert_eq!(out.observations[0].freq_est, MHz(1200));
     }
 
     #[test]
     fn all_vcpus_of_all_vms_observed() {
         let backend = FakeBackend::new(3, 2);
         let mut mon = Monitor::new();
-        let (vms, obs) = mon.observe(&backend, Micros::SEC).unwrap();
-        assert_eq!(vms.len(), 3);
-        assert_eq!(obs.len(), 6);
+        let out = mon.observe(&backend, Micros::SEC, TTL);
+        assert_eq!(out.vms.len(), 3);
+        assert_eq!(out.observations.len(), 6);
         assert_eq!(mon.tracked(), 6);
+        assert_eq!(out.read_errors, 0);
+        assert!(out.skipped.is_empty() && out.vanished.is_empty());
     }
 
     #[test]
     fn departed_vcpus_are_forgotten() {
         let mut backend = FakeBackend::new(2, 1);
         let mut mon = Monitor::new();
-        mon.observe(&backend, Micros::SEC).unwrap();
+        mon.observe(&backend, Micros::SEC, TTL);
         assert_eq!(mon.tracked(), 2);
         backend.vms.pop();
-        mon.observe(&backend, Micros::SEC).unwrap();
+        mon.observe(&backend, Micros::SEC, TTL);
         assert_eq!(mon.tracked(), 1);
     }
 
@@ -255,9 +402,111 @@ mod tests {
         let mut backend = FakeBackend::new(1, 1);
         backend.bump(0, 0, Micros(1_000_000));
         let mut mon = Monitor::new();
-        mon.observe(&backend, Micros::SEC).unwrap();
+        mon.observe(&backend, Micros::SEC, TTL);
         backend.usage.clear(); // counter reset
-        let (_, obs) = mon.observe(&backend, Micros::SEC).unwrap();
-        assert_eq!(obs[0].used, Micros::ZERO);
+        let out = mon.observe(&backend, Micros::SEC, TTL);
+        assert_eq!(out.observations[0].used, Micros::ZERO);
+    }
+
+    #[test]
+    fn transient_read_error_reuses_stale_sample_up_to_ttl() {
+        let addr = VcpuAddr::new(VmId::new(0), VcpuId::new(0));
+        let mut backend = FakeBackend::new(1, 1);
+        let mut mon = Monitor::new();
+        mon.observe(&backend, Micros::SEC, TTL);
+        backend.bump(0, 0, Micros(400_000));
+        let out = mon.observe(&backend, Micros::SEC, TTL);
+        assert_eq!(out.observations[0].used, Micros(400_000));
+
+        // The read starts failing: the 400 000 sample is replayed for
+        // TTL periods, then the vCPU is skipped.
+        backend
+            .fail_usage
+            .insert(addr, std::io::ErrorKind::Interrupted);
+        for i in 0..TTL {
+            let out = mon.observe(&backend, Micros::SEC, TTL);
+            assert_eq!(out.read_errors, 1, "period {i}");
+            assert_eq!(out.stale_reused, vec![addr]);
+            assert_eq!(out.observations[0].used, Micros(400_000));
+            assert!(out.skipped.is_empty());
+        }
+        let out = mon.observe(&backend, Micros::SEC, TTL);
+        assert!(out.observations.is_empty(), "sample too old to reuse");
+        assert_eq!(out.skipped, vec![addr]);
+
+        // Recovery: the next real read differences against the last
+        // *real* counter value, not against garbage.
+        backend.fail_usage.clear();
+        backend.bump(0, 0, Micros(250_000));
+        let out = mon.observe(&backend, Micros::SEC, TTL);
+        assert_eq!(out.observations[0].used, Micros(250_000));
+        assert!(out.skipped.is_empty() && out.stale_reused.is_empty());
+    }
+
+    #[test]
+    fn ttl_zero_skips_immediately() {
+        let addr = VcpuAddr::new(VmId::new(0), VcpuId::new(0));
+        let mut backend = FakeBackend::new(1, 1);
+        let mut mon = Monitor::new();
+        mon.observe(&backend, Micros::SEC, 0);
+        backend
+            .fail_usage
+            .insert(addr, std::io::ErrorKind::ResourceBusy);
+        let out = mon.observe(&backend, Micros::SEC, 0);
+        assert_eq!(out.skipped, vec![addr]);
+        assert!(out.stale_reused.is_empty());
+    }
+
+    #[test]
+    fn one_failing_vcpu_does_not_disturb_the_others() {
+        let addr = VcpuAddr::new(VmId::new(0), VcpuId::new(1));
+        let mut backend = FakeBackend::new(2, 2);
+        let mut mon = Monitor::new();
+        mon.observe(&backend, Micros::SEC, 0);
+        backend
+            .fail_usage
+            .insert(addr, std::io::ErrorKind::TimedOut);
+        for (vm, vcpu) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+            backend.bump(vm, vcpu, Micros(100_000));
+        }
+        let out = mon.observe(&backend, Micros::SEC, 0);
+        assert_eq!(out.vms.len(), 2);
+        assert_eq!(out.observations.len(), 3);
+        assert_eq!(out.skipped, vec![addr]);
+        assert!(out
+            .observations
+            .iter()
+            .all(|o| o.used == Micros(100_000) && o.addr != addr));
+    }
+
+    #[test]
+    fn vanished_vm_is_dropped_with_its_partial_observations() {
+        let mut backend = FakeBackend::new(2, 2);
+        let mut mon = Monitor::new();
+        mon.observe(&backend, Micros::SEC, TTL);
+        assert_eq!(mon.tracked(), 4);
+        backend.vanished = Some(VmId::new(0));
+        let out = mon.observe(&backend, Micros::SEC, TTL);
+        assert_eq!(out.vanished, vec![VmId::new(0)]);
+        assert_eq!(out.vms.len(), 1, "vanished VM removed from inventory");
+        assert_eq!(out.vms[0].vm, VmId::new(1));
+        assert_eq!(out.observations.len(), 2, "only the live VM's vCPUs");
+        assert!(out.observations.iter().all(|o| o.addr.vm == VmId::new(1)));
+        assert_eq!(mon.tracked(), 2);
+        // No stale resurrection: the vanished VM left no reusable samples.
+        backend.vanished = None;
+        let out = mon.observe(&backend, Micros::SEC, TTL);
+        assert!(out.vanished.is_empty());
+        assert_eq!(out.observations.len(), 4, "VM re-observed from scratch");
+    }
+
+    #[test]
+    fn forget_vm_clears_all_state() {
+        let backend = FakeBackend::new(2, 2);
+        let mut mon = Monitor::new();
+        mon.observe(&backend, Micros::SEC, TTL);
+        assert_eq!(mon.tracked(), 4);
+        mon.forget_vm(VmId::new(0));
+        assert_eq!(mon.tracked(), 2);
     }
 }

@@ -76,6 +76,7 @@ pub struct SimHost {
     last_win: HashMap<VcpuAddr, WindowAcc>,
     events: Vec<HostEvent>,
     telemetry: Vec<TickTelemetry>,
+    pending_deprovision: Vec<VmId>,
 }
 
 impl SimHost {
@@ -97,6 +98,7 @@ impl SimHost {
             last_win: HashMap::new(),
             events: Vec::new(),
             telemetry: Vec::new(),
+            pending_deprovision: Vec::new(),
         }
     }
 
@@ -243,6 +245,19 @@ impl SimHost {
         workload
     }
 
+    /// Ask for a VM to be torn down at the start of the next tick rather
+    /// than immediately. This models the real-world race the controller
+    /// must survive: a VM that is present when `vms()` is listed can be
+    /// gone by the time its per-vCPU files are read. The workload state
+    /// is dropped (use [`SimHost::deprovision`] directly to keep it).
+    ///
+    /// Scheduling an already-dead or already-scheduled VM is a no-op.
+    pub fn schedule_deprovision(&mut self, vm: VmId) {
+        if self.is_alive(vm) && !self.pending_deprovision.contains(&vm) {
+            self.pending_deprovision.push(vm);
+        }
+    }
+
     /// Is the VM still provisioned?
     pub fn is_alive(&self, vm: VmId) -> bool {
         self.vms
@@ -268,6 +283,11 @@ impl SimHost {
 
     /// Advance the host by one engine tick.
     pub fn tick(&mut self) {
+        for vm in std::mem::take(&mut self.pending_deprovision) {
+            if self.is_alive(vm) {
+                drop(self.deprovision(vm));
+            }
+        }
         let tick = self.engine.tick_len();
         // 1. demands
         let mut demands: HashMap<Tid, Micros> = HashMap::new();
@@ -707,6 +727,35 @@ mod tests {
         assert!(util_before > 0.0);
         h.advance_period();
         assert_eq!(h.utilization(), 0.0);
+    }
+
+    #[test]
+    fn scheduled_deprovision_happens_at_next_tick() {
+        let mut h = quiet_host(4, 2400);
+        let a = h.provision(&VmTemplate::small());
+        let b = h.provision(&VmTemplate::large());
+        h.attach_workload(a, Box::new(SteadyDemand::full()));
+        h.attach_workload(b, Box::new(SteadyDemand::full()));
+        h.advance_period();
+
+        h.schedule_deprovision(a);
+        // Nothing happened yet: the VM is still listed and readable.
+        assert!(h.is_alive(a));
+        assert_eq!(HostBackend::vms(&h).len(), 2);
+        assert!(h.vcpu_usage(a, VcpuId::new(0)).is_ok());
+
+        // Idempotent while pending, and the teardown lands on the tick.
+        h.schedule_deprovision(a);
+        h.tick();
+        assert!(!h.is_alive(a));
+        assert!(h.is_alive(b));
+        assert_eq!(HostBackend::vms(&h).len(), 1);
+        assert!(h.vcpu_usage(a, VcpuId::new(0)).is_err());
+
+        // Scheduling a dead VM is a no-op, not a panic.
+        h.schedule_deprovision(a);
+        h.tick();
+        assert!(h.is_alive(b));
     }
 
     #[test]

@@ -1,0 +1,148 @@
+//! Chaos suite: random seeded fault plans against the full control loop.
+//!
+//! A `FaultInjectingBackend` wraps the simulated host and injects
+//! transient read/write failures, stale and zero reads, and whole-VM
+//! disappearances — confined to one victim VM so the other tenants'
+//! samples stay trustworthy. Whatever the dice do, the loop must:
+//!
+//! * never panic and never return `Err` from `Controller::iterate`;
+//! * never allocate more than `C_MAX` in total (Eq. 1);
+//! * keep every *fault-free* saturating vCPU at or above its guaranteed
+//!   cycles `C_i` (Eq. 2);
+//! * converge back to undegraded health once the fault storm stops.
+
+use proptest::prelude::*;
+use vfc::cgroupfs::{FaultInjectingBackend, FaultPlan};
+use vfc::controller::ControlMode;
+use vfc::cpusched::dvfs::{Governor, GovernorKind};
+use vfc::cpusched::engine::Engine;
+use vfc::prelude::*;
+use vfc::simcore::Micros;
+
+/// A noise-free 8-thread 2.4 GHz node: the performance governor pins all
+/// cores to f_max, so any allocation shortfall is the controller's fault,
+/// not DVFS jitter.
+fn quiet_host(seed: u64) -> SimHost {
+    let spec = NodeSpec::custom("chaos", 1, 4, 2, MHz(2400));
+    let gov =
+        Governor::new(GovernorKind::Performance, spec.min_mhz, spec.max_mhz, 1).with_noise_std(0.0);
+    let engine = Engine::with_parts(spec.clone(), Micros(100_000), gov, seed);
+    SimHost::new(spec, seed).with_engine(engine)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn chaos_on_one_vm_never_breaks_the_loop_or_the_bystanders(
+        seed in 0u64..=u64::MAX,
+        rate in 0.0f64..0.10,
+        vanish in 0.0f64..0.05,
+    ) {
+        let mut host = quiet_host(seed ^ 0x9e37_79b9);
+        let victim = host.provision(&VmTemplate::new("victim", 2, MHz(600)));
+        let web = host.provision(&VmTemplate::new("web", 2, MHz(800)));
+        let db = host.provision(&VmTemplate::new("db", 1, MHz(1200)));
+        for vm in [victim, web, db] {
+            host.attach_workload(vm, Box::new(SteadyDemand::full()));
+        }
+        let topo = host.topology_info();
+        let c_max = topo.c_max(Micros::SEC);
+
+        let plan = FaultPlan::random(rate)
+            .with_vanish_rate(vanish)
+            .with_target_vm(victim);
+        let mut faulty = FaultInjectingBackend::new(host, plan, seed);
+        let mut ctl = Controller::new(
+            ControllerConfig::paper_defaults().with_mode(ControlMode::Full),
+            topo,
+        );
+
+        let mut last = None;
+        for i in 0..6 {
+            faulty.inner_mut().advance_period();
+            let report = ctl.iterate(&mut faulty);
+            prop_assert!(
+                report.is_ok(),
+                "iteration {i} must degrade, not abort: {:?}",
+                report.err()
+            );
+            let report = report.unwrap();
+            prop_assert!(
+                report.total_alloc() <= c_max,
+                "iteration {i} overallocates: {} > {c_max}",
+                report.total_alloc()
+            );
+            last = Some(report);
+        }
+
+        // The victim's faults must never leak into the bystanders: every
+        // fault-free saturating vCPU holds its guarantee.
+        for v in &last.unwrap().vcpus {
+            if v.addr.vm != victim {
+                prop_assert!(
+                    v.alloc >= v.guaranteed,
+                    "{} {}: alloc {} below guarantee {}",
+                    v.vm_name, v.addr.vcpu, v.alloc, v.guaranteed
+                );
+            }
+        }
+
+        // Storm over: the loop must converge back to clean, guaranteed
+        // allocations (a vanished victim stays gone — that is recovery
+        // too, just of the other kind).
+        faulty.disarm();
+        let mut final_report = None;
+        for _ in 0..4 {
+            faulty.inner_mut().advance_period();
+            final_report = Some(ctl.iterate(&mut faulty).expect("fault-free iterate"));
+        }
+        let report = final_report.unwrap();
+        prop_assert!(
+            !report.health.degraded,
+            "health must clear after the storm: {:?}",
+            report.health
+        );
+        prop_assert!(report.total_alloc() <= c_max);
+        for v in &report.vcpus {
+            prop_assert!(
+                v.alloc >= v.guaranteed,
+                "post-storm {} {}: alloc {} below guarantee {}",
+                v.vm_name, v.addr.vcpu, v.alloc, v.guaranteed
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Unscoped storm: every VM (and the host-global reads) can fault.
+    /// No per-VM promises survive that, but the loop itself must.
+    #[test]
+    fn unscoped_chaos_never_panics_or_overallocates(
+        seed in 0u64..=u64::MAX,
+        rate in 0.0f64..0.10,
+    ) {
+        let mut host = quiet_host(seed);
+        for (name, vcpus, mhz) in [("a", 2u32, 500u32), ("b", 2, 900), ("c", 1, 1500)] {
+            let vm = host.provision(&VmTemplate::new(name, vcpus, MHz(mhz)));
+            host.attach_workload(vm, Box::new(SteadyDemand::full()));
+        }
+        let topo = host.topology_info();
+        let c_max = topo.c_max(Micros::SEC);
+
+        let mut faulty =
+            FaultInjectingBackend::new(host, FaultPlan::random(rate).with_vanish_rate(0.02), seed);
+        let mut ctl = Controller::new(
+            ControllerConfig::paper_defaults().with_mode(ControlMode::Full),
+            topo,
+        );
+        for i in 0..8 {
+            faulty.inner_mut().advance_period();
+            let report = ctl.iterate(&mut faulty);
+            prop_assert!(report.is_ok(), "iteration {i}: {:?}", report.err());
+            prop_assert!(report.unwrap().total_alloc() <= c_max);
+        }
+    }
+}

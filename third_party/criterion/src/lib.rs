@@ -1,0 +1,159 @@
+//! Offline, vendored subset of `criterion`.
+//!
+//! Keeps the bench-authoring API (`Criterion`, `benchmark_group`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `criterion_group!`, `criterion_main!`) but replaces the statistics
+//! engine with a run-once wall-clock measurement per benchmark, printed
+//! to stdout. Good enough to keep `cargo bench` working offline and to
+//! spot order-of-magnitude regressions.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Benchmark driver handed to `criterion_group!` targets.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+}
+
+/// Identifier `function_name/parameter` for parameterised benchmarks.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Join a function name and a parameter value.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.id.fmt(f)
+    }
+}
+
+/// A named group of benchmarks; see [`Criterion::benchmark_group`].
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Accepted for source compatibility; this harness always runs one
+    /// sample.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Measure one benchmark closure.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        self.report(&id.to_string(), &b);
+        self
+    }
+
+    /// Measure one benchmark closure with an input parameter.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b, input);
+        self.report(&id.to_string(), &b);
+        self
+    }
+
+    /// End the group (a no-op beyond matching criterion's API).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, b: &Bencher) {
+        if b.iters == 0 {
+            println!("{}/{id}: no measurement taken", self.name);
+        } else {
+            let per_iter = b.elapsed / b.iters;
+            println!("{}/{id}: {per_iter:?} per iteration", self.name);
+        }
+    }
+}
+
+/// Timing harness passed to each benchmark closure.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Time `routine`. This harness runs it once per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_closures() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        let mut runs = 0;
+        group.sample_size(10).bench_function("f", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("g", 3), &3u32, |b, &x| {
+            b.iter(|| x * 2);
+        });
+        group.finish();
+        assert_eq!(runs, 1);
+    }
+}

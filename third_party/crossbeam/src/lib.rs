@@ -1,0 +1,91 @@
+//! Offline, vendored subset of `crossbeam`.
+//!
+//! Provides `crossbeam::thread::scope` and `Scope::spawn` on top of
+//! `std::thread::scope`. The crossbeam closure signatures are kept —
+//! spawned closures receive a `&Scope` so they can spawn nested work,
+//! and `scope` returns `Err` only via the child `join` results.
+
+pub mod thread {
+    //! Scoped threads mirroring `crossbeam::thread`.
+
+    use std::any::Any;
+
+    /// Payload of a panicked child thread.
+    pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+    /// Spawn scope handed to the `scope` closure and to every spawned
+    /// closure. `Copy`, so it can move into child threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a child thread; the closure receives this scope again
+        /// (crossbeam's signature) so it can spawn further children.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&scope)),
+            }
+        }
+    }
+
+    /// Handle to a spawned child; `join` surfaces the child's panic.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the child and return its result, or the panic payload.
+        pub fn join(self) -> Result<T, PanicPayload> {
+            self.inner.join()
+        }
+    }
+
+    /// Run `f` with a scope whose spawned threads all finish before
+    /// `scope` returns. Unlike crossbeam, unjoined panicked children
+    /// propagate their panic (via std) instead of turning into `Err` —
+    /// every call site in this workspace joins all handles explicitly.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn spawns_join_and_nest() {
+        let data = [1u64, 2, 3, 4];
+        let total = crate::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .iter()
+                .map(|&x| s.spawn(move |inner| inner.spawn(move |_| x * 10).join().unwrap()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .expect("scope");
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn child_panic_is_reported_by_join() {
+        let caught =
+            crate::thread::scope(|s| s.spawn(|_| panic!("boom")).join().is_err()).expect("scope");
+        assert!(caught);
+    }
+}

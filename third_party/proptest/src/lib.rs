@@ -1,0 +1,684 @@
+//! Offline, vendored subset of `proptest`.
+//!
+//! Provides the slice of proptest this workspace uses: the [`Strategy`]
+//! trait with `prop_map` / `prop_filter`, range / tuple / vec / option /
+//! bool / string-pattern strategies, `prop_oneof!`, a deterministic
+//! seeded runner behind the `proptest!` macro, and the `prop_assert*!`
+//! macros. There is no shrinking: a failing case panics with the full
+//! generated input so it can be reproduced (runs are deterministic per
+//! test name).
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic SplitMix64 generator driving all strategies.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded generator; the runner derives the seed from the test name.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        // Modulo bias is irrelevant for test-case generation.
+        self.next_u64() % bound
+    }
+}
+
+/// A generator of random values. Object-safe: combinators are gated on
+/// `Self: Sized` so `dyn Strategy<Value = V>` works (see [`BoxedStrategy`]).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value, or `None` if a filter rejected the attempt.
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Discard generated values failing `pred`; the runner retries.
+    fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            pred,
+        }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy, as produced by [`Strategy::boxed`].
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> Option<V> {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> Option<O> {
+        self.inner.generate(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    #[allow(dead_code)]
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        self.inner.generate(rng).filter(|v| (self.pred)(v))
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+/// Uniform choice between same-valued strategies (`prop_oneof!`).
+pub struct Union<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Build from pre-boxed options; must be non-empty.
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> Option<V> {
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].generate(rng)
+    }
+}
+
+macro_rules! int_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128 - self.start as u128) as u64;
+                Some((self.start as u128 + rng.below(span) as u128) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u128 - lo as u128) + 1;
+                if span > u64::MAX as u128 {
+                    return Some(rng.next_u64() as $t);
+                }
+                Some((lo as u128 + rng.below(span as u64) as u128) as $t)
+            }
+        }
+    )*};
+}
+int_ranges!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                Some((self.start as i128 + rng.below(span) as i128) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = ((hi as i128 - lo as i128) + 1) as u128;
+                if span > u64::MAX as u128 {
+                    return Some(rng.next_u64() as $t);
+                }
+                Some((lo as i128 + rng.below(span as u64) as i128) as $t)
+            }
+        }
+    )*};
+}
+signed_ranges!(i8, i16, i32, i64, isize);
+
+macro_rules! float_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                assert!(self.start < self.end, "empty range strategy");
+                Some(self.start + (self.end - self.start) * rng.next_f64() as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                let (lo, hi) = (*self.start(), *self.end());
+                // next_f64 is in [0, 1); close enough to inclusive for tests.
+                Some(lo + (hi - lo) * rng.next_f64() as $t)
+            }
+        }
+    )*};
+}
+float_ranges!(f32, f64);
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                Some(($(self.$idx.generate(rng)?,)+))
+            }
+        }
+    )*};
+}
+tuple_strategies! {
+    (A 0);
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+    (A 0, B 1, C 2, D 3, E 4, F 5);
+}
+
+/// `&'static str` patterns generate matching strings. Supports the tiny
+/// regex subset used in this workspace: literal chars, `.` (printable
+/// ASCII), `[a-z...]` classes, and `{m}` / `{m,n}` repetition.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> Option<String> {
+        Some(pattern::generate(self, rng))
+    }
+}
+
+mod pattern {
+    use super::TestRng;
+
+    enum Atom {
+        Any,
+        Class(Vec<(char, char)>),
+        Literal(char),
+    }
+
+    pub fn generate(pat: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pat.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '.' => {
+                    i += 1;
+                    Atom::Any
+                }
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .map(|p| i + p)
+                        .unwrap_or_else(|| panic!("unclosed [ in pattern {pat:?}"));
+                    let mut ranges = Vec::new();
+                    let mut j = i + 1;
+                    while j < close {
+                        if j + 2 < close && chars[j + 1] == '-' {
+                            ranges.push((chars[j], chars[j + 2]));
+                            j += 3;
+                        } else if j + 2 == close && chars[j + 1] == '-' {
+                            // Trailing '-' pairs with the last char: `a-`.
+                            ranges.push((chars[j], chars[j]));
+                            ranges.push(('-', '-'));
+                            j += 2;
+                        } else {
+                            ranges.push((chars[j], chars[j]));
+                            j += 1;
+                        }
+                    }
+                    assert!(!ranges.is_empty(), "empty [] in pattern {pat:?}");
+                    i = close + 1;
+                    Atom::Class(ranges)
+                }
+                '\\' => {
+                    i += 2;
+                    Atom::Literal(chars[i - 1])
+                }
+                c => {
+                    i += 1;
+                    Atom::Literal(c)
+                }
+            };
+            let (min, max) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed {{ in pattern {pat:?}"));
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse::<usize>().expect("bad repeat min"),
+                        n.trim().parse::<usize>().expect("bad repeat max"),
+                    ),
+                    None => {
+                        let m = body.trim().parse::<usize>().expect("bad repeat count");
+                        (m, m)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            let n = min + rng.below((max - min + 1) as u64) as usize;
+            for _ in 0..n {
+                out.push(emit(&atom, rng));
+            }
+        }
+        out
+    }
+
+    fn emit(atom: &Atom, rng: &mut TestRng) -> char {
+        match atom {
+            Atom::Any => (b' ' + rng.below(95) as u8) as char,
+            Atom::Literal(c) => *c,
+            Atom::Class(ranges) => {
+                let (lo, hi) = ranges[rng.below(ranges.len() as u64) as usize];
+                let span = hi as u32 - lo as u32 + 1;
+                char::from_u32(lo as u32 + rng.below(span as u64) as u32).unwrap_or(lo)
+            }
+        }
+    }
+}
+
+pub mod collection {
+    //! `vec(element, size)` strategies.
+
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Anything usable as a size specification for [`vec`].
+    pub trait SizeRange {
+        /// Inclusive bounds `(min, max)`.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl SizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty vec size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl SizeRange for RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// Vectors of `element`-generated values with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl SizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy { element, min, max }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            let n = self.min + rng.below((self.max - self.min + 1) as u64) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `of(inner)` strategies for `Option<T>`.
+
+    use super::{Strategy, TestRng};
+
+    /// `Some` three times out of four, mirroring proptest's bias.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// See [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<Option<S::Value>> {
+            if rng.below(4) == 0 {
+                Some(None)
+            } else {
+                self.inner.generate(rng).map(Some)
+            }
+        }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use super::{Strategy, TestRng};
+
+    /// Uniform true/false.
+    pub struct Any;
+
+    /// Uniform true/false.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> Option<bool> {
+            Some(rng.next_u64() & 1 == 1)
+        }
+    }
+}
+
+/// Runner configuration; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Drive `body` over `cases` generated inputs. Deterministic: the seed
+/// derives from the property name only. Panics on the first failing
+/// case, printing the generated input (there is no shrinking).
+pub fn run<S>(
+    config: &ProptestConfig,
+    name: &str,
+    strategy: &S,
+    mut body: impl FnMut(S::Value) -> Result<(), String>,
+) where
+    S: Strategy,
+    S::Value: Debug + Clone,
+{
+    let seed = name.bytes().fold(0xCAFE_F00D_D15E_A5E5u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100_0000_01B3)
+    });
+    let mut rng = TestRng::new(seed);
+    let mut done = 0u32;
+    let mut rejected = 0u32;
+    while done < config.cases {
+        let Some(value) = strategy.generate(&mut rng) else {
+            rejected += 1;
+            assert!(
+                rejected < 10_000,
+                "proptest '{name}': too many filter rejections ({rejected})"
+            );
+            continue;
+        };
+        let shown = value.clone();
+        if let Err(msg) = body(value) {
+            panic!(
+                "proptest '{name}': case {done} failed: {msg}\n\
+                 input: {shown:#?}"
+            );
+        }
+        done += 1;
+    }
+}
+
+/// Define property tests. Mirrors proptest's surface:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn prop_holds(x in 0u32..10, ys in collection::vec(0u64..5, 0..4)) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    { #![proptest_config($cfg:expr)] $($rest:tt)* } => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    { $($rest:tt)* } => {
+        $crate::__proptest_impl! { cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    { cfg = ($cfg:expr); } => {};
+    { cfg = ($cfg:expr);
+      $(#[$meta:meta])*
+      fn $name:ident( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    } => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let strategy = ($($strat,)+);
+            $crate::run(&config, stringify!($name), &strategy, |__vals| {
+                let ($($arg,)+) = __vals;
+                $body
+                Ok(())
+            });
+        }
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return Err(format!(
+                "assertion failed: `{:?}` != `{:?}` ({} != {})",
+                l,
+                r,
+                stringify!($left),
+                stringify!($right)
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return Err(format!($($fmt)+));
+        }
+    }};
+}
+
+/// Fail the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if l == r {
+            return Err(format!(
+                "assertion failed: `{:?}` == `{:?}` ({} == {})",
+                l,
+                r,
+                stringify!($left),
+                stringify!($right)
+            ));
+        }
+    }};
+}
+
+/// Uniform choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::new(7);
+        for _ in 0..1000 {
+            let v = (3u32..17).generate(&mut rng).unwrap();
+            assert!((3..17).contains(&v));
+            let w = (5i64..=9).generate(&mut rng).unwrap();
+            assert!((5..=9).contains(&w));
+            let f = (0.25f64..0.75).generate(&mut rng).unwrap();
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn pattern_strategy_matches_shape() {
+        let mut rng = crate::TestRng::new(11);
+        for _ in 0..200 {
+            let s = "[ -~]{1,16}".generate(&mut rng).unwrap();
+            assert!((1..=16).contains(&s.len()));
+            assert!(s.bytes().all(|b| (b' '..=b'~').contains(&b)));
+        }
+    }
+
+    #[test]
+    fn determinism_per_name() {
+        let collect = || {
+            let mut out = Vec::new();
+            crate::run(&ProptestConfig::with_cases(16), "det", &(0u64..1000), |v| {
+                out.push(v);
+                Ok(())
+            });
+            out
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_smoke(x in 0u32..50, ys in crate::collection::vec(0u8..4, 0..5)) {
+            prop_assert!(x < 50);
+            prop_assert!(ys.len() < 5);
+        }
+
+        #[test]
+        fn oneof_and_filter(v in prop_oneof![0u32..10, 90u32..100]
+            .prop_filter("not five", |v| *v != 5))
+        {
+            prop_assert!(!(10..90).contains(&v));
+            prop_assert_ne!(v, 5);
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Offline, vendored subset of `rayon`.
+//!
+//! Implements the one pattern this workspace uses —
+//! `slice.par_iter_mut().for_each(f)` — with real parallelism on
+//! `std::thread::scope`: the slice is split into one contiguous chunk
+//! per available core and each chunk runs on its own scoped thread.
+
+use std::num::NonZeroUsize;
+
+pub mod prelude {
+    //! One-stop import mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelRefMutIterator, ParIterMut};
+}
+
+/// Entry point: `.par_iter_mut()` on slices and `Vec`s.
+pub trait IntoParallelRefMutIterator<T> {
+    /// Parallel iterator over mutable references.
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T>;
+}
+
+impl<T: Send> IntoParallelRefMutIterator<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
+        ParIterMut { items: self }
+    }
+}
+
+impl<T: Send> IntoParallelRefMutIterator<T> for Vec<T> {
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
+        ParIterMut { items: self }
+    }
+}
+
+/// Parallel mutable iterator; see [`IntoParallelRefMutIterator`].
+pub struct ParIterMut<'a, T> {
+    items: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Run `f` on every element, spreading contiguous chunks across one
+    /// scoped thread per available core.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        let n = self.items.len();
+        if n == 0 {
+            return;
+        }
+        let workers = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(n);
+        if workers <= 1 {
+            for item in self.items {
+                f(item);
+            }
+            return;
+        }
+        let chunk = n.div_ceil(workers);
+        let f = &f;
+        std::thread::scope(|s| {
+            for chunk in self.items.chunks_mut(chunk) {
+                s.spawn(move || {
+                    for item in chunk {
+                        f(item);
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn touches_every_element_in_place() {
+        let mut xs: Vec<u64> = (0..1000).collect();
+        xs.par_iter_mut().for_each(|x| *x *= 2);
+        assert!(xs.iter().enumerate().all(|(i, x)| *x == 2 * i as u64));
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let mut none: Vec<u32> = vec![];
+        none.par_iter_mut().for_each(|_| unreachable!());
+        let mut one = vec![7u32];
+        one.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(one, vec![8]);
+    }
+}

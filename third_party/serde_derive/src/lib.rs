@@ -1,0 +1,408 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored offline `serde`.
+//!
+//! Implemented directly on `proc_macro` token streams (no `syn`/`quote`,
+//! which are unavailable offline). Supports the shapes this workspace
+//! actually uses: named structs, tuple structs (newtypes are
+//! transparent), unit structs, and enums with unit/tuple/struct
+//! variants. Generics and `#[serde(...)]` attributes are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving type.
+enum Shape {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse(input) {
+        Shape::NamedStruct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_owned(), ::serde::Serialize::ser(&self.{f})),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn ser(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn ser(&self) -> ::serde::Value {{ ::serde::Serialize::ser(&self.0) }}\n\
+             }}"
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let entries: String = (0..arity)
+                .map(|i| format!("::serde::Serialize::ser(&self.{i}),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn ser(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Array(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn ser(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_owned()),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vname}(f0) => ::serde::Value::Object(vec![\
+                                 (\"{vname}\".to_owned(), ::serde::Serialize::ser(f0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let entries: String = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::ser({b}),"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Object(vec![\
+                                     (\"{vname}\".to_owned(), ::serde::Value::Array(vec![{entries}]))]),",
+                                binds.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let entries: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!("(\"{f}\".to_owned(), ::serde::Serialize::ser({f})),")
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {} }} => ::serde::Value::Object(vec![\
+                                     (\"{vname}\".to_owned(), ::serde::Value::Object(vec![{entries}]))]),",
+                                fields.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn ser(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse(input) {
+        Shape::NamedStruct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::de(match v.get(\"{f}\") {{ \
+                             Some(x) => x, None => &::serde::Value::Null }})?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn de(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+                         if !v.is_object() {{\n\
+                             return Err(::serde::DeError::expected(\"{name} object\", v));\n\
+                         }}\n\
+                         Ok({name} {{ {entries} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn de(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+                     Ok({name}(::serde::Deserialize::de(v)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let entries: String = (0..arity)
+                .map(|i| format!("::serde::Deserialize::de(&xs[{i}])?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn de(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+                         let xs = v.as_array()\
+                             .ok_or_else(|| ::serde::DeError::expected(\"{name} array\", v))?;\n\
+                         if xs.len() != {arity} {{\n\
+                             return Err(::serde::DeError::expected(\"{arity}-element array\", v));\n\
+                         }}\n\
+                         Ok({name}({entries}))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn de(_v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{ Ok({name}) }}\n\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{0}\" => Ok({name}::{0}),", v.name))
+                .collect();
+            let payload_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vname}\" => Ok({name}::{vname}(::serde::Deserialize::de(p)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let entries: String = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::de(&xs[{i}])?,"))
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{\n\
+                                     let xs = p.as_array()\
+                                         .ok_or_else(|| ::serde::DeError::expected(\"array\", p))?;\n\
+                                     if xs.len() != {n} {{\n\
+                                         return Err(::serde::DeError::expected(\"{n}-element array\", p));\n\
+                                     }}\n\
+                                     Ok({name}::{vname}({entries}))\n\
+                                 }}"
+                            ))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let entries: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::de(match p.get(\"{f}\") {{ \
+                                             Some(x) => x, None => &::serde::Value::Null }})?,"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => Ok({name}::{vname} {{ {entries} }}),"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            let string_branch = if unit_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "if let Some(s) = v.as_str() {{\n\
+                         return match s {{\n\
+                             {unit_arms}\n\
+                             _ => Err(::serde::DeError::expected(\"variant of {name}\", v)),\n\
+                         }};\n\
+                     }}\n"
+                )
+            };
+            let object_branch = if payload_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "if let ::serde::Value::Object(fields) = v {{\n\
+                         if fields.len() == 1 {{\n\
+                             let (k, p) = &fields[0];\n\
+                             return match k.as_str() {{\n\
+                                 {payload_arms}\n\
+                                 _ => Err(::serde::DeError::expected(\"variant of {name}\", v)),\n\
+                             }};\n\
+                         }}\n\
+                     }}\n"
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn de(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+                         {string_branch}\
+                         {object_branch}\
+                         Err(::serde::DeError::expected(\"enum {name}\", v))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
+}
+
+/// Walk the item tokens and classify the deriving type.
+fn parse(input: TokenStream) -> Shape {
+    let mut iter = input.into_iter();
+    loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Outer attribute: consume the following [...] group.
+                iter.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                return parse_struct(&mut iter);
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                return parse_enum(&mut iter);
+            }
+            Some(_) => {} // visibility and anything else before the keyword
+            None => panic!("serde_derive: input contains no struct or enum"),
+        }
+    }
+}
+
+fn parse_struct(iter: &mut impl Iterator<Item = TokenTree>) -> Shape {
+    let name = expect_ident(iter, "struct name");
+    match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::NamedStruct {
+            name,
+            fields: named_fields(g.stream()),
+        },
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::TupleStruct {
+                name,
+                arity: split_top_level(g.stream()).len(),
+            }
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct { name },
+        other => panic!("serde_derive: unsupported struct body for {name}: {other:?} (generic types are not supported)"),
+    }
+}
+
+fn parse_enum(iter: &mut impl Iterator<Item = TokenTree>) -> Shape {
+    let name = expect_ident(iter, "enum name");
+    let body = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("serde_derive: unsupported enum body for {name}: {other:?} (generic types are not supported)"),
+    };
+    let variants = split_top_level(body)
+        .into_iter()
+        .map(|chunk| parse_variant(&chunk))
+        .collect();
+    Shape::Enum { name, variants }
+}
+
+fn parse_variant(chunk: &[TokenTree]) -> Variant {
+    let mut i = 0;
+    // Skip variant attributes like #[doc = "..."].
+    while matches!(&chunk[i], TokenTree::Punct(p) if p.as_char() == '#') {
+        i += 2;
+    }
+    let name = match &chunk[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected variant name, got {other:?}"),
+    };
+    let kind = match chunk.get(i + 1) {
+        None => VariantKind::Unit,
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            VariantKind::Tuple(split_top_level(g.stream()).len())
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            VariantKind::Struct(named_fields(g.stream()))
+        }
+        Some(other) => panic!("serde_derive: unsupported variant shape after {name}: {other:?}"),
+    };
+    Variant { name, kind }
+}
+
+/// Split a delimited body on commas that sit outside any `<...>` nesting.
+/// Bracketed groups arrive as single tokens, so only angle brackets need
+/// explicit depth tracking. Empty trailing chunks are dropped.
+fn split_top_level(ts: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut chunk = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in ts {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    if !chunk.is_empty() {
+                        chunks.push(std::mem::take(&mut chunk));
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        chunk.push(tt);
+    }
+    if !chunk.is_empty() {
+        chunks.push(chunk);
+    }
+    chunks
+}
+
+/// Field names of a named-fields body, in declaration order.
+fn named_fields(ts: TokenStream) -> Vec<String> {
+    split_top_level(ts)
+        .into_iter()
+        .map(|chunk| {
+            let mut i = 0;
+            loop {
+                match &chunk[i] {
+                    TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // attribute
+                    TokenTree::Ident(id) if id.to_string() == "pub" => {
+                        i += 1;
+                        // pub(crate) and friends carry a parenthesized group.
+                        if matches!(chunk.get(i), Some(TokenTree::Group(_))) {
+                            i += 1;
+                        }
+                    }
+                    TokenTree::Ident(id) => return id.to_string(),
+                    other => panic!("serde_derive: unexpected token in field: {other:?}"),
+                }
+            }
+        })
+        .collect()
+}
+
+fn expect_ident(iter: &mut impl Iterator<Item = TokenTree>, what: &str) -> String {
+    match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected {what}, got {other:?}"),
+    }
+}

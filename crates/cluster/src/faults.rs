@@ -1,0 +1,163 @@
+//! Fault injection for the cluster simulation.
+//!
+//! The paper evaluates the controller on healthy nodes; real clusters
+//! lose nodes and controller daemons. This module defines *what* can
+//! fail — the [`manager::ClusterManager`](crate::manager::ClusterManager)
+//! decides *how* the cluster reacts:
+//!
+//! * **node crash** — every VM on the node is evacuated through the same
+//!   Eq. 7 placement used for admission (paying an evacuation downtime);
+//!   VMs that fit nowhere wait *stranded* and are retried every period.
+//!   The node rejoins empty after `repair_periods`.
+//! * **controller crash** — the node keeps running but nobody writes
+//!   `cpu.max`: the dying controller uncaps everything (the same
+//!   fail-open posture as the daemon's circuit breaker) and the node runs
+//!   uncontrolled for `controller_restart_periods`. The replacement
+//!   controller starts [`RestartPolicy::Warm`] (from the journal snapshot
+//!   the dead one exported) or [`RestartPolicy::Cold`] (empty wallets and
+//!   history).
+//! * **migration failure** — a live migration fails at the landing
+//!   handshake with some probability and rolls back to the source node
+//!   (re-placed elsewhere if the source meanwhile died or filled up).
+//!
+//! All draws come from one seeded [`SplitMix64`] stream consumed in a
+//! fixed order, so runs are reproducible and warm-vs-cold comparisons can
+//! share the exact same fault schedule.
+
+use serde::{Deserialize, Serialize};
+
+/// How a replacement controller comes up after a controller crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RestartPolicy {
+    /// Restore wallets, estimation history and previous allocations from
+    /// the journal snapshot the dead controller left behind.
+    Warm,
+    /// Start from scratch: empty wallets, no history.
+    Cold,
+}
+
+/// What can go wrong, and how often. [`FaultModel::none`] disables
+/// everything (the default for existing callers).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultModel {
+    /// Seed of the fault-schedule RNG (independent of workload seeds).
+    pub seed: u64,
+    /// Per-node, per-period probability of a node crash.
+    pub node_crash_rate: f64,
+    /// Deterministic node crashes: (period, node index). Fires when the
+    /// cluster *enters* that period, on top of the random draws.
+    pub scripted_node_crashes: Vec<(u64, usize)>,
+    /// Periods a crashed node stays down before rejoining (empty).
+    pub repair_periods: u64,
+    /// Per-node, per-period probability of a controller crash.
+    pub controller_crash_rate: f64,
+    /// Deterministic controller crashes: (period, node index).
+    pub scripted_controller_crashes: Vec<(u64, usize)>,
+    /// Periods a node runs uncapped before its controller restarts
+    /// (the `k` of the recovery analysis).
+    pub controller_restart_periods: u64,
+    /// Warm (journal) or cold restart for replacement controllers.
+    pub restart: RestartPolicy,
+    /// Probability that a landing migration fails and rolls back.
+    pub migration_fail_rate: f64,
+    /// Downtime paid by a VM evacuated off a crashed node.
+    pub evacuation_downtime_periods: u64,
+    /// Periods after a controller restart during which VM-periods on the
+    /// node still count toward the recovery-window SLO accounting.
+    pub recovery_tail_periods: u64,
+}
+
+impl Default for FaultModel {
+    fn default() -> Self {
+        FaultModel::none()
+    }
+}
+
+impl FaultModel {
+    /// No faults ever fire; recovery accounting stays empty.
+    pub fn none() -> Self {
+        FaultModel {
+            seed: 0,
+            node_crash_rate: 0.0,
+            scripted_node_crashes: Vec::new(),
+            repair_periods: 10,
+            controller_crash_rate: 0.0,
+            scripted_controller_crashes: Vec::new(),
+            controller_restart_periods: 3,
+            restart: RestartPolicy::Warm,
+            migration_fail_rate: 0.0,
+            evacuation_downtime_periods: 3,
+            recovery_tail_periods: 10,
+        }
+    }
+
+    /// Anything to inject at all?
+    pub fn enabled(&self) -> bool {
+        self.node_crash_rate > 0.0
+            || self.controller_crash_rate > 0.0
+            || self.migration_fail_rate > 0.0
+            || !self.scripted_node_crashes.is_empty()
+            || !self.scripted_controller_crashes.is_empty()
+    }
+}
+
+/// What the fault machinery did over a run — attached to
+/// [`ClusterReport`](crate::manager::ClusterReport) when a fault model is
+/// active.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultReport {
+    /// Nodes lost (scripted + random).
+    pub node_crashes: u64,
+    /// Controllers lost (scripted + random).
+    pub controller_crashes: u64,
+    /// Replacement controllers restored from a journal snapshot.
+    pub warm_restarts: u64,
+    /// Replacement controllers started from scratch.
+    pub cold_restarts: u64,
+    /// VMs evacuated off crashed nodes.
+    pub evacuated_vms: u64,
+    /// Migrations that failed at landing and rolled back.
+    pub migrations_failed: u64,
+    /// VM-periods spent waiting for capacity after an evacuation found
+    /// no node to land on.
+    pub stranded_vm_periods: u64,
+    /// VM-periods spent on a node whose controller was down (running
+    /// uncapped, guarantees unenforced).
+    pub uncontrolled_vm_periods: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_disabled_and_default() {
+        assert!(!FaultModel::none().enabled());
+        assert_eq!(FaultModel::default(), FaultModel::none());
+    }
+
+    #[test]
+    fn any_rate_or_script_enables() {
+        let mut m = FaultModel::none();
+        m.migration_fail_rate = 0.1;
+        assert!(m.enabled());
+        let mut m = FaultModel::none();
+        m.scripted_node_crashes.push((5, 0));
+        assert!(m.enabled());
+        let mut m = FaultModel::none();
+        m.scripted_controller_crashes.push((5, 0));
+        assert!(m.enabled());
+    }
+
+    #[test]
+    fn report_serializes() {
+        let r = FaultReport {
+            node_crashes: 1,
+            warm_restarts: 2,
+            ..FaultReport::default()
+        };
+        let s = serde_json::to_string(&r).unwrap();
+        let back: FaultReport = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -20,8 +20,10 @@
 //! [`vfc_cpusched::topology::NodeSpec`]s, tracking energy, migrations and
 //! per-class SLO violations ([`slo`]).
 
+pub mod faults;
 pub mod manager;
 pub mod slo;
 
+pub use faults::{FaultModel, FaultReport, RestartPolicy};
 pub use manager::{ClusterManager, ClusterReport, GlobalVmId, PeriodSample, Strategy};
 pub use slo::{SloTracker, VmSlo};

@@ -1,14 +1,16 @@
 //! The cluster manager: admission, per-node control, migrations, and
 //! energy/SLO accounting. See the crate docs for the two strategies.
 
+use crate::faults::{FaultModel, FaultReport, RestartPolicy};
 use crate::slo::{SloTracker, VmSlo};
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use vfc_controller::{ControlMode, Controller, ControllerConfig};
+use vfc_cgroupfs::backend::HostBackend;
+use vfc_controller::{ControlMode, Controller, ControllerConfig, Journal};
 use vfc_cpusched::topology::NodeSpec;
 use vfc_placement::constraint::ConstraintMode;
 use vfc_placement::model::{NodeBin, PlacementRequest};
-use vfc_simcore::{Micros, VcpuId, VmId};
+use vfc_simcore::{Micros, SplitMix64, VcpuId, VmId};
 use vfc_vmm::workload::Workload;
 use vfc_vmm::{SimHost, VmTemplate};
 
@@ -85,6 +87,39 @@ struct NodeRuntime {
     controller: Option<Controller>,
     bin: NodeBin,
     hot_streak: u32,
+    /// Period at which a crashed node rejoins (empty); `None` = node up.
+    repairs_at: Option<u64>,
+    /// Period at which a crashed controller is rebuilt; `None` = healthy.
+    /// While set, the node runs uncapped (fail-open).
+    controller_returns_at: Option<u64>,
+    /// Journal exported by the dying controller, for a warm restart.
+    snapshot: Option<Journal>,
+    /// VM-periods on this node count toward recovery accounting until
+    /// this period (exclusive) — the tail after a controller restart.
+    recovery_until: u64,
+}
+
+impl NodeRuntime {
+    fn new(spec: NodeSpec, strategy: &Strategy, seed: u64) -> Self {
+        let host = SimHost::new(spec.clone(), seed);
+        let controller = strategy
+            .controller_config()
+            .map(|cfg| Controller::new(cfg.with_mode(ControlMode::Full), host.topology_info()));
+        NodeRuntime {
+            host,
+            controller,
+            bin: NodeBin::new(spec),
+            hot_streak: 0,
+            repairs_at: None,
+            controller_returns_at: None,
+            snapshot: None,
+            recovery_until: 0,
+        }
+    }
+
+    fn is_down(&self) -> bool {
+        self.repairs_at.is_some()
+    }
 }
 
 enum Location {
@@ -95,7 +130,14 @@ enum Location {
     InFlight {
         dest: usize,
         arrive: u64,
+        /// Node to roll back to if the landing fails (`None` for
+        /// evacuations off a dead node and for completed rollbacks —
+        /// those landings cannot fail again).
+        src: Option<usize>,
     },
+    /// Evacuated off a crashed node with nowhere to go; re-placement is
+    /// retried every period and each waiting period is a violation.
+    Stranded,
     /// Terminated by the customer; the id stays reserved.
     Gone,
 }
@@ -141,6 +183,15 @@ pub struct ClusterReport {
     pub slo_by_class: Vec<(String, VmSlo)>,
     /// Aggregate violation rate across classes.
     pub slo_overall: f64,
+    /// Fault-machinery counters; `None` when no fault model was active.
+    pub faults: Option<FaultReport>,
+    /// Demand-aware SLO counters restricted to recovery windows (node
+    /// down, controller down, or the tail after a controller restart),
+    /// sorted by class name. A period is violated when the VM demanded
+    /// at least its guarantee and received less than 95 % of what it
+    /// demanded — strict enough to see a lost credit wallet, which the
+    /// guarantee-relative [`ClusterReport::slo_by_class`] cannot.
+    pub recovery_slo_by_class: Vec<(String, VmSlo)>,
 }
 
 /// See crate docs.
@@ -154,27 +205,34 @@ pub struct ClusterManager {
     energy_j: f64,
     slo: SloTracker,
     history: Vec<PeriodSample>,
+    faults: FaultModel,
+    frng: SplitMix64,
+    freport: FaultReport,
+    recovery: SloTracker,
 }
 
 impl ClusterManager {
     /// Build a cluster over the given nodes. Each node gets its own deterministic seed stream.
     pub fn new(specs: Vec<NodeSpec>, strategy: Strategy, seed: u64) -> Self {
+        Self::with_faults(specs, strategy, seed, FaultModel::none())
+    }
+
+    /// Like [`ClusterManager::new`], with a fault model. The fault RNG is
+    /// seeded from the model alone, so two runs differing only in
+    /// [`FaultModel::restart`] see the exact same fault schedule — the
+    /// basis of warm-vs-cold comparisons.
+    pub fn with_faults(
+        specs: Vec<NodeSpec>,
+        strategy: Strategy,
+        seed: u64,
+        faults: FaultModel,
+    ) -> Self {
         let nodes = specs
             .into_iter()
             .enumerate()
-            .map(|(i, spec)| {
-                let host = SimHost::new(spec.clone(), seed.wrapping_add(i as u64 * 7919));
-                let controller = strategy.controller_config().map(|cfg| {
-                    Controller::new(cfg.with_mode(ControlMode::Full), host.topology_info())
-                });
-                NodeRuntime {
-                    host,
-                    controller,
-                    bin: NodeBin::new(spec),
-                    hot_streak: 0,
-                }
-            })
+            .map(|(i, spec)| NodeRuntime::new(spec, &strategy, seed.wrapping_add(i as u64 * 7919)))
             .collect();
+        let frng = SplitMix64::new(faults.seed ^ 0x5EED_F417);
         ClusterManager {
             strategy,
             nodes,
@@ -185,7 +243,16 @@ impl ClusterManager {
             energy_j: 0.0,
             slo: SloTracker::new(0.95),
             history: Vec::new(),
+            faults,
+            frng,
+            freport: FaultReport::default(),
+            recovery: SloTracker::new(0.95),
         }
+    }
+
+    /// Fault counters accumulated so far.
+    pub fn fault_report(&self) -> FaultReport {
+        self.freport
     }
 
     /// Per-period cluster samples recorded so far (power, active nodes,
@@ -202,15 +269,7 @@ impl ClusterManager {
         workload: Box<dyn Workload>,
     ) -> Option<GlobalVmId> {
         let request = PlacementRequest::from(template);
-        let mode = self.strategy.constraint();
-        let target = self
-            .nodes
-            .iter()
-            .enumerate()
-            .filter(|(_, n)| mode.fits(&n.bin, &request))
-            .min_by_key(|(i, n)| (mode.remaining(&n.bin), *i))
-            .map(|(i, _)| i);
-        let Some(node) = target else {
+        let Some(node) = self.place_excluding(&request, None) else {
             self.rejected += 1;
             return None;
         };
@@ -244,8 +303,20 @@ impl ClusterManager {
                 .host
                 .vcpu_freq_exact(*local, VcpuId::new(0))
                 .as_f64(),
-            Location::InFlight { .. } | Location::Gone => 0.0,
+            Location::InFlight { .. } | Location::Stranded | Location::Gone => 0.0,
         }
+    }
+
+    /// Best-Fit placement under the strategy's constraint, skipping
+    /// crashed nodes (and optionally one more — a migration source).
+    fn place_excluding(&self, request: &PlacementRequest, exclude: Option<usize>) -> Option<usize> {
+        let mode = self.strategy.constraint();
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, n)| Some(*i) != exclude && !n.is_down() && mode.fits(&n.bin, request))
+            .min_by_key(|(i, n)| (mode.remaining(&n.bin), *i))
+            .map(|(i, _)| i)
     }
 
     /// Customer-initiated termination: the VM leaves the cluster and its
@@ -260,7 +331,7 @@ impl ClusterManager {
                 let _ = self.nodes[node].host.deprovision(local);
                 self.nodes[node].bin.remove(&request);
             }
-            Location::InFlight { .. } => {
+            Location::InFlight { .. } | Location::Stranded => {
                 record.parked = None;
             }
             Location::Gone => {}
@@ -276,37 +347,34 @@ impl ClusterManager {
     pub fn run_period(&mut self) {
         self.period += 1;
 
-        // 1. Land migrations whose downtime elapsed.
-        for idx in 0..self.vms.len() {
-            let arrive_now = matches!(
-                self.vms[idx].location,
-                Location::InFlight { arrive, .. } if arrive <= self.period
-            );
-            if arrive_now {
-                let Location::InFlight { dest, .. } = self.vms[idx].location else {
-                    unreachable!("checked above");
-                };
-                let workload = self.vms[idx]
-                    .parked
-                    .take()
-                    .expect("in-flight VM parked its workload");
-                let template = self.vms[idx].template.clone();
-                let local = self.nodes[dest].host.provision(&template);
-                self.nodes[dest].host.attach_workload(local, workload);
-                self.nodes[dest]
-                    .bin
-                    .place(&PlacementRequest::from(&template));
-                self.vms[idx].location = Location::OnNode { node: dest, local };
-            }
+        // 0. Fault machinery (serial — every random draw comes from one
+        // stream in a fixed order, so runs are reproducible). Repairs
+        // and controller restarts due this period happen before new
+        // crashes; crashes happen before landings so nothing lands on a
+        // node that just died.
+        if self.faults.enabled() {
+            self.recover_for_period();
+            self.inject_node_crashes();
+            self.inject_controller_crashes();
         }
+
+        // 1. Land migrations whose downtime elapsed; retry stranded VMs.
+        self.land_migrations();
 
         // 2. Advance hosts + run controllers. Nodes are fully independent
         // within a period (the manager only talks to them between
         // periods), so this is embarrassingly parallel — the dominant
-        // cost of a cluster run.
+        // cost of a cluster run. Crashed nodes stand still; a node whose
+        // controller died advances uncapped.
         use rayon::prelude::*;
         self.nodes.par_iter_mut().for_each(|node| {
+            if node.is_down() {
+                return;
+            }
             node.host.advance_period();
+            if node.controller_returns_at.is_some() {
+                return; // controller dead: nobody writes cpu.max
+            }
             if let Some(ctl) = &mut node.controller {
                 ctl.iterate(&mut node.host).expect("sim backend");
             }
@@ -317,7 +385,8 @@ impl ClusterManager {
             let class = record.template.name.as_str();
             match &record.location {
                 Location::OnNode { node, local } => {
-                    let host = &self.nodes[*node].host;
+                    let rt = &self.nodes[*node];
+                    let host = &rt.host;
                     let f_max = host.spec().max_mhz;
                     let c_i = vfc_controller::guaranteed_cycles(
                         record.template.vfreq,
@@ -330,6 +399,10 @@ impl ClusterManager {
                     // Worst vCPU decides the period's outcome.
                     let mut worst_demand = f64::INFINITY;
                     let mut worst_delivery = f64::INFINITY;
+                    // Demand-aware variant for recovery windows: what
+                    // share of the *demanded* time was actually served.
+                    let mut rec_demand = f64::NEG_INFINITY;
+                    let mut rec_served = f64::INFINITY;
                     for j in 0..record.template.vcpus {
                         let demanded = host.vcpu_demand_last_window(*local, VcpuId::new(j));
                         let freq = host.vcpu_freq_exact(*local, VcpuId::new(j));
@@ -341,23 +414,48 @@ impl ClusterManager {
                             worst_delivery = delivery_ratio;
                             worst_demand = demand_ratio;
                         }
+                        if !demanded.is_zero() {
+                            let served_us = freq.as_f64() / f_max.as_f64().max(1.0)
+                                * Micros::SEC.as_u64() as f64;
+                            let served_ratio = served_us / demanded.as_u64() as f64;
+                            if served_ratio < rec_served {
+                                rec_served = served_ratio;
+                                rec_demand = demand_ratio;
+                            }
+                        }
                     }
                     if worst_demand.is_finite() {
                         self.slo.record(class, worst_demand, worst_delivery);
+                    }
+                    let in_recovery =
+                        rt.controller_returns_at.is_some() || self.period < rt.recovery_until;
+                    if in_recovery && rec_demand.is_finite() {
+                        self.recovery.record(class, rec_demand, rec_served);
+                    }
+                    if rt.controller_returns_at.is_some() {
+                        self.freport.uncontrolled_vm_periods += 1;
                     }
                 }
                 Location::InFlight { .. } => {
                     // A VM is only migrated off a hot node: it was
                     // demanding; downtime is a violated period.
                     self.slo.record_offline_demanding(class);
+                    if self.faults.enabled() {
+                        self.recovery.record_offline_demanding(class);
+                    }
+                }
+                Location::Stranded => {
+                    self.slo.record_offline_demanding(class);
+                    self.recovery.record_offline_demanding(class);
+                    self.freport.stranded_vm_periods += 1;
                 }
                 Location::Gone => {}
             }
         }
         let mut period_power = 0.0;
         for node in &self.nodes {
-            if !node.bin.is_used() {
-                continue; // powered off
+            if !node.bin.is_used() || node.is_down() {
+                continue; // powered off / crashed
             }
             let telemetry = node.host.telemetry();
             let window = telemetry.len().saturating_sub(10);
@@ -389,6 +487,9 @@ impl ClusterManager {
         } = self.strategy
         {
             for src in 0..self.nodes.len() {
+                if self.nodes[src].is_down() {
+                    continue;
+                }
                 let util = self.nodes[src].host.utilization();
                 if util > high_watermark {
                     self.nodes[src].hot_streak += 1;
@@ -400,6 +501,231 @@ impl ClusterManager {
                 {
                     self.nodes[src].hot_streak = 0;
                 }
+            }
+        }
+    }
+
+    /// Land migrations whose downtime elapsed (possibly failing and
+    /// rolling back), and retry stranded VMs.
+    fn land_migrations(&mut self) {
+        let p = self.period;
+        for idx in 0..self.vms.len() {
+            match self.vms[idx].location {
+                Location::Stranded => {
+                    let request = PlacementRequest::from(&self.vms[idx].template);
+                    if let Some(dest) = self.place_excluding(&request, None) {
+                        self.land_on(idx, dest);
+                    }
+                }
+                Location::InFlight { dest, arrive, src } if arrive <= p => {
+                    let request = PlacementRequest::from(&self.vms[idx].template);
+                    let mode = self.strategy.constraint();
+                    if self.nodes[dest].is_down() || !mode.fits(&self.nodes[dest].bin, &request) {
+                        // Destination died (or filled up) while the VM
+                        // was in flight: place it somewhere else.
+                        self.vms[idx].location = match self.place_excluding(&request, None) {
+                            Some(other) => Location::InFlight {
+                                dest: other,
+                                arrive: p + 1,
+                                src: None,
+                            },
+                            None => Location::Stranded,
+                        };
+                    } else if src.is_some()
+                        && self.faults.migration_fail_rate > 0.0
+                        && self.frng.chance(self.faults.migration_fail_rate)
+                    {
+                        // Landing handshake failed: roll back to the
+                        // source (one extra offline period), or re-place
+                        // if the source meanwhile died or filled up.
+                        self.freport.migrations_failed += 1;
+                        let back = src
+                            .filter(|&s| {
+                                !self.nodes[s].is_down() && mode.fits(&self.nodes[s].bin, &request)
+                            })
+                            .or_else(|| self.place_excluding(&request, Some(dest)));
+                        self.vms[idx].location = match back {
+                            Some(node) => Location::InFlight {
+                                dest: node,
+                                arrive: p + 1,
+                                src: None,
+                            },
+                            None => Location::Stranded,
+                        };
+                    } else {
+                        self.land_on(idx, dest);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Provision VM `idx` on `dest` and resume its parked workload.
+    fn land_on(&mut self, idx: usize, dest: usize) {
+        let workload = self.vms[idx]
+            .parked
+            .take()
+            .expect("offline VM parked its workload");
+        let template = self.vms[idx].template.clone();
+        let local = self.nodes[dest].host.provision(&template);
+        self.nodes[dest].host.attach_workload(local, workload);
+        self.nodes[dest]
+            .bin
+            .place(&PlacementRequest::from(&template));
+        self.vms[idx].location = Location::OnNode { node: dest, local };
+    }
+
+    /// Bring due repairs and controller restarts into effect.
+    fn recover_for_period(&mut self) {
+        let p = self.period;
+        for i in 0..self.nodes.len() {
+            if self.nodes[i].repairs_at == Some(p) {
+                // The node rejoins empty (its VMs were evacuated at crash
+                // time) with the cold controller built back then.
+                self.nodes[i].repairs_at = None;
+            }
+            if self.nodes[i].controller_returns_at == Some(p) && !self.nodes[i].is_down() {
+                self.nodes[i].controller_returns_at = None;
+                let cfg = self
+                    .strategy
+                    .controller_config()
+                    .expect("only controller strategies lose controllers");
+                let mut ctl = Controller::new(
+                    cfg.with_mode(ControlMode::Full),
+                    self.nodes[i].host.topology_info(),
+                );
+                match self.nodes[i].snapshot.take() {
+                    Some(snap) => {
+                        let live = HostBackend::vms(&self.nodes[i].host);
+                        ctl.restore_state(&snap, &live);
+                        self.freport.warm_restarts += 1;
+                    }
+                    None => self.freport.cold_restarts += 1,
+                }
+                self.nodes[i].controller = Some(ctl);
+                self.nodes[i].recovery_until = p + self.faults.recovery_tail_periods;
+            }
+        }
+    }
+
+    /// Decide node crashes for this period (scripted + random draws).
+    fn inject_node_crashes(&mut self) {
+        let p = self.period;
+        let mut crashes: Vec<usize> = self
+            .faults
+            .scripted_node_crashes
+            .iter()
+            .filter(|(t, _)| *t == p)
+            .map(|(_, n)| *n)
+            .collect();
+        if self.faults.node_crash_rate > 0.0 {
+            for i in 0..self.nodes.len() {
+                if !self.nodes[i].is_down() && self.frng.chance(self.faults.node_crash_rate) {
+                    crashes.push(i);
+                }
+            }
+        }
+        crashes.sort_unstable();
+        crashes.dedup();
+        for node in crashes {
+            if node < self.nodes.len() && !self.nodes[node].is_down() {
+                self.crash_node(node);
+            }
+        }
+    }
+
+    /// Kill a node: every VM on it is evacuated through Eq. 7 placement
+    /// (or stranded), the node stays down for `repair_periods` and
+    /// rejoins empty with a cold controller.
+    fn crash_node(&mut self, node: usize) {
+        self.freport.node_crashes += 1;
+        let victims: Vec<usize> = self
+            .vms
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| matches!(r.location, Location::OnNode { node: n, .. } if n == node))
+            .map(|(i, _)| i)
+            .collect();
+        for idx in victims {
+            let Location::OnNode { local, .. } = self.vms[idx].location else {
+                unreachable!("victim filter guarantees OnNode");
+            };
+            let workload = self.nodes[node].host.deprovision(local);
+            let request = PlacementRequest::from(&self.vms[idx].template);
+            self.nodes[node].bin.remove(&request);
+            self.vms[idx].parked = Some(workload);
+            self.freport.evacuated_vms += 1;
+            self.vms[idx].location = match self.place_excluding(&request, Some(node)) {
+                Some(dest) => Location::InFlight {
+                    dest,
+                    arrive: self.period + self.faults.evacuation_downtime_periods.max(1),
+                    src: None,
+                },
+                None => Location::Stranded,
+            };
+        }
+        let rt = &mut self.nodes[node];
+        rt.repairs_at = Some(self.period + self.faults.repair_periods.max(1));
+        rt.controller_returns_at = None;
+        rt.snapshot = None;
+        rt.hot_streak = 0;
+        rt.recovery_until = 0;
+        // Whatever controller state existed died with the node.
+        rt.controller = self
+            .strategy
+            .controller_config()
+            .map(|cfg| Controller::new(cfg.with_mode(ControlMode::Full), rt.host.topology_info()));
+    }
+
+    /// Decide controller crashes for this period (scripted + random).
+    fn inject_controller_crashes(&mut self) {
+        let p = self.period;
+        let mut crashes: Vec<usize> = self
+            .faults
+            .scripted_controller_crashes
+            .iter()
+            .filter(|(t, _)| *t == p)
+            .map(|(_, n)| *n)
+            .collect();
+        if self.faults.controller_crash_rate > 0.0 {
+            for i in 0..self.nodes.len() {
+                if !self.nodes[i].is_down()
+                    && self.nodes[i].controller.is_some()
+                    && self.frng.chance(self.faults.controller_crash_rate)
+                {
+                    crashes.push(i);
+                }
+            }
+        }
+        crashes.sort_unstable();
+        crashes.dedup();
+        for node in crashes {
+            if node >= self.nodes.len() {
+                continue;
+            }
+            let rt = &mut self.nodes[node];
+            if rt.is_down() || rt.controller_returns_at.is_some() {
+                continue;
+            }
+            let Some(ctl) = rt.controller.take() else {
+                continue; // migration strategy: nothing to crash
+            };
+            self.freport.controller_crashes += 1;
+            // Snapshot the journal the daemon would have on disk, then
+            // fail open exactly like the circuit breaker: uncap all.
+            rt.snapshot = (self.faults.restart == RestartPolicy::Warm).then(|| ctl.export_state());
+            Self::uncap_node(&mut rt.host);
+            rt.controller_returns_at = Some(p + self.faults.controller_restart_periods.max(1));
+        }
+    }
+
+    /// Remove every `cpu.max` cap on a node (fail-open posture).
+    fn uncap_node(host: &mut SimHost) {
+        let vms = HostBackend::vms(host);
+        for vm in vms {
+            for j in 0..vm.nr_vcpus {
+                let _ = host.clear_vcpu_max(vm.vm, VcpuId::new(j));
             }
         }
     }
@@ -423,7 +749,7 @@ impl ClusterManager {
             .nodes
             .iter()
             .enumerate()
-            .filter(|(i, n)| *i != src && mode.fits(&n.bin, &request))
+            .filter(|(i, n)| *i != src && !n.is_down() && mode.fits(&n.bin, &request))
             .max_by_key(|(i, n)| (mode.remaining(&n.bin), usize::MAX - *i))
             .map(|(i, _)| i);
         let Some(dest) = dest else {
@@ -440,6 +766,7 @@ impl ClusterManager {
         self.vms[vm_idx].location = Location::InFlight {
             dest,
             arrive: self.period + downtime as u64,
+            src: Some(src),
         };
         self.migrations += 1;
         true
@@ -457,6 +784,8 @@ impl ClusterManager {
             nodes_active: self.active_nodes(),
             slo_by_class: self.slo.by_class(),
             slo_overall: self.slo.overall_rate(),
+            faults: self.faults.enabled().then_some(self.freport),
+            recovery_slo_by_class: self.recovery.by_class(),
         }
     }
 }
@@ -706,6 +1035,208 @@ mod tests {
         let integrated: f64 = h.iter().map(|s| s.power_w).sum::<f64>() / 3_600.0;
         let r = c.report();
         assert!((r.energy_wh - integrated).abs() < 1e-9);
+    }
+
+    #[test]
+    fn node_crash_evacuates_vms_and_node_rejoins() {
+        let mut faults = FaultModel::none();
+        faults.scripted_node_crashes.push((3, 0));
+        faults.repair_periods = 4;
+        faults.evacuation_downtime_periods = 2;
+        let mut c = ClusterManager::with_faults(
+            vec![NodeSpec::custom("n", 1, 2, 2, MHz(2400)); 3],
+            Strategy::FrequencyControl,
+            1,
+            faults,
+        );
+        // BestFit piles both VMs onto node 0 — the node we then kill.
+        let mut ids = Vec::new();
+        for _ in 0..2 {
+            ids.push(
+                c.deploy(
+                    &VmTemplate::new("std", 2, MHz(1200)),
+                    Box::new(SteadyDemand::full()),
+                )
+                .unwrap(),
+            );
+        }
+        assert_eq!(c.active_nodes(), 1);
+        for _ in 0..12 {
+            c.run_period();
+        }
+        let f = c.fault_report();
+        assert_eq!(f.node_crashes, 1);
+        assert_eq!(f.evacuated_vms, 2);
+        // Both VMs survived the crash and run somewhere else now.
+        for id in ids {
+            assert!(c.is_deployed(id));
+            assert!(c.vm_freq(id) > 0.0, "{id} should be running again");
+        }
+        // The repaired node accepts new work again.
+        assert!(c
+            .deploy(
+                &VmTemplate::new("std", 2, MHz(1200)),
+                Box::new(SteadyDemand::full()),
+            )
+            .is_some());
+        let r = c.report();
+        assert!(r.faults.is_some());
+        // Evacuation downtime shows up in the recovery accounting.
+        assert!(r
+            .recovery_slo_by_class
+            .iter()
+            .any(|(_, s)| s.violated_periods > 0));
+    }
+
+    #[test]
+    fn crashed_node_is_skipped_by_placement() {
+        // Two nodes; one VM per node; kill node 0 while node 1 is full:
+        // the evacuated VM has nowhere to go and waits stranded, then
+        // lands once its home node is repaired.
+        let mut faults = FaultModel::none();
+        faults.scripted_node_crashes.push((2, 0));
+        faults.repair_periods = 3;
+        let mut c = ClusterManager::with_faults(
+            vec![NodeSpec::custom("n", 1, 2, 2, MHz(2400)); 2],
+            Strategy::FrequencyControl,
+            1,
+            faults,
+        );
+        let a = c
+            .deploy(
+                &VmTemplate::new("big", 4, MHz(1800)),
+                Box::new(SteadyDemand::full()),
+            )
+            .unwrap();
+        let b = c
+            .deploy(
+                &VmTemplate::new("big", 4, MHz(1800)),
+                Box::new(SteadyDemand::full()),
+            )
+            .unwrap();
+        for _ in 0..10 {
+            c.run_period();
+        }
+        let f = c.fault_report();
+        assert_eq!(f.node_crashes, 1);
+        assert!(f.stranded_vm_periods > 0, "VM had nowhere to go");
+        assert!(c.is_deployed(a) && c.is_deployed(b));
+        assert!(c.vm_freq(a) > 0.0, "stranded VM landed after the repair");
+        assert!(c.vm_freq(b) > 0.0, "bystander VM never stopped");
+    }
+
+    #[test]
+    fn controller_crash_uncaps_then_restarts_warm() {
+        let mut faults = FaultModel::none();
+        faults.scripted_controller_crashes.push((5, 0));
+        faults.controller_restart_periods = 3;
+        faults.restart = RestartPolicy::Warm;
+        let mut c = ClusterManager::with_faults(
+            vec![NodeSpec::custom("n", 1, 2, 2, MHz(2400)); 1],
+            Strategy::FrequencyControl,
+            1,
+            faults,
+        );
+        let id = c
+            .deploy(
+                &VmTemplate::new("std", 2, MHz(1200)),
+                Box::new(SteadyDemand::full()),
+            )
+            .unwrap();
+        for _ in 0..12 {
+            c.run_period();
+        }
+        let f = c.fault_report();
+        assert_eq!(f.controller_crashes, 1);
+        assert_eq!(f.warm_restarts, 1);
+        assert_eq!(f.cold_restarts, 0);
+        // One VM, three uncontrolled periods.
+        assert_eq!(f.uncontrolled_vm_periods, 3);
+        assert!(c.is_deployed(id) && c.vm_freq(id) > 0.0);
+    }
+
+    #[test]
+    fn controller_crash_cold_restart_counts_cold() {
+        let mut faults = FaultModel::none();
+        faults.scripted_controller_crashes.push((5, 0));
+        faults.restart = RestartPolicy::Cold;
+        let mut c = ClusterManager::with_faults(
+            vec![NodeSpec::custom("n", 1, 2, 2, MHz(2400)); 1],
+            Strategy::FrequencyControl,
+            1,
+            faults,
+        );
+        c.deploy(
+            &VmTemplate::new("std", 2, MHz(1200)),
+            Box::new(SteadyDemand::full()),
+        )
+        .unwrap();
+        for _ in 0..12 {
+            c.run_period();
+        }
+        let f = c.fault_report();
+        assert_eq!(f.controller_crashes, 1);
+        assert_eq!(f.cold_restarts, 1);
+        assert_eq!(f.warm_restarts, 0);
+    }
+
+    #[test]
+    fn failed_migrations_roll_back_and_vms_survive() {
+        let mut faults = FaultModel::none();
+        faults.migration_fail_rate = 0.5; // half the landings fail
+        faults.seed = 7;
+        let mut c = ClusterManager::with_faults(
+            vec![NodeSpec::custom("n", 1, 2, 2, MHz(2400)); 3],
+            Strategy::MigrationBased {
+                factor: 2.0,
+                high_watermark: 0.9,
+                sustain: 1,
+                downtime_periods: 1,
+            },
+            1,
+            faults,
+        );
+        // Three identical VMs pile onto one node and spread to the
+        // stable 1/1/1 equilibrium — through failing migrations.
+        let mut ids = Vec::new();
+        for _ in 0..3 {
+            ids.push(
+                c.deploy(
+                    &VmTemplate::new("std", 2, MHz(1200)),
+                    Box::new(SteadyDemand::full()),
+                )
+                .unwrap(),
+            );
+        }
+        for _ in 0..30 {
+            c.run_period();
+        }
+        let f = c.fault_report();
+        assert!(f.migrations_failed > 0, "rate 0.5 must fail some landings");
+        // Rollbacks never lose a VM.
+        for _ in 0..4 {
+            c.run_period();
+        }
+        for id in ids {
+            assert!(c.is_deployed(id));
+            assert!(c.vm_freq(id) > 0.0, "{id} must end up running");
+        }
+    }
+
+    #[test]
+    fn fault_free_runs_report_no_fault_section() {
+        let mut c = small_cluster(Strategy::FrequencyControl);
+        c.deploy(
+            &VmTemplate::new("one", 1, MHz(500)),
+            Box::new(SteadyDemand::new(0.2)),
+        )
+        .unwrap();
+        for _ in 0..3 {
+            c.run_period();
+        }
+        let r = c.report();
+        assert!(r.faults.is_none());
+        assert!(r.recovery_slo_by_class.is_empty());
     }
 
     #[test]

@@ -26,6 +26,26 @@ pub fn allocation_to_cpu_max(alloc: Micros, period: Micros) -> CpuMax {
     CpuMax::with_period(quota.max(KERNEL_MIN_QUOTA), DEFAULT_PERIOD)
 }
 
+/// Invert [`allocation_to_cpu_max`]: the per-period allocation implied
+/// by a `cpu.max` read-back. Warm-restart reconciliation uses this to
+/// adopt whatever cap a dead predecessor left in force as `c_{i,j,t-1}`.
+/// `max` (unlimited) reads back as the full period.
+pub fn cpu_max_to_allocation(max: CpuMax, period: Micros) -> Micros {
+    match max.quota {
+        None => period,
+        Some(quota) => {
+            let kernel_period = if max.period.is_zero() {
+                DEFAULT_PERIOD
+            } else {
+                max.period
+            };
+            quota
+                .scale(period.as_u64() as f64 / kernel_period.as_u64() as f64)
+                .min(period)
+        }
+    }
+}
+
 /// What stage 6 managed to write.
 #[derive(Debug, Clone, Default)]
 pub struct ApplyOutcome {

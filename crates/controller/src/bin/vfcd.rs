@@ -2,13 +2,17 @@
 //!
 //! ```text
 //! vfcd [--config FILE] [--monitor-only] [--iterations N] [--verbose]
-//!      [--vfreq NAME=MHZ]...
+//!      [--vfreq NAME=MHZ]... [--log-json FILE]
+//!      [--journal FILE] [--journal-interval N]
 //!      [--cgroup-root DIR --proc-root DIR --cpu-root DIR]
 //! ```
 //!
 //! Without explicit roots it attaches to the live host
 //! (`/sys/fs/cgroup`, `/proc`, `/sys/devices/system/cpu`; cgroup v1 and
 //! v2 both supported, root privileges required to write `cpu.max`).
+//! With `--journal` the daemon persists a crash journal every
+//! `--journal-interval` periods and warm-restarts from it on boot (see
+//! `vfc_controller::persist` and DESIGN.md §10).
 //! See `vfc_controller::daemon` for the config-file format.
 
 use std::process::ExitCode;
@@ -20,7 +24,8 @@ fn main() -> ExitCode {
         eprintln!(
             "vfcd — virtual frequency controller daemon\n\n\
              usage: vfcd [--config FILE] [--monitor-only] [--iterations N]\n\
-                    [--verbose] [--vfreq NAME=MHZ]...\n\
+                    [--verbose] [--vfreq NAME=MHZ]... [--log-json FILE]\n\
+                    [--journal FILE] [--journal-interval N]\n\
                     [--cgroup-root DIR --proc-root DIR --cpu-root DIR]"
         );
         return ExitCode::SUCCESS;

@@ -7,12 +7,13 @@ use crate::credits::{base_allocations, Wallet};
 use crate::distribute::distribute_leftovers;
 use crate::estimate::{Estimate, EstimateCase, Estimator};
 use crate::monitor::Monitor;
+use crate::persist::{Journal, VcpuState, VmState, JOURNAL_VERSION};
 use crate::vfreq::guaranteed_cycles;
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
-use vfc_cgroupfs::backend::{HostBackend, TopologyInfo};
+use vfc_cgroupfs::backend::{HostBackend, TopologyInfo, VmCgroupInfo};
 use vfc_cgroupfs::error::Result;
-use vfc_simcore::{MHz, Micros, VcpuAddr, VmId};
+use vfc_simcore::{MHz, Micros, VcpuAddr, VcpuId, VmId};
 
 /// Wall-clock cost of each stage of one iteration — the paper reports
 /// ≈5 ms total, ≈4 ms of it monitoring, on 60 vCPUs (§IV.A.2).
@@ -156,6 +157,10 @@ pub struct Controller {
     /// `cpu.max` writes that failed last iteration, re-issued this one
     /// for vCPUs that get no fresh allocation.
     pending_writes: HashMap<VcpuAddr, Micros>,
+    /// VM id → scope name from the most recent inventory. The crash
+    /// journal is keyed by name because backend ids are not stable
+    /// across daemon restarts.
+    last_names: HashMap<VmId, String>,
     iterations: u64,
 }
 
@@ -178,6 +183,7 @@ impl Controller {
             wallet: Wallet::new(),
             prev_alloc: HashMap::new(),
             pending_writes: HashMap::new(),
+            last_names: HashMap::new(),
             iterations: 0,
         }
     }
@@ -201,6 +207,87 @@ impl Controller {
     /// Credit balance of a VM.
     pub fn credit_of(&self, vm: VmId) -> u64 {
         self.wallet.balance(vm)
+    }
+
+    /// Snapshot everything a warm restart needs — wallets, consumption
+    /// histories, previous allocations, monitor baselines and the period
+    /// counter — keyed by VM name (see [`crate::persist`]). VMs whose
+    /// name is not known yet (never inventoried) are omitted.
+    pub fn export_state(&self) -> Journal {
+        let mut per_vm: HashMap<VmId, Vec<VcpuState>> = HashMap::new();
+        for (addr, history) in self.estimator.export_histories() {
+            per_vm.entry(addr.vm).or_default().push(VcpuState {
+                vcpu: addr.vcpu.as_u32(),
+                history,
+                prev_alloc: self.prev_alloc.get(&addr).copied(),
+                usage_baseline: self.monitor.usage_baseline(addr),
+                throttled_baseline: self.monitor.throttled_baseline(addr),
+            });
+        }
+        let mut vms: Vec<VmState> = per_vm
+            .into_iter()
+            .filter_map(|(vm, mut vcpus)| {
+                let name = self.last_names.get(&vm)?.clone();
+                vcpus.sort_by_key(|v| v.vcpu);
+                Some(VmState {
+                    name,
+                    credits: self.wallet.balance(vm),
+                    vcpus,
+                })
+            })
+            .collect();
+        vms.sort_by(|a, b| a.name.cmp(&b.name));
+        Journal {
+            version: JOURNAL_VERSION,
+            period_us: self.cfg.period.as_u64(),
+            iterations: self.iterations,
+            saved_unix_ms: crate::persist::unix_now_ms(),
+            vms,
+        }
+    }
+
+    /// Resume from a journal: for every live VM whose name appears in
+    /// the snapshot, restore its wallet, histories, monitor baselines
+    /// and previous allocations under its *current* backend id. Live VMs
+    /// absent from the journal are untouched (they cold-start), and
+    /// journalled VMs that no longer exist are dropped. Returns the
+    /// names of the VMs resumed. The caller remains responsible for
+    /// reconciling `prev_alloc` against the caps actually in force
+    /// ([`Controller::adopt_allocation`]).
+    pub fn restore_state(&mut self, journal: &Journal, live: &[VmCgroupInfo]) -> Vec<String> {
+        let by_name: HashMap<&str, &VmState> =
+            journal.vms.iter().map(|v| (v.name.as_str(), v)).collect();
+        let mut resumed = Vec::new();
+        for vm in live {
+            let Some(state) = by_name.get(vm.name.as_str()) else {
+                continue;
+            };
+            self.wallet.set_balance(vm.vm, state.credits);
+            self.last_names.insert(vm.vm, vm.name.clone());
+            for v in &state.vcpus {
+                if v.vcpu >= vm.nr_vcpus {
+                    // The VM shrank while the daemon was dead.
+                    continue;
+                }
+                let addr = VcpuAddr::new(vm.vm, VcpuId::new(v.vcpu));
+                self.estimator.seed_history(addr, &v.history);
+                self.monitor
+                    .seed_baselines(addr, v.usage_baseline, v.throttled_baseline);
+                if let Some(alloc) = v.prev_alloc {
+                    self.prev_alloc.insert(addr, alloc);
+                }
+            }
+            resumed.push(vm.name.clone());
+        }
+        self.iterations = self.iterations.max(journal.iterations);
+        resumed
+    }
+
+    /// Override `c_{i,j,t-1}` with the allocation implied by a live
+    /// `cpu.max` read-back — reconciliation adopts what is actually in
+    /// force over what the journal remembers.
+    pub fn adopt_allocation(&mut self, addr: VcpuAddr, alloc: Micros) {
+        self.prev_alloc.insert(addr, alloc);
     }
 
     /// Execute one full iteration against the backend.
@@ -255,6 +342,7 @@ impl Controller {
             })
             .collect();
         let names: HashMap<VmId, &str> = vms.iter().map(|vm| (vm.vm, vm.name.as_str())).collect();
+        self.last_names = vms.iter().map(|vm| (vm.vm, vm.name.clone())).collect();
         let vfreqs: HashMap<VmId, Option<MHz>> = vms.iter().map(|vm| (vm.vm, vm.vfreq)).collect();
 
         // QoS floors on the estimates (both follow from Eq. 5's premise:

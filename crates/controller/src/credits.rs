@@ -54,6 +54,16 @@ impl Wallet {
         spent
     }
 
+    /// Restore a balance from the crash journal (warm restart). A zero
+    /// balance removes the wallet entry, matching a never-seen VM.
+    pub fn set_balance(&mut self, vm: VmId, credits: u64) {
+        if credits == 0 {
+            self.credits.remove(&vm);
+        } else {
+            self.credits.insert(vm, credits);
+        }
+    }
+
     /// Drop wallets of departed VMs.
     pub fn retain_vms(&mut self, live: &[VmId]) {
         let set: std::collections::HashSet<VmId> = live.iter().copied().collect();

@@ -17,20 +17,37 @@
 //! decrease_trigger = 0.5
 //! decrease_factor = 0.05
 //! history_len = 5
+//! journal_path = /var/lib/vfcd/journal.json
+//! journal_interval = 1   # periods between journal flushes
 //!
 //! [vms]
 //! web-frontend = 500     # MHz
 //! batch-worker = 1800
 //! ```
+//!
+//! ## Crash recovery
+//!
+//! With `journal_path` set, the daemon snapshots the controller state
+//! (see [`crate::persist`]) every `journal_interval` periods and, on
+//! boot, reconciles the journal against the live cgroup state: wallets
+//! and histories resume for VMs present in both, caps orphaned by a dead
+//! predecessor are removed, and new VMs cold-start. A cooperative
+//! [`ShutdownHandle`] gives embedders a SIGTERM analogue that flushes
+//! the journal and leaves caps in place (warm handoff) — distinct from
+//! the circuit breaker, which uncaps before exiting.
 
+use crate::apply::cpu_max_to_allocation;
 use crate::config::{ControlMode, ControllerConfig};
 use crate::controller::Controller;
-use std::collections::HashMap;
-use std::path::PathBuf;
+use crate::persist::{self, LoadOutcome};
+use std::collections::{HashMap, HashSet};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 use vfc_cgroupfs::backend::HostBackend;
 use vfc_cgroupfs::fs::FsBackend;
-use vfc_simcore::{MHz, Micros, VcpuId};
+use vfc_simcore::{MHz, Micros, VcpuAddr, VcpuId};
 
 /// Parsed daemon configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -59,6 +76,12 @@ pub struct DaemonConfig {
     pub discovery_retries: u32,
     /// Initial backoff between discovery attempts; doubles per retry.
     pub discovery_backoff: Duration,
+    /// Crash journal path (see [`crate::persist`]); `None` disables
+    /// journalling and warm restart.
+    pub journal_path: Option<PathBuf>,
+    /// Periods between journal flushes; must be ≥ 1. Only meaningful
+    /// with `journal_path` set.
+    pub journal_interval: u64,
 }
 
 impl Default for DaemonConfig {
@@ -73,8 +96,28 @@ impl Default for DaemonConfig {
             max_consecutive_errors: 10,
             discovery_retries: 2,
             discovery_backoff: Duration::from_millis(50),
+            journal_path: None,
+            journal_interval: 1,
         }
     }
+}
+
+/// Cross-field validation shared by the config file, the CLI and
+/// [`run_with_shutdown`]: the footguns a typo'd deployment unit would
+/// otherwise only reveal at 3 a.m.
+fn validate_daemon(cfg: &DaemonConfig) -> Result<(), String> {
+    if cfg.journal_interval == 0 {
+        return Err("journal_interval must be at least 1 period".into());
+    }
+    if let (Some(journal), Some(log)) = (&cfg.journal_path, &cfg.log_json) {
+        if journal == log {
+            return Err(format!(
+                "journal_path and log_json must differ: both are {}",
+                journal.display()
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// Parse the config-file format described in the module docs.
@@ -163,12 +206,20 @@ pub fn parse_config_file(content: &str) -> Result<DaemonConfig, String> {
                     .map_err(|_| format!("line {}: bad discovery_backoff_ms", lineno + 1))?;
                 cfg.discovery_backoff = Duration::from_millis(ms);
             }
+            "journal_path" => cfg.journal_path = Some(PathBuf::from(value)),
+            "journal_interval" => {
+                cfg.journal_interval = value
+                    .parse()
+                    .map_err(|_| format!("line {}: bad journal_interval", lineno + 1))?;
+            }
+            "log_json" => cfg.log_json = Some(PathBuf::from(value)),
             other => return Err(format!("line {}: unknown key {other:?}", lineno + 1)),
         }
     }
     cfg.controller
         .validate()
         .map_err(|e| format!("invalid controller parameters: {e}"))?;
+    validate_daemon(&cfg)?;
     Ok(cfg)
 }
 
@@ -176,7 +227,8 @@ pub fn parse_config_file(content: &str) -> Result<DaemonConfig, String> {
 ///
 /// ```text
 /// vfcd [--config FILE] [--monitor-only] [--iterations N] [--verbose]
-///      [--vfreq NAME=MHZ]...
+///      [--vfreq NAME=MHZ]... [--log-json FILE]
+///      [--journal FILE] [--journal-interval N]
 ///      [--cgroup-root DIR --proc-root DIR --cpu-root DIR]
 /// ```
 pub fn parse_args(args: &[String]) -> Result<DaemonConfig, String> {
@@ -204,6 +256,9 @@ pub fn parse_args(args: &[String]) -> Result<DaemonConfig, String> {
                 cfg.max_consecutive_errors = file_cfg.max_consecutive_errors;
                 cfg.discovery_retries = file_cfg.discovery_retries;
                 cfg.discovery_backoff = file_cfg.discovery_backoff;
+                cfg.journal_interval = file_cfg.journal_interval;
+                cfg.journal_path = file_cfg.journal_path.or(cfg.journal_path.take());
+                cfg.log_json = file_cfg.log_json.or(cfg.log_json.take());
             }
             "--monitor-only" => cfg.controller.mode = ControlMode::MonitorOnly,
             "--verbose" => cfg.verbose = true,
@@ -224,6 +279,12 @@ pub fn parse_args(args: &[String]) -> Result<DaemonConfig, String> {
                 cfg.vfreq.insert(name.to_owned(), MHz(mhz));
             }
             "--log-json" => cfg.log_json = Some(PathBuf::from(next(&mut i)?)),
+            "--journal" => cfg.journal_path = Some(PathBuf::from(next(&mut i)?)),
+            "--journal-interval" => {
+                cfg.journal_interval = next(&mut i)?
+                    .parse()
+                    .map_err(|_| "--journal-interval needs an integer".to_owned())?;
+            }
             "--cgroup-root" => cgroup_root = Some(PathBuf::from(next(&mut i)?)),
             "--proc-root" => proc_root = Some(PathBuf::from(next(&mut i)?)),
             "--cpu-root" => cpu_root = Some(PathBuf::from(next(&mut i)?)),
@@ -236,6 +297,7 @@ pub fn parse_args(args: &[String]) -> Result<DaemonConfig, String> {
         (Some(c), Some(p), Some(u)) => Some((c, p, u)),
         _ => return Err("--cgroup-root, --proc-root and --cpu-root must be given together".into()),
     };
+    validate_daemon(&cfg)?;
     Ok(cfg)
 }
 
@@ -290,6 +352,177 @@ pub fn uncap_all<B: HostBackend + ?Sized>(backend: &mut B) -> usize {
     cleared
 }
 
+/// Cooperative shutdown for [`run_with_shutdown`] — the SIGTERM analogue
+/// for an embedded or test-driven daemon. Cloneable; any clone may
+/// request shutdown from another thread. Shutdown is a **warm handoff**:
+/// the journal and JSON log are flushed and every cap is left in force
+/// for the successor to adopt, unlike the circuit breaker, which uncaps
+/// before exiting.
+#[derive(Debug, Clone, Default)]
+pub struct ShutdownHandle {
+    inner: Arc<ShutdownFlags>,
+}
+
+#[derive(Debug, Default)]
+struct ShutdownFlags {
+    requested: AtomicBool,
+    /// Shut down once this many iterations have completed (0 = unset) —
+    /// the deterministic variant for single-threaded tests.
+    after: AtomicU64,
+}
+
+impl ShutdownHandle {
+    /// A handle with no shutdown requested.
+    pub fn new() -> Self {
+        ShutdownHandle::default()
+    }
+
+    /// Request shutdown; the loop exits warm before its next iteration.
+    pub fn request(&self) {
+        self.inner.requested.store(true, Ordering::SeqCst);
+    }
+
+    /// Has [`ShutdownHandle::request`] been called?
+    pub fn is_requested(&self) -> bool {
+        self.inner.requested.load(Ordering::SeqCst)
+    }
+
+    /// Request shutdown after `n` completed iterations — deterministic
+    /// "kill the daemon mid-run" for single-threaded tests.
+    pub fn request_after_iterations(&self, n: u64) {
+        self.inner.after.store(n.max(1), Ordering::SeqCst);
+    }
+
+    fn due(&self, done: u64) -> bool {
+        if self.is_requested() {
+            return true;
+        }
+        let after = self.inner.after.load(Ordering::SeqCst);
+        after > 0 && done >= after
+    }
+}
+
+/// Flush the controller snapshot to the configured journal path, if any.
+/// A failed journal write must never take the control loop down; it is
+/// reported and the previous (intact, thanks to the atomic rename)
+/// journal stays in place.
+fn save_journal(cfg: &DaemonConfig, controller: &Controller) {
+    if let Some(path) = &cfg.journal_path {
+        if let Err(e) = controller.export_state().save(path) {
+            eprintln!("vfcd: journal write failed: {e}");
+        }
+    }
+}
+
+/// Flush the buffered JSON log on the daemon's exit paths so the last
+/// iterations' records are never lost to the buffer.
+fn flush_log(log: &mut Option<std::io::BufWriter<std::fs::File>>) {
+    use std::io::Write as _;
+    if let Some(file) = log {
+        if let Err(e) = file.flush() {
+            eprintln!("vfcd: json log flush failed: {e}");
+        }
+    }
+}
+
+/// Cold-start orphan sweep: clear every *limited* cap in force. Used
+/// when journalling is on but no trustworthy journal exists — whatever
+/// caps are present were left by a dead predecessor and no longer match
+/// any known state.
+fn sweep_orphan_caps<B: HostBackend + ?Sized>(backend: &mut B) -> usize {
+    let mut cleared = 0;
+    for vm in backend.vms() {
+        for j in 0..vm.nr_vcpus {
+            let vcpu = VcpuId::new(j);
+            let limited = matches!(backend.vcpu_max(vm.vm, vcpu), Ok(max) if !max.is_unlimited());
+            if limited && backend.clear_vcpu_max(vm.vm, vcpu).is_ok() {
+                cleared += 1;
+            }
+        }
+    }
+    cleared
+}
+
+/// Boot-time reconciliation of journal vs live cgroup state:
+///
+/// * no / rejected journal → cold start, sweep orphan caps;
+/// * VM in both → resume wallet/history, then adopt the `cpu.max`
+///   actually in force as `c_{i,j,t-1}` (a read-back failure keeps the
+///   journal's value);
+/// * live VM not in the journal → cold start; any limited cap it
+///   carries is an orphan from the predecessor's later writes and is
+///   cleared;
+/// * journalled VM no longer live → dropped with the journal.
+fn reconcile_on_boot<B: HostBackend + ?Sized>(
+    path: &Path,
+    cfg: &DaemonConfig,
+    backend: &mut B,
+    controller: &mut Controller,
+) {
+    let period = cfg.controller.period;
+    let journal = match persist::Journal::load(path, period, persist::DEFAULT_MAX_AGE) {
+        LoadOutcome::Fresh(journal) => journal,
+        LoadOutcome::Missing => {
+            let cleared = sweep_orphan_caps(backend);
+            eprintln!(
+                "vfcd: no journal at {}; cold start ({cleared} orphan caps cleared)",
+                path.display()
+            );
+            return;
+        }
+        LoadOutcome::Rejected(reason) => {
+            let cleared = sweep_orphan_caps(backend);
+            eprintln!(
+                "vfcd: journal rejected — {reason}; cold start ({cleared} orphan caps cleared)"
+            );
+            return;
+        }
+    };
+
+    let live = backend.vms();
+    let resumed: HashSet<String> = controller
+        .restore_state(&journal, &live)
+        .into_iter()
+        .collect();
+    let mut adopted = 0usize;
+    let mut orphans = 0usize;
+    let mut cold = 0usize;
+    for vm in &live {
+        if resumed.contains(&vm.name) {
+            // Survivor: what is actually in force beats what the journal
+            // remembers (the predecessor may have died mid-apply).
+            for j in 0..vm.nr_vcpus {
+                let vcpu = VcpuId::new(j);
+                if let Ok(max) = backend.vcpu_max(vm.vm, vcpu) {
+                    let alloc = cpu_max_to_allocation(max, period);
+                    controller.adopt_allocation(VcpuAddr::new(vm.vm, vcpu), alloc);
+                    adopted += 1;
+                }
+            }
+        } else {
+            // Appeared since the snapshot: cold start, and any limited
+            // cap it carries belongs to a configuration that no longer
+            // exists.
+            cold += 1;
+            for j in 0..vm.nr_vcpus {
+                let vcpu = VcpuId::new(j);
+                let limited =
+                    matches!(backend.vcpu_max(vm.vm, vcpu), Ok(max) if !max.is_unlimited());
+                if limited && backend.clear_vcpu_max(vm.vm, vcpu).is_ok() {
+                    orphans += 1;
+                }
+            }
+        }
+    }
+    eprintln!(
+        "vfcd: warm restart from {}: {}/{} journalled VMs resumed \
+         ({adopted} caps adopted, {orphans} orphan caps cleared, {cold} VMs cold-started)",
+        path.display(),
+        resumed.len(),
+        journal.vms.len(),
+    );
+}
+
 /// Build the backend (with discovery retries) and run the loop. Returns
 /// the number of iterations executed. The loop sleeps `p − spent`
 /// between iterations exactly as §III.B.6 describes.
@@ -301,11 +534,30 @@ pub fn run(cfg: DaemonConfig) -> Result<u64, String> {
 /// Run the control loop against an already-built backend. Split from
 /// [`run`] so tests (and embedders) can drive simulated or
 /// fault-injecting backends through the exact production loop, circuit
-/// breaker included.
+/// breaker included. Equivalent to [`run_with_shutdown`] with a handle
+/// nobody ever pulls.
 pub fn run_with_backend<B: HostBackend + ?Sized>(
     cfg: DaemonConfig,
     backend: &mut B,
 ) -> Result<u64, String> {
+    run_with_shutdown(cfg, backend, &ShutdownHandle::new())
+}
+
+/// [`run_with_backend`] plus a cooperative [`ShutdownHandle`]. The full
+/// daemon lifecycle: boot-time journal reconciliation, the control loop
+/// with per-period journal flushes, and three exits —
+///
+/// * **shutdown / iteration limit** (warm handoff): journal and JSON
+///   log flushed, caps left in force, `Ok(iterations)`;
+/// * **circuit breaker**: every vCPU uncapped (the safe state for
+///   tenants), journal and log still flushed (wallets survive; the
+///   uncapped state is what reconciliation will read back), `Err`.
+pub fn run_with_shutdown<B: HostBackend + ?Sized>(
+    cfg: DaemonConfig,
+    backend: &mut B,
+    shutdown: &ShutdownHandle,
+) -> Result<u64, String> {
+    validate_daemon(&cfg)?;
     let topo = backend.topology();
     if topo.nr_cpus == 0 {
         return Err("backend reports zero CPUs — wrong roots?".into());
@@ -321,22 +573,35 @@ pub fn run_with_backend<B: HostBackend + ?Sized>(
         cfg.vfreq.len(),
     );
 
+    if let Some(path) = cfg.journal_path.clone() {
+        reconcile_on_boot(&path, &cfg, backend, &mut controller);
+    }
+
     let mut json_log = match &cfg.log_json {
-        Some(path) => Some(
+        Some(path) => Some(std::io::BufWriter::new(
             std::fs::OpenOptions::new()
                 .create(true)
                 .append(true)
                 .open(path)
                 .map_err(|e| format!("cannot open {}: {e}", path.display()))?,
-        ),
+        )),
         None => None,
     };
 
     let mut done = 0u64;
     let mut consecutive_errors = 0u32;
     loop {
+        if shutdown.due(done) {
+            // Warm handoff: the successor adopts the caps we leave.
+            save_journal(&cfg, &controller);
+            flush_log(&mut json_log);
+            eprintln!("vfcd: shutdown requested after {done} iterations; warm handoff");
+            return Ok(done);
+        }
         if let Some(limit) = cfg.iterations {
             if done >= limit {
+                save_journal(&cfg, &controller);
+                flush_log(&mut json_log);
                 return Ok(done);
             }
         }
@@ -379,15 +644,22 @@ pub fn run_with_backend<B: HostBackend + ?Sized>(
             }
         };
         done += 1;
+        if done.is_multiple_of(cfg.journal_interval) {
+            save_journal(&cfg, &controller);
+        }
 
         // Circuit breaker: a persistently failing host is one we must not
         // keep half-controlling. Uncap everything (the safe state for
         // tenants — guarantees become "at least what the scheduler gives
-        // you") and exit so the supervisor can restart us.
+        // you") and exit so the supervisor can restart us. The journal is
+        // still flushed: wallets and histories survive, and the next boot
+        // reads the uncapped state back during reconciliation.
         if errored {
             consecutive_errors += 1;
             if cfg.max_consecutive_errors > 0 && consecutive_errors >= cfg.max_consecutive_errors {
                 let cleared = uncap_all(backend);
+                save_journal(&cfg, &controller);
+                flush_log(&mut json_log);
                 return Err(format!(
                     "circuit breaker: {consecutive_errors} consecutive degraded iterations; \
                      uncapped {cleared} vCPUs and giving up"
@@ -534,7 +806,9 @@ mod tests {
         let content = std::fs::read_to_string(&log).unwrap();
         let lines: Vec<&str> = content.lines().collect();
         assert_eq!(lines.len(), 2);
-        // Each line is a valid IterationReport JSON document.
+        // Each line is a valid IterationReport JSON document, health
+        // counters included — operators grep the log for degradations,
+        // not the verbose stderr.
         for line in lines {
             let v: serde_json::Value = serde_json::from_str(line).unwrap();
             assert!(v["vcpus"].is_array());
@@ -543,6 +817,10 @@ mod tests {
                     || v["timings"]["total"].is_number()
                     || !v["timings"]["total"].is_null()
             );
+            assert!(v["health"].is_object(), "health missing: {line}");
+            assert!(v["health"]["read_errors"].as_u64().is_some());
+            assert!(v["health"]["write_errors"].as_u64().is_some());
+            assert!(v["health"]["degraded"].as_bool().is_some());
         }
     }
 
@@ -612,6 +890,124 @@ mod tests {
         assert!(parse_config_file("max_consecutive_errors = -1").is_err());
         assert!(parse_config_file("discovery_retries = 1.5").is_err());
         assert!(parse_config_file("discovery_backoff_ms = soon").is_err());
+    }
+
+    #[test]
+    fn config_file_accepts_journal_keys() {
+        let cfg = parse_config_file(
+            "journal_path = /var/lib/vfcd/journal.json\njournal_interval = 5\n\
+             log_json = /var/log/vfcd.jsonl\n",
+        )
+        .unwrap();
+        assert_eq!(
+            cfg.journal_path,
+            Some(PathBuf::from("/var/lib/vfcd/journal.json"))
+        );
+        assert_eq!(cfg.journal_interval, 5);
+        assert_eq!(cfg.log_json, Some(PathBuf::from("/var/log/vfcd.jsonl")));
+    }
+
+    #[test]
+    fn config_file_rejects_journal_footguns() {
+        let err = parse_config_file("journal_interval = 0").unwrap_err();
+        assert!(err.contains("journal_interval"), "{err}");
+        let err = parse_config_file("journal_path = /tmp/same.json\nlog_json = /tmp/same.json\n")
+            .unwrap_err();
+        assert!(err.contains("must differ"), "{err}");
+        assert!(parse_config_file("journal_interval = -2").is_err());
+        assert!(parse_config_file("journal_interval = often").is_err());
+    }
+
+    #[test]
+    fn cli_journal_flags_and_footguns() {
+        let cfg = parse_args(&args(&[
+            "--journal",
+            "/tmp/j.json",
+            "--journal-interval",
+            "3",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.journal_path, Some(PathBuf::from("/tmp/j.json")));
+        assert_eq!(cfg.journal_interval, 3);
+
+        assert!(parse_args(&args(&["--journal-interval", "0"])).is_err());
+        assert!(parse_args(&args(&["--journal-interval", "x"])).is_err());
+        let err = parse_args(&args(&[
+            "--journal",
+            "/tmp/same.json",
+            "--log-json",
+            "/tmp/same.json",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("must differ"), "{err}");
+    }
+
+    #[test]
+    fn config_file_journal_keys_reach_the_merged_cli_config() {
+        let dir = std::env::temp_dir().join(format!("vfcd-jcfg-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("vfcd.conf");
+        std::fs::write(&path, "journal_path = /tmp/j.json\njournal_interval = 4\n").unwrap();
+        let cfg = parse_args(&args(&["--config", path.to_str().unwrap()])).unwrap();
+        assert_eq!(cfg.journal_path, Some(PathBuf::from("/tmp/j.json")));
+        assert_eq!(cfg.journal_interval, 4);
+        // The merge itself is validated: a file journal path colliding
+        // with a CLI log path is caught.
+        let err = parse_args(&args(&[
+            "--log-json",
+            "/tmp/j.json",
+            "--config",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("must differ"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shutdown_handle_exits_warm_and_flushes_the_journal() {
+        use vfc_cgroupfs::fixture::FixtureTree;
+        let fx = FixtureTree::builder()
+            .cpus(1, MHz(2400))
+            .vm("web", 1, &[13])
+            .build();
+        let journal = fx.root().join("journal.json");
+        let mut cfg = DaemonConfig {
+            journal_path: Some(journal.clone()),
+            ..DaemonConfig::default()
+        };
+        cfg.vfreq.insert("web".into(), MHz(500));
+        cfg.controller.period = Micros::from_millis(50);
+        let mut backend = fx.backend().with_vfreq_table(cfg.vfreq.clone());
+
+        // No iteration limit: only the handle stops the loop.
+        let handle = ShutdownHandle::new();
+        handle.request_after_iterations(2);
+        assert!(!handle.is_requested());
+        let ran = run_with_shutdown(cfg, &mut backend, &handle).unwrap();
+        assert_eq!(ran, 2);
+        // Warm handoff: the journal exists and the idle VM's cap is
+        // still in force (shutdown never uncaps).
+        assert!(journal.exists());
+        assert!(!fx.vcpu_cpu_max("web", 0).is_unlimited());
+        let content = std::fs::read_to_string(&journal).unwrap();
+        assert!(content.contains("\"web\""), "{content}");
+    }
+
+    #[test]
+    fn run_rejects_footgun_configs_too() {
+        // Embedders building DaemonConfig by hand get the same guard as
+        // the parsers.
+        let fx = vfc_cgroupfs::fixture::FixtureTree::builder()
+            .cpus(1, MHz(2400))
+            .build();
+        let cfg = DaemonConfig {
+            journal_interval: 0,
+            ..DaemonConfig::default()
+        };
+        let mut be = fx.backend();
+        let err = run_with_backend(cfg, &mut be).unwrap_err();
+        assert!(err.contains("journal_interval"), "{err}");
     }
 
     #[test]

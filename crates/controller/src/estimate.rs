@@ -193,6 +193,31 @@ impl Estimator {
             .map(|h| h.to_vec())
             .unwrap_or_default()
     }
+
+    /// Every tracked history (oldest → newest), sorted by address — the
+    /// crash journal's view of stage 2.
+    pub fn export_histories(&self) -> Vec<(VcpuAddr, Vec<u64>)> {
+        let mut out: Vec<_> = self
+            .histories
+            .iter()
+            .map(|(addr, h)| (*addr, h.to_vec()))
+            .collect();
+        out.sort_by_key(|(addr, _)| *addr);
+        out
+    }
+
+    /// Replace a vCPU's history with journalled samples (warm restart).
+    /// Only the most recent `history_len` samples are retained.
+    pub fn seed_history(&mut self, addr: VcpuAddr, samples: &[u64]) {
+        let ring = self
+            .histories
+            .entry(addr)
+            .or_insert_with(|| RingBuffer::new(self.history_len.max(2)));
+        ring.clear();
+        for &s in samples {
+            ring.push(s);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -45,10 +45,12 @@ pub mod credits;
 pub mod distribute;
 pub mod estimate;
 pub mod monitor;
+pub mod persist;
 pub mod vfreq;
 
 pub use config::{ControlMode, ControllerConfig};
 pub use controller::{Controller, HealthReport, IterationReport, StageTimings, VcpuReport};
 pub use monitor::MonitorOutcome;
+pub use persist::{Journal, LoadOutcome, JOURNAL_VERSION};
 pub use vfreq::{cycles_to_freq, guaranteed_cycles};
 pub mod daemon;

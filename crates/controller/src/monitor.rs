@@ -222,6 +222,35 @@ impl Monitor {
         self.prev_usage.len()
     }
 
+    /// Cumulative `usage_usec` baseline of a vCPU, for the crash journal.
+    pub fn usage_baseline(&self, addr: VcpuAddr) -> Option<Micros> {
+        self.prev_usage.get(&addr).copied()
+    }
+
+    /// Cumulative `throttled_usec` baseline of a vCPU, for the crash
+    /// journal.
+    pub fn throttled_baseline(&self, addr: VcpuAddr) -> Option<Micros> {
+        self.prev_throttled.get(&addr).copied()
+    }
+
+    /// Seed baselines from a journal (warm restart): cgroup counters are
+    /// cumulative and survive a daemon death, so the first observation
+    /// after a restart can difference against the persisted counter
+    /// instead of reporting `used = 0`.
+    pub fn seed_baselines(
+        &mut self,
+        addr: VcpuAddr,
+        usage: Option<Micros>,
+        throttled: Option<Micros>,
+    ) {
+        if let Some(u) = usage {
+            self.prev_usage.insert(addr, u);
+        }
+        if let Some(t) = throttled {
+            self.prev_throttled.insert(addr, t);
+        }
+    }
+
     /// Forget everything about a VM (used when other stages learn that a
     /// VM vanished, e.g. from a failed write).
     pub fn forget_vm(&mut self, vm: VmId) {

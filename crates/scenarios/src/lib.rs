@@ -26,6 +26,7 @@ pub mod eval2;
 pub mod factor_sweep;
 pub mod overhead;
 pub mod placement_eval;
+pub mod recovery_eval;
 pub mod runner;
 
 pub use runner::{Scale, ScenarioOutcome, ScenarioSpec, VmGroup, WorkloadKind};

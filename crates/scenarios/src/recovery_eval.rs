@@ -1,0 +1,206 @@
+//! Recovery evaluation: what does a controller crash cost each tenant
+//! class, and how much of that cost does a warm (journal) restart save
+//! over a cold one?
+//!
+//! Two cluster runs share the same workload seeds *and* the same fault
+//! schedule (the fault RNG is seeded independently of the restart
+//! policy); the only difference is whether replacement controllers come
+//! back warm from the journal snapshot or cold. The metric is the
+//! demand-aware recovery-window SLO of
+//! [`ClusterReport::recovery_slo_by_class`]: a period is violated when a
+//! VM demanded at least its guarantee and was served less than 95 % of
+//! what it demanded. Guarantees re-establish within one period either
+//! way (the controller floors first-sighted vCPUs at `C_i`), so the
+//! warm-restart dividend is concentrated in the *burst* service that
+//! credit wallets buy — which is exactly what a cold start wipes.
+
+use serde::{Deserialize, Serialize};
+use vfc_cluster::{ClusterManager, ClusterReport, FaultModel, RestartPolicy, Strategy, VmSlo};
+use vfc_cpusched::topology::NodeSpec;
+use vfc_simcore::{MHz, Micros, SplitMix64};
+use vfc_vmm::workload::{BurstyWeb, SteadyDemand, Workload};
+use vfc_vmm::VmTemplate;
+
+/// A cluster run with controller crashes injected mid-run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryScenario {
+    /// Small (bursty web) instances.
+    pub smalls: u32,
+    /// Medium (steady 80 %) instances.
+    pub mediums: u32,
+    /// Large (saturating) instances.
+    pub larges: u32,
+    /// Cluster nodes (1-socket, `cores`×2 threads, 2400 MHz).
+    pub nodes: usize,
+    /// Cores per node.
+    pub cores: u32,
+    /// Cluster periods to run.
+    pub periods: u32,
+    /// Workload / node seed.
+    pub seed: u64,
+    /// Period at which every node's controller crashes.
+    pub crash_period: u64,
+    /// Periods each node runs uncapped before its controller restarts.
+    pub outage_periods: u64,
+    /// Optional scripted node crash (period, node index) on top of the
+    /// controller crashes.
+    pub node_crash: Option<(u64, usize)>,
+}
+
+impl Default for RecoveryScenario {
+    fn default() -> Self {
+        RecoveryScenario {
+            smalls: 12,
+            mediums: 4,
+            larges: 6,
+            nodes: 6,
+            cores: 4,
+            periods: 60,
+            seed: 0x2ECu64,
+            crash_period: 30,
+            outage_periods: 2,
+            node_crash: None,
+        }
+    }
+}
+
+impl RecoveryScenario {
+    /// Small deterministic variant for debug-mode tests.
+    pub fn quick() -> Self {
+        RecoveryScenario {
+            smalls: 6,
+            mediums: 2,
+            larges: 3,
+            nodes: 3,
+            cores: 4,
+            periods: 50,
+            crash_period: 25,
+            ..RecoveryScenario::default()
+        }
+    }
+
+    fn fault_model(&self, restart: RestartPolicy) -> FaultModel {
+        let mut f = FaultModel::none();
+        f.seed = self.seed ^ 0xFA01;
+        f.restart = restart;
+        f.controller_restart_periods = self.outage_periods.max(1);
+        f.scripted_controller_crashes = (0..self.nodes).map(|n| (self.crash_period, n)).collect();
+        if let Some(crash) = self.node_crash {
+            f.scripted_node_crashes.push(crash);
+        }
+        f
+    }
+}
+
+fn workload_for(class: &str, rng: &mut SplitMix64) -> Box<dyn Workload> {
+    match class {
+        // Bursty web: long idle valleys (the wallet grows), short full
+        // bursts (the wallet is spent) — the class whose recovery depends
+        // on the journal.
+        "small" => Box::new(BurstyWeb::with_shape(
+            rng.next_u64(),
+            0.05,
+            1.0,
+            Micros::from_secs(20),
+            Micros::from_secs(6),
+        )),
+        "medium" => Box::new(SteadyDemand::new(0.8)),
+        _ => Box::new(SteadyDemand::full()),
+    }
+}
+
+/// Run the scenario under one restart policy.
+pub fn run_policy(scenario: &RecoveryScenario, restart: RestartPolicy) -> ClusterReport {
+    let specs = vec![NodeSpec::custom("rec", 1, scenario.cores, 2, MHz(2400)); scenario.nodes];
+    let mut manager = ClusterManager::with_faults(
+        specs,
+        Strategy::FrequencyControl,
+        scenario.seed,
+        scenario.fault_model(restart),
+    );
+    let mut rng = SplitMix64::new(scenario.seed ^ 0xFEED);
+    let mut deploy = |template: &VmTemplate, count: u32, manager: &mut ClusterManager| {
+        for _ in 0..count {
+            let w = workload_for(&template.name, &mut rng);
+            let _ = manager.deploy(template, w);
+        }
+    };
+    deploy(&VmTemplate::small(), scenario.smalls, &mut manager);
+    deploy(&VmTemplate::medium(), scenario.mediums, &mut manager);
+    deploy(&VmTemplate::large(), scenario.larges, &mut manager);
+    for _ in 0..scenario.periods {
+        manager.run_period();
+    }
+    manager.report()
+}
+
+/// Warm vs cold under the identical fault schedule.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RecoveryComparison {
+    /// The scenario both runs executed.
+    pub scenario: RecoveryScenario,
+    /// Replacement controllers restored from the journal.
+    pub warm: ClusterReport,
+    /// Replacement controllers started empty.
+    pub cold: ClusterReport,
+}
+
+/// Run both policies over the same scenario and fault schedule.
+pub fn compare(scenario: RecoveryScenario) -> RecoveryComparison {
+    RecoveryComparison {
+        warm: run_policy(&scenario, RestartPolicy::Warm),
+        cold: run_policy(&scenario, RestartPolicy::Cold),
+        scenario,
+    }
+}
+
+/// Recovery-window counters of one class (zeros when absent).
+pub fn recovery_slo(report: &ClusterReport, class: &str) -> VmSlo {
+    report
+        .recovery_slo_by_class
+        .iter()
+        .find(|(c, _)| c == class)
+        .map(|(_, s)| *s)
+        .unwrap_or_default()
+}
+
+/// Total violated recovery-window periods across classes.
+pub fn total_recovery_violations(report: &ClusterReport) -> u64 {
+    report
+        .recovery_slo_by_class
+        .iter()
+        .map(|(_, s)| s.violated_periods)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_schedules_are_identical_across_policies() {
+        let cmp = compare(RecoveryScenario::quick());
+        let (w, c) = (cmp.warm.faults.unwrap(), cmp.cold.faults.unwrap());
+        assert_eq!(w.controller_crashes, c.controller_crashes);
+        assert_eq!(w.node_crashes, c.node_crashes);
+        assert!(w.warm_restarts > 0 && w.cold_restarts == 0);
+        assert!(c.cold_restarts > 0 && c.warm_restarts == 0);
+    }
+
+    #[test]
+    fn warm_restart_recovers_no_worse_than_cold() {
+        let cmp = compare(RecoveryScenario::quick());
+        let warm = total_recovery_violations(&cmp.warm);
+        let cold = total_recovery_violations(&cmp.cold);
+        assert!(
+            warm <= cold,
+            "warm restart must not violate more than cold: {warm} vs {cold}"
+        );
+        // Both runs saw demand during the recovery windows at all.
+        assert!(cmp
+            .cold
+            .recovery_slo_by_class
+            .iter()
+            .any(|(_, s)| s.demanding_periods > 0));
+    }
+}

@@ -1,0 +1,123 @@
+//! Shared helpers for the daemon-lifecycle integration tests.
+//!
+//! The production daemon loop ([`vfc::controller::daemon::run_with_shutdown`])
+//! owns its thread and never touches simulated time — on a real host the
+//! world advances by itself between iterations. [`TickingHost`] recreates
+//! that for [`SimHost`]: every `vms()` enumeration (exactly one per
+//! controller iteration, plus one during boot reconciliation) advances the
+//! simulation by one period first, so the daemon observes a host that
+//! "ran" while it slept. Watched vCPUs get their ground-truth frequency
+//! recorded after every advance, which is what the restart tests count
+//! violated periods from.
+
+#![allow(dead_code)]
+
+use std::cell::{Ref, RefCell};
+use vfc::cgroupfs::backend::{HostBackend, TopologyInfo, VmCgroupInfo};
+use vfc::cgroupfs::{CpuMax, Result};
+use vfc::simcore::{CpuId, MHz, Micros, Tid, VcpuId, VmId};
+use vfc::vmm::SimHost;
+
+/// A [`HostBackend`] decorator over [`SimHost`] that advances one
+/// simulated period per `vms()` call and records watched vCPUs' exact
+/// frequencies. Interior mutability is required because the monitoring
+/// half of the trait takes `&self`.
+pub struct TickingHost {
+    inner: RefCell<SimHost>,
+    watched: Vec<(VmId, VcpuId)>,
+    freqs: RefCell<Vec<(VmId, VcpuId, MHz)>>,
+}
+
+impl TickingHost {
+    /// Wrap a simulated host.
+    pub fn new(host: SimHost) -> Self {
+        TickingHost {
+            inner: RefCell::new(host),
+            watched: Vec::new(),
+            freqs: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Record this vCPU's exact frequency after every advanced period.
+    pub fn watch(mut self, vm: VmId, vcpu: VcpuId) -> Self {
+        self.watched.push((vm, vcpu));
+        self
+    }
+
+    /// Mutable access to the wrapped host (between daemon runs).
+    pub fn host_mut(&mut self) -> &mut SimHost {
+        self.inner.get_mut()
+    }
+
+    /// Shared access to the wrapped host.
+    pub fn host(&self) -> Ref<'_, SimHost> {
+        self.inner.borrow()
+    }
+
+    /// Frequencies recorded for one watched vCPU, in period order.
+    pub fn freqs_of(&self, vm: VmId, vcpu: VcpuId) -> Vec<MHz> {
+        self.freqs
+            .borrow()
+            .iter()
+            .filter(|(v, j, _)| *v == vm && *j == vcpu)
+            .map(|(_, _, f)| *f)
+            .collect()
+    }
+
+    /// Drop everything recorded so far (e.g. before the run under test).
+    pub fn clear_freqs(&mut self) {
+        self.freqs.get_mut().clear();
+    }
+}
+
+impl HostBackend for TickingHost {
+    fn topology(&self) -> TopologyInfo {
+        self.inner.borrow().topology()
+    }
+
+    fn vms(&self) -> Vec<VmCgroupInfo> {
+        let mut host = self.inner.borrow_mut();
+        host.advance_period();
+        let mut freqs = self.freqs.borrow_mut();
+        for &(vm, vcpu) in &self.watched {
+            freqs.push((vm, vcpu, host.vcpu_freq_exact(vm, vcpu)));
+        }
+        host.vms()
+    }
+
+    fn vcpu_usage(&self, vm: VmId, vcpu: VcpuId) -> Result<Micros> {
+        self.inner.borrow().vcpu_usage(vm, vcpu)
+    }
+
+    fn vcpu_throttled(&self, vm: VmId, vcpu: VcpuId) -> Result<Micros> {
+        self.inner.borrow().vcpu_throttled(vm, vcpu)
+    }
+
+    fn vcpu_threads(&self, vm: VmId, vcpu: VcpuId) -> Result<Vec<Tid>> {
+        self.inner.borrow().vcpu_threads(vm, vcpu)
+    }
+
+    fn thread_last_cpu(&self, tid: Tid) -> Result<CpuId> {
+        self.inner.borrow().thread_last_cpu(tid)
+    }
+
+    fn cpu_cur_freq(&self, cpu: CpuId) -> Result<MHz> {
+        self.inner.borrow().cpu_cur_freq(cpu)
+    }
+
+    fn set_vcpu_max(&mut self, vm: VmId, vcpu: VcpuId, max: CpuMax) -> Result<()> {
+        self.inner.get_mut().set_vcpu_max(vm, vcpu, max)
+    }
+
+    fn vcpu_max(&self, vm: VmId, vcpu: VcpuId) -> Result<CpuMax> {
+        self.inner.borrow().vcpu_max(vm, vcpu)
+    }
+
+    fn set_vm_weight(&mut self, vm: VmId, weight: u32) -> Result<()> {
+        self.inner.get_mut().set_vm_weight(vm, weight)
+    }
+
+    fn vm_weight(&self, vm: VmId) -> Result<u32> {
+        self.inner.borrow().vm_weight(vm)
+    }
+}

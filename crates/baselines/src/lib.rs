@@ -10,7 +10,7 @@
 //!   credit meter, and a *binary* cap toggle (uncapped while credits
 //!   last, hard-capped at the baseline otherwise);
 //! * [`vmdfs::VmdfsPolicy`] — a **VMDFS-style** predictive controller
-//!   ([21] in the paper): per-VM utilization prediction drives the caps,
+//!   (\[21\] in the paper): per-VM utilization prediction drives the caps,
 //!   every VM has the same priority, and there is no market for spare
 //!   cycles;
 //! * [`shares::CfsSharesPolicy`] — static `cpu.weight` proportional to

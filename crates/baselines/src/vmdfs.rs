@@ -1,4 +1,4 @@
-//! VMDFS-style predictive CPU-share control ([21] in the paper:
+//! VMDFS-style predictive CPU-share control (\[21\] in the paper:
 //! Shojaei et al., *"VMDFS: virtual machine dynamic frequency scaling
 //! framework in cloud computing"*).
 //!

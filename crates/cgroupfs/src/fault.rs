@@ -131,12 +131,48 @@ struct ScriptedFault {
 /// A plan combines per-operation probabilities (for chaos testing) with a
 /// scripted schedule (for precise degradation tests). Scripted entries
 /// always win over the dice.
+///
+/// The knobs, all builder-style and all optional (the default plan is
+/// [`FaultPlan::none`], a transparent pass-through):
+///
+/// | knob | default | effect |
+/// |---|---|---|
+/// | [`with_rate`](FaultPlan::with_rate) (or [`random`](FaultPlan::random) for all ops) | 0.0 | independent per-call fault probability for one [`FaultOp`] class, clamped to `[0, 1]` |
+/// | [`with_kinds`](FaultPlan::with_kinds) | [`FaultKind::TRANSIENT`] | the palette random faults draw from, uniformly |
+/// | [`with_vanish_rate`](FaultPlan::with_vanish_rate) | 0.0 | per-`vms()`-call probability that one listed VM disappears (stale-listing semantics) |
+/// | [`with_target_vm`](FaultPlan::with_target_vm) | any VM | confine random faults + vanishes to one victim so bystanders stay provably clean |
+/// | [`script`](FaultPlan::script) | empty | "fail the next N matching ops with kind K" entries, matched before any dice roll |
+///
+/// ```
+/// use vfc_cgroupfs::fault::{FaultKind, FaultOp, FaultPlan};
+/// use std::io;
+///
+/// // 1 % chaos on every monitoring read, plus exactly three EBUSY
+/// // bounces on the first cpu.max writes — replayable under any seed.
+/// let mut plan = FaultPlan::none().with_vanish_rate(0.001);
+/// for op in FaultOp::READS {
+///     plan = plan.with_rate(op, 0.01);
+/// }
+/// let plan = plan.script(
+///     FaultOp::SetVcpuMax,
+///     None,
+///     None,
+///     FaultKind::Io(io::ErrorKind::ResourceBusy),
+///     3,
+/// );
+/// # let _ = plan;
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
+    /// Per-operation-class fault probability; absent class = never.
     rates: HashMap<FaultOp, f64>,
+    /// Kind palette for random faults; empty = [`FaultKind::TRANSIENT`].
     kinds: Vec<FaultKind>,
+    /// Scripted entries, consumed in insertion order before any dice.
     script: Vec<ScriptedFault>,
+    /// Per-`vms()`-call probability of one whole-VM disappearance.
     vanish_rate: f64,
+    /// When set, random faults and vanishes only hit this VM.
     target_vm: Option<VmId>,
 }
 

@@ -23,6 +23,8 @@
 //! All draws come from one seeded [`SplitMix64`] stream consumed in a
 //! fixed order, so runs are reproducible and warm-vs-cold comparisons can
 //! share the exact same fault schedule.
+//!
+//! [`SplitMix64`]: vfc_simcore::SplitMix64
 
 use serde::{Deserialize, Serialize};
 

@@ -255,6 +255,47 @@ impl ClusterManager {
         self.freport
     }
 
+    /// Per-node controller telemetry rolled into one Prometheus page:
+    /// every controller-bearing node's registry rendered under a
+    /// `node="<family>-<index>"` label, `# HELP`/`# TYPE` emitted once
+    /// per metric. Nodes without a controller — the migration strategy,
+    /// or a node whose controller is currently crashed/fail-open — are
+    /// simply absent from the page, which is itself a signal a scrape
+    /// alert can key on (`count by (__name__) (vfc_iterations_total)`
+    /// drops below the node count).
+    pub fn telemetry_prometheus(&self) -> String {
+        let labelled: Vec<(String, &vfc_telemetry::Registry)> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| {
+                n.controller
+                    .as_ref()
+                    .map(|c| (format!("{}-{i}", n.bin.spec.name), c.telemetry().registry()))
+            })
+            .collect();
+        let refs: Vec<(&str, &vfc_telemetry::Registry)> = labelled
+            .iter()
+            .map(|(name, r)| (name.as_str(), *r))
+            .collect();
+        vfc_telemetry::render_merged("node", &refs)
+    }
+
+    /// Cumulative controller health per node (`<family>-<index>` →
+    /// totals), for nodes that currently have a controller. See
+    /// [`vfc_controller::HealthTotals`] for the reset semantics.
+    pub fn health_totals(&self) -> Vec<(String, vfc_controller::HealthTotals)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| {
+                n.controller
+                    .as_ref()
+                    .map(|c| (format!("{}-{i}", n.bin.spec.name), c.health_totals()))
+            })
+            .collect()
+    }
+
     /// Per-period cluster samples recorded so far (power, active nodes,
     /// migrations in flight) — the raw data for energy-over-time plots.
     pub fn history(&self) -> &[PeriodSample] {
@@ -829,6 +870,43 @@ mod tests {
         assert_eq!(r.deployed, 3);
         assert_eq!(r.rejected, 1);
         assert_eq!(r.nodes_active, 3);
+    }
+
+    #[test]
+    fn telemetry_rollup_labels_every_controller_node() {
+        let mut c = small_cluster(Strategy::FrequencyControl);
+        c.deploy(
+            &VmTemplate::new("std", 2, MHz(1200)),
+            Box::new(SteadyDemand::full()),
+        )
+        .expect("fits");
+        for _ in 0..5 {
+            c.run_period();
+        }
+        let page = c.telemetry_prometheus();
+        // HELP/TYPE once, one series per node.
+        assert_eq!(
+            page.matches("# TYPE vfc_iterations_total counter").count(),
+            1
+        );
+        for node in ["n-0", "n-1", "n-2"] {
+            assert!(
+                page.contains(&format!("vfc_iterations_total{{node=\"{node}\"}} 5")),
+                "node {node} missing:\n{page}"
+            );
+        }
+        // Stage histograms carry both labels.
+        assert!(page.contains("vfc_stage_duration_seconds_count{node=\"n-0\",stage=\"monitor\"} 5"));
+        // Cumulative health is visible per node too.
+        let totals = c.health_totals();
+        assert_eq!(totals.len(), 3);
+        assert!(totals.iter().all(|(_, t)| t.iterations == 5));
+
+        // The migration strategy has no controllers: empty page, no series.
+        let mut m = small_cluster(Strategy::migration_default());
+        m.run_period();
+        assert!(m.telemetry_prometheus().is_empty());
+        assert!(m.health_totals().is_empty());
     }
 
     #[test]

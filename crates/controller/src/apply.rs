@@ -95,6 +95,22 @@ pub fn apply_allocations<B: HostBackend + ?Sized>(
     out
 }
 
+impl ApplyOutcome {
+    /// Fold stage 6's write traffic into the telemetry. `attempted` is
+    /// the number of `cpu.max` writes issued, `volume_usec` the µs of
+    /// allocation carried by the successful ones, `retries` how many
+    /// writes were re-issues of the previous period's failures.
+    pub fn record_telemetry(
+        &self,
+        attempted: u64,
+        volume_usec: u64,
+        retries: u64,
+        metrics: &mut crate::telemetry::ControllerMetrics,
+    ) {
+        metrics.record_apply(attempted, volume_usec, self.errors() as u64, retries);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -88,6 +88,22 @@ pub fn run_auction(
     AuctionOutcome { sold, rounds }
 }
 
+/// Fold per-VM spent credits — what each buyer paid in this period's
+/// auction (Alg. 1), derived by the controller from wallet snapshots
+/// bracketing [`run_auction`] — into
+/// `vfc_credits_spent_usec_total{vm=...}`.
+pub fn record_telemetry(
+    spent: &[(vfc_simcore::VmId, u64)],
+    names: &HashMap<vfc_simcore::VmId, &str>,
+    metrics: &mut crate::telemetry::ControllerMetrics,
+) {
+    for (vm, amount) in spent {
+        if let Some(name) = names.get(vm) {
+            metrics.record_credits_spent(name, *amount);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -4,6 +4,8 @@
 //! vfcd [--config FILE] [--monitor-only] [--iterations N] [--verbose]
 //!      [--vfreq NAME=MHZ]... [--log-json FILE]
 //!      [--journal FILE] [--journal-interval N]
+//!      [--metrics FILE] [--metrics-addr HOST:PORT]
+//!      [--trace-dump FILE] [--trace-len N]
 //!      [--cgroup-root DIR --proc-root DIR --cpu-root DIR]
 //! ```
 //!
@@ -13,6 +15,11 @@
 //! With `--journal` the daemon persists a crash journal every
 //! `--journal-interval` periods and warm-restarts from it on boot (see
 //! `vfc_controller::persist` and DESIGN.md §10).
+//! With `--metrics` / `--metrics-addr` every iteration publishes a
+//! Prometheus text page (atomically-swapped textfile / minimal HTTP
+//! endpoint), and `--trace-dump` writes the last `--trace-len`
+//! iterations' per-stage traces as JSON on every exit path (see
+//! docs/OBSERVABILITY.md for the metric reference).
 //! See `vfc_controller::daemon` for the config-file format.
 
 use std::process::ExitCode;
@@ -26,6 +33,8 @@ fn main() -> ExitCode {
              usage: vfcd [--config FILE] [--monitor-only] [--iterations N]\n\
                     [--verbose] [--vfreq NAME=MHZ]... [--log-json FILE]\n\
                     [--journal FILE] [--journal-interval N]\n\
+                    [--metrics FILE] [--metrics-addr HOST:PORT]\n\
+                    [--trace-dump FILE] [--trace-len N]\n\
                     [--cgroup-root DIR --proc-root DIR --cpu-root DIR]"
         );
         return ExitCode::SUCCESS;

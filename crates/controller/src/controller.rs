@@ -8,6 +8,7 @@ use crate::distribute::distribute_leftovers;
 use crate::estimate::{Estimate, EstimateCase, Estimator};
 use crate::monitor::Monitor;
 use crate::persist::{Journal, VcpuState, VmState, JOURNAL_VERSION};
+use crate::telemetry::{ControllerMetrics, Stage};
 use crate::vfreq::guaranteed_cycles;
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -37,6 +38,16 @@ pub struct StageTimings {
 
 /// Degradation bookkeeping for one iteration: what failed, what the
 /// controller did about it. All-zero/empty on a healthy host.
+///
+/// **Reset semantics.** A `HealthReport` describes exactly one period —
+/// every counter here starts from zero each iteration. Cumulative
+/// since-boot totals live in [`HealthTotals`]
+/// ([`Controller::health_totals`]); the daemon's per-iteration JSON line
+/// carries the cumulative totals as `health` and this per-period report
+/// as `health_delta`, so log consumers never have to guess which
+/// semantics they are reading. Warm restarts do *not* resurrect totals:
+/// they are process-lifetime counters, deliberately absent from the
+/// crash journal.
 ///
 /// The ladder, mildest first: a failing read is answered from the stale
 /// cache (`stale_reused`), then the vCPU is skipped for the period
@@ -72,6 +83,61 @@ impl HealthReport {
             || !self.skipped_vcpus.is_empty()
             || !self.vanished_vms.is_empty();
     }
+}
+
+/// Cumulative health counters since the controller was built — the
+/// running sum of every [`HealthReport`] (which itself resets each
+/// iteration). These are process-lifetime counters: a warm restart from
+/// the crash journal starts them at zero again, because a counter that
+/// silently survives restarts would make rate computations lie.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+pub struct HealthTotals {
+    /// Iterations folded into these totals.
+    pub iterations: u64,
+    /// Iterations with any degradation at all.
+    pub degraded_iterations: u64,
+    /// Per-vCPU monitoring reads that failed (stage 1).
+    pub read_errors: u64,
+    /// `cpu.max` writes that failed (stage 6).
+    pub write_errors: u64,
+    /// Writes re-issued after failing the previous period.
+    pub write_retries: u64,
+    /// vCPU-periods served from the stale-sample cache.
+    pub stale_reused: u64,
+    /// vCPU-periods skipped for lack of a usable sample.
+    pub skipped_vcpus: u64,
+    /// VMs that disappeared mid-iteration.
+    pub vanished_vms: u64,
+}
+
+impl HealthTotals {
+    /// Fold one iteration's report into the running totals.
+    pub fn absorb(&mut self, h: &HealthReport) {
+        self.iterations += 1;
+        self.read_errors += h.read_errors as u64;
+        self.write_errors += h.write_errors as u64;
+        self.write_retries += h.write_retries as u64;
+        self.stale_reused += h.stale_reused as u64;
+        self.skipped_vcpus += h.skipped_vcpus.len() as u64;
+        self.vanished_vms += h.vanished_vms.len() as u64;
+        if h.degraded {
+            self.degraded_iterations += 1;
+        }
+    }
+}
+
+/// Per-VM positive balance movement between two wallet snapshots
+/// (`newer − older`, clamped at zero). Used to derive minted (after-earn
+/// minus before) and spent (after-earn minus after-auction) per VM.
+fn balance_delta(newer: &[(VmId, u64)], older: &[(VmId, u64)]) -> Vec<(VmId, u64)> {
+    let old: HashMap<VmId, u64> = older.iter().copied().collect();
+    newer
+        .iter()
+        .filter_map(|(vm, bal)| {
+            let delta = bal.saturating_sub(old.get(vm).copied().unwrap_or(0));
+            (delta > 0).then_some((*vm, delta))
+        })
+        .collect()
 }
 
 /// Everything the controller decided about one vCPU this iteration.
@@ -162,6 +228,10 @@ pub struct Controller {
     /// across daemon restarts.
     last_names: HashMap<VmId, String>,
     iterations: u64,
+    /// Running sum of every iteration's [`HealthReport`].
+    health_totals: HealthTotals,
+    /// Stage histograms, market counters and the trace ring.
+    metrics: ControllerMetrics,
 }
 
 impl Controller {
@@ -185,6 +255,8 @@ impl Controller {
             pending_writes: HashMap::new(),
             last_names: HashMap::new(),
             iterations: 0,
+            health_totals: HealthTotals::default(),
+            metrics: ControllerMetrics::new(),
         }
     }
 
@@ -207,6 +279,22 @@ impl Controller {
     /// Credit balance of a VM.
     pub fn credit_of(&self, vm: VmId) -> u64 {
         self.wallet.balance(vm)
+    }
+
+    /// Cumulative health counters since this controller was built (see
+    /// [`HealthTotals`] for the reset semantics).
+    pub fn health_totals(&self) -> HealthTotals {
+        self.health_totals
+    }
+
+    /// The telemetry registry, stage histograms and trace ring.
+    pub fn telemetry(&self) -> &ControllerMetrics {
+        &self.metrics
+    }
+
+    /// Mutable telemetry access (e.g. resizing the trace ring at boot).
+    pub fn telemetry_mut(&mut self) -> &mut ControllerMetrics {
+        &mut self.metrics
     }
 
     /// Snapshot everything a warm restart needs — wallets, consumption
@@ -309,6 +397,15 @@ impl Controller {
             .monitor
             .observe(backend, period, self.cfg.stale_sample_ttl);
         timings.monitor = t.elapsed();
+        self.metrics.observe_stage(Stage::Monitor, timings.monitor);
+        outcome.record_telemetry(&mut self.metrics);
+        // Names of vanished VMs (only the previous inventory still knows
+        // them) — their per-VM gauge series are dropped in the epilogue.
+        let mut vanished_names: Vec<String> = outcome
+            .vanished
+            .iter()
+            .filter_map(|vm| self.last_names.get(vm).cloned())
+            .collect();
         let mut health = HealthReport {
             read_errors: outcome.read_errors,
             stale_reused: outcome.stale_reused.len() as u32,
@@ -330,6 +427,9 @@ impl Controller {
             self.estimator
                 .estimate(&self.cfg, &observations, &self.prev_alloc);
         timings.estimate = t.elapsed();
+        self.metrics
+            .observe_stage(Stage::Estimate, timings.estimate);
+        crate::estimate::record_telemetry(&estimates, &mut self.metrics);
 
         // Guarantees per VM (Eq. 2).
         let guarantee: HashMap<VmId, Micros> = vms
@@ -375,6 +475,10 @@ impl Controller {
         let market_left;
 
         if self.cfg.mode == ControlMode::Full {
+            // Wallet snapshots bracketing earn and auction let us derive
+            // per-VM minted/spent amounts without touching the stages'
+            // signatures (AuctionOutcome stays `Copy`).
+            let balances_before = self.wallet.snapshot();
             // ---- stage 3: credits + base capping (Eqs. 4, 5) ---------------
             let t = Instant::now();
             self.wallet.earn(&observations, &guarantee);
@@ -396,6 +500,13 @@ impl Controller {
                 }
             }
             timings.enforce = t.elapsed();
+            self.metrics.observe_stage(Stage::Enforce, timings.enforce);
+            let balances_after_earn = self.wallet.snapshot();
+            crate::credits::record_telemetry(
+                &balance_delta(&balances_after_earn, &balances_before),
+                &names,
+                &mut self.metrics,
+            );
 
             // ---- stage 4: auction (Eq. 6, Alg. 1) ----------------------------
             let t = Instant::now();
@@ -420,6 +531,12 @@ impl Controller {
                 &mut allocations,
             );
             timings.auction = t.elapsed();
+            self.metrics.observe_stage(Stage::Auction, timings.auction);
+            crate::auction::record_telemetry(
+                &balance_delta(&balances_after_earn, &self.wallet.snapshot()),
+                &names,
+                &mut self.metrics,
+            );
 
             // ---- stage 5: free distribution ------------------------------------
             let t = Instant::now();
@@ -433,6 +550,15 @@ impl Controller {
             distributed = distribute_leftovers(&mut market, &residual, &mut allocations);
             market_left = market;
             timings.distribute = t.elapsed();
+            self.metrics
+                .observe_stage(Stage::Distribute, timings.distribute);
+            crate::distribute::record_telemetry(
+                market_initial,
+                &auction_outcome,
+                distributed,
+                market_left,
+                &mut self.metrics,
+            );
 
             // ---- stage 6: apply ----------------------------------------------------
             let t = Instant::now();
@@ -489,8 +615,27 @@ impl Controller {
                     self.monitor.forget_vm(*vm);
                 }
                 health.vanished_vms.extend(applied.vanished.iter().copied());
+                for vm in &applied.vanished {
+                    if let Some(name) = names.get(vm) {
+                        vanished_names.push((*name).to_string());
+                    }
+                }
             }
             timings.apply = t.elapsed();
+            self.metrics.observe_stage(Stage::Apply, timings.apply);
+            let failed_addrs: std::collections::HashSet<VcpuAddr> =
+                applied.failed.iter().map(|(a, _)| *a).collect();
+            let volume: u64 = to_write
+                .iter()
+                .filter(|(a, _)| !failed_addrs.contains(a) && !applied.vanished.contains(&a.vm))
+                .map(|(_, m)| m.as_u64())
+                .sum();
+            applied.record_telemetry(
+                to_write.len() as u64,
+                volume,
+                health.write_retries as u64,
+                &mut self.metrics,
+            );
         } else {
             // Scenario A: nothing is written; estimates are still computed
             // (only "the control part of the controller is disabled").
@@ -532,6 +677,43 @@ impl Controller {
         timings.total = t_start.elapsed();
         self.iterations += 1;
         health.finalize();
+        self.health_totals.absorb(&health);
+
+        // ---- telemetry epilogue (outside the timed window) --------------------
+        self.metrics
+            .observe_iteration(timings.total, health.degraded);
+        let credits = self.wallet.snapshot();
+        for (vm, bal) in &credits {
+            if let Some(name) = names.get(vm) {
+                self.metrics.record_credit_balance(name, *bal);
+            }
+        }
+        for name in &vanished_names {
+            self.metrics.forget_vm(name);
+        }
+        let mut alloc_by_vm: std::collections::BTreeMap<&str, u64> =
+            std::collections::BTreeMap::new();
+        for v in &vcpus {
+            *alloc_by_vm.entry(v.vm_name.as_str()).or_insert(0) += v.alloc.as_u64();
+        }
+        self.metrics.push_trace(vfc_telemetry::IterationTrace {
+            iteration: self.iterations,
+            unix_ms: vfc_telemetry::trace::unix_now_ms(),
+            stages_us: vec![
+                timings.monitor.as_micros() as u64,
+                timings.estimate.as_micros() as u64,
+                timings.enforce.as_micros() as u64,
+                timings.auction.as_micros() as u64,
+                timings.distribute.as_micros() as u64,
+                timings.apply.as_micros() as u64,
+            ],
+            total_us: timings.total.as_micros() as u64,
+            degraded: health.degraded,
+            vm_alloc_us: alloc_by_vm
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        });
 
         Ok(IterationReport {
             vcpus,
@@ -539,7 +721,7 @@ impl Controller {
             auction: auction_outcome,
             distributed,
             market_left,
-            credits: self.wallet.snapshot(),
+            credits,
             timings,
             health,
         })

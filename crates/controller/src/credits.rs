@@ -92,6 +92,21 @@ pub fn base_allocations(
         .collect()
 }
 
+/// Fold per-VM minted credits — the Eq. 4 earnings of this period,
+/// derived by the controller from wallet snapshots bracketing
+/// [`Wallet::earn`] — into `vfc_credits_minted_usec_total{vm=...}`.
+pub fn record_telemetry(
+    minted: &[(VmId, u64)],
+    names: &HashMap<VmId, &str>,
+    metrics: &mut crate::telemetry::ControllerMetrics,
+) {
+    for (vm, amount) in minted {
+        if let Some(name) = names.get(vm) {
+            metrics.record_credits_minted(name, *amount);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

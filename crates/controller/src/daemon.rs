@@ -19,6 +19,10 @@
 //! history_len = 5
 //! journal_path = /var/lib/vfcd/journal.json
 //! journal_interval = 1   # periods between journal flushes
+//! metrics_path = /run/vfcd/metrics.prom   # Prometheus textfile
+//! metrics_addr = 127.0.0.1:9753           # Prometheus HTTP endpoint
+//! trace_dump = /var/log/vfcd-traces.json  # ring dump on exit
+//! trace_len = 128                         # iterations kept in the ring
 //!
 //! [vms]
 //! web-frontend = 500     # MHz
@@ -82,6 +86,19 @@ pub struct DaemonConfig {
     /// Periods between journal flushes; must be ≥ 1. Only meaningful
     /// with `journal_path` set.
     pub journal_interval: u64,
+    /// Prometheus textfile exposition: after every iteration the full
+    /// metrics page is written here atomically (tmp + rename), ready for
+    /// the node-exporter textfile collector or a `curl file://` scrape.
+    pub metrics_path: Option<PathBuf>,
+    /// Prometheus HTTP exposition: bind a minimal std-only listener on
+    /// this address (e.g. `127.0.0.1:9753`) serving the same page.
+    pub metrics_addr: Option<String>,
+    /// Where to dump the iteration trace ring as JSON on every exit path
+    /// (warm shutdown, iteration limit, circuit breaker); `None`
+    /// disables dumping.
+    pub trace_dump: Option<PathBuf>,
+    /// Capacity of the iteration trace ring (clamped to ≥ 1).
+    pub trace_len: usize,
 }
 
 impl Default for DaemonConfig {
@@ -98,6 +115,10 @@ impl Default for DaemonConfig {
             discovery_backoff: Duration::from_millis(50),
             journal_path: None,
             journal_interval: 1,
+            metrics_path: None,
+            metrics_addr: None,
+            trace_dump: None,
+            trace_len: crate::telemetry::DEFAULT_TRACE_LEN,
         }
     }
 }
@@ -109,12 +130,24 @@ fn validate_daemon(cfg: &DaemonConfig) -> Result<(), String> {
     if cfg.journal_interval == 0 {
         return Err("journal_interval must be at least 1 period".into());
     }
-    if let (Some(journal), Some(log)) = (&cfg.journal_path, &cfg.log_json) {
-        if journal == log {
-            return Err(format!(
-                "journal_path and log_json must differ: both are {}",
-                journal.display()
-            ));
+    // Every output file must be distinct: two writers racing on one path
+    // through atomic renames would silently clobber each other.
+    let outputs: [(&str, &Option<PathBuf>); 4] = [
+        ("journal_path", &cfg.journal_path),
+        ("log_json", &cfg.log_json),
+        ("metrics_path", &cfg.metrics_path),
+        ("trace_dump", &cfg.trace_dump),
+    ];
+    for (i, (name_a, a)) in outputs.iter().enumerate() {
+        for (name_b, b) in &outputs[i + 1..] {
+            if let (Some(a), Some(b)) = (a, b) {
+                if a == b {
+                    return Err(format!(
+                        "{name_a} and {name_b} must differ: both are {}",
+                        a.display()
+                    ));
+                }
+            }
         }
     }
     Ok(())
@@ -213,6 +246,14 @@ pub fn parse_config_file(content: &str) -> Result<DaemonConfig, String> {
                     .map_err(|_| format!("line {}: bad journal_interval", lineno + 1))?;
             }
             "log_json" => cfg.log_json = Some(PathBuf::from(value)),
+            "metrics_path" => cfg.metrics_path = Some(PathBuf::from(value)),
+            "metrics_addr" => cfg.metrics_addr = Some(value.to_owned()),
+            "trace_dump" => cfg.trace_dump = Some(PathBuf::from(value)),
+            "trace_len" => {
+                cfg.trace_len = value
+                    .parse()
+                    .map_err(|_| format!("line {}: bad trace_len", lineno + 1))?;
+            }
             other => return Err(format!("line {}: unknown key {other:?}", lineno + 1)),
         }
     }
@@ -229,6 +270,8 @@ pub fn parse_config_file(content: &str) -> Result<DaemonConfig, String> {
 /// vfcd [--config FILE] [--monitor-only] [--iterations N] [--verbose]
 ///      [--vfreq NAME=MHZ]... [--log-json FILE]
 ///      [--journal FILE] [--journal-interval N]
+///      [--metrics FILE] [--metrics-addr HOST:PORT]
+///      [--trace-dump FILE] [--trace-len N]
 ///      [--cgroup-root DIR --proc-root DIR --cpu-root DIR]
 /// ```
 pub fn parse_args(args: &[String]) -> Result<DaemonConfig, String> {
@@ -259,6 +302,10 @@ pub fn parse_args(args: &[String]) -> Result<DaemonConfig, String> {
                 cfg.journal_interval = file_cfg.journal_interval;
                 cfg.journal_path = file_cfg.journal_path.or(cfg.journal_path.take());
                 cfg.log_json = file_cfg.log_json.or(cfg.log_json.take());
+                cfg.metrics_path = file_cfg.metrics_path.or(cfg.metrics_path.take());
+                cfg.metrics_addr = file_cfg.metrics_addr.or(cfg.metrics_addr.take());
+                cfg.trace_dump = file_cfg.trace_dump.or(cfg.trace_dump.take());
+                cfg.trace_len = file_cfg.trace_len;
             }
             "--monitor-only" => cfg.controller.mode = ControlMode::MonitorOnly,
             "--verbose" => cfg.verbose = true,
@@ -284,6 +331,14 @@ pub fn parse_args(args: &[String]) -> Result<DaemonConfig, String> {
                 cfg.journal_interval = next(&mut i)?
                     .parse()
                     .map_err(|_| "--journal-interval needs an integer".to_owned())?;
+            }
+            "--metrics" => cfg.metrics_path = Some(PathBuf::from(next(&mut i)?)),
+            "--metrics-addr" => cfg.metrics_addr = Some(next(&mut i)?),
+            "--trace-dump" => cfg.trace_dump = Some(PathBuf::from(next(&mut i)?)),
+            "--trace-len" => {
+                cfg.trace_len = next(&mut i)?
+                    .parse()
+                    .map_err(|_| "--trace-len needs an integer".to_owned())?;
             }
             "--cgroup-root" => cgroup_root = Some(PathBuf::from(next(&mut i)?)),
             "--proc-root" => proc_root = Some(PathBuf::from(next(&mut i)?)),
@@ -425,6 +480,57 @@ fn flush_log(log: &mut Option<std::io::BufWriter<std::fs::File>>) {
     }
 }
 
+/// Publish the current metrics page to every configured sink: the
+/// atomically-swapped textfile and/or the HTTP endpoint. A failed
+/// textfile write is reported, never fatal — observability must not
+/// take the control loop down.
+fn publish_metrics(
+    cfg: &DaemonConfig,
+    server: &Option<vfc_telemetry::MetricsServer>,
+    controller: &Controller,
+) {
+    if cfg.metrics_path.is_none() && server.is_none() {
+        return;
+    }
+    let page = controller.telemetry().render_prometheus();
+    if let Some(path) = &cfg.metrics_path {
+        if let Err(e) = vfc_telemetry::write_textfile(path, &page) {
+            eprintln!("vfcd: metrics textfile write failed: {e}");
+        }
+    }
+    if let Some(server) = server {
+        server.publish(page);
+    }
+}
+
+/// Final observability flush shared by every exit path: the cumulative
+/// health totals go to stderr (so the since-boot counters survive in the
+/// supervisor's log even when no JSON log was configured), the trace
+/// ring is dumped to `trace_dump` tagged with what ended the process,
+/// and the metrics sinks get one last page.
+fn flush_observability(
+    cfg: &DaemonConfig,
+    server: &Option<vfc_telemetry::MetricsServer>,
+    controller: &Controller,
+    reason: &str,
+) {
+    let totals = serde_json::to_string(&controller.health_totals())
+        .expect("health totals serialization cannot fail");
+    eprintln!("vfcd: exit ({reason}); cumulative health: {totals}");
+    if let Some(path) = &cfg.trace_dump {
+        let dump = controller.telemetry().trace().dump_json(reason);
+        match vfc_telemetry::write_textfile(path, &dump) {
+            Ok(()) => eprintln!(
+                "vfcd: dumped {} iteration traces to {}",
+                controller.telemetry().trace().len(),
+                path.display()
+            ),
+            Err(e) => eprintln!("vfcd: trace dump failed: {e}"),
+        }
+    }
+    publish_metrics(cfg, server, controller);
+}
+
 /// Cold-start orphan sweep: clear every *limited* cap in force. Used
 /// when journalling is on but no trustworthy journal exists — whatever
 /// caps are present were left by a dead predecessor and no longer match
@@ -564,6 +670,16 @@ pub fn run_with_shutdown<B: HostBackend + ?Sized>(
     }
     let period = cfg.controller.period;
     let mut controller = Controller::new(cfg.controller.clone(), topo);
+    controller.telemetry_mut().set_trace_capacity(cfg.trace_len);
+    let metrics_server = match &cfg.metrics_addr {
+        Some(addr) => {
+            let server = vfc_telemetry::MetricsServer::bind(addr.as_str())
+                .map_err(|e| format!("cannot bind metrics endpoint {addr}: {e}"))?;
+            eprintln!("vfcd: serving /metrics on http://{}", server.local_addr());
+            Some(server)
+        }
+        None => None,
+    };
     eprintln!(
         "vfcd: {} CPUs at {}, period {:?}, mode {:?}, {} VM frequencies declared",
         topo.nr_cpus,
@@ -595,6 +711,7 @@ pub fn run_with_shutdown<B: HostBackend + ?Sized>(
             // Warm handoff: the successor adopts the caps we leave.
             save_journal(&cfg, &controller);
             flush_log(&mut json_log);
+            flush_observability(&cfg, &metrics_server, &controller, "shutdown");
             eprintln!("vfcd: shutdown requested after {done} iterations; warm handoff");
             return Ok(done);
         }
@@ -602,6 +719,7 @@ pub fn run_with_shutdown<B: HostBackend + ?Sized>(
             if done >= limit {
                 save_journal(&cfg, &controller);
                 flush_log(&mut json_log);
+                flush_observability(&cfg, &metrics_server, &controller, "iteration-limit");
                 return Ok(done);
             }
         }
@@ -630,8 +748,21 @@ pub fn run_with_shutdown<B: HostBackend + ?Sized>(
                 }
                 if let Some(file) = &mut json_log {
                     use std::io::Write as _;
+                    // Documented log-line health semantics: `health` is
+                    // cumulative since boot, `health_delta` is this
+                    // iteration's HealthReport (which resets each period).
+                    let mut value = serde::Serialize::ser(&report);
+                    if let serde::Value::Object(fields) = &mut value {
+                        if let Some(entry) = fields.iter_mut().find(|(k, _)| k == "health") {
+                            entry.0 = "health_delta".to_owned();
+                        }
+                        fields.push((
+                            "health".to_owned(),
+                            serde::Serialize::ser(&controller.health_totals()),
+                        ));
+                    }
                     let line =
-                        serde_json::to_string(&report).expect("report serialization cannot fail");
+                        serde_json::to_string(&value).expect("report serialization cannot fail");
                     if let Err(e) = writeln!(file, "{line}") {
                         eprintln!("vfcd: json log write failed: {e}");
                     }
@@ -647,6 +778,7 @@ pub fn run_with_shutdown<B: HostBackend + ?Sized>(
         if done.is_multiple_of(cfg.journal_interval) {
             save_journal(&cfg, &controller);
         }
+        publish_metrics(&cfg, &metrics_server, &controller);
 
         // Circuit breaker: a persistently failing host is one we must not
         // keep half-controlling. Uncap everything (the safe state for
@@ -660,6 +792,7 @@ pub fn run_with_shutdown<B: HostBackend + ?Sized>(
                 let cleared = uncap_all(backend);
                 save_journal(&cfg, &controller);
                 flush_log(&mut json_log);
+                flush_observability(&cfg, &metrics_server, &controller, "circuit-breaker");
                 return Err(format!(
                     "circuit breaker: {consecutive_errors} consecutive degraded iterations; \
                      uncapped {cleared} vCPUs and giving up"
@@ -806,10 +939,11 @@ mod tests {
         let content = std::fs::read_to_string(&log).unwrap();
         let lines: Vec<&str> = content.lines().collect();
         assert_eq!(lines.len(), 2);
-        // Each line is a valid IterationReport JSON document, health
-        // counters included — operators grep the log for degradations,
-        // not the verbose stderr.
-        for line in lines {
+        // Each line is a valid IterationReport JSON document with the
+        // documented health semantics: `health` is cumulative since
+        // boot, `health_delta` is the per-iteration report — operators
+        // grep the log for degradations, not the verbose stderr.
+        for (i, line) in lines.iter().enumerate() {
             let v: serde_json::Value = serde_json::from_str(line).unwrap();
             assert!(v["vcpus"].is_array());
             assert!(
@@ -818,10 +952,145 @@ mod tests {
                     || !v["timings"]["total"].is_null()
             );
             assert!(v["health"].is_object(), "health missing: {line}");
+            assert_eq!(
+                v["health"]["iterations"].as_u64(),
+                Some(i as u64 + 1),
+                "cumulative iterations wrong: {line}"
+            );
             assert!(v["health"]["read_errors"].as_u64().is_some());
             assert!(v["health"]["write_errors"].as_u64().is_some());
-            assert!(v["health"]["degraded"].as_bool().is_some());
+            assert!(v["health"]["degraded_iterations"].as_u64().is_some());
+            assert!(
+                v["health_delta"].is_object(),
+                "health_delta missing: {line}"
+            );
+            assert!(v["health_delta"]["read_errors"].as_u64().is_some());
+            assert!(v["health_delta"]["degraded"].as_bool().is_some());
         }
+    }
+
+    #[test]
+    fn daemon_publishes_metrics_and_dumps_traces() {
+        use vfc_cgroupfs::fixture::FixtureTree;
+        let fx = FixtureTree::builder()
+            .cpus(1, MHz(2400))
+            .vm("web", 1, &[14])
+            .build();
+        let metrics = fx.root().join("vfcd.prom");
+        let traces = fx.root().join("vfcd-traces.json");
+        let mut cfg = DaemonConfig {
+            iterations: Some(3),
+            metrics_path: Some(metrics.clone()),
+            trace_dump: Some(traces.clone()),
+            trace_len: 2,
+            ..DaemonConfig::default()
+        };
+        cfg.vfreq.insert("web".into(), MHz(500));
+        cfg.controller.period = Micros::from_millis(50);
+        cfg.roots = Some((fx.cgroup_root(), fx.proc_root(), fx.cpu_root()));
+        run(cfg).unwrap();
+
+        // The textfile is a complete exposition: every stage histogram,
+        // the market counters and the per-VM credit series.
+        let page = std::fs::read_to_string(&metrics).unwrap();
+        assert!(page.contains("# TYPE vfc_stage_duration_seconds histogram"));
+        for stage in vfc_telemetry::STAGE_NAMES {
+            assert!(
+                page.contains(&format!(
+                    "vfc_stage_duration_seconds_count{{stage=\"{stage}\"}} 3"
+                )),
+                "stage {stage} missing from exposition:\n{page}"
+            );
+        }
+        assert!(page.contains("vfc_iterations_total 3"));
+        assert!(page.contains("vfc_market_cycles_usec_total{outcome=\"sold\"}"));
+        assert!(page.contains("vfc_credit_balance_usec{vm=\"web\"}"));
+        assert!(page.contains("vfc_monitor_read_errors_total 0"));
+
+        // The trace dump holds the last `trace_len` iterations, tagged
+        // with the exit reason.
+        let dump: vfc_telemetry::TraceDump =
+            serde_json::from_str(&std::fs::read_to_string(&traces).unwrap()).unwrap();
+        assert_eq!(dump.reason, "iteration-limit");
+        assert_eq!(dump.iterations.len(), 2);
+        assert_eq!(dump.iterations[1].iteration, 3);
+        assert_eq!(dump.iterations[1].stages_us.len(), 6);
+        assert!(dump.iterations[1]
+            .vm_alloc_us
+            .iter()
+            .any(|(n, _)| n == "web"));
+    }
+
+    #[test]
+    fn daemon_accepts_metrics_addr_and_runs() {
+        // The live HTTP round-trip is covered by the telemetry crate's
+        // MetricsServer tests; here we assert the daemon binds the
+        // listener (ephemeral port) and runs the loop to completion.
+        use vfc_cgroupfs::fixture::FixtureTree;
+        let fx = FixtureTree::builder()
+            .cpus(1, MHz(2400))
+            .vm("web", 1, &[15])
+            .build();
+        let mut cfg = DaemonConfig {
+            metrics_addr: Some("127.0.0.1:0".into()),
+            ..DaemonConfig::default()
+        };
+        cfg.controller.period = Micros::from_millis(20);
+        cfg.roots = Some((fx.cgroup_root(), fx.proc_root(), fx.cpu_root()));
+        let handle = ShutdownHandle::new();
+        handle.request_after_iterations(4);
+        let mut backend = fx.backend();
+        let ran = run_with_shutdown(cfg, &mut backend, &handle).unwrap();
+        assert_eq!(ran, 4);
+        // An unbindable address fails loudly at boot, not mid-loop.
+        let mut bad = DaemonConfig {
+            metrics_addr: Some("256.0.0.1:1".into()),
+            ..DaemonConfig::default()
+        };
+        bad.roots = Some((fx.cgroup_root(), fx.proc_root(), fx.cpu_root()));
+        let err = run(bad).unwrap_err();
+        assert!(err.contains("metrics endpoint"), "{err}");
+    }
+
+    #[test]
+    fn cli_and_config_accept_telemetry_keys() {
+        let cfg = parse_args(&args(&[
+            "--metrics",
+            "/run/vfcd/metrics.prom",
+            "--metrics-addr",
+            "127.0.0.1:9753",
+            "--trace-dump",
+            "/var/log/vfcd-traces.json",
+            "--trace-len",
+            "64",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cfg.metrics_path,
+            Some(PathBuf::from("/run/vfcd/metrics.prom"))
+        );
+        assert_eq!(cfg.metrics_addr, Some("127.0.0.1:9753".into()));
+        assert_eq!(
+            cfg.trace_dump,
+            Some(PathBuf::from("/var/log/vfcd-traces.json"))
+        );
+        assert_eq!(cfg.trace_len, 64);
+
+        let cfg = parse_config_file(
+            "metrics_path = /run/m.prom\nmetrics_addr = 0.0.0.0:9753\n\
+             trace_dump = /var/log/t.json\ntrace_len = 32\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.metrics_path, Some(PathBuf::from("/run/m.prom")));
+        assert_eq!(cfg.metrics_addr, Some("0.0.0.0:9753".into()));
+        assert_eq!(cfg.trace_dump, Some(PathBuf::from("/var/log/t.json")));
+        assert_eq!(cfg.trace_len, 32);
+
+        // Output paths must be pairwise distinct.
+        let err =
+            parse_args(&args(&["--metrics", "/tmp/x", "--trace-dump", "/tmp/x"])).unwrap_err();
+        assert!(err.contains("must differ"), "{err}");
+        assert!(parse_args(&args(&["--trace-len", "many"])).is_err());
     }
 
     #[test]

@@ -46,11 +46,15 @@ pub mod distribute;
 pub mod estimate;
 pub mod monitor;
 pub mod persist;
+pub mod telemetry;
 pub mod vfreq;
 
 pub use config::{ControlMode, ControllerConfig};
-pub use controller::{Controller, HealthReport, IterationReport, StageTimings, VcpuReport};
+pub use controller::{
+    Controller, HealthReport, HealthTotals, IterationReport, StageTimings, VcpuReport,
+};
 pub use monitor::MonitorOutcome;
 pub use persist::{Journal, LoadOutcome, JOURNAL_VERSION};
+pub use telemetry::{ControllerMetrics, Stage};
 pub use vfreq::{cycles_to_freq, guaranteed_cycles};
 pub mod daemon;

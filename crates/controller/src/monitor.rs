@@ -260,6 +260,22 @@ impl Monitor {
     }
 }
 
+impl MonitorOutcome {
+    /// Fold this outcome into the controller's telemetry: the inventory
+    /// gauges (`vfc_vms`, `vfc_vcpus`) plus the stage-1 degradation
+    /// counters (read errors, stale reuse, skips, vanished VMs).
+    pub fn record_telemetry(&self, metrics: &mut crate::telemetry::ControllerMetrics) {
+        metrics.record_monitor(
+            self.vms.len() as u64,
+            self.vms.iter().map(|v| v.nr_vcpus as u64).sum(),
+            self.read_errors as u64,
+            self.stale_reused.len() as u64,
+            self.skipped.len() as u64,
+            self.vanished.len() as u64,
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

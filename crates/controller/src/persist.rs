@@ -29,8 +29,10 @@ use std::path::Path;
 use std::time::{Duration, SystemTime, UNIX_EPOCH};
 use vfc_simcore::Micros;
 
-/// Schema version written by [`Controller::export_state`]
-/// (crate::Controller::export_state); bump on any incompatible change.
+/// Schema version written by [`Controller::export_state`]; bump on any
+/// incompatible change.
+///
+/// [`Controller::export_state`]: crate::Controller::export_state
 pub const JOURNAL_VERSION: u32 = 1;
 
 /// Default staleness bound for [`Journal::load`]: a snapshot older than

@@ -21,7 +21,7 @@
 //! roughly linearly with frequency. A linear term also gives
 //! `P(f)/f = P_idle/f + const`, strictly decreasing in `f`, i.e. energy
 //! per unit of work is minimized at high frequency — the observation
-//! ([12] in the paper) that wasting compute capacity can cost more energy
+//! (\[12\] in the paper) that wasting compute capacity can cost more energy
 //! than finishing fast.
 
 use crate::topology::NodeSpec;

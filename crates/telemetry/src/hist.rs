@@ -1,0 +1,256 @@
+//! Fixed-bucket latency histograms.
+//!
+//! The buckets are chosen once at registration; observing a value is a
+//! binary search over a static bound slice plus three integer adds — no
+//! allocation, no floating point — so the controller can observe every
+//! stage of every iteration without perturbing the loop it measures.
+//!
+//! All values are **microseconds**. The Prometheus exposition renders
+//! bounds and sums in seconds (the Prometheus base unit for durations);
+//! both conversions are pure integer/decimal-string arithmetic, so the
+//! output can never contain `NaN` or `inf` (except the conventional
+//! `+Inf` bucket label).
+
+/// Default latency bucket upper bounds, in µs. Log-spaced from 1 µs to
+/// 2.5 s: fine enough to separate a 5 µs estimate stage from a 4 ms
+/// monitor stage (the paper's §IV.A.2 breakdown), coarse enough that a
+/// histogram is 21 counters.
+pub const LATENCY_BUCKETS_US: [u64; 20] = [
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000,
+    250_000, 500_000, 1_000_000, 2_500_000,
+];
+
+/// A fixed-bucket histogram of microsecond durations.
+///
+/// Steady-state cost of [`observe`](Histogram::observe): one binary
+/// search over the bound slice and four integer updates. The bucket
+/// array is allocated once at construction.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// Upper bounds (inclusive), strictly increasing, in µs.
+    bounds: &'static [u64],
+    /// `counts[i]` observations fell in `(bounds[i-1], bounds[i]]`;
+    /// the final slot is the `+Inf` overflow bucket.
+    counts: Vec<u64>,
+    sum_us: u64,
+    count: u64,
+    max_us: u64,
+}
+
+/// A point-in-time summary of a histogram: the quantiles operators ask
+/// for, plus the exact count/sum/max.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub struct HistSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observations, µs.
+    pub sum_us: u64,
+    /// Estimated median, µs (bucket upper bound — see
+    /// [`Histogram::quantile_us`]).
+    pub p50_us: u64,
+    /// Estimated 95th percentile, µs.
+    pub p95_us: u64,
+    /// Estimated 99th percentile, µs.
+    pub p99_us: u64,
+    /// Exact maximum observation, µs.
+    pub max_us: u64,
+}
+
+impl HistSnapshot {
+    /// Mean observation in µs (0 when empty).
+    pub fn mean_us(&self) -> u64 {
+        self.sum_us.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+impl Histogram {
+    /// A histogram over the given bounds (strictly increasing, non-empty).
+    ///
+    /// # Panics
+    /// Panics if `bounds` is empty or not strictly increasing — bucket
+    /// layouts are programmer input, not runtime data.
+    pub fn new(bounds: &'static [u64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds,
+            counts: vec![0; bounds.len() + 1],
+            sum_us: 0,
+            count: 0,
+            max_us: 0,
+        }
+    }
+
+    /// A histogram over [`LATENCY_BUCKETS_US`].
+    pub fn latency() -> Self {
+        Histogram::new(&LATENCY_BUCKETS_US)
+    }
+
+    /// Record one duration.
+    pub fn observe(&mut self, duration: std::time::Duration) {
+        self.observe_us(duration.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Record one duration given in µs.
+    pub fn observe_us(&mut self, us: u64) {
+        let idx = self.bounds.partition_point(|&b| b < us);
+        self.counts[idx] += 1;
+        self.sum_us += us;
+        self.count += 1;
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations, µs.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us
+    }
+
+    /// Exact maximum observation, µs (0 when empty).
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+
+    /// The bucket bounds this histogram was built over.
+    pub fn bounds(&self) -> &'static [u64] {
+        self.bounds
+    }
+
+    /// Per-bucket counts; the final entry is the `+Inf` overflow bucket.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Estimate the `q`-quantile (`0 < q ≤ 1`) as the **upper bound** of
+    /// the bucket containing that rank — a conservative (never
+    /// under-reporting) estimate, which is the right bias for latency
+    /// SLOs. The overflow bucket reports the exact observed maximum.
+    /// Returns 0 when empty.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if i < self.bounds.len() {
+                    // Never report a quantile above the observed maximum.
+                    self.bounds[i].min(self.max_us)
+                } else {
+                    self.max_us
+                };
+            }
+        }
+        self.max_us
+    }
+
+    /// Snapshot the operator-facing summary (p50/p95/p99/max).
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            count: self.count,
+            sum_us: self.sum_us,
+            p50_us: self.quantile_us(0.50),
+            p95_us: self.quantile_us(0.95),
+            p99_us: self.quantile_us(0.99),
+            max_us: self.max_us,
+        }
+    }
+}
+
+/// Render a µs quantity as a Prometheus-style seconds decimal string
+/// (`208333` → `"0.208333"`, `1_500_000` → `"1.5"`). Pure integer
+/// arithmetic: no float formatting, no `NaN`, no exponents.
+pub fn fmt_us_as_secs(us: u64) -> String {
+    let secs = us / 1_000_000;
+    let frac = us % 1_000_000;
+    if frac == 0 {
+        return format!("{secs}");
+    }
+    let s = format!("{secs}.{frac:06}");
+    s.trim_end_matches('0').to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn buckets_fill_where_expected() {
+        let mut h = Histogram::new(&[10, 100, 1000]);
+        for us in [5, 10, 11, 100, 5000] {
+            h.observe_us(us);
+        }
+        assert_eq!(h.bucket_counts(), &[2, 2, 0, 1]);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum_us(), 5 + 10 + 11 + 100 + 5000);
+        assert_eq!(h.max_us(), 5000);
+    }
+
+    #[test]
+    fn quantiles_are_conservative_bucket_bounds() {
+        let mut h = Histogram::new(&[10, 100, 1000]);
+        for _ in 0..90 {
+            h.observe_us(7);
+        }
+        for _ in 0..10 {
+            h.observe_us(600);
+        }
+        assert_eq!(h.quantile_us(0.5), 10);
+        assert_eq!(h.quantile_us(0.95), 1000.min(h.max_us()));
+        assert_eq!(h.quantile_us(1.0), 600);
+        assert_eq!(h.max_us(), 600);
+    }
+
+    #[test]
+    fn overflow_bucket_reports_exact_max() {
+        let mut h = Histogram::new(&[10]);
+        h.observe_us(123_456);
+        assert_eq!(h.quantile_us(0.99), 123_456);
+        assert_eq!(h.snapshot().p99_us, 123_456);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::latency();
+        let s = h.snapshot();
+        assert_eq!(
+            (s.count, s.sum_us, s.p50_us, s.p95_us, s.p99_us, s.max_us),
+            (0, 0, 0, 0, 0, 0)
+        );
+        assert_eq!(s.mean_us(), 0);
+    }
+
+    #[test]
+    fn duration_observation_truncates_to_us() {
+        let mut h = Histogram::latency();
+        h.observe(Duration::from_nanos(1_999));
+        assert_eq!(h.sum_us(), 1);
+    }
+
+    #[test]
+    fn seconds_formatting_is_exact_and_trimmed() {
+        assert_eq!(fmt_us_as_secs(0), "0");
+        assert_eq!(fmt_us_as_secs(1), "0.000001");
+        assert_eq!(fmt_us_as_secs(208_333), "0.208333");
+        assert_eq!(fmt_us_as_secs(500_000), "0.5");
+        assert_eq!(fmt_us_as_secs(1_000_000), "1");
+        assert_eq!(fmt_us_as_secs(2_500_000), "2.5");
+        assert_eq!(fmt_us_as_secs(1_234_567), "1.234567");
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_bounds_panic() {
+        let _ = Histogram::new(&[10, 10]);
+    }
+}

@@ -21,6 +21,7 @@
 //! | [`controller`] | `vfc-controller` | the paper's six-stage virtual-frequency control loop |
 //! | [`placement`] | `vfc-placement` | First/Best-Fit placement with the frequency constraint (Eq. 7), cluster energy |
 //! | [`metrics`] | `vfc-metrics` | statistics, aggregation, CSV/ASCII rendering, experiment records |
+//! | [`telemetry`] | `vfc-telemetry` | stage-latency histograms, metric registry, Prometheus exposition, trace ring (see docs/OBSERVABILITY.md) |
 //! | [`scenarios`] | `vfc-scenarios` | the paper's evaluations (Tables II/III/V, Figs. 3–14) as runnable scenarios |
 //!
 //! ## Quickstart
@@ -62,6 +63,7 @@ pub use vfc_metrics as metrics;
 pub use vfc_placement as placement;
 pub use vfc_scenarios as scenarios;
 pub use vfc_simcore as simcore;
+pub use vfc_telemetry as telemetry;
 pub use vfc_vmm as vmm;
 
 /// Convenience re-exports of the most commonly used items.

@@ -25,5 +25,8 @@ pub mod manager;
 pub mod slo;
 
 pub use faults::{FaultModel, FaultReport, RestartPolicy};
-pub use manager::{ClusterManager, ClusterReport, GlobalVmId, PeriodSample, Strategy};
+pub use manager::{
+    ClusterError, ClusterManager, ClusterReport, GlobalVmId, NodeLoad, PeriodSample, ResizeOutcome,
+    Strategy,
+};
 pub use slo::{SloTracker, VmSlo};

@@ -8,9 +8,10 @@ use std::fmt;
 use vfc_cgroupfs::backend::HostBackend;
 use vfc_controller::{ControlMode, Controller, ControllerConfig, Journal};
 use vfc_cpusched::topology::NodeSpec;
+use vfc_placement::algo::PlacementAlgorithm;
 use vfc_placement::constraint::ConstraintMode;
 use vfc_placement::model::{NodeBin, PlacementRequest};
-use vfc_simcore::{Micros, SplitMix64, VcpuId, VmId};
+use vfc_simcore::{MHz, Micros, SplitMix64, VcpuId, VmId};
 use vfc_vmm::workload::Workload;
 use vfc_vmm::{SimHost, VmTemplate};
 
@@ -22,6 +23,85 @@ impl fmt::Display for GlobalVmId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "gvm{}", self.0)
     }
+}
+
+/// Typed failure of an id-addressed cluster operation. The control
+/// plane's reconciler races against fault-injected node crashes and
+/// customer-initiated departures, so every lookup miss must be
+/// distinguishable (and recoverable) instead of a silent no-op or a
+/// panic.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClusterError {
+    /// The id was never issued by this cluster.
+    UnknownVm(GlobalVmId),
+    /// The VM already left the cluster; the id stays reserved forever.
+    AlreadyRemoved(GlobalVmId),
+    /// The VM exists but is mid-migration or stranded — the operation
+    /// cannot touch it right now. Transient: retry next period.
+    NotPlaced(GlobalVmId),
+    /// The template failed validation ([`VmTemplate::validate`]).
+    InvalidTemplate(String),
+    /// No node satisfies the request under the strategy's constraint
+    /// (Eq. 7 for the frequency strategies). Transient: capacity may
+    /// free up as other VMs depart.
+    NoCapacity,
+}
+
+impl ClusterError {
+    /// Should the caller retry later (capacity/landing races), or is the
+    /// operation permanently invalid? Mirrors the PR 1 error taxonomy
+    /// (`CgroupError::is_transient`).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, ClusterError::NotPlaced(_) | ClusterError::NoCapacity)
+    }
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::UnknownVm(id) => write!(f, "unknown VM id {id}"),
+            ClusterError::AlreadyRemoved(id) => write!(f, "VM {id} already removed"),
+            ClusterError::NotPlaced(id) => write!(f, "VM {id} is migrating or stranded"),
+            ClusterError::InvalidTemplate(why) => write!(f, "invalid template: {why}"),
+            ClusterError::NoCapacity => write!(f, "no node satisfies the placement constraint"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// How a successful [`ClusterManager::resize_vfreq`] was carried out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ResizeOutcome {
+    /// The new `F_v` still satisfies Eq. 7 on the VM's current node: the
+    /// host template, the placement bin and the node controller were
+    /// updated in place — zero downtime.
+    InPlace,
+    /// The new `F_v` broke Eq. 7 on the current node; a live migration
+    /// to a node that fits was started instead (one period of downtime,
+    /// like any migration). The resize lands with the VM.
+    Migrating,
+}
+
+/// One node's Eq. 7 ledger, for capacity views and violation audits.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeLoad {
+    /// `<family>-<index>` label, as in the telemetry rollup.
+    pub name: String,
+    /// False while the node is crashed (its bin is empty then).
+    pub up: bool,
+    /// Σ `k_i·F_i` of the VMs placed here (left side of Eq. 7), MHz.
+    pub used_mhz: u64,
+    /// `k_n·F_n^MAX` (right side of Eq. 7), MHz.
+    pub capacity_mhz: u64,
+    /// vCPUs placed here.
+    pub used_vcpus: u64,
+    /// Hardware threads of the node.
+    pub threads: u32,
+    /// Memory placed here, GB.
+    pub used_mem_gb: u64,
+    /// Node DRAM, GB.
+    pub mem_gb: u64,
 }
 
 /// How the cluster keeps its promises.
@@ -304,15 +384,41 @@ impl ClusterManager {
 
     /// Admit and place a VM (Best-Fit under the strategy's constraint).
     /// Returns `None` — and counts a rejection — when no node fits.
+    /// Convenience wrapper over [`ClusterManager::try_deploy`] for
+    /// callers that only care about capacity.
     pub fn deploy(
         &mut self,
         template: &VmTemplate,
         workload: Box<dyn Workload>,
     ) -> Option<GlobalVmId> {
+        self.try_deploy(template, workload).ok()
+    }
+
+    /// Admit and place a VM with Best-Fit, with a typed rejection.
+    pub fn try_deploy(
+        &mut self,
+        template: &VmTemplate,
+        workload: Box<dyn Workload>,
+    ) -> Result<GlobalVmId, ClusterError> {
+        self.try_deploy_with(template, workload, PlacementAlgorithm::BestFit)
+    }
+
+    /// Admit and place a VM under the strategy's constraint with the
+    /// chosen bin-packing heuristic. The template is validated at this
+    /// boundary (zero `F_v` would yield a degenerate `C_i = 0` cap
+    /// downstream); a validation failure is *not* counted as a capacity
+    /// rejection.
+    pub fn try_deploy_with(
+        &mut self,
+        template: &VmTemplate,
+        workload: Box<dyn Workload>,
+        algorithm: PlacementAlgorithm,
+    ) -> Result<GlobalVmId, ClusterError> {
+        template.validate().map_err(ClusterError::InvalidTemplate)?;
         let request = PlacementRequest::from(template);
-        let Some(node) = self.place_excluding(&request, None) else {
+        let Some(node) = self.place_with(algorithm, &request, None) else {
             self.rejected += 1;
-            return None;
+            return Err(ClusterError::NoCapacity);
         };
         let local = self.nodes[node].host.provision(template);
         self.nodes[node].host.attach_workload(local, workload);
@@ -323,7 +429,7 @@ impl ClusterManager {
             location: Location::OnNode { node, local },
             parked: None,
         });
-        Some(id)
+        Ok(id)
     }
 
     /// Number of nodes currently hosting at least one VM.
@@ -336,52 +442,198 @@ impl ClusterManager {
         self.migrations
     }
 
-    /// Ground-truth frequency of a VM's vCPU 0 over the last window
-    /// (0 while migrating or after departure).
-    pub fn vm_freq(&self, id: GlobalVmId) -> f64 {
-        match &self.vms[id.0 as usize].location {
-            Location::OnNode { node, local } => self.nodes[*node]
-                .host
-                .vcpu_freq_exact(*local, VcpuId::new(0))
-                .as_f64(),
-            Location::InFlight { .. } | Location::Stranded | Location::Gone => 0.0,
+    /// Ground-truth frequency of a VM's vCPU 0 over the last window.
+    /// `None` for an id this cluster never issued or a VM that already
+    /// departed; `Some(0.0)` while migrating or stranded (deployed but
+    /// not running anywhere).
+    pub fn vm_freq(&self, id: GlobalVmId) -> Option<f64> {
+        match &self.vms.get(id.0 as usize)?.location {
+            Location::OnNode { node, local } => Some(
+                self.nodes[*node]
+                    .host
+                    .vcpu_freq_exact(*local, VcpuId::new(0))
+                    .as_f64(),
+            ),
+            Location::InFlight { .. } | Location::Stranded => Some(0.0),
+            Location::Gone => None,
         }
     }
 
-    /// Best-Fit placement under the strategy's constraint, skipping
-    /// crashed nodes (and optionally one more — a migration source).
-    fn place_excluding(&self, request: &PlacementRequest, exclude: Option<usize>) -> Option<usize> {
+    /// Placement under the strategy's constraint with the chosen
+    /// heuristic, skipping crashed nodes (and optionally one more — a
+    /// migration source).
+    fn place_with(
+        &self,
+        algorithm: PlacementAlgorithm,
+        request: &PlacementRequest,
+        exclude: Option<usize>,
+    ) -> Option<usize> {
         let mode = self.strategy.constraint();
-        self.nodes
+        let mut candidates = self
+            .nodes
             .iter()
             .enumerate()
-            .filter(|(i, n)| Some(*i) != exclude && !n.is_down() && mode.fits(&n.bin, request))
-            .min_by_key(|(i, n)| (mode.remaining(&n.bin), *i))
-            .map(|(i, _)| i)
+            .filter(|(i, n)| Some(*i) != exclude && !n.is_down() && mode.fits(&n.bin, request));
+        match algorithm {
+            PlacementAlgorithm::FirstFit => candidates.next().map(|(i, _)| i),
+            PlacementAlgorithm::BestFit => candidates
+                .min_by_key(|(i, n)| (mode.remaining(&n.bin), *i))
+                .map(|(i, _)| i),
+            PlacementAlgorithm::WorstFit => candidates
+                .max_by_key(|(i, n)| (mode.remaining(&n.bin), usize::MAX - *i))
+                .map(|(i, _)| i),
+        }
+    }
+
+    /// Best-Fit placement (the internal default for migrations and
+    /// evacuations).
+    fn place_excluding(&self, request: &PlacementRequest, exclude: Option<usize>) -> Option<usize> {
+        self.place_with(PlacementAlgorithm::BestFit, request, exclude)
     }
 
     /// Customer-initiated termination: the VM leaves the cluster and its
     /// capacity returns to the pool (the §IV.C note that freed nodes "can
     /// be reused for additional workload"). A VM caught mid-migration is
-    /// simply dropped. Idempotent.
-    pub fn undeploy(&mut self, id: GlobalVmId) {
-        let record = &mut self.vms[id.0 as usize];
+    /// simply dropped. An unknown or already-removed id is a typed
+    /// error, never a silent no-op — the reconciler races against
+    /// fault-injected crashes and must see the difference.
+    pub fn undeploy(&mut self, id: GlobalVmId) -> Result<(), ClusterError> {
+        let record = self
+            .vms
+            .get_mut(id.0 as usize)
+            .ok_or(ClusterError::UnknownVm(id))?;
         let request = PlacementRequest::from(&record.template);
         match std::mem::replace(&mut record.location, Location::Gone) {
             Location::OnNode { node, local } => {
                 let _ = self.nodes[node].host.deprovision(local);
                 self.nodes[node].bin.remove(&request);
+                Ok(())
             }
             Location::InFlight { .. } | Location::Stranded => {
                 record.parked = None;
+                Ok(())
             }
-            Location::Gone => {}
+            Location::Gone => Err(ClusterError::AlreadyRemoved(id)),
         }
     }
 
-    /// Is the VM still present (placed or migrating)?
+    /// Change a deployed VM's guaranteed virtual frequency **live**.
+    ///
+    /// In place when the new `F_v` still satisfies Eq. 7 on the current
+    /// node: the placement bin, the host template (stage 1 re-reads
+    /// `F_v` from it next period) and the node's controller
+    /// ([`Controller::set_vfreq`]: wallet clamp + estimator-history
+    /// reset) are updated atomically, with zero downtime. When it does
+    /// not fit, falls back to a live migration to any node that fits the
+    /// *new* size (Best-Fit); only when no node fits is the resize
+    /// rejected with [`ClusterError::NoCapacity`], leaving the VM
+    /// untouched at its old frequency.
+    pub fn resize_vfreq(
+        &mut self,
+        id: GlobalVmId,
+        new_vfreq: MHz,
+    ) -> Result<ResizeOutcome, ClusterError> {
+        let record = self
+            .vms
+            .get(id.0 as usize)
+            .ok_or(ClusterError::UnknownVm(id))?;
+        let mut new_template = record.template.clone();
+        new_template.vfreq = new_vfreq;
+        new_template
+            .validate()
+            .map_err(ClusterError::InvalidTemplate)?;
+        let (node, local) = match record.location {
+            Location::Gone => return Err(ClusterError::AlreadyRemoved(id)),
+            Location::InFlight { .. } | Location::Stranded => {
+                return Err(ClusterError::NotPlaced(id))
+            }
+            Location::OnNode { node, local } => (node, local),
+        };
+        let old_request = PlacementRequest::from(&record.template);
+        let new_request = PlacementRequest::from(&new_template);
+        let mode = self.strategy.constraint();
+
+        // Would the current node still satisfy Eq. 7 at the new size?
+        let fits_in_place = {
+            let bin = &mut self.nodes[node].bin;
+            bin.remove(&old_request);
+            let ok = mode.fits(bin, &new_request);
+            bin.place(if ok { &new_request } else { &old_request });
+            ok
+        };
+        if fits_in_place {
+            let rt = &mut self.nodes[node];
+            rt.host.set_vfreq(local, new_vfreq);
+            if let Some(ctl) = &mut rt.controller {
+                ctl.set_vfreq(local, new_vfreq);
+            }
+            self.vms[id.0 as usize].template = new_template;
+            return Ok(ResizeOutcome::InPlace);
+        }
+
+        // Migration fallback: any *other* node that fits the new size.
+        let Some(dest) = self.place_excluding(&new_request, Some(node)) else {
+            return Err(ClusterError::NoCapacity);
+        };
+        let workload = self.nodes[node].host.deprovision(local);
+        self.nodes[node].bin.remove(&old_request);
+        let record = &mut self.vms[id.0 as usize];
+        record.template = new_template;
+        record.parked = Some(workload);
+        record.location = Location::InFlight {
+            dest,
+            arrive: self.period + 1,
+            src: None,
+        };
+        self.migrations += 1;
+        Ok(ResizeOutcome::Migrating)
+    }
+
+    /// Is the VM still present (placed or migrating)? `false` for ids
+    /// this cluster never issued.
     pub fn is_deployed(&self, id: GlobalVmId) -> bool {
-        !matches!(self.vms[id.0 as usize].location, Location::Gone)
+        self.vms
+            .get(id.0 as usize)
+            .is_some_and(|r| !matches!(r.location, Location::Gone))
+    }
+
+    /// The deployed VM's current template (`None` once departed or for
+    /// an unknown id) — the desired-state reconciler's observed `F_v`.
+    pub fn vm_template(&self, id: GlobalVmId) -> Option<&VmTemplate> {
+        let record = self.vms.get(id.0 as usize)?;
+        match record.location {
+            Location::Gone => None,
+            _ => Some(&record.template),
+        }
+    }
+
+    /// Every node's Eq. 7 ledger (used vs capacity), in cluster order —
+    /// the audit surface for "no admitted set ever violates Eq. 7".
+    pub fn node_loads(&self) -> Vec<NodeLoad> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| NodeLoad {
+                name: format!("{}-{i}", n.bin.spec.name),
+                up: !n.is_down(),
+                used_mhz: n.bin.used_freq_mhz(),
+                capacity_mhz: n.bin.spec.freq_capacity_mhz(),
+                used_vcpus: n.bin.used_vcpus(),
+                threads: n.bin.spec.nr_threads(),
+                used_mem_gb: n.bin.used_mem_gb(),
+                mem_gb: n.bin.spec.mem_gb as u64,
+            })
+            .collect()
+    }
+
+    /// Number of nodes currently violating Eq. 7 (`Σ k_i·F_i` above
+    /// `k_n·F_n^MAX`). Always 0 under the frequency strategies — the
+    /// churn proptest pins this.
+    pub fn eq7_violations(&self) -> usize {
+        self.node_loads()
+            .iter()
+            .filter(|l| l.used_mhz > l.capacity_mhz)
+            .count()
     }
 
     /// Advance the whole cluster by one controller period (1 s).
@@ -936,7 +1188,8 @@ mod tests {
         );
         // Steady state actually meets them.
         for id in ids {
-            assert!(c.vm_freq(id) >= 1100.0, "vm {id}: {}", c.vm_freq(id));
+            let f = c.vm_freq(id).unwrap();
+            assert!(f >= 1100.0, "vm {id}: {f}");
         }
     }
 
@@ -1002,7 +1255,7 @@ mod tests {
         assert!(c.migrations() >= 2, "got {}", c.migrations());
         assert_eq!(c.active_nodes(), 3, "equilibrium is one VM per node");
         for id in ids {
-            let f = c.vm_freq(id);
+            let f = c.vm_freq(id).unwrap();
             assert!(f > 2300.0, "{id} should now own its node: {f}");
         }
     }
@@ -1029,7 +1282,7 @@ mod tests {
             )
             .is_none());
         // …until one departs.
-        c.undeploy(ids[0]);
+        c.undeploy(ids[0]).unwrap();
         assert!(!c.is_deployed(ids[0]));
         assert!(c.is_deployed(ids[1]));
         let replacement = c
@@ -1039,9 +1292,202 @@ mod tests {
             )
             .expect("freed capacity is reusable");
         c.run_period();
-        assert!(c.vm_freq(replacement) > 0.0);
-        // Idempotent.
-        c.undeploy(ids[0]);
+        assert!(c.vm_freq(replacement).unwrap() > 0.0);
+        // A second removal is a typed error, not a silent no-op.
+        assert_eq!(
+            c.undeploy(ids[0]),
+            Err(ClusterError::AlreadyRemoved(ids[0]))
+        );
+    }
+
+    #[test]
+    fn id_lookup_misses_are_typed_errors() {
+        let mut c = small_cluster(Strategy::FrequencyControl);
+        let ghost = GlobalVmId(99);
+        assert_eq!(c.undeploy(ghost), Err(ClusterError::UnknownVm(ghost)));
+        assert_eq!(
+            c.resize_vfreq(ghost, MHz(700)),
+            Err(ClusterError::UnknownVm(ghost))
+        );
+        assert_eq!(c.vm_freq(ghost), None);
+        assert!(!c.is_deployed(ghost));
+        assert!(c.vm_template(ghost).is_none());
+
+        let id = c
+            .deploy(
+                &VmTemplate::new("std", 2, MHz(1200)),
+                Box::new(SteadyDemand::full()),
+            )
+            .unwrap();
+        c.undeploy(id).unwrap();
+        assert_eq!(c.vm_freq(id), None);
+        assert_eq!(
+            c.resize_vfreq(id, MHz(700)),
+            Err(ClusterError::AlreadyRemoved(id))
+        );
+        assert!(ClusterError::NoCapacity.is_transient());
+        assert!(!ClusterError::UnknownVm(ghost).is_transient());
+    }
+
+    #[test]
+    fn deploy_rejects_degenerate_templates() {
+        let mut c = small_cluster(Strategy::FrequencyControl);
+        let err = c
+            .try_deploy(
+                &VmTemplate::new("zero", 2, MHz(0)),
+                Box::new(SteadyDemand::full()),
+            )
+            .unwrap_err();
+        assert!(matches!(err, ClusterError::InvalidTemplate(_)));
+        // Not counted as a capacity rejection.
+        assert_eq!(c.report().rejected, 0);
+        // A zero-F_v resize is equally refused.
+        let id = c
+            .deploy(
+                &VmTemplate::new("std", 2, MHz(1200)),
+                Box::new(SteadyDemand::full()),
+            )
+            .unwrap();
+        assert!(matches!(
+            c.resize_vfreq(id, MHz(0)),
+            Err(ClusterError::InvalidTemplate(_))
+        ));
+    }
+
+    #[test]
+    fn first_fit_deploy_fills_in_cluster_order() {
+        let mut c = small_cluster(Strategy::FrequencyControl);
+        // FirstFit always picks the lowest-index feasible node, so
+        // five 2-vCPU @1200 VMs (2400 MHz each) fill node 0 to its
+        // 9600 MHz budget before the fifth spills onto node 1.
+        for _ in 0..5 {
+            c.try_deploy_with(
+                &VmTemplate::new("std", 2, MHz(1200)),
+                Box::new(SteadyDemand::full()),
+                PlacementAlgorithm::FirstFit,
+            )
+            .unwrap();
+        }
+        let loads = c.node_loads();
+        assert_eq!(loads[0].used_mhz, 9600, "{loads:?}");
+        assert_eq!(loads[1].used_mhz, 2400);
+        assert_eq!(loads[2].used_mhz, 0);
+    }
+
+    #[test]
+    fn resize_in_place_changes_enforced_cap_without_migration() {
+        let mut c = small_cluster(Strategy::FrequencyControl);
+        // Fill one node's Eq. 7 budget exactly (1200 + 8400 = 9600 MHz)
+        // so the guarantees genuinely bind: both VMs saturate, the
+        // market is empty, and `std` is pinned at its 600 MHz.
+        let id = c
+            .deploy(
+                &VmTemplate::new("std", 2, MHz(600)),
+                Box::new(SteadyDemand::full()),
+            )
+            .unwrap();
+        let hog = c
+            .deploy(
+                &VmTemplate::new("hog", 4, MHz(2100)),
+                Box::new(SteadyDemand::full()),
+            )
+            .unwrap();
+        assert_eq!(c.active_nodes(), 1, "BestFit co-locates them");
+        for _ in 0..15 {
+            c.run_period();
+        }
+        let before = c.vm_freq(id).unwrap();
+        assert!(
+            before < 800.0,
+            "capped near its 600 MHz guarantee: {before}"
+        );
+
+        // The customer downgrades the hog, then upgrades `std` into the
+        // freed budget: 4×1500 + 2×1800 = 9600 — both resizes are
+        // in-place, zero downtime, no migration.
+        assert_eq!(c.resize_vfreq(hog, MHz(1500)), Ok(ResizeOutcome::InPlace));
+        assert_eq!(c.resize_vfreq(id, MHz(1800)), Ok(ResizeOutcome::InPlace));
+        assert_eq!(c.vm_template(id).unwrap().vfreq, MHz(1800));
+        for _ in 0..6 {
+            c.run_period();
+            assert_eq!(c.eq7_violations(), 0);
+        }
+        let after = c.vm_freq(id).unwrap();
+        assert!(
+            after >= 1600.0,
+            "resized VM should be delivered ≈1800 MHz, got {after}"
+        );
+        assert_eq!(c.migrations(), 0);
+        assert!(c.vm_freq(hog).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn resize_falls_back_to_migration_when_eq7_breaks() {
+        let mut c = small_cluster(Strategy::FrequencyControl);
+        // Fill node 0 exactly: 2×2200 + 4×1300 = 9600 of 9600.
+        let a = c
+            .deploy(
+                &VmTemplate::new("a", 2, MHz(2200)),
+                Box::new(SteadyDemand::full()),
+            )
+            .unwrap();
+        let _b = c
+            .deploy(
+                &VmTemplate::new("b", 4, MHz(1300)),
+                Box::new(SteadyDemand::full()),
+            )
+            .unwrap();
+        assert_eq!(c.active_nodes(), 1);
+        // Growing `a` to 2400 needs 4800 MHz; even with its own 4400
+        // returned, node 0 only has 4400 free → must migrate to an
+        // empty node.
+        assert_eq!(c.resize_vfreq(a, MHz(2400)), Ok(ResizeOutcome::Migrating));
+        assert_eq!(c.vm_freq(a), Some(0.0), "in flight during the resize");
+        for _ in 0..3 {
+            c.run_period();
+            assert_eq!(c.eq7_violations(), 0);
+        }
+        assert!(c.is_deployed(a));
+        assert_eq!(c.vm_template(a).unwrap().vfreq, MHz(2400));
+        assert!(c.vm_freq(a).unwrap() > 2300.0, "{:?}", c.vm_freq(a));
+        assert_eq!(c.migrations(), 1);
+    }
+
+    #[test]
+    fn impossible_resize_is_rejected_and_leaves_the_vm_untouched() {
+        let mut c = ClusterManager::new(
+            vec![NodeSpec::custom("n", 1, 2, 2, MHz(2400)); 2],
+            Strategy::FrequencyControl,
+            1,
+        );
+        // Both nodes nearly full: 4×2200 + 1×500 = 9300 of 9600 each.
+        let ids: Vec<_> = (0..2)
+            .map(|_| {
+                c.deploy(
+                    &VmTemplate::new("big", 4, MHz(2200)),
+                    Box::new(SteadyDemand::full()),
+                )
+                .unwrap()
+            })
+            .collect();
+        for _ in 0..2 {
+            c.deploy(
+                &VmTemplate::new("pin", 1, MHz(500)),
+                Box::new(SteadyDemand::full()),
+            )
+            .unwrap();
+        }
+        // 4 vCPUs × 2400 = 9600 fits nowhere: in place the pin leaves
+        // only 9100 even with big's own 8800 returned, and the other
+        // node has 300 free. Typed rejection, VM unchanged.
+        assert_eq!(
+            c.resize_vfreq(ids[0], MHz(2400)),
+            Err(ClusterError::NoCapacity)
+        );
+        assert_eq!(c.vm_template(ids[0]).unwrap().vfreq, MHz(2200));
+        c.run_period();
+        assert!(c.vm_freq(ids[0]).unwrap() > 0.0, "still running in place");
+        assert_eq!(c.eq7_violations(), 0);
     }
 
     #[test]
@@ -1067,7 +1513,7 @@ mod tests {
             }
             if step % 4 == 3 && !live.is_empty() {
                 let victim = live.remove(rng.next_below(live.len() as u64) as usize);
-                c.undeploy(victim);
+                c.undeploy(victim).unwrap();
                 assert!(!c.is_deployed(victim));
             }
             c.run_period();
@@ -1148,7 +1594,7 @@ mod tests {
         // Both VMs survived the crash and run somewhere else now.
         for id in ids {
             assert!(c.is_deployed(id));
-            assert!(c.vm_freq(id) > 0.0, "{id} should be running again");
+            assert!(c.vm_freq(id).unwrap() > 0.0, "{id} should be running again");
         }
         // The repaired node accepts new work again.
         assert!(c
@@ -1199,8 +1645,11 @@ mod tests {
         assert_eq!(f.node_crashes, 1);
         assert!(f.stranded_vm_periods > 0, "VM had nowhere to go");
         assert!(c.is_deployed(a) && c.is_deployed(b));
-        assert!(c.vm_freq(a) > 0.0, "stranded VM landed after the repair");
-        assert!(c.vm_freq(b) > 0.0, "bystander VM never stopped");
+        assert!(
+            c.vm_freq(a).unwrap() > 0.0,
+            "stranded VM landed after the repair"
+        );
+        assert!(c.vm_freq(b).unwrap() > 0.0, "bystander VM never stopped");
     }
 
     #[test]
@@ -1230,7 +1679,7 @@ mod tests {
         assert_eq!(f.cold_restarts, 0);
         // One VM, three uncontrolled periods.
         assert_eq!(f.uncontrolled_vm_periods, 3);
-        assert!(c.is_deployed(id) && c.vm_freq(id) > 0.0);
+        assert!(c.is_deployed(id) && c.vm_freq(id).unwrap() > 0.0);
     }
 
     #[test]
@@ -1297,7 +1746,7 @@ mod tests {
         }
         for id in ids {
             assert!(c.is_deployed(id));
-            assert!(c.vm_freq(id) > 0.0, "{id} must end up running");
+            assert!(c.vm_freq(id).unwrap() > 0.0, "{id} must end up running");
         }
     }
 

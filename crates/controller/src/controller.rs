@@ -378,6 +378,44 @@ impl Controller {
         self.prev_alloc.insert(addr, alloc);
     }
 
+    /// Live virtual-frequency resize hook. The backend (host) is the
+    /// source of truth for `F_v` — stage 1 re-reads it every iteration —
+    /// so this does *not* store the new frequency; it re-bases the
+    /// controller state that would otherwise act on pre-resize samples:
+    ///
+    /// * the **credit wallet** is clamped to what the VM could have
+    ///   earned at the *new* guarantee over the estimator's history
+    ///   window (`C_i^new × vCPUs × history_len`) — credits minted under
+    ///   a higher old guarantee must not keep outbidding others;
+    /// * every vCPU's **estimator history** is dropped, so the Eq. 3
+    ///   trend never mixes pre- and post-resize consumption;
+    /// * the vCPUs' **previous allocations** are forgotten, which routes
+    ///   them through the cold-start path: the very next estimate is
+    ///   floored at the new `C_i` (guarantee-first ramp), instead of
+    ///   doubling up from an allocation sized for the old frequency.
+    ///
+    /// Monitor usage/throttle baselines are deliberately kept — they are
+    /// cumulative kernel counters and resetting them would corrupt the
+    /// next delta. Returns the new per-vCPU guarantee `C_i` (Eq. 2).
+    pub fn set_vfreq(&mut self, vm: VmId, new_vfreq: MHz) -> Micros {
+        let c_i = guaranteed_cycles(new_vfreq, self.topo.max_mhz, self.cfg.period);
+        let vcpus = self
+            .estimator
+            .export_histories()
+            .iter()
+            .filter(|(addr, _)| addr.vm == vm)
+            .count()
+            .max(1) as u64;
+        let ceiling = c_i.as_u64() * vcpus * self.cfg.history_len as u64;
+        self.wallet.clamp(vm, ceiling);
+        self.estimator.forget_vm(vm);
+        self.prev_alloc.retain(|addr, _| addr.vm != vm);
+        // A retry queued under the old frequency would re-impose an
+        // old-sized cap if the vCPU is ever skipped; drop it.
+        self.pending_writes.retain(|addr, _| addr.vm != vm);
+        c_i
+    }
+
     /// Execute one full iteration against the backend.
     ///
     /// Degrades instead of aborting: a failed per-vCPU read or `cpu.max`
@@ -933,6 +971,60 @@ mod tests {
         assert_eq!(r.vcpus.len(), 2);
         assert_eq!(ctl.iterations(), 1);
         assert!(r.timings.total >= r.timings.monitor);
+    }
+
+    #[test]
+    fn live_resize_rebases_wallet_and_guarantee() {
+        let mut h = host(2);
+        let vm = h.provision(&VmTemplate::new("web", 1, MHz(1800)));
+        h.attach_workload(vm, Box::new(IdleWorkload));
+        let mut ctl = Controller::new(ControllerConfig::paper_defaults(), h.topology_info());
+        for _ in 0..10 {
+            step(&mut h, &mut ctl);
+        }
+        // Idle at 1800/2400 MHz: earns 750 000 µs per period.
+        assert_eq!(ctl.credit_of(vm), 10 * 750_000);
+
+        // Downgrade to 600 MHz: host first (source of truth), then the hook.
+        h.set_vfreq(vm, MHz(600));
+        let c_new = ctl.set_vfreq(vm, MHz(600));
+        assert_eq!(c_new, Micros(250_000));
+        // Wallet clamped to C_i^new × vCPUs × history_len.
+        assert_eq!(ctl.credit_of(vm), 250_000 * 5);
+
+        // The next iteration runs against the new guarantee.
+        let r = step(&mut h, &mut ctl);
+        let v = r.vcpu(VcpuAddr::new(vm, VcpuId::new(0))).unwrap();
+        assert_eq!(v.guaranteed, Micros(250_000));
+        assert_eq!(v.vfreq, Some(MHz(600)));
+    }
+
+    #[test]
+    fn upward_resize_grants_new_guarantee_within_one_period() {
+        // Contended node: two saturating VMs. Resize one upward; its very
+        // next allocation must already be floored at the new C_i (the
+        // cold-start path), not ramp up from the old capping.
+        let mut h = host(2);
+        let a = h.provision(&VmTemplate::new("a", 2, MHz(500)));
+        let b = h.provision(&VmTemplate::new("b", 2, MHz(500)));
+        h.attach_workload(a, Box::new(SteadyDemand::full()));
+        h.attach_workload(b, Box::new(SteadyDemand::full()));
+        let mut ctl = Controller::new(ControllerConfig::paper_defaults(), h.topology_info());
+        for _ in 0..10 {
+            step(&mut h, &mut ctl);
+        }
+        h.set_vfreq(a, MHz(1500));
+        let c_new = ctl.set_vfreq(a, MHz(1500));
+        assert_eq!(c_new, Micros(625_000));
+        let r = step(&mut h, &mut ctl);
+        for j in 0..2 {
+            let v = r.vcpu(VcpuAddr::new(a, VcpuId::new(j))).unwrap();
+            assert!(
+                v.alloc >= Micros(625_000),
+                "vCPU {j} alloc {} below the new guarantee",
+                v.alloc
+            );
+        }
     }
 
     #[test]

@@ -64,6 +64,23 @@ impl Wallet {
         }
     }
 
+    /// Clamp a VM's balance to `ceiling` (live-resize semantics: credits
+    /// earned under a higher guarantee must not outlive it). Returns the
+    /// amount forfeited, 0 when the balance was already within bounds.
+    pub fn clamp(&mut self, vm: VmId, ceiling: u64) -> u64 {
+        match self.credits.get_mut(&vm) {
+            Some(balance) if *balance > ceiling => {
+                let forfeited = *balance - ceiling;
+                *balance = ceiling;
+                if *balance == 0 {
+                    self.credits.remove(&vm);
+                }
+                forfeited
+            }
+            _ => 0,
+        }
+    }
+
     /// Drop wallets of departed VMs.
     pub fn retain_vms(&mut self, live: &[VmId]) {
         let set: std::collections::HashSet<VmId> = live.iter().copied().collect();

@@ -206,6 +206,18 @@ impl Estimator {
         out
     }
 
+    /// Drop every history belonging to one VM — the live-resize hook.
+    /// After a virtual-frequency change the pre-resize samples would
+    /// feed Eq. 3 a trend measured against the *old* capping ceiling, so
+    /// the resized VM restarts from the cold-start path (which floors
+    /// its first estimate at the new `C_i`). Returns how many vCPU
+    /// histories were dropped.
+    pub fn forget_vm(&mut self, vm: vfc_simcore::VmId) -> usize {
+        let before = self.histories.len();
+        self.histories.retain(|addr, _| addr.vm != vm);
+        before - self.histories.len()
+    }
+
     /// Replace a vCPU's history with journalled samples (warm restart).
     /// Only the most recent `history_len` samples are retained.
     pub fn seed_history(&mut self, addr: VcpuAddr, samples: &[u64]) {

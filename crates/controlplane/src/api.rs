@@ -1,0 +1,472 @@
+//! Std-only HTTP/JSON API over the control plane.
+//!
+//! The same discipline as the telemetry
+//! [`MetricsServer`](vfc_telemetry::MetricsServer): a bound
+//! `TcpListener`, one accept thread, no keep-alive, no TLS, no streaming
+//! — requests are small JSON documents and responses close the
+//! connection. The accept thread shares the
+//! [`ControlPlaneRuntime`] with the reconcile loop through a mutex;
+//! admission calls are cheap (validation + an FFD pack), so holding the
+//! lock for a request's duration is fine at control-plane rates.
+//!
+//! Routes:
+//!
+//! | route | body | success |
+//! |---|---|---|
+//! | `POST /vms` | `{"tenant","name","vcpus","vfreq_mhz","mem_gb"?}` | `201 {"id","generation"}` |
+//! | `DELETE /vms/{id}` | — | `200 {"id"}` |
+//! | `PUT /vms/{id}/vfreq` | `{"vfreq_mhz"}` | `200 {"id","generation"}` |
+//! | `GET /tenants/{name}/usage` | — | `200 {"tenant","usage","quota"}` |
+//! | `GET /healthz` | — | `200 {"status","desired_vms","bound_vms","log_seq"}` |
+//! | `GET /metrics` | — | control-plane metric families, Prometheus text |
+//!
+//! Rejections map [`AdmissionError::http_status`]: `400` invalid shape,
+//! `403` unknown tenant / quota, `404` unknown id, `429` rate limited,
+//! `507` the desired state no longer packs under Eq. 7.
+
+use crate::admission::{AdmissionError, ControlPlane};
+use crate::quota::{TenantQuota, TenantUsage};
+use crate::reconcile::{ReconcileSummary, Reconciler};
+use crate::spec::SpecId;
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Mutex};
+use vfc_cluster::ClusterManager;
+use vfc_simcore::MHz;
+use vfc_vmm::VmTemplate;
+
+/// Everything the control plane drives, bundled so the HTTP thread and
+/// the reconcile loop share one lock.
+pub struct ControlPlaneRuntime {
+    /// Admission + desired state + metrics.
+    pub plane: ControlPlane,
+    /// The cluster being reconciled.
+    pub cluster: ClusterManager,
+    /// The reconcile loop state.
+    pub reconciler: Reconciler,
+}
+
+impl ControlPlaneRuntime {
+    /// Bundle a control plane, cluster and reconciler.
+    pub fn new(plane: ControlPlane, cluster: ClusterManager, reconciler: Reconciler) -> Self {
+        ControlPlaneRuntime {
+            plane,
+            cluster,
+            reconciler,
+        }
+    }
+
+    /// One control period: reconcile, then run the cluster for a period.
+    pub fn step(&mut self) -> ReconcileSummary {
+        let summary = self
+            .reconciler
+            .reconcile(&mut self.plane, &mut self.cluster);
+        self.cluster.run_period();
+        summary
+    }
+}
+
+#[derive(Deserialize)]
+struct CreateReq {
+    tenant: String,
+    name: String,
+    vcpus: u32,
+    vfreq_mhz: u32,
+    mem_gb: Option<u32>,
+}
+
+#[derive(Deserialize)]
+struct VfreqReq {
+    vfreq_mhz: u32,
+}
+
+#[derive(Serialize)]
+struct IdResp {
+    id: u64,
+    generation: u64,
+}
+
+#[derive(Serialize)]
+struct DeletedResp {
+    id: u64,
+}
+
+#[derive(Serialize)]
+struct UsageResp {
+    tenant: String,
+    usage: TenantUsage,
+    quota: TenantQuota,
+}
+
+#[derive(Serialize)]
+struct HealthResp {
+    status: &'static str,
+    desired_vms: u64,
+    bound_vms: u64,
+    log_seq: u64,
+}
+
+#[derive(Serialize)]
+struct ErrorResp {
+    error: String,
+}
+
+/// The API endpoint: owns nothing but the bound address; the accept
+/// thread holds the runtime `Arc` and exits with the process.
+pub struct ApiServer {
+    addr: std::net::SocketAddr,
+}
+
+impl ApiServer {
+    /// Bind `addr` (use port 0 to let the OS pick) and serve requests
+    /// against `runtime` on a background thread.
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        runtime: Arc<Mutex<ControlPlaneRuntime>>,
+    ) -> Result<ApiServer, String> {
+        let listener = TcpListener::bind(addr).map_err(|e| format!("bind api addr: {e}"))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| format!("api local addr: {e}"))?;
+        std::thread::Builder::new()
+            .name("vfc-cp-api".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    let Ok(mut stream) = stream else { continue };
+                    let Some((method, path, body)) = read_request(&mut stream) else {
+                        respond(&mut stream, 400, &err_body("malformed request"));
+                        continue;
+                    };
+                    let (status, body) = route(&runtime, &method, &path, &body);
+                    respond(&mut stream, status, &body);
+                }
+            })
+            .map_err(|e| format!("spawn api thread: {e}"))?;
+        Ok(ApiServer { addr: local })
+    }
+
+    /// The actually bound address (resolves `:0` to the chosen port).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+}
+
+fn parse_body<T: serde::Deserialize>(body: &[u8]) -> Result<T, String> {
+    let text = std::str::from_utf8(body).map_err(|e| format!("body not utf-8: {e}"))?;
+    serde_json::from_str(text).map_err(|e| e.to_string())
+}
+
+fn err_body(msg: &str) -> String {
+    serde_json::to_string(&ErrorResp {
+        error: msg.to_owned(),
+    })
+    .unwrap_or_else(|_| "{\"error\":\"unrenderable\"}".into())
+}
+
+fn admission_err(e: &AdmissionError) -> (u16, String) {
+    (e.http_status(), err_body(&e.to_string()))
+}
+
+fn ok_json<T: Serialize>(status: u16, value: &T) -> (u16, String) {
+    match serde_json::to_string(value) {
+        Ok(body) => (status, body),
+        Err(e) => (500, err_body(&format!("serialize response: {e}"))),
+    }
+}
+
+/// Dispatch one request. Split out of the accept loop so unit tests can
+/// call it without sockets.
+fn route(
+    runtime: &Mutex<ControlPlaneRuntime>,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> (u16, String) {
+    let Ok(mut rt) = runtime.lock() else {
+        return (500, err_body("runtime lock poisoned"));
+    };
+    let rt = &mut *rt;
+    let segments: Vec<&str> = path.trim_matches('/').split('/').collect();
+    match (method, segments.as_slice()) {
+        ("POST", ["vms"]) => {
+            let req: CreateReq = match parse_body(body) {
+                Ok(r) => r,
+                Err(e) => return (400, err_body(&format!("bad body: {e}"))),
+            };
+            let template = VmTemplate::new(&req.name, req.vcpus, MHz(req.vfreq_mhz))
+                .with_mem_gb(req.mem_gb.unwrap_or(4));
+            let loads = rt.cluster.node_loads();
+            match rt.plane.create_vm(&req.tenant, template, &loads) {
+                Ok(id) => ok_json(
+                    201,
+                    &IdResp {
+                        id: id.0,
+                        generation: 1,
+                    },
+                ),
+                Err(e) => admission_err(&e),
+            }
+        }
+        ("DELETE", ["vms", id]) => {
+            let Ok(id) = id.parse::<u64>() else {
+                return (400, err_body("vm id must be an integer"));
+            };
+            match rt.plane.delete_vm(SpecId(id)) {
+                Ok(_) => ok_json(200, &DeletedResp { id }),
+                Err(e) => admission_err(&e),
+            }
+        }
+        ("PUT", ["vms", id, "vfreq"]) => {
+            let Ok(id) = id.parse::<u64>() else {
+                return (400, err_body("vm id must be an integer"));
+            };
+            let req: VfreqReq = match parse_body(body) {
+                Ok(r) => r,
+                Err(e) => return (400, err_body(&format!("bad body: {e}"))),
+            };
+            let loads = rt.cluster.node_loads();
+            match rt.plane.resize_vm(SpecId(id), MHz(req.vfreq_mhz), &loads) {
+                Ok(generation) => ok_json(200, &IdResp { id, generation }),
+                Err(e) => admission_err(&e),
+            }
+        }
+        ("GET", ["tenants", name, "usage"]) => match rt.plane.quota(name) {
+            Some(quota) => ok_json(
+                200,
+                &UsageResp {
+                    tenant: (*name).to_owned(),
+                    usage: rt.plane.usage(name),
+                    quota,
+                },
+            ),
+            None => (404, err_body(&format!("unknown tenant {name:?}"))),
+        },
+        ("GET", ["healthz"]) => ok_json(
+            200,
+            &HealthResp {
+                status: "ok",
+                desired_vms: rt.plane.store().len() as u64,
+                bound_vms: rt.reconciler.bound() as u64,
+                log_seq: rt.plane.store().seq(),
+            },
+        ),
+        ("GET", ["metrics"]) => (200, rt.plane.metrics.render()),
+        _ => (404, err_body(&format!("no route {method} {path}"))),
+    }
+}
+
+/// Read one request: request line, headers, and a `Content-Length` body.
+fn read_request(stream: &mut TcpStream) -> Option<(String, String, Vec<u8>)> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 1024];
+    let header_end = loop {
+        if let Some(pos) = find(&buf, b"\r\n\r\n") {
+            break pos + 4;
+        }
+        if buf.len() > 16 * 1024 {
+            return None;
+        }
+        let n = stream.read(&mut chunk).ok()?;
+        if n == 0 {
+            return None;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..header_end]).ok()?;
+    let mut lines = head.split("\r\n");
+    let mut request_line = lines.next()?.split_whitespace();
+    let method = request_line.next()?.to_owned();
+    let path = request_line.next()?.to_owned();
+    let content_length = lines
+        .filter_map(|l| l.split_once(':'))
+        .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, v)| v.trim().parse::<usize>().ok())
+        .unwrap_or(0);
+    if content_length > 1024 * 1024 {
+        return None;
+    }
+    let mut body = buf[header_end..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).ok()?;
+        if n == 0 {
+            return None;
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Some((method, path, body))
+}
+
+fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+fn respond(stream: &mut TcpStream, status: u16, body: &str) {
+    let reason = match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        403 => "Forbidden",
+        404 => "Not Found",
+        429 => "Too Many Requests",
+        507 => "Insufficient Storage",
+        _ => "Internal Server Error",
+    };
+    let content_type = if body.starts_with('{') {
+        "application/json"
+    } else {
+        "text/plain; version=0.0.4; charset=utf-8"
+    };
+    let response = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    let _ = stream.write_all(response.as_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quota::TenantQuota;
+    use crate::reconcile::ReconcilerConfig;
+    use vfc_cluster::Strategy;
+    use vfc_cpusched::topology::NodeSpec;
+
+    fn runtime() -> Arc<Mutex<ControlPlaneRuntime>> {
+        let mut plane = ControlPlane::new();
+        plane.add_tenant(
+            "acme",
+            TenantQuota {
+                max_vms: 4,
+                max_vcpus: 16,
+                max_mhz: 20_000,
+            },
+        );
+        let cluster = ClusterManager::new(
+            vec![NodeSpec::custom("n", 1, 2, 2, MHz(2400)); 2],
+            Strategy::FrequencyControl,
+            3,
+        );
+        Arc::new(Mutex::new(ControlPlaneRuntime::new(
+            plane,
+            cluster,
+            Reconciler::new(ReconcilerConfig::default()),
+        )))
+    }
+
+    fn http(addr: std::net::SocketAddr, request: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let status: u16 = response
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let body = response
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_owned())
+            .unwrap_or_default();
+        (status, body)
+    }
+
+    fn post(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+        http(
+            addr,
+            &format!(
+                "{method} {path} HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            ),
+        )
+    }
+
+    #[test]
+    fn crud_round_trip_over_http() {
+        let rt = runtime();
+        let server = ApiServer::bind("127.0.0.1:0", Arc::clone(&rt)).unwrap();
+        let addr = server.local_addr();
+
+        let (status, body) = post(
+            addr,
+            "POST",
+            "/vms",
+            r#"{"tenant":"acme","name":"web","vcpus":2,"vfreq_mhz":1200}"#,
+        );
+        assert_eq!(status, 201, "{body}");
+        assert!(body.contains("\"id\":0"), "{body}");
+
+        rt.lock().unwrap().step();
+
+        let (status, body) = post(addr, "PUT", "/vms/0/vfreq", r#"{"vfreq_mhz":1800}"#);
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"generation\":2"), "{body}");
+
+        let (status, body) = http(addr, "GET /tenants/acme/usage HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"mhz\":3600"), "{body}");
+
+        let (status, body) = http(addr, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"desired_vms\":1"), "{body}");
+
+        let (status, _) = post(addr, "DELETE", "/vms/0", "");
+        assert_eq!(status, 200);
+        let (status, _) = post(addr, "DELETE", "/vms/0", "");
+        assert_eq!(status, 404, "double delete is a typed miss");
+
+        let (status, body) = http(addr, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(status, 200);
+        assert!(
+            body.contains("vfc_cp_admission_accepted_total{tenant=\"acme\"} 3"),
+            "{body}"
+        );
+    }
+
+    #[test]
+    fn error_statuses_map_the_taxonomy() {
+        let rt = runtime();
+        let server = ApiServer::bind("127.0.0.1:0", Arc::clone(&rt)).unwrap();
+        let addr = server.local_addr();
+
+        // 400: degenerate template (F_v = 0) rejected at the boundary.
+        let (status, body) = post(
+            addr,
+            "POST",
+            "/vms",
+            r#"{"tenant":"acme","name":"z","vcpus":2,"vfreq_mhz":0}"#,
+        );
+        assert_eq!(status, 400, "{body}");
+
+        // 403: unregistered tenant.
+        let (status, _) = post(
+            addr,
+            "POST",
+            "/vms",
+            r#"{"tenant":"ghost","name":"z","vcpus":2,"vfreq_mhz":500}"#,
+        );
+        assert_eq!(status, 403);
+
+        // 507: a VM wider than any node.
+        let (status, body) = post(
+            addr,
+            "POST",
+            "/vms",
+            r#"{"tenant":"acme","name":"wide","vcpus":8,"vfreq_mhz":2400}"#,
+        );
+        assert_eq!(status, 507, "{body}");
+
+        // 404: resize of a VM that never existed.
+        let (status, _) = post(addr, "PUT", "/vms/99/vfreq", r#"{"vfreq_mhz":800}"#);
+        assert_eq!(status, 404);
+
+        // 400: malformed JSON body.
+        let (status, _) = post(addr, "POST", "/vms", "{nope");
+        assert_eq!(status, 400);
+
+        // 404: unknown route.
+        let (status, _) = http(addr, "GET /nope HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(status, 404);
+    }
+}

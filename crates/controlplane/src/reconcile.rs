@@ -1,0 +1,473 @@
+//! The reconciliation loop: make the cluster match the desired state.
+//!
+//! Each period the reconciler diffs the [`SpecStore`](crate::spec::SpecStore) against its
+//! *bindings* (spec → deployed VM) and issues cluster actions, in an
+//! order chosen so that capacity freed by one phase is available to the
+//! next within the same pass:
+//!
+//! 1. **undeploy** — bindings whose spec was deleted;
+//! 2. **resize** — bindings whose applied generation is behind the
+//!    spec's (a live virtual-frequency resize; the cluster resizes in
+//!    place when Eq. 7 allows and falls back to a migration otherwise);
+//! 3. **deploy** — specs with no binding yet.
+//!
+//! The pass is **bounded**: at most
+//! [`ReconcilerConfig::max_actions_per_period`] cluster actions per
+//! period, so a large diff (say, after a control-plane restart) rolls
+//! out gradually instead of stampeding the placement. Work that does not
+//! fit is *deferred* to the next period.
+//!
+//! Failures reuse the cluster's error taxonomy: a
+//! [transient](vfc_cluster::ClusterError::is_transient) error (no
+//! capacity right now) re-queues the spec with exponential backoff; a
+//! permanent one is counted and the spec parked at max backoff so the
+//! loop never livelocks on it. The reconciler holds **no state the
+//! cluster cannot rebuild**: after a control-plane crash, a fresh
+//! reconciler with an empty binding table simply re-deploys the replayed
+//! spec log (see the kill-and-restart test in `tests/controlplane.rs`).
+
+use crate::admission::ControlPlane;
+use crate::spec::{SpecId, VmSpec};
+use crate::telemetry::ActionKind;
+use std::collections::BTreeMap;
+use vfc_cluster::{ClusterManager, GlobalVmId};
+use vfc_placement::algo::PlacementAlgorithm;
+use vfc_vmm::workload::{SteadyDemand, Workload};
+
+/// Produces the workload a newly deployed VM runs. The control plane
+/// only knows shapes, not behaviours; the embedder decides what runs
+/// inside (the default is a saturating [`SteadyDemand`]).
+pub type WorkloadFactory = Box<dyn FnMut(&VmSpec) -> Box<dyn Workload> + Send>;
+
+/// Tuning knobs of the reconcile loop.
+#[derive(Debug, Clone, Copy)]
+pub struct ReconcilerConfig {
+    /// Cluster actions (deploy/resize/undeploy) per pass; excess work is
+    /// deferred to later periods.
+    pub max_actions_per_period: usize,
+    /// Backoff after the first transient failure (periods); doubles per
+    /// consecutive failure.
+    pub backoff_base: u64,
+    /// Backoff ceiling (periods).
+    pub backoff_max: u64,
+    /// Placement algorithm used for deploys.
+    pub algorithm: PlacementAlgorithm,
+}
+
+impl Default for ReconcilerConfig {
+    fn default() -> Self {
+        ReconcilerConfig {
+            max_actions_per_period: 8,
+            backoff_base: 1,
+            backoff_max: 16,
+            algorithm: PlacementAlgorithm::BestFit,
+        }
+    }
+}
+
+/// A realized spec: the VM it became and the spec generation the cluster
+/// currently enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Binding {
+    /// The deployed VM.
+    pub vm: GlobalVmId,
+    /// Spec generation last applied to the cluster (lags the spec's own
+    /// generation while a resize is pending).
+    pub applied_generation: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Retry {
+    failures: u32,
+    next_at: u64,
+}
+
+/// What one reconcile pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReconcileSummary {
+    /// Specs deployed.
+    pub deployed: u64,
+    /// Live resizes applied (in place or via migration).
+    pub resized: u64,
+    /// Deleted specs undeployed.
+    pub undeployed: u64,
+    /// Transient failures re-queued with backoff.
+    pub retried: u64,
+    /// Actions skipped because the per-period budget ran out.
+    pub deferred: u64,
+    /// Permanent failures (parked at max backoff).
+    pub failed: u64,
+    /// True when, after this pass, every spec is bound at its current
+    /// generation and no stale binding remains.
+    pub converged: bool,
+}
+
+/// The reconcile loop's state: bindings, retry schedule, period counter.
+pub struct Reconciler {
+    cfg: ReconcilerConfig,
+    bindings: BTreeMap<SpecId, Binding>,
+    retry: BTreeMap<SpecId, Retry>,
+    period: u64,
+    workloads: WorkloadFactory,
+}
+
+impl std::fmt::Debug for Reconciler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Reconciler")
+            .field("cfg", &self.cfg)
+            .field("bindings", &self.bindings)
+            .field("period", &self.period)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Reconciler {
+    fn default() -> Self {
+        Reconciler::new(ReconcilerConfig::default())
+    }
+}
+
+impl Reconciler {
+    /// A reconciler with the default saturating workload factory.
+    pub fn new(cfg: ReconcilerConfig) -> Self {
+        Reconciler::with_workloads(cfg, Box::new(|_| Box::new(SteadyDemand::full())))
+    }
+
+    /// A reconciler whose deploys run workloads from `workloads`.
+    pub fn with_workloads(cfg: ReconcilerConfig, workloads: WorkloadFactory) -> Self {
+        Reconciler {
+            cfg,
+            bindings: BTreeMap::new(),
+            retry: BTreeMap::new(),
+            period: 0,
+            workloads,
+        }
+    }
+
+    /// The VM a spec is currently bound to, if deployed.
+    pub fn binding(&self, id: SpecId) -> Option<Binding> {
+        self.bindings.get(&id).copied()
+    }
+
+    /// Number of bound (deployed) specs.
+    pub fn bound(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// One reconcile pass. Ticks the control plane (rate-limit refill +
+    /// usage gauges), diffs desired vs observed, issues at most
+    /// `max_actions_per_period` cluster actions, and records metrics.
+    /// Call once per cluster period, before
+    /// [`ClusterManager::run_period`].
+    pub fn reconcile(
+        &mut self,
+        plane: &mut ControlPlane,
+        cluster: &mut ClusterManager,
+    ) -> ReconcileSummary {
+        let started = std::time::Instant::now();
+        plane.tick();
+        let mut summary = ReconcileSummary::default();
+        let mut budget = self.cfg.max_actions_per_period;
+
+        // Bindings whose VM the cluster has lost entirely revert to
+        // pending (bookkeeping, not a cluster action).
+        self.bindings.retain(|_, b| cluster.is_deployed(b.vm));
+
+        // Phase 1: undeploy bindings whose spec is gone.
+        let stale: Vec<(SpecId, GlobalVmId)> = self
+            .bindings
+            .iter()
+            .filter(|(id, _)| plane.store().get(**id).is_none())
+            .map(|(id, b)| (*id, b.vm))
+            .collect();
+        for (id, vm) in stale {
+            if budget == 0 {
+                summary.deferred += 1;
+                continue;
+            }
+            budget -= 1;
+            // Any error here means the VM is already gone — either way
+            // the binding is dead.
+            let _ = cluster.undeploy(vm);
+            self.bindings.remove(&id);
+            self.retry.remove(&id);
+            summary.undeployed += 1;
+        }
+
+        // Phase 2: live-resize bindings that lag their spec.
+        let lagging: Vec<(SpecId, GlobalVmId)> = self
+            .bindings
+            .iter()
+            .filter_map(|(id, b)| {
+                let spec = plane.store().get(*id)?;
+                (b.applied_generation < spec.generation).then_some((*id, b.vm))
+            })
+            .collect();
+        for (id, vm) in lagging {
+            if !self.retry_due(id) {
+                continue;
+            }
+            if budget == 0 {
+                summary.deferred += 1;
+                continue;
+            }
+            budget -= 1;
+            let spec = plane
+                .store()
+                .get(id)
+                .expect("filtered on existence")
+                .clone();
+            let call = std::time::Instant::now();
+            match cluster.resize_vfreq(vm, spec.template.vfreq) {
+                Ok(_) => {
+                    plane
+                        .metrics
+                        .observe_resize_us(call.elapsed().as_micros() as u64);
+                    self.bindings.insert(
+                        id,
+                        Binding {
+                            vm,
+                            applied_generation: spec.generation,
+                        },
+                    );
+                    self.retry.remove(&id);
+                    summary.resized += 1;
+                }
+                Err(e) if e.is_transient() => {
+                    self.schedule_retry(id);
+                    summary.retried += 1;
+                }
+                Err(_) => {
+                    // The VM is gone or the template is unusable: drop
+                    // the binding so the spec re-enters the deploy path.
+                    self.bindings.remove(&id);
+                    self.park(id);
+                    summary.failed += 1;
+                }
+            }
+        }
+
+        // Phase 3: deploy unbound specs.
+        let pending: Vec<SpecId> = plane
+            .store()
+            .specs()
+            .filter(|s| !self.bindings.contains_key(&s.id))
+            .map(|s| s.id)
+            .collect();
+        for id in pending {
+            if !self.retry_due(id) {
+                continue;
+            }
+            if budget == 0 {
+                summary.deferred += 1;
+                continue;
+            }
+            budget -= 1;
+            let spec = plane
+                .store()
+                .get(id)
+                .expect("ids come from the store")
+                .clone();
+            let workload = (self.workloads)(&spec);
+            match cluster.try_deploy_with(&spec.template, workload, self.cfg.algorithm) {
+                Ok(vm) => {
+                    self.bindings.insert(
+                        id,
+                        Binding {
+                            vm,
+                            applied_generation: spec.generation,
+                        },
+                    );
+                    self.retry.remove(&id);
+                    summary.deployed += 1;
+                }
+                Err(e) if e.is_transient() => {
+                    self.schedule_retry(id);
+                    summary.retried += 1;
+                }
+                Err(_) => {
+                    self.park(id);
+                    summary.failed += 1;
+                }
+            }
+        }
+
+        summary.converged = self.is_converged(plane);
+        self.period += 1;
+
+        let m = &mut plane.metrics;
+        m.count_actions(ActionKind::Deploy, summary.deployed);
+        m.count_actions(ActionKind::Resize, summary.resized);
+        m.count_actions(ActionKind::Undeploy, summary.undeployed);
+        m.count_actions(ActionKind::Retry, summary.retried);
+        m.count_actions(ActionKind::Deferred, summary.deferred);
+        m.count_actions(ActionKind::Failed, summary.failed);
+        m.observe_reconcile_us(started.elapsed().as_micros() as u64);
+        summary
+    }
+
+    /// True when desired and observed state match: every live spec bound
+    /// at its current generation, no binding without a spec.
+    pub fn is_converged(&self, plane: &ControlPlane) -> bool {
+        plane.store().len() == self.bindings.len()
+            && plane.store().specs().all(|s| {
+                self.bindings
+                    .get(&s.id)
+                    .is_some_and(|b| b.applied_generation == s.generation)
+            })
+    }
+
+    fn retry_due(&self, id: SpecId) -> bool {
+        self.retry.get(&id).is_none_or(|r| r.next_at <= self.period)
+    }
+
+    fn schedule_retry(&mut self, id: SpecId) {
+        let failures = self.retry.get(&id).map_or(0, |r| r.failures) + 1;
+        let delay = (self.cfg.backoff_base << (failures - 1).min(32)).min(self.cfg.backoff_max);
+        self.retry.insert(
+            id,
+            Retry {
+                failures,
+                next_at: self.period + delay.max(1),
+            },
+        );
+    }
+
+    /// Park a permanently failing spec at the maximum backoff (it is
+    /// retried eventually — capacity may appear — but cannot hot-loop).
+    fn park(&mut self, id: SpecId) {
+        self.retry.insert(
+            id,
+            Retry {
+                failures: u32::MAX,
+                next_at: self.period + self.cfg.backoff_max.max(1),
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quota::TenantQuota;
+    use vfc_cluster::Strategy;
+    use vfc_cpusched::topology::NodeSpec;
+    use vfc_simcore::MHz;
+    use vfc_vmm::VmTemplate;
+
+    fn rig(nodes: usize) -> (ControlPlane, ClusterManager, Reconciler) {
+        let mut plane = ControlPlane::new();
+        plane.add_tenant("acme", TenantQuota::unlimited());
+        let cluster = ClusterManager::new(
+            vec![NodeSpec::custom("n", 1, 2, 2, MHz(2400)); nodes],
+            Strategy::FrequencyControl,
+            7,
+        );
+        (plane, cluster, Reconciler::default())
+    }
+
+    #[test]
+    fn deploys_resizes_and_undeploys_to_convergence() {
+        let (mut plane, mut cluster, mut rec) = rig(2);
+        let loads = cluster.node_loads();
+        let id = plane
+            .create_vm("acme", VmTemplate::new("web", 2, MHz(900)), &loads)
+            .unwrap();
+
+        let s = rec.reconcile(&mut plane, &mut cluster);
+        assert_eq!((s.deployed, s.converged), (1, true));
+        let vm = rec.binding(id).unwrap().vm;
+        assert!(cluster.is_deployed(vm));
+        cluster.run_period();
+
+        plane
+            .resize_vm(id, MHz(1500), &cluster.node_loads())
+            .unwrap();
+        assert!(!rec.is_converged(&plane));
+        let s = rec.reconcile(&mut plane, &mut cluster);
+        assert_eq!((s.resized, s.converged), (1, true));
+        assert_eq!(cluster.vm_template(vm).unwrap().vfreq, MHz(1500));
+        assert_eq!(rec.binding(id).unwrap().applied_generation, 2);
+
+        plane.delete_vm(id).unwrap();
+        let s = rec.reconcile(&mut plane, &mut cluster);
+        assert_eq!((s.undeployed, s.converged), (1, true));
+        assert!(!cluster.is_deployed(vm));
+        assert_eq!(rec.bound(), 0);
+    }
+
+    #[test]
+    fn action_budget_rolls_out_gradually() {
+        let (mut plane, mut cluster, _) = rig(4);
+        let mut rec = Reconciler::new(ReconcilerConfig {
+            max_actions_per_period: 2,
+            ..ReconcilerConfig::default()
+        });
+        let loads = cluster.node_loads();
+        for i in 0..5 {
+            plane
+                .create_vm(
+                    "acme",
+                    VmTemplate::new(&format!("w{i}"), 1, MHz(500)),
+                    &loads,
+                )
+                .unwrap();
+        }
+        let s = rec.reconcile(&mut plane, &mut cluster);
+        assert_eq!((s.deployed, s.deferred, s.converged), (2, 3, false));
+        let s = rec.reconcile(&mut plane, &mut cluster);
+        assert_eq!((s.deployed, s.deferred), (2, 1));
+        let s = rec.reconcile(&mut plane, &mut cluster);
+        assert_eq!((s.deployed, s.converged), (1, true));
+        assert_eq!(
+            plane
+                .metrics
+                .actions(crate::telemetry::ActionKind::Deferred),
+            4
+        );
+    }
+
+    #[test]
+    fn transient_no_capacity_backs_off_and_recovers() {
+        // One node, 9600 MHz: the second 2×2400 VM cannot deploy until
+        // the first is deleted.
+        let (mut plane, mut cluster, mut rec) = rig(1);
+        let loads = cluster.node_loads();
+        let a = plane
+            .create_vm("acme", VmTemplate::new("a", 2, MHz(2400)), &loads)
+            .unwrap();
+        rec.reconcile(&mut plane, &mut cluster);
+        // b passes admission (4800 + 4800 = 9600 packs), but a squatter
+        // deployed behind the control plane's back takes the space
+        // first, so b's deploy hits the transient NoCapacity path.
+        let b = plane
+            .create_vm("acme", VmTemplate::new("b", 2, MHz(2400)), &loads)
+            .unwrap();
+        let squatter = cluster
+            .try_deploy(
+                &VmTemplate::new("squatter", 2, MHz(2400)),
+                Box::new(SteadyDemand::full()),
+            )
+            .unwrap();
+        let s = rec.reconcile(&mut plane, &mut cluster);
+        assert_eq!((s.retried, s.converged), (1, false));
+        // First backoff is one period: the retry fires next pass, fails
+        // again, and doubles the delay — so the pass after that skips
+        // the spec entirely.
+        let s = rec.reconcile(&mut plane, &mut cluster);
+        assert_eq!(s.retried, 1);
+        let s = rec.reconcile(&mut plane, &mut cluster);
+        assert_eq!(s.retried + s.deployed, 0, "backed off, no attempt");
+        // Free the capacity; the retry fires when due and converges.
+        cluster.undeploy(squatter).unwrap();
+        let mut converged = false;
+        for _ in 0..6 {
+            if rec.reconcile(&mut plane, &mut cluster).converged {
+                converged = true;
+                break;
+            }
+        }
+        assert!(converged, "deploy retried after backoff");
+        assert!(rec.binding(a).is_some() && rec.binding(b).is_some());
+    }
+}

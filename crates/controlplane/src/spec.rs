@@ -1,0 +1,265 @@
+//! Declarative desired-state store.
+//!
+//! Customers do not call the cluster manager directly: they declare what
+//! they want — "tenant `acme` runs a 4-vCPU VM at 1200 MHz" — and the
+//! [reconciler](crate::reconcile) makes the cluster match. The store is
+//! therefore the single source of truth for *desired* state, and it is
+//! structured as an **append-only event log** replayed into a map:
+//!
+//! * every accepted mutation appends one [`SpecEvent`] with a
+//!   monotonically increasing sequence number;
+//! * the in-memory [`VmSpec`] map is a pure fold over that log, so
+//!   persisting the log (atomic tmp + rename, the same pattern as the
+//!   controller's journal) is enough to survive a control-plane crash:
+//!   a restarted process replays the log and the reconciler re-converges
+//!   the cluster against it;
+//! * resizes bump the spec's **generation**; the reconciler compares the
+//!   generation it last applied against the spec's current one to decide
+//!   whether a live virtual-frequency resize is still pending.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+use vfc_simcore::MHz;
+use vfc_vmm::VmTemplate;
+
+/// Stable identifier of one desired VM, assigned by the store at
+/// creation and never reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SpecId(pub u64);
+
+impl fmt::Display for SpecId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "spec-{}", self.0)
+    }
+}
+
+/// One desired VM: who owns it, what template it runs, and which
+/// generation of the spec this is (bumped on every resize).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VmSpec {
+    /// Store-assigned identifier.
+    pub id: SpecId,
+    /// Owning tenant (quota + rate-limit accounting key).
+    pub tenant: String,
+    /// The requested shape: vCPUs, virtual frequency `F_v`, memory.
+    pub template: VmTemplate,
+    /// Mutation counter: 1 at creation, +1 per accepted resize.
+    pub generation: u64,
+}
+
+/// One entry of the append-only spec log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SpecEvent {
+    /// A VM was admitted.
+    Created {
+        /// The full spec as admitted (generation 1).
+        spec: VmSpec,
+    },
+    /// An existing VM's virtual frequency was changed.
+    Resized {
+        /// Which spec.
+        id: SpecId,
+        /// The new per-vCPU guarantee.
+        vfreq: MHz,
+        /// The spec's generation after this event.
+        generation: u64,
+    },
+    /// A VM was removed from the desired state.
+    Deleted {
+        /// Which spec.
+        id: SpecId,
+    },
+}
+
+/// The desired-state store: an event log and its fold.
+#[derive(Debug, Default, Clone)]
+pub struct SpecStore {
+    next_id: u64,
+    log: Vec<SpecEvent>,
+    specs: BTreeMap<SpecId, VmSpec>,
+}
+
+impl SpecStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        SpecStore::default()
+    }
+
+    /// Number of events appended so far; also the sequence number the
+    /// next event will get. Strictly increases over the store's life.
+    pub fn seq(&self) -> u64 {
+        self.log.len() as u64
+    }
+
+    /// The live (non-deleted) specs, in `SpecId` order.
+    pub fn specs(&self) -> impl Iterator<Item = &VmSpec> {
+        self.specs.values()
+    }
+
+    /// Number of live specs.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// True when no spec is live.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Look up one live spec.
+    pub fn get(&self, id: SpecId) -> Option<&VmSpec> {
+        self.specs.get(&id)
+    }
+
+    /// The raw event log (for diagnostics and tests).
+    pub fn log(&self) -> &[SpecEvent] {
+        &self.log
+    }
+
+    /// Append a creation event and return the new spec's id. The caller
+    /// (the admission layer) has already validated the template.
+    pub fn create(&mut self, tenant: &str, template: VmTemplate) -> SpecId {
+        let id = SpecId(self.next_id);
+        let spec = VmSpec {
+            id,
+            tenant: tenant.to_owned(),
+            template,
+            generation: 1,
+        };
+        self.apply(SpecEvent::Created { spec });
+        id
+    }
+
+    /// Append a resize event; returns the new generation, or `None` if
+    /// the spec does not exist.
+    pub fn resize(&mut self, id: SpecId, vfreq: MHz) -> Option<u64> {
+        let generation = self.specs.get(&id)?.generation + 1;
+        self.apply(SpecEvent::Resized {
+            id,
+            vfreq,
+            generation,
+        });
+        Some(generation)
+    }
+
+    /// Append a deletion event; returns the removed spec, or `None` if
+    /// it does not exist.
+    pub fn delete(&mut self, id: SpecId) -> Option<VmSpec> {
+        let spec = self.specs.get(&id)?.clone();
+        self.apply(SpecEvent::Deleted { id });
+        Some(spec)
+    }
+
+    /// Fold one event into the map (shared by live mutation and replay).
+    fn apply(&mut self, event: SpecEvent) {
+        match &event {
+            SpecEvent::Created { spec } => {
+                self.next_id = self.next_id.max(spec.id.0 + 1);
+                self.specs.insert(spec.id, spec.clone());
+            }
+            SpecEvent::Resized {
+                id,
+                vfreq,
+                generation,
+            } => {
+                if let Some(spec) = self.specs.get_mut(id) {
+                    spec.template.vfreq = *vfreq;
+                    spec.generation = *generation;
+                }
+            }
+            SpecEvent::Deleted { id } => {
+                self.specs.remove(id);
+            }
+        }
+        self.log.push(event);
+    }
+
+    /// Persist the event log as JSON: write `<path>.tmp`, then rename
+    /// over `path`, so a crash mid-write leaves the previous log intact
+    /// (the same atomic-swap discipline as the controller journal).
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        let body =
+            serde_json::to_string(&self.log).map_err(|e| format!("serialize spec log: {e}"))?;
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        std::fs::write(&tmp, body).map_err(|e| format!("write {}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, path)
+            .map_err(|e| format!("rename {} -> {}: {e}", tmp.display(), path.display()))
+    }
+
+    /// Rebuild a store by replaying a persisted log.
+    pub fn load(path: &Path) -> Result<SpecStore, String> {
+        let body =
+            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let log: Vec<SpecEvent> =
+            serde_json::from_str(&body).map_err(|e| format!("parse {}: {e}", path.display()))?;
+        let mut store = SpecStore::new();
+        for event in log {
+            store.apply(event);
+        }
+        Ok(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_resize_delete_fold() {
+        let mut s = SpecStore::new();
+        let a = s.create("acme", VmTemplate::small());
+        let b = s.create("acme", VmTemplate::medium());
+        assert_ne!(a, b);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(a).unwrap().generation, 1);
+
+        assert_eq!(s.resize(a, MHz(900)), Some(2));
+        assert_eq!(s.get(a).unwrap().template.vfreq, MHz(900));
+        assert_eq!(s.get(a).unwrap().generation, 2);
+
+        assert!(s.delete(b).is_some());
+        assert!(s.get(b).is_none());
+        assert_eq!(s.delete(b), None);
+        assert_eq!(s.resize(b, MHz(700)), None);
+        assert_eq!(s.seq(), 4, "dead-id mutations append nothing");
+    }
+
+    #[test]
+    fn ids_are_never_reused_after_delete() {
+        let mut s = SpecStore::new();
+        let a = s.create("t", VmTemplate::small());
+        s.delete(a).unwrap();
+        let b = s.create("t", VmTemplate::small());
+        assert!(b.0 > a.0);
+    }
+
+    #[test]
+    fn log_replay_reproduces_the_store() {
+        let dir = std::env::temp_dir().join(format!("vfc-cp-spec-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("specs.json");
+
+        let mut s = SpecStore::new();
+        let a = s.create("acme", VmTemplate::small());
+        let b = s.create("umbrella", VmTemplate::large());
+        s.resize(a, MHz(800)).unwrap();
+        s.delete(b).unwrap();
+        s.save(&path).unwrap();
+
+        let back = SpecStore::load(&path).unwrap();
+        assert_eq!(back.seq(), s.seq());
+        assert_eq!(
+            back.specs().cloned().collect::<Vec<_>>(),
+            s.specs().cloned().collect::<Vec<_>>()
+        );
+        // New ids continue after the replayed ones.
+        let mut back = back;
+        let c = back.create("acme", VmTemplate::small());
+        assert!(c.0 > a.0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

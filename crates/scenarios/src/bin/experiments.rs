@@ -16,6 +16,7 @@
 //!   variance                      §IV.A.2 core-frequency variance
 //!   baselines                     §II comparison (Burst VM, VMDFS, CFS shares)
 //!   cluster                       cluster-scale strategy comparison
+//!   churn                         control-plane admission + reconcile churn
 //!   recovery                      warm vs cold controller restart under faults
 //!   ablation                      design-parameter quality sweeps
 //!   factor-sweep                  §III.C consolidation factor on Eq. 7
@@ -149,6 +150,7 @@ fn main() -> ExitCode {
         "recovery",
         "ablation",
         "factor-sweep",
+        "churn",
     ];
     let commands: Vec<&str> = if command == "all" {
         all.to_vec()
@@ -267,6 +269,11 @@ fn main() -> ExitCode {
             "recovery" => recovery_cmd(&mut ctx),
             "ablation" => ablation_cmd(&mut ctx),
             "factor-sweep" => factor_sweep_cmd(&mut ctx),
+            "churn" => {
+                if !churn_cmd(&mut ctx) {
+                    return ExitCode::FAILURE;
+                }
+            }
             _ => unreachable!(),
         }
         println!();
@@ -1353,6 +1360,111 @@ fn factor_sweep_cmd(ctx: &mut Ctx) {
             Verdict::Partial
         }),
     );
+}
+
+/// Control-plane churn: seeded create/resize/delete stream through
+/// admission + reconcile, invariant checks, admission throughput.
+/// Returns `false` (CI failure) when `VFC_CHURN_MIN_OPS` is set and the
+/// measured admission throughput falls below it.
+fn churn_cmd(ctx: &mut Ctx) -> bool {
+    use vfc_scenarios::churn::{run, ChurnScenario};
+    let scenario = if ctx.scale.0 < 1.0 {
+        ChurnScenario {
+            periods: 40,
+            ..ChurnScenario::default()
+        }
+    } else {
+        ChurnScenario::default()
+    };
+    println!(
+        "  {} tenants churning {} ops/period over {} periods on {} nodes…",
+        scenario.tenants, scenario.ops_per_period, scenario.periods, scenario.nodes
+    );
+    let o = run(scenario);
+    let mut t = TextTable::new(&["measure", "value"]);
+    t.row_strs(&["admission calls", &o.submitted.to_string()]);
+    t.row_strs(&["  accepted", &o.accepted.to_string()]);
+    t.row_strs(&["  rejected (quota/capacity)", &o.rejected.to_string()]);
+    t.row_strs(&["  rate limited", &o.ratelimited.to_string()]);
+    t.row_strs(&["deploys", &o.deployed.to_string()]);
+    t.row_strs(&["live resizes", &o.resized.to_string()]);
+    t.row_strs(&["undeploys", &o.undeployed.to_string()]);
+    t.row_strs(&["Eq. 7 violations", &o.eq7_violations.to_string()]);
+    t.row_strs(&["quota violations", &o.quota_violations.to_string()]);
+    t.row_strs(&["final VMs", &o.final_vms.to_string()]);
+    t.row_strs(&[
+        "admission throughput",
+        &format!("{:.0} ops/s", o.admission_ops_per_sec),
+    ]);
+    print!("{}", t.render());
+    ctx.save_rows(
+        "churn",
+        &[
+            "submitted",
+            "accepted",
+            "rejected",
+            "ratelimited",
+            "deployed",
+            "resized",
+            "undeployed",
+            "eq7_violations",
+            "quota_violations",
+            "admission_ops_per_sec",
+        ],
+        &[vec![
+            o.submitted.to_string(),
+            o.accepted.to_string(),
+            o.rejected.to_string(),
+            o.ratelimited.to_string(),
+            o.deployed.to_string(),
+            o.resized.to_string(),
+            o.undeployed.to_string(),
+            o.eq7_violations.to_string(),
+            o.quota_violations.to_string(),
+            format!("{:.0}", o.admission_ops_per_sec),
+        ]],
+    );
+    let invariants_hold = o.eq7_violations == 0 && o.quota_violations == 0;
+    ctx.registry.add(
+        ExperimentRecord::new(
+            "churn",
+            "Control-plane churn (admission + reconcile)",
+            "Placement under the core splitting constraint keeps every node's \
+             promise; the control plane must preserve that under tenant churn",
+        )
+        .metric("admission_ops_per_sec", o.admission_ops_per_sec)
+        .metric("eq7_violations", o.eq7_violations as f64)
+        .measured(format!(
+            "{} calls ({} accepted), {} deploys / {} resizes / {} undeploys, \
+             0 Eq. 7 violations expected, got {}",
+            o.submitted, o.accepted, o.deployed, o.resized, o.undeployed, o.eq7_violations
+        ))
+        .verdict(if invariants_hold {
+            Verdict::Reproduced
+        } else {
+            Verdict::Diverged
+        }),
+    );
+    if !invariants_hold {
+        eprintln!("FAIL: churn violated an invariant");
+        return false;
+    }
+    if let Ok(floor) = std::env::var("VFC_CHURN_MIN_OPS") {
+        if let Ok(floor) = floor.parse::<f64>() {
+            if o.admission_ops_per_sec < floor {
+                eprintln!(
+                    "FAIL: admission throughput {:.0} ops/s below the {floor:.0} ops/s floor",
+                    o.admission_ops_per_sec
+                );
+                return false;
+            }
+            println!(
+                "  throughput floor met: {:.0} ≥ {floor:.0} ops/s",
+                o.admission_ops_per_sec
+            );
+        }
+    }
+    true
 }
 
 // Avoid unused warning for Path (used in helper signatures only on some

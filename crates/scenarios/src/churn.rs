@@ -1,0 +1,236 @@
+//! Control-plane churn benchmark.
+//!
+//! Drives the full stack — HTTP-less, straight through the
+//! [`ControlPlane`] admission front end and the [`Reconciler`] — with a
+//! seeded stream of tenant mutations (create / live-resize / delete)
+//! against a frequency-controlled cluster, and checks the two
+//! invariants the control plane exists to uphold:
+//!
+//! * **Eq. 7 is never violated**: at no period does any node's placed
+//!   demand `Σ k_i·F_i` exceed its budget `k_n·F_n^MAX`;
+//! * **quotas are never violated**: no tenant's desired footprint
+//!   exceeds its ceiling on any axis.
+//!
+//! It also measures **admission throughput** (mutations decided per
+//! second of wall time, accepted and rejected alike) — the number the
+//! CI smoke job holds a floor against, because admission sits on the
+//! API's request path.
+
+use std::time::{Duration, Instant};
+use vfc_cluster::{ClusterManager, Strategy};
+use vfc_controlplane::{
+    ActionKind, ControlPlane, RateLimit, Reconciler, ReconcilerConfig, SpecId, TenantQuota,
+};
+use vfc_cpusched::topology::NodeSpec;
+use vfc_simcore::{MHz, SplitMix64};
+use vfc_vmm::VmTemplate;
+
+/// Shape of one churn run.
+#[derive(Debug, Clone, Copy)]
+pub struct ChurnScenario {
+    /// Nodes in the cluster (1 socket × 2 cores × 2 threads @ 2400 MHz
+    /// each → 9600 MHz of Eq. 7 budget per node).
+    pub nodes: usize,
+    /// Reconcile/cluster periods to run.
+    pub periods: u64,
+    /// Tenants sharing the cluster; quotas split the Eq. 7 budget
+    /// evenly so quota rejections actually occur.
+    pub tenants: usize,
+    /// Admission calls drawn per period (spread over the tenants).
+    pub ops_per_period: usize,
+    /// Seed of the op stream.
+    pub seed: u64,
+}
+
+impl Default for ChurnScenario {
+    fn default() -> Self {
+        ChurnScenario {
+            nodes: 8,
+            periods: 200,
+            tenants: 4,
+            ops_per_period: 6,
+            seed: 42,
+        }
+    }
+}
+
+/// What a churn run did and proved.
+#[derive(Debug, Clone, Copy)]
+pub struct ChurnOutcome {
+    /// Admission calls submitted (create + resize + delete).
+    pub submitted: u64,
+    /// Calls admitted.
+    pub accepted: u64,
+    /// Calls rejected (quota, capacity, validation).
+    pub rejected: u64,
+    /// Calls rejected by the per-tenant rate limiter.
+    pub ratelimited: u64,
+    /// Reconciler deploys performed.
+    pub deployed: u64,
+    /// Live resizes performed.
+    pub resized: u64,
+    /// Undeploys performed.
+    pub undeployed: u64,
+    /// Periods × nodes where placed demand exceeded the Eq. 7 budget
+    /// (the invariant: **must be 0**).
+    pub eq7_violations: u64,
+    /// Tenant-periods where desired usage exceeded quota (**must be 0**).
+    pub quota_violations: u64,
+    /// Live specs at the end.
+    pub final_vms: u64,
+    /// Admission decisions per second of wall time spent deciding.
+    pub admission_ops_per_sec: f64,
+    /// Total wall time of the run.
+    pub wall: Duration,
+}
+
+/// Run the churn benchmark.
+pub fn run(s: ChurnScenario) -> ChurnOutcome {
+    let started = Instant::now();
+    let mut cluster = ClusterManager::new(
+        vec![NodeSpec::custom("churn", 1, 2, 2, MHz(2400)); s.nodes],
+        Strategy::FrequencyControl,
+        s.seed,
+    );
+    let total_capacity: u64 = cluster.node_loads().iter().map(|n| n.capacity_mhz).sum();
+
+    let mut plane = ControlPlane::new();
+    plane.set_rate_limit(RateLimit {
+        burst: 4,
+        per_tick: 2,
+    });
+    let quota = TenantQuota {
+        max_vms: 12,
+        max_vcpus: 32,
+        max_mhz: total_capacity / s.tenants as u64,
+    };
+    let tenants: Vec<String> = (0..s.tenants).map(|i| format!("tenant-{i}")).collect();
+    for t in &tenants {
+        plane.add_tenant(t, quota);
+    }
+    let mut rec = Reconciler::new(ReconcilerConfig::default());
+
+    let mut rng = SplitMix64::new(s.seed ^ 0x5eed_c0de);
+    let mut live: Vec<(SpecId, usize)> = Vec::new(); // (spec, tenant index)
+    let (mut submitted, mut eq7_violations, mut quota_violations) = (0u64, 0u64, 0u64);
+    let mut admission_time = Duration::ZERO;
+
+    for _ in 0..s.periods {
+        let loads = cluster.node_loads();
+        for _ in 0..s.ops_per_period {
+            let ti = rng.next_below(s.tenants as u64) as usize;
+            let draw = rng.next_below(10);
+            submitted += 1;
+            let t0 = Instant::now();
+            if draw < 5 || live.iter().all(|(_, owner)| *owner != ti) {
+                // Create: templates cycle through the paper's presets.
+                let template = match rng.next_below(3) {
+                    0 => VmTemplate::small(),
+                    1 => VmTemplate::medium(),
+                    _ => VmTemplate::large(),
+                };
+                if let Ok(id) = plane.create_vm(&tenants[ti], template, &loads) {
+                    live.push((id, ti));
+                }
+            } else {
+                let owned: Vec<usize> = live
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, (_, owner))| *owner == ti)
+                    .map(|(i, _)| i)
+                    .collect();
+                let pick = owned[rng.next_below(owned.len() as u64) as usize];
+                let (id, _) = live[pick];
+                if draw < 8 {
+                    // Live resize to a fresh frequency.
+                    let vfreq = MHz(400 + 200 * rng.next_below(8) as u32);
+                    let _ = plane.resize_vm(id, vfreq, &loads);
+                } else if plane.delete_vm(id).is_ok() {
+                    live.swap_remove(pick);
+                }
+            }
+            admission_time += t0.elapsed();
+        }
+
+        rec.reconcile(&mut plane, &mut cluster);
+        cluster.run_period();
+
+        eq7_violations += cluster.eq7_violations() as u64;
+        for t in &tenants {
+            let u = plane.usage(t);
+            if u.vms > quota.max_vms || u.vcpus > quota.max_vcpus || u.mhz > quota.max_mhz {
+                quota_violations += 1;
+            }
+        }
+        // Drop ids the plane no longer knows (deleted via churn).
+        live.retain(|(id, _)| plane.store().get(*id).is_some());
+    }
+
+    let mut accepted = 0;
+    let mut rejected = 0;
+    let mut ratelimited = 0;
+    for t in &tenants {
+        let (a, r, l) = plane.metrics.admission_counts(t);
+        accepted += a;
+        rejected += r;
+        ratelimited += l;
+    }
+    let secs = admission_time.as_secs_f64();
+    ChurnOutcome {
+        submitted,
+        accepted,
+        rejected,
+        ratelimited,
+        deployed: plane.metrics.actions(ActionKind::Deploy),
+        resized: plane.metrics.actions(ActionKind::Resize),
+        undeployed: plane.metrics.actions(ActionKind::Undeploy),
+        eq7_violations,
+        quota_violations,
+        final_vms: plane.store().len() as u64,
+        admission_ops_per_sec: if secs > 0.0 {
+            submitted as f64 / secs
+        } else {
+            f64::INFINITY
+        },
+        wall: started.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn churn_upholds_both_invariants() {
+        let outcome = run(ChurnScenario {
+            periods: 30,
+            ..ChurnScenario::default()
+        });
+        assert_eq!(outcome.eq7_violations, 0);
+        assert_eq!(outcome.quota_violations, 0);
+        assert!(outcome.accepted > 0);
+        assert!(outcome.deployed > 0);
+        assert!(outcome.resized > 0, "{outcome:?}");
+        assert_eq!(
+            outcome.submitted,
+            outcome.accepted + outcome.rejected + outcome.ratelimited
+        );
+    }
+
+    #[test]
+    fn churn_is_deterministic_in_everything_but_wall_time() {
+        let s = ChurnScenario {
+            periods: 20,
+            ..ChurnScenario::default()
+        };
+        let (a, b) = (run(s), run(s));
+        assert_eq!(
+            (a.submitted, a.accepted, a.rejected, a.ratelimited),
+            (b.submitted, b.accepted, b.rejected, b.ratelimited)
+        );
+        assert_eq!(
+            (a.deployed, a.resized, a.undeployed, a.final_vms),
+            (b.deployed, b.resized, b.undeployed, b.final_vms)
+        );
+    }
+}

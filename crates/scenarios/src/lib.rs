@@ -19,6 +19,7 @@
 pub mod ablation;
 pub mod baseline_eval;
 pub mod cfs_sides;
+pub mod churn;
 pub mod cluster_eval;
 pub mod estimator_figs;
 pub mod eval1;

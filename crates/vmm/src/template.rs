@@ -65,6 +65,33 @@ impl VmTemplate {
     pub fn freq_demand_mhz(&self) -> u64 {
         self.vcpus as u64 * self.vfreq.as_u32() as u64
     }
+
+    /// Validate the template at the spec boundary. A zero virtual
+    /// frequency produces a degenerate `C_i = 0` guarantee downstream
+    /// (Eq. 2) — the VM would be admitted but never get a cycle of
+    /// guaranteed time — and zero vCPUs or an empty name are equally
+    /// nonsensical, so all three are rejected here, where the customer's
+    /// request enters the system, instead of surfacing as a silent
+    /// starvation later.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("template name must not be empty".into());
+        }
+        if self.vcpus == 0 {
+            return Err(format!("template {:?}: vcpus must be ≥ 1", self.name));
+        }
+        if self.vfreq.as_u32() == 0 {
+            return Err(format!(
+                "template {:?}: virtual frequency must be positive (a zero F_v \
+                 yields a degenerate C_i = 0 guarantee)",
+                self.name
+            ));
+        }
+        if self.mem_gb == 0 {
+            return Err(format!("template {:?}: mem_gb must be ≥ 1", self.name));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -86,6 +113,18 @@ mod tests {
         assert_eq!(VmTemplate::small().freq_demand_mhz(), 1000);
         assert_eq!(VmTemplate::medium().freq_demand_mhz(), 4800);
         assert_eq!(VmTemplate::large().freq_demand_mhz(), 7200);
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_templates() {
+        assert!(VmTemplate::small().validate().is_ok());
+        assert!(VmTemplate::new("", 2, MHz(500)).validate().is_err());
+        assert!(VmTemplate::new("z", 0, MHz(500)).validate().is_err());
+        assert!(VmTemplate::new("z", 2, MHz(0)).validate().is_err());
+        assert!(VmTemplate::new("z", 2, MHz(500))
+            .with_mem_gb(0)
+            .validate()
+            .is_err());
     }
 
     #[test]

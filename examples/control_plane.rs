@@ -1,0 +1,170 @@
+//! The control plane end to end, over its own HTTP/JSON API.
+//!
+//! Boots a 4-node frequency-controlled cluster behind
+//! [`vfc::controlplane::ApiServer`], registers two tenants with
+//! different quotas, and then acts as both of them from the outside —
+//! every mutation in this example travels through a real TCP socket and
+//! the admission controller, exactly like an external client:
+//!
+//! 1. each tenant creates VMs with `POST /vms` (one request is pushed
+//!    past its quota on purpose, to show the typed `403`);
+//! 2. the reconcile loop (driven here, period by period) deploys them;
+//! 3. mid-run, a VM is live-resized with `PUT /vms/{id}/vfreq` and the
+//!    next reconcile pass applies the new `F_v` to the running VM;
+//! 4. `GET /tenants/{id}/usage`, `GET /healthz` and the Prometheus
+//!    rollup from `GET /metrics` show what happened.
+//!
+//! ```text
+//! cargo run --example control_plane
+//! ```
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex};
+use vfc::cluster::{ClusterManager, Strategy};
+use vfc::controlplane::{
+    ApiServer, ControlPlane, ControlPlaneRuntime, RateLimit, Reconciler, TenantQuota,
+};
+use vfc::cpusched::topology::NodeSpec;
+use vfc::simcore::MHz;
+
+/// Minimal HTTP/1.1 client: one request, one connection (the server
+/// does not keep-alive), returns `(status, body)`.
+fn http(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("api reachable");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: vfc\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_owned())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn main() {
+    // A 4-node cluster: 1 socket × 2 cores × 2 threads @ 2.4 GHz per
+    // node → 9600 MHz of Eq. 7 budget each, 38 400 MHz total.
+    let cluster = ClusterManager::new(
+        vec![NodeSpec::custom("cp", 1, 2, 2, MHz(2400)); 4],
+        Strategy::FrequencyControl,
+        42,
+    );
+
+    // Two tenants. "acme" can hold half the cluster; "initech" is kept
+    // small so one of its requests bounces off the quota below.
+    let mut plane = ControlPlane::new();
+    plane.set_rate_limit(RateLimit {
+        burst: 8,
+        per_tick: 4,
+    });
+    plane.add_tenant(
+        "acme",
+        TenantQuota {
+            max_vms: 8,
+            max_vcpus: 16,
+            max_mhz: 19_200,
+        },
+    );
+    plane.add_tenant(
+        "initech",
+        TenantQuota {
+            max_vms: 2,
+            max_vcpus: 4,
+            max_mhz: 4_800,
+        },
+    );
+
+    let runtime = Arc::new(Mutex::new(ControlPlaneRuntime::new(
+        plane,
+        cluster,
+        Reconciler::default(),
+    )));
+    let server = ApiServer::bind("127.0.0.1:0", Arc::clone(&runtime)).expect("bind api");
+    let addr = server.local_addr();
+    println!("control-plane API listening on http://{addr}\n");
+
+    // --- Tenants act over HTTP -------------------------------------
+    println!("== create ==");
+    let creates = [
+        ("acme", "web-0", 2, 1800),
+        ("acme", "web-1", 2, 1800),
+        ("acme", "batch", 4, 900),
+        ("initech", "app", 2, 1200),
+        ("initech", "db", 2, 1200),
+        // initech's quota is 2 VMs — this one must bounce with a 403.
+        ("initech", "extra", 1, 400),
+    ];
+    for (tenant, name, vcpus, vfreq) in creates {
+        let body = format!(
+            r#"{{"tenant":"{tenant}","name":"{name}","vcpus":{vcpus},"vfreq_mhz":{vfreq}}}"#
+        );
+        let (status, reply) = http(addr, "POST", "/vms", &body);
+        println!("  POST /vms {tenant}/{name} ({vcpus} vCPU @ {vfreq} MHz) -> {status} {reply}");
+    }
+
+    // --- Reconcile: desired state becomes running VMs ---------------
+    for _ in 0..3 {
+        runtime.lock().unwrap().step();
+    }
+    let (_, health) = http(addr, "GET", "/healthz", "");
+    println!("\n== after 3 reconcile periods ==\n  GET /healthz -> {health}");
+
+    // --- Mid-run live resize ----------------------------------------
+    // Spec 2 is acme's 4-vCPU batch VM at 900 MHz; push it to 1500.
+    println!("\n== live resize ==");
+    let (status, reply) = http(addr, "PUT", "/vms/2/vfreq", r#"{"vfreq_mhz":1500}"#);
+    println!("  PUT /vms/2/vfreq 900 -> 1500 MHz -> {status} {reply}");
+    runtime.lock().unwrap().step();
+    {
+        let rt = runtime.lock().unwrap();
+        let vm = rt
+            .reconciler
+            .binding(vfc::controlplane::SpecId(2))
+            .expect("batch VM is bound")
+            .vm;
+        let enforced = rt.cluster.vm_template(vm).expect("running").vfreq;
+        println!("  cluster now enforces F_v = {enforced} for the batch VM");
+    }
+
+    // --- One tenant leaves a VM behind ------------------------------
+    let (status, reply) = http(addr, "DELETE", "/vms/4", "");
+    println!("\n== delete ==\n  DELETE /vms/4 (initech/db) -> {status} {reply}");
+    for _ in 0..2 {
+        runtime.lock().unwrap().step();
+    }
+
+    // --- Final state ------------------------------------------------
+    println!("\n== usage ==");
+    for tenant in ["acme", "initech"] {
+        let (_, usage) = http(addr, "GET", &format!("/tenants/{tenant}/usage"), "");
+        println!("  GET /tenants/{tenant}/usage -> {usage}");
+    }
+
+    {
+        let rt = runtime.lock().unwrap();
+        println!("\n== node loads (Eq. 7 ledger) ==");
+        for load in rt.cluster.node_loads() {
+            println!(
+                "  {:6} up={} {:5}/{:5} MHz, {}/{} vCPUs",
+                load.name, load.up, load.used_mhz, load.capacity_mhz, load.used_vcpus, load.threads
+            );
+        }
+        assert_eq!(rt.cluster.eq7_violations(), 0);
+    }
+
+    let (_, metrics) = http(addr, "GET", "/metrics", "");
+    println!("\n== telemetry rollup (GET /metrics) ==");
+    for line in metrics.lines().filter(|l| !l.starts_with('#')) {
+        println!("  {line}");
+    }
+}

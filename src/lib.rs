@@ -22,6 +22,7 @@
 //! | [`placement`] | `vfc-placement` | First/Best-Fit placement with the frequency constraint (Eq. 7), cluster energy |
 //! | [`metrics`] | `vfc-metrics` | statistics, aggregation, CSV/ASCII rendering, experiment records |
 //! | [`telemetry`] | `vfc-telemetry` | stage-latency histograms, metric registry, Prometheus exposition, trace ring (see docs/OBSERVABILITY.md) |
+//! | [`controlplane`] | `vfc-controlplane` | multi-tenant admission, quotas, spec log, reconcile loop, HTTP/JSON API (see docs/CONTROLPLANE.md) |
 //! | [`scenarios`] | `vfc-scenarios` | the paper's evaluations (Tables II/III/V, Figs. 3–14) as runnable scenarios |
 //!
 //! ## Quickstart
@@ -58,6 +59,7 @@ pub use vfc_baselines as baselines;
 pub use vfc_cgroupfs as cgroupfs;
 pub use vfc_cluster as cluster;
 pub use vfc_controller as controller;
+pub use vfc_controlplane as controlplane;
 pub use vfc_cpusched as cpusched;
 pub use vfc_metrics as metrics;
 pub use vfc_placement as placement;

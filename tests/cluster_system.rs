@@ -59,7 +59,7 @@ fn mixed_hardware_cluster_accounts_per_family() {
         manager.run_period();
     }
     for id in ids {
-        let f = manager.vm_freq(id);
+        let f = manager.vm_freq(id).expect("deployed VM has a frequency");
         assert!(f >= 1700.0, "{id} got {f} MHz, promised 1800");
     }
     let report = manager.report();

@@ -60,6 +60,27 @@ pub trait HostBackend {
     /// Hosted VMs, in stable order.
     fn vms(&self) -> Vec<VmCgroupInfo>;
 
+    /// Monotone epoch of the VM inventory: backends that know when their
+    /// hosted-VM set (or any [`VmCgroupInfo`] field) changed may return a
+    /// counter that is bumped on every such change, letting the monitor
+    /// skip the allocating [`HostBackend::vms`] re-listing on unchanged
+    /// periods. `None` (the default) means "unknown — always re-list",
+    /// which is the only safe answer for a real cgroup mount where VMs
+    /// appear and vanish behind the controller's back.
+    fn vms_epoch(&self) -> Option<u64> {
+        None
+    }
+
+    /// First thread id of a vCPU cgroup, without materialising the full
+    /// thread list. KVM vCPU groups hold exactly one thread, and the
+    /// monitor only samples the first, so backends should override this
+    /// with an allocation-free fast path. The default delegates to
+    /// [`HostBackend::vcpu_threads`] (preserving any error/fault
+    /// semantics layered on it).
+    fn vcpu_first_thread(&self, vm: VmId, vcpu: VcpuId) -> Result<Option<Tid>> {
+        Ok(self.vcpu_threads(vm, vcpu)?.first().copied())
+    }
+
     /// Cumulative `usage_usec` of a vCPU cgroup since creation
     /// (`cpu.stat`). Monotone non-decreasing.
     fn vcpu_usage(&self, vm: VmId, vcpu: VcpuId) -> Result<Micros>;

@@ -39,8 +39,49 @@ struct DiscoveredVm {
     name: String,
     /// The `machine-qemu…scope` directory itself.
     scope_dir: PathBuf,
-    /// Paths of the vCPU cgroup directories, indexed by vCPU id.
-    vcpu_dirs: Vec<PathBuf>,
+    /// Per-vCPU read/write plans, indexed by vCPU id.
+    vcpus: Vec<VcpuPlan>,
+}
+
+/// Precomputed paths of every file the control loop touches for one
+/// vCPU, joined once at discovery. The per-period reads and the
+/// `cpu.max` write then run straight off these — no `PathBuf::join`
+/// (and no allocation) per sample. The members are hierarchy-version
+/// specific: the plan is built for the version the backend speaks.
+#[derive(Debug, Clone)]
+struct VcpuPlan {
+    /// v2: `cpu.stat` (usage + throttled); v1: `cpuacct.usage`.
+    usage: PathBuf,
+    /// v2: `cpu.stat` (same file as `usage`); v1: the v1-flavored
+    /// `cpu.stat` with `throttled_time`.
+    throttled: PathBuf,
+    /// v2: `cgroup.threads`; v1: `tasks`.
+    threads: PathBuf,
+    /// v2: `cpu.max`; v1: `cpu.cfs_quota_us`.
+    max: PathBuf,
+    /// v1 only: `cpu.cfs_period_us` (unused placeholder on v2).
+    period: PathBuf,
+}
+
+impl VcpuPlan {
+    fn new(dir: PathBuf, version: CgroupVersion) -> Self {
+        match version {
+            CgroupVersion::V2 => VcpuPlan {
+                usage: dir.join("cpu.stat"),
+                throttled: dir.join("cpu.stat"),
+                threads: dir.join("cgroup.threads"),
+                max: dir.join("cpu.max"),
+                period: dir.join("cpu.max"),
+            },
+            CgroupVersion::V1 => VcpuPlan {
+                usage: dir.join("cpuacct.usage"),
+                throttled: dir.join("cpu.stat"),
+                threads: dir.join("tasks"),
+                max: dir.join("cpu.cfs_quota_us"),
+                period: dir.join("cpu.cfs_period_us"),
+            },
+        }
+    }
 }
 
 /// Which cgroup hierarchy version the backend speaks. §III.B of the
@@ -188,7 +229,10 @@ impl FsBackend {
                 number,
                 name,
                 scope_dir: scope.clone(),
-                vcpu_dirs: vcpus.into_iter().map(|(_, p)| p).collect(),
+                vcpus: vcpus
+                    .into_iter()
+                    .map(|(_, p)| VcpuPlan::new(p, self.version))
+                    .collect(),
             });
         }
         vms.sort_by_key(|v| v.number);
@@ -212,23 +256,38 @@ impl FsBackend {
         })
     }
 
-    /// Path of a vCPU cgroup from the cache, refreshing once on miss.
-    fn vcpu_dir(&self, vm: VmId, vcpu: VcpuId) -> Result<PathBuf> {
-        let lookup = |cache: &[DiscoveredVm]| -> Option<PathBuf> {
-            cache
+    /// Run `f` against a vCPU's precomputed path plan, refreshing the
+    /// discovery cache once on miss. The closure executes with the cache
+    /// borrowed (shared), so it must not re-enter cache-mutating paths —
+    /// the file reads and writes it performs never do.
+    fn with_vcpu_plan<T>(
+        &self,
+        vm: VmId,
+        vcpu: VcpuId,
+        f: impl FnOnce(&VcpuPlan) -> Result<T>,
+    ) -> Result<T> {
+        {
+            let cache = self.cache.borrow();
+            if let Some(plan) = cache
                 .get(vm.as_usize())
-                .and_then(|v| v.vcpu_dirs.get(vcpu.as_usize()))
-                .cloned()
-        };
-        if let Some(p) = lookup(&self.cache.borrow()) {
-            return Ok(p);
+                .and_then(|v| v.vcpus.get(vcpu.as_usize()))
+            {
+                return f(plan);
+            }
         }
         let fresh = self.discover()?;
         *self.cache.borrow_mut() = fresh;
-        lookup(&self.cache.borrow()).ok_or(CgroupError::NoSuchVcpu {
-            vm: vm.as_u32(),
-            vcpu: vcpu.as_u32(),
-        })
+        let cache = self.cache.borrow();
+        match cache
+            .get(vm.as_usize())
+            .and_then(|v| v.vcpus.get(vcpu.as_usize()))
+        {
+            Some(plan) => f(plan),
+            None => Err(CgroupError::NoSuchVcpu {
+                vm: vm.as_u32(),
+                vcpu: vcpu.as_u32(),
+            }),
+        }
     }
 }
 
@@ -263,7 +322,7 @@ impl HostBackend for FsBackend {
             .map(|(i, v)| VmCgroupInfo {
                 vm: VmId::new(i as u32),
                 name: v.name.clone(),
-                nr_vcpus: v.vcpu_dirs.len() as u32,
+                nr_vcpus: v.vcpus.len() as u32,
                 vfreq: self.vfreq.get(&v.name).copied(),
             })
             .collect();
@@ -272,28 +331,26 @@ impl HostBackend for FsBackend {
     }
 
     fn vcpu_usage(&self, vm: VmId, vcpu: VcpuId) -> Result<Micros> {
-        let dir = self.vcpu_dir(vm, vcpu)?;
-        match self.version {
+        self.with_vcpu_plan(vm, vcpu, |plan| match self.version {
             CgroupVersion::V2 => {
-                let stat = parse::parse_cpu_stat(&self.read(&dir.join("cpu.stat"))?)?;
+                let stat = parse::parse_cpu_stat(&self.read(&plan.usage)?)?;
                 Ok(stat.usage_usec)
             }
-            CgroupVersion::V1 => v1::parse_cpuacct_usage(&self.read(&dir.join("cpuacct.usage"))?),
-        }
+            CgroupVersion::V1 => v1::parse_cpuacct_usage(&self.read(&plan.usage)?),
+        })
     }
 
     fn vcpu_throttled(&self, vm: VmId, vcpu: VcpuId) -> Result<Micros> {
-        let dir = self.vcpu_dir(vm, vcpu)?;
-        match self.version {
+        self.with_vcpu_plan(vm, vcpu, |plan| match self.version {
             CgroupVersion::V2 => {
-                let stat = parse::parse_cpu_stat(&self.read(&dir.join("cpu.stat"))?)?;
+                let stat = parse::parse_cpu_stat(&self.read(&plan.throttled)?)?;
                 Ok(stat.throttled_usec)
             }
             CgroupVersion::V1 => {
                 // v1 reports `throttled_time` in ns inside its own
                 // cpu.stat; tolerate its absence (bandwidth control may
                 // be compiled out).
-                match self.read(&dir.join("cpu.stat")) {
+                match self.read(&plan.throttled) {
                     Ok(content) => {
                         let (_, _, throttled) = v1::parse_v1_cpu_stat(&content)?;
                         Ok(throttled)
@@ -301,15 +358,14 @@ impl HostBackend for FsBackend {
                     Err(_) => Ok(Micros::ZERO),
                 }
             }
-        }
+        })
     }
 
     fn vcpu_threads(&self, vm: VmId, vcpu: VcpuId) -> Result<Vec<Tid>> {
-        let dir = self.vcpu_dir(vm, vcpu)?;
-        match self.version {
-            CgroupVersion::V2 => parse::parse_threads(&self.read(&dir.join("cgroup.threads"))?),
-            CgroupVersion::V1 => v1::parse_tasks(&self.read(&dir.join("tasks"))?),
-        }
+        self.with_vcpu_plan(vm, vcpu, |plan| match self.version {
+            CgroupVersion::V2 => parse::parse_threads(&self.read(&plan.threads)?),
+            CgroupVersion::V1 => v1::parse_tasks(&self.read(&plan.threads)?),
+        })
     }
 
     fn thread_last_cpu(&self, tid: Tid) -> Result<CpuId> {
@@ -326,27 +382,24 @@ impl HostBackend for FsBackend {
     }
 
     fn set_vcpu_max(&mut self, vm: VmId, vcpu: VcpuId, max: CpuMax) -> Result<()> {
-        let dir = self.vcpu_dir(vm, vcpu)?;
-        match self.version {
-            CgroupVersion::V2 => self.write(&dir.join("cpu.max"), &parse::format_cpu_max(&max)),
+        self.with_vcpu_plan(vm, vcpu, |plan| match self.version {
+            CgroupVersion::V2 => self.write(&plan.max, &parse::format_cpu_max(&max)),
             CgroupVersion::V1 => {
                 // Period first: the kernel rejects quotas larger than the
                 // current period.
-                self.write(&dir.join("cpu.cfs_period_us"), &v1::format_cfs_period(&max))?;
-                self.write(&dir.join("cpu.cfs_quota_us"), &v1::format_cfs_quota(&max))
+                self.write(&plan.period, &v1::format_cfs_period(&max))?;
+                self.write(&plan.max, &v1::format_cfs_quota(&max))
             }
-        }
+        })
     }
 
     fn vcpu_max(&self, vm: VmId, vcpu: VcpuId) -> Result<CpuMax> {
-        let dir = self.vcpu_dir(vm, vcpu)?;
-        match self.version {
-            CgroupVersion::V2 => parse::parse_cpu_max(&self.read(&dir.join("cpu.max"))?),
-            CgroupVersion::V1 => v1::parse_cfs_quota(
-                &self.read(&dir.join("cpu.cfs_quota_us"))?,
-                &self.read(&dir.join("cpu.cfs_period_us"))?,
-            ),
-        }
+        self.with_vcpu_plan(vm, vcpu, |plan| match self.version {
+            CgroupVersion::V2 => parse::parse_cpu_max(&self.read(&plan.max)?),
+            CgroupVersion::V1 => {
+                v1::parse_cfs_quota(&self.read(&plan.max)?, &self.read(&plan.period)?)
+            }
+        })
     }
 
     fn set_vm_weight(&mut self, vm: VmId, weight: u32) -> Result<()> {

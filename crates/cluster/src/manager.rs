@@ -6,7 +6,7 @@ use crate::slo::{SloTracker, VmSlo};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use vfc_cgroupfs::backend::HostBackend;
-use vfc_controller::{ControlMode, Controller, ControllerConfig, Journal};
+use vfc_controller::{ControlMode, Controller, ControllerConfig, IterationReport, Journal};
 use vfc_cpusched::topology::NodeSpec;
 use vfc_placement::algo::PlacementAlgorithm;
 use vfc_placement::constraint::ConstraintMode;
@@ -162,6 +162,21 @@ impl Strategy {
     }
 }
 
+/// Per-VM SLO sample computed node-side in the parallel pass of
+/// [`ClusterManager::run_period`], then merged serially in VM order so
+/// the trackers see a deterministic update sequence.
+#[derive(Clone, Copy)]
+struct SloSample {
+    /// Index into the manager's VM records (the merge key).
+    vm: usize,
+    worst_demand: f64,
+    worst_delivery: f64,
+    rec_demand: f64,
+    rec_served: f64,
+    in_recovery: bool,
+    uncontrolled: bool,
+}
+
 struct NodeRuntime {
     host: SimHost,
     controller: Option<Controller>,
@@ -177,6 +192,20 @@ struct NodeRuntime {
     /// VM-periods on this node count toward recovery accounting until
     /// this period (exclusive) — the tail after a controller restart.
     recovery_until: u64,
+    /// Reused iteration report: its row buffers reach steady-state
+    /// capacity after a few periods, so the per-period controller run
+    /// stays off the allocator (see `Controller::iterate_into`).
+    report: IterationReport,
+    /// VMs resident on this node, as (VM-record index, local id,
+    /// guaranteed vfreq, vCPU count) — the serial pre-pass of
+    /// `run_period` refills it, so the parallel pass touches each VM
+    /// exactly once without scanning the fleet per node (and without
+    /// borrowing the non-`Sync` VM records across threads).
+    residents: Vec<(usize, VmId, MHz, u32)>,
+    /// SLO samples this node computed in the parallel pass, merged
+    /// serially afterwards. Both buffers keep their capacity across
+    /// periods.
+    slo_scratch: Vec<SloSample>,
 }
 
 impl NodeRuntime {
@@ -194,6 +223,9 @@ impl NodeRuntime {
             controller_returns_at: None,
             snapshot: None,
             recovery_until: 0,
+            report: IterationReport::default(),
+            residents: Vec::new(),
+            slo_scratch: Vec::new(),
         }
     }
 
@@ -654,78 +686,113 @@ impl ClusterManager {
         // 1. Land migrations whose downtime elapsed; retry stranded VMs.
         self.land_migrations();
 
-        // 2. Advance hosts + run controllers. Nodes are fully independent
-        // within a period (the manager only talks to them between
-        // periods), so this is embarrassingly parallel — the dominant
-        // cost of a cluster run. Crashed nodes stand still; a node whose
-        // controller died advances uncapped.
+        // 2. Advance hosts + run controllers, and compute each node's
+        // residents' SLO samples while its state is hot. Nodes are fully
+        // independent within a period (the manager only talks to them
+        // between periods), so this is embarrassingly parallel — the
+        // dominant cost of a cluster run. Crashed nodes stand still (but
+        // their residents still get sampled, off the stood-still host);
+        // a node whose controller died advances uncapped.
         use rayon::prelude::*;
+        // Serial pre-pass: refill each node's resident index so the
+        // parallel pass touches each VM exactly once instead of scanning
+        // the whole fleet per node.
+        for node in &mut self.nodes {
+            node.residents.clear();
+        }
+        for (i, record) in self.vms.iter().enumerate() {
+            if let Location::OnNode { node, local } = &record.location {
+                self.nodes[*node].residents.push((
+                    i,
+                    *local,
+                    record.template.vfreq,
+                    record.template.vcpus,
+                ));
+            }
+        }
+        let period = self.period;
         self.nodes.par_iter_mut().for_each(|node| {
-            if node.is_down() {
-                return;
+            if !node.is_down() {
+                node.host.advance_period();
+                // A dead controller writes no cpu.max: fail-open.
+                if node.controller_returns_at.is_none() {
+                    if let Some(ctl) = &mut node.controller {
+                        ctl.iterate_into(&mut node.host, &mut node.report)
+                            .expect("sim backend");
+                    }
+                }
             }
-            node.host.advance_period();
-            if node.controller_returns_at.is_some() {
-                return; // controller dead: nobody writes cpu.max
-            }
-            if let Some(ctl) = &mut node.controller {
-                ctl.iterate(&mut node.host).expect("sim backend");
+            let f_max = node.host.spec().max_mhz;
+            let uncontrolled = node.controller_returns_at.is_some();
+            let in_recovery = uncontrolled || period < node.recovery_until;
+            node.slo_scratch.clear();
+            for k in 0..node.residents.len() {
+                let (vm, local, vfreq, nr_vcpus) = node.residents[k];
+                let c_i = vfc_controller::guaranteed_cycles(vfreq, f_max, Micros::SEC);
+                if c_i.is_zero() {
+                    continue;
+                }
+                // Worst vCPU decides the period's outcome.
+                let mut worst_demand = f64::INFINITY;
+                let mut worst_delivery = f64::INFINITY;
+                // Demand-aware variant for recovery windows: what share
+                // of the *demanded* time was actually served.
+                let mut rec_demand = f64::NEG_INFINITY;
+                let mut rec_served = f64::INFINITY;
+                for j in 0..nr_vcpus {
+                    let demanded = node.host.vcpu_demand_last_window(local, VcpuId::new(j));
+                    let freq = node.host.vcpu_freq_exact(local, VcpuId::new(j));
+                    let demand_ratio = demanded.as_u64() as f64 / c_i.as_u64() as f64;
+                    let delivery_ratio = freq.as_f64() / vfreq.as_f64().max(1.0);
+                    // Track the vCPU that demanded most but got least.
+                    if delivery_ratio < worst_delivery {
+                        worst_delivery = delivery_ratio;
+                        worst_demand = demand_ratio;
+                    }
+                    if !demanded.is_zero() {
+                        let served_us =
+                            freq.as_f64() / f_max.as_f64().max(1.0) * Micros::SEC.as_u64() as f64;
+                        let served_ratio = served_us / demanded.as_u64() as f64;
+                        if served_ratio < rec_served {
+                            rec_served = served_ratio;
+                            rec_demand = demand_ratio;
+                        }
+                    }
+                }
+                node.slo_scratch.push(SloSample {
+                    vm,
+                    worst_demand,
+                    worst_delivery,
+                    rec_demand,
+                    rec_served,
+                    in_recovery,
+                    uncontrolled,
+                });
             }
         });
 
-        // 3. SLO + energy accounting.
-        for record in &self.vms {
+        // 3. SLO + energy accounting, merged serially in VM-record order
+        // so tracker updates (and their float accumulation) happen in
+        // exactly the order the old serial scan produced.
+        let mut by_vm: Vec<Option<SloSample>> = Vec::new();
+        by_vm.resize_with(self.vms.len(), || None);
+        for node in &self.nodes {
+            for s in &node.slo_scratch {
+                by_vm[s.vm] = Some(*s);
+            }
+        }
+        for (i, record) in self.vms.iter().enumerate() {
             let class = record.template.name.as_str();
             match &record.location {
-                Location::OnNode { node, local } => {
-                    let rt = &self.nodes[*node];
-                    let host = &rt.host;
-                    let f_max = host.spec().max_mhz;
-                    let c_i = vfc_controller::guaranteed_cycles(
-                        record.template.vfreq,
-                        f_max,
-                        Micros::SEC,
-                    );
-                    if c_i.is_zero() {
-                        continue;
+                Location::OnNode { .. } => {
+                    let Some(s) = &by_vm[i] else { continue };
+                    if s.worst_demand.is_finite() {
+                        self.slo.record(class, s.worst_demand, s.worst_delivery);
                     }
-                    // Worst vCPU decides the period's outcome.
-                    let mut worst_demand = f64::INFINITY;
-                    let mut worst_delivery = f64::INFINITY;
-                    // Demand-aware variant for recovery windows: what
-                    // share of the *demanded* time was actually served.
-                    let mut rec_demand = f64::NEG_INFINITY;
-                    let mut rec_served = f64::INFINITY;
-                    for j in 0..record.template.vcpus {
-                        let demanded = host.vcpu_demand_last_window(*local, VcpuId::new(j));
-                        let freq = host.vcpu_freq_exact(*local, VcpuId::new(j));
-                        let demand_ratio = demanded.as_u64() as f64 / c_i.as_u64() as f64;
-                        let delivery_ratio =
-                            freq.as_f64() / record.template.vfreq.as_f64().max(1.0);
-                        // Track the vCPU that demanded most but got least.
-                        if delivery_ratio < worst_delivery {
-                            worst_delivery = delivery_ratio;
-                            worst_demand = demand_ratio;
-                        }
-                        if !demanded.is_zero() {
-                            let served_us = freq.as_f64() / f_max.as_f64().max(1.0)
-                                * Micros::SEC.as_u64() as f64;
-                            let served_ratio = served_us / demanded.as_u64() as f64;
-                            if served_ratio < rec_served {
-                                rec_served = served_ratio;
-                                rec_demand = demand_ratio;
-                            }
-                        }
+                    if s.in_recovery && s.rec_demand.is_finite() {
+                        self.recovery.record(class, s.rec_demand, s.rec_served);
                     }
-                    if worst_demand.is_finite() {
-                        self.slo.record(class, worst_demand, worst_delivery);
-                    }
-                    let in_recovery =
-                        rt.controller_returns_at.is_some() || self.period < rt.recovery_until;
-                    if in_recovery && rec_demand.is_finite() {
-                        self.recovery.record(class, rec_demand, rec_served);
-                    }
-                    if rt.controller_returns_at.is_some() {
+                    if s.uncontrolled {
                         self.freport.uncontrolled_vm_periods += 1;
                     }
                 }

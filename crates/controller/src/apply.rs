@@ -64,6 +64,29 @@ impl ApplyOutcome {
     pub fn errors(&self) -> usize {
         self.failed.len() + self.vanished.len()
     }
+
+    /// Fold stage 6's write traffic into the telemetry. `attempted` is
+    /// the number of `cpu.max` writes issued, `volume_usec` the µs of
+    /// allocation carried by the successful ones, `retries` how many
+    /// writes were re-issues of the previous period's failures, and
+    /// `elided` how many writes were skipped because the in-force
+    /// `cpu.max` already matched.
+    pub fn record_telemetry(
+        &self,
+        attempted: u64,
+        volume_usec: u64,
+        retries: u64,
+        elided: u64,
+        metrics: &mut crate::telemetry::ControllerMetrics,
+    ) {
+        metrics.record_apply(
+            attempted,
+            volume_usec,
+            self.errors() as u64,
+            retries,
+            elided,
+        );
+    }
 }
 
 /// Write every allocation to the backend. A failed write never aborts
@@ -71,6 +94,11 @@ impl ApplyOutcome {
 /// reported in the outcome — retriable errors together with the intended
 /// allocation (the controller re-issues them next period), disappeared
 /// VMs separately (nothing left to write to).
+///
+/// This is the compatibility entry point over HashMap-keyed allocations
+/// (sorting a fresh address Vec each call); the controller hot path
+/// iterates its dense slot registry — already in sorted address order,
+/// maintained per membership change — and elides unchanged writes.
 pub fn apply_allocations<B: HostBackend + ?Sized>(
     backend: &mut B,
     cfg: &ControllerConfig,
@@ -78,7 +106,7 @@ pub fn apply_allocations<B: HostBackend + ?Sized>(
 ) -> ApplyOutcome {
     // Deterministic write order (useful for fixture-based tests and logs).
     let mut addrs: Vec<&VcpuAddr> = allocations.keys().collect();
-    addrs.sort();
+    addrs.sort_unstable();
     let mut out = ApplyOutcome::default();
     for addr in &addrs {
         if out.vanished.contains(&addr.vm) {
@@ -93,22 +121,6 @@ pub fn apply_allocations<B: HostBackend + ?Sized>(
         }
     }
     out
-}
-
-impl ApplyOutcome {
-    /// Fold stage 6's write traffic into the telemetry. `attempted` is
-    /// the number of `cpu.max` writes issued, `volume_usec` the µs of
-    /// allocation carried by the successful ones, `retries` how many
-    /// writes were re-issues of the previous period's failures.
-    pub fn record_telemetry(
-        &self,
-        attempted: u64,
-        volume_usec: u64,
-        retries: u64,
-        metrics: &mut crate::telemetry::ControllerMetrics,
-    ) {
-        metrics.record_apply(attempted, volume_usec, self.errors() as u64, retries);
-    }
 }
 
 #[cfg(test)]

@@ -26,7 +26,7 @@ pub struct Buyer {
 }
 
 /// Outcome summary of an auction run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
 pub struct AuctionOutcome {
     /// Cycles sold in total.
     pub sold: Micros,
@@ -36,7 +36,8 @@ pub struct AuctionOutcome {
 
 /// Run the auction: mutates `market`, `allocations` and the `wallet`.
 ///
-/// `window` bounds the cycles one vCPU may buy per round.
+/// `window` bounds the cycles one vCPU may buy per round. Convenience
+/// wrapper over [`run_auction_with`] for HashMap-keyed allocations.
 pub fn run_auction(
     market: &mut Micros,
     buyers: &mut Vec<Buyer>,
@@ -44,12 +45,31 @@ pub fn run_auction(
     window: Micros,
     allocations: &mut HashMap<VcpuAddr, Micros>,
 ) -> AuctionOutcome {
+    run_auction_with(market, buyers, wallet, window, |addr, paid| {
+        *allocations.entry(addr).or_insert(Micros::ZERO) += paid;
+    })
+}
+
+/// [`run_auction`] with a caller-supplied grant sink: `grant(addr, paid)`
+/// is invoked for every sale instead of touching a HashMap, so the hot
+/// path can add into dense per-slot buffers. Allocation-free: the buyer
+/// ordering uses `sort_unstable_by` over the caller's reused buffer
+/// (the balance-desc / address-asc comparator is a total order, so an
+/// unstable sort produces the same deterministic ordering the original
+/// stable sort did).
+pub fn run_auction_with<F: FnMut(VcpuAddr, Micros)>(
+    market: &mut Micros,
+    buyers: &mut Vec<Buyer>,
+    wallet: &mut Wallet,
+    window: Micros,
+    mut grant: F,
+) -> AuctionOutcome {
     let mut sold = Micros::ZERO;
     let mut rounds = 0u32;
 
     while !market.is_zero() && !buyers.is_empty() {
         // Richest VMs first; stable id tiebreak keeps runs deterministic.
-        buyers.sort_by(|a, b| {
+        buyers.sort_unstable_by(|a, b| {
             wallet
                 .balance(b.addr.vm)
                 .cmp(&wallet.balance(a.addr.vm))
@@ -72,7 +92,7 @@ pub fn run_auction(
             *market -= paid;
             buyer.want -= paid;
             sold += paid;
-            *allocations.entry(buyer.addr).or_insert(Micros::ZERO) += paid;
+            grant(buyer.addr, paid);
             any_sold = true;
         }
 

@@ -64,6 +64,16 @@ pub struct ControllerConfig {
     /// skipped for the iteration (degradation ladder, step 2). `0`
     /// disables stale reuse: any failed read skips the vCPU immediately.
     pub stale_sample_ttl: u32,
+    /// **Extension beyond the paper** (off by default): write hysteresis.
+    /// When positive, stage 6 skips a `cpu.max` write whose allocation
+    /// differs from the cap currently in force by less than this many µs
+    /// — trading sub-threshold capping precision for fewer kernel
+    /// crossings on hosts where writes are expensive. `0` preserves the
+    /// paper's behavior exactly: every computed allocation is applied
+    /// (writes whose resulting `cpu.max` is *identical* to the in-force
+    /// value are still elided as pure syscall dedup — the kernel state
+    /// ends up byte-identical either way).
+    pub apply_min_delta_us: u64,
 }
 
 impl ControllerConfig {
@@ -83,6 +93,7 @@ impl ControllerConfig {
             mode: ControlMode::Full,
             throttle_aware: false,
             stale_sample_ttl: 2,
+            apply_min_delta_us: 0,
         }
     }
 

@@ -1,10 +1,10 @@
 //! The six-stage control loop (Fig. 2), assembled.
 
-use crate::apply::{apply_allocations, ApplyOutcome};
-use crate::auction::{run_auction, AuctionOutcome, Buyer};
+use crate::apply::allocation_to_cpu_max;
+use crate::auction::{run_auction_with, AuctionOutcome, Buyer};
 use crate::config::{ControlMode, ControllerConfig};
-use crate::credits::{base_allocations, Wallet};
-use crate::distribute::distribute_leftovers;
+use crate::credits::Wallet;
+use crate::distribute::distribute_leftovers_with;
 use crate::estimate::{Estimate, EstimateCase, Estimator};
 use crate::monitor::Monitor;
 use crate::persist::{Journal, VcpuState, VmState, JOURNAL_VERSION};
@@ -14,7 +14,8 @@ use std::collections::HashMap;
 use std::time::{Duration, Instant};
 use vfc_cgroupfs::backend::{HostBackend, TopologyInfo, VmCgroupInfo};
 use vfc_cgroupfs::error::Result;
-use vfc_simcore::{MHz, Micros, VcpuAddr, VcpuId, VmId};
+use vfc_cgroupfs::model::CpuMax;
+use vfc_simcore::{FastMap, MHz, Micros, VcpuAddr, VcpuId, VmId};
 
 /// Wall-clock cost of each stage of one iteration — the paper reports
 /// ≈5 ms total, ≈4 ms of it monitoring, on 60 vCPUs (§IV.A.2).
@@ -126,20 +127,6 @@ impl HealthTotals {
     }
 }
 
-/// Per-VM positive balance movement between two wallet snapshots
-/// (`newer − older`, clamped at zero). Used to derive minted (after-earn
-/// minus before) and spent (after-earn minus after-auction) per VM.
-fn balance_delta(newer: &[(VmId, u64)], older: &[(VmId, u64)]) -> Vec<(VmId, u64)> {
-    let old: HashMap<VmId, u64> = older.iter().copied().collect();
-    newer
-        .iter()
-        .filter_map(|(vm, bal)| {
-            let delta = bal.saturating_sub(old.get(vm).copied().unwrap_or(0));
-            (delta > 0).then_some((*vm, delta))
-        })
-        .collect()
-}
-
 /// Everything the controller decided about one vCPU this iteration.
 #[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct VcpuReport {
@@ -164,7 +151,11 @@ pub struct VcpuReport {
 }
 
 /// Summary of one controller iteration.
-#[derive(Debug, Clone, serde::Serialize)]
+///
+/// `Default` yields an empty report suitable as the reusable buffer for
+/// [`Controller::iterate_into`]: the controller refills every field each
+/// period, recycling the row and credit vectors in place.
+#[derive(Debug, Clone, Default, serde::Serialize)]
 pub struct IterationReport {
     /// Per-vCPU rows, sorted by address.
     pub vcpus: Vec<VcpuReport>,
@@ -212,6 +203,18 @@ impl IterationReport {
 }
 
 /// The virtual frequency controller. One instance per node.
+///
+/// # Hot-path architecture
+///
+/// Steady state (membership unchanged, no faults) performs **zero heap
+/// allocations** per iteration. The per-vCPU working set lives in a
+/// *dense slot registry* — `slots` (live vCPU addresses in sorted
+/// order) plus flat per-slot and per-VM tables — rebuilt only when the
+/// monitor's inventory generation moves. Every per-iteration structure
+/// (estimates, allocations, buyers, residuals, per-VM accumulators) is
+/// a flat `Vec` owned by the controller and reused across periods; the
+/// auction and distribution stages add into the slot table through
+/// grant closures instead of HashMaps.
 pub struct Controller {
     cfg: ControllerConfig,
     topo: TopologyInfo,
@@ -219,19 +222,59 @@ pub struct Controller {
     estimator: Estimator,
     wallet: Wallet,
     /// `c_{i,j,t-1}` — what we applied last iteration.
-    prev_alloc: HashMap<VcpuAddr, Micros>,
+    prev_alloc: FastMap<VcpuAddr, Micros>,
     /// `cpu.max` writes that failed last iteration, re-issued this one
     /// for vCPUs that get no fresh allocation.
-    pending_writes: HashMap<VcpuAddr, Micros>,
+    pending_writes: FastMap<VcpuAddr, Micros>,
+    /// Last `cpu.max` successfully written per vCPU, with the allocation
+    /// that produced it. Stage 6 elides a write whose value is already
+    /// in force (plus optional hysteresis, see
+    /// [`ControllerConfig::apply_min_delta_us`]). A failed write clears
+    /// the entry so retries are never elided, and warm-restart adoption
+    /// deliberately does *not* seed it (the first write after a restart
+    /// is always issued).
+    in_force: FastMap<VcpuAddr, (Micros, CpuMax)>,
     /// VM id → scope name from the most recent inventory. The crash
     /// journal is keyed by name because backend ids are not stable
     /// across daemon restarts.
-    last_names: HashMap<VmId, String>,
+    last_names: FastMap<VmId, String>,
     iterations: u64,
     /// Running sum of every iteration's [`HealthReport`].
     health_totals: HealthTotals,
     /// Stage histograms, market counters and the trace ring.
     metrics: ControllerMetrics,
+
+    // ---- dense slot registry (rebuilt per inventory generation) -------
+    /// Monitor generation the registry was built against.
+    registry_generation: Option<u64>,
+    /// Live vCPU addresses, sorted — slot index is the dense key.
+    slots: Vec<VcpuAddr>,
+    /// Address → slot index.
+    slot_of: FastMap<VcpuAddr, u32>,
+    /// Slot → VM table index.
+    slot_vm: Vec<u32>,
+    /// VM tables, in inventory order.
+    vm_ids: Vec<VmId>,
+    vm_names: Vec<String>,
+    vm_guarantee: Vec<Micros>,
+    vm_vfreq: Vec<Option<MHz>>,
+    /// VM id → VM table index.
+    vm_index_of: FastMap<VmId, u32>,
+    /// VM table indices ordered by name (trace aggregation order).
+    vm_name_order: Vec<u32>,
+
+    // ---- per-iteration scratch (reused, cleared each period) ----------
+    estimates: Vec<Estimate>,
+    slot_alloc: Vec<Micros>,
+    slot_has: Vec<bool>,
+    buyers: Vec<Buyer>,
+    residual: Vec<(VcpuAddr, Micros)>,
+    dist_scratch: Vec<(VcpuAddr, u64, u64)>,
+    vm_minted: Vec<u64>,
+    vm_spent: Vec<u64>,
+    vm_alloc: Vec<u64>,
+    failed: Vec<(VcpuAddr, Micros)>,
+    write_vanished: Vec<VmId>,
 }
 
 impl Controller {
@@ -251,12 +294,34 @@ impl Controller {
             topo,
             monitor: Monitor::new(),
             wallet: Wallet::new(),
-            prev_alloc: HashMap::new(),
-            pending_writes: HashMap::new(),
-            last_names: HashMap::new(),
+            prev_alloc: FastMap::default(),
+            pending_writes: FastMap::default(),
+            in_force: FastMap::default(),
+            last_names: FastMap::default(),
             iterations: 0,
             health_totals: HealthTotals::default(),
             metrics: ControllerMetrics::new(),
+            registry_generation: None,
+            slots: Vec::new(),
+            slot_of: FastMap::default(),
+            slot_vm: Vec::new(),
+            vm_ids: Vec::new(),
+            vm_names: Vec::new(),
+            vm_guarantee: Vec::new(),
+            vm_vfreq: Vec::new(),
+            vm_index_of: FastMap::default(),
+            vm_name_order: Vec::new(),
+            estimates: Vec::new(),
+            slot_alloc: Vec::new(),
+            slot_has: Vec::new(),
+            buyers: Vec::new(),
+            residual: Vec::new(),
+            dist_scratch: Vec::new(),
+            vm_minted: Vec::new(),
+            vm_spent: Vec::new(),
+            vm_alloc: Vec::new(),
+            failed: Vec::new(),
+            write_vanished: Vec::new(),
         }
     }
 
@@ -413,6 +478,10 @@ impl Controller {
         // A retry queued under the old frequency would re-impose an
         // old-sized cap if the vCPU is ever skipped; drop it.
         self.pending_writes.retain(|addr, _| addr.vm != vm);
+        // Forget the in-force caps so the first post-resize writes are
+        // always issued (hysteresis must never compare against a cap
+        // sized for the old frequency).
+        self.in_force.retain(|addr, _| addr.vm != vm);
         c_i
     }
 
@@ -424,64 +493,155 @@ impl Controller {
     /// mid-iteration is dropped cleanly. No single-vCPU failure makes
     /// this return `Err`; the variant remains for genuinely fatal
     /// conditions of future backends.
+    ///
+    /// Allocating convenience wrapper over [`Controller::iterate_into`];
+    /// long-running callers keep one [`IterationReport`] and reuse it.
     pub fn iterate<B: HostBackend + ?Sized>(&mut self, backend: &mut B) -> Result<IterationReport> {
+        let mut report = IterationReport::default();
+        self.iterate_into(backend, &mut report)?;
+        Ok(report)
+    }
+
+    /// Rebuild the dense slot registry from the monitor's inventory.
+    /// Called only when the inventory generation moves; allocation here
+    /// is fine (membership changes are rare events, not steady state).
+    fn rebuild_registry(&mut self) {
+        let inv = self.monitor.inventory();
+        self.vm_ids.clear();
+        self.vm_names.clear();
+        self.vm_guarantee.clear();
+        self.vm_vfreq.clear();
+        self.vm_index_of.clear();
+        for (vi, vm) in inv.iter().enumerate() {
+            self.vm_ids.push(vm.vm);
+            self.vm_names.push(vm.name.clone());
+            self.vm_guarantee.push(guaranteed_cycles(
+                vm.vfreq.unwrap_or(MHz::ZERO),
+                self.topo.max_mhz,
+                self.cfg.period,
+            ));
+            self.vm_vfreq.push(vm.vfreq);
+            self.vm_index_of.insert(vm.vm, vi as u32);
+        }
+        self.vm_name_order.clear();
+        self.vm_name_order.extend(0..inv.len() as u32);
+        {
+            let names = &self.vm_names;
+            self.vm_name_order
+                .sort_unstable_by(|a, b| names[*a as usize].cmp(&names[*b as usize]));
+        }
+        self.slots.clear();
+        for vm in inv {
+            for j in 0..vm.nr_vcpus {
+                self.slots.push(VcpuAddr::new(vm.vm, VcpuId::new(j)));
+            }
+        }
+        self.slots.sort_unstable();
+        self.slot_of.clear();
+        self.slot_vm.clear();
+        for (i, addr) in self.slots.iter().enumerate() {
+            self.slot_of.insert(*addr, i as u32);
+            self.slot_vm.push(self.vm_index_of[&addr.vm]);
+        }
+        self.last_names.clear();
+        for vm in inv {
+            self.last_names.insert(vm.vm, vm.name.clone());
+        }
+        // Drop per-address and per-VM state of departed members.
+        let slot_of = &self.slot_of;
+        self.prev_alloc.retain(|a, _| slot_of.contains_key(a));
+        self.pending_writes.retain(|a, _| slot_of.contains_key(a));
+        self.in_force.retain(|a, _| slot_of.contains_key(a));
+        self.wallet.retain_vms(&self.vm_ids);
+        self.registry_generation = Some(self.monitor.generation());
+    }
+
+    /// [`Controller::iterate`] into a caller-owned report. The report's
+    /// vectors are recycled in place; once their capacities cover the
+    /// inventory, a healthy steady-state iteration performs **zero heap
+    /// allocations** end to end.
+    pub fn iterate_into<B: HostBackend + ?Sized>(
+        &mut self,
+        backend: &mut B,
+        report: &mut IterationReport,
+    ) -> Result<()> {
         let t_start = Instant::now();
         let mut timings = StageTimings::default();
         let period = self.cfg.period;
+        let full = self.cfg.mode == ControlMode::Full;
 
-        // ---- stage 1: monitor ------------------------------------------------
+        // ---- stage 1: monitor ---------------------------------------------
         let t = Instant::now();
-        let outcome = self
-            .monitor
-            .observe(backend, period, self.cfg.stale_sample_ttl);
+        self.monitor
+            .observe_in_place(backend, period, self.cfg.stale_sample_ttl);
         timings.monitor = t.elapsed();
         self.metrics.observe_stage(Stage::Monitor, timings.monitor);
-        outcome.record_telemetry(&mut self.metrics);
-        // Names of vanished VMs (only the previous inventory still knows
-        // them) — their per-VM gauge series are dropped in the epilogue.
-        let mut vanished_names: Vec<String> = outcome
-            .vanished
+        let vcpu_total: u64 = self
+            .monitor
+            .inventory()
             .iter()
-            .filter_map(|vm| self.last_names.get(vm).cloned())
-            .collect();
-        let mut health = HealthReport {
-            read_errors: outcome.read_errors,
-            stale_reused: outcome.stale_reused.len() as u32,
-            skipped_vcpus: outcome.skipped.clone(),
-            vanished_vms: outcome.vanished.clone(),
-            ..HealthReport::default()
-        };
+            .map(|v| v.nr_vcpus as u64)
+            .sum();
+        self.metrics.record_monitor(
+            self.monitor.inventory().len() as u64,
+            vcpu_total,
+            self.monitor.read_errors() as u64,
+            self.monitor.stale_reused().len() as u64,
+            self.monitor.skipped().len() as u64,
+            self.monitor.vanished().len() as u64,
+        );
+
+        // Names of vanished VMs (only the previous registry still knows
+        // them) — their per-VM gauge series are dropped in the epilogue.
+        // `Vec::new()` does not allocate; the vanish path is cold.
+        let mut vanished_names: Vec<String> = Vec::new();
+        for vm in self.monitor.vanished() {
+            if let Some(name) = self.last_names.get(vm) {
+                vanished_names.push(name.clone());
+            }
+        }
+
+        let health = &mut report.health;
+        health.read_errors = self.monitor.read_errors();
+        health.write_errors = 0;
+        health.write_retries = 0;
+        health.stale_reused = self.monitor.stale_reused().len() as u32;
+        health.skipped_vcpus.clear();
+        health
+            .skipped_vcpus
+            .extend_from_slice(self.monitor.skipped());
+        health.vanished_vms.clear();
+        health
+            .vanished_vms
+            .extend_from_slice(self.monitor.vanished());
+        health.degraded = false;
+
         // A vanished VM must not leave a ghost capping or a pending write.
-        for vm in &outcome.vanished {
+        for vm in self.monitor.vanished() {
             self.prev_alloc.retain(|a, _| a.vm != *vm);
             self.pending_writes.retain(|a, _| a.vm != *vm);
+            self.in_force.retain(|a, _| a.vm != *vm);
         }
-        let vms = outcome.vms;
-        let observations = outcome.observations;
 
-        // ---- stage 2: estimate ------------------------------------------------
+        // Membership changed (or first iteration): rebuild the dense
+        // slot registry the rest of the pipeline indexes into.
+        if self.registry_generation != Some(self.monitor.generation()) {
+            self.rebuild_registry();
+        }
+        let n_vms = self.vm_ids.len();
+
+        // ---- stage 2: estimate --------------------------------------------
         let t = Instant::now();
-        let mut estimates: Vec<Estimate> =
-            self.estimator
-                .estimate(&self.cfg, &observations, &self.prev_alloc);
+        self.estimator.estimate_into(
+            &self.cfg,
+            self.monitor.observations(),
+            &self.prev_alloc,
+            &mut self.estimates,
+        );
         timings.estimate = t.elapsed();
         self.metrics
             .observe_stage(Stage::Estimate, timings.estimate);
-        crate::estimate::record_telemetry(&estimates, &mut self.metrics);
-
-        // Guarantees per VM (Eq. 2).
-        let guarantee: HashMap<VmId, Micros> = vms
-            .iter()
-            .map(|vm| {
-                (
-                    vm.vm,
-                    guaranteed_cycles(vm.vfreq.unwrap_or(MHz::ZERO), self.topo.max_mhz, period),
-                )
-            })
-            .collect();
-        let names: HashMap<VmId, &str> = vms.iter().map(|vm| (vm.vm, vm.name.as_str())).collect();
-        self.last_names = vms.iter().map(|vm| (vm.vm, vm.name.clone())).collect();
-        let vfreqs: HashMap<VmId, Option<MHz>> = vms.iter().map(|vm| (vm.vm, vm.vfreq)).collect();
+        crate::estimate::record_telemetry(&self.estimates, &mut self.metrics);
 
         // QoS floors on the estimates (both follow from Eq. 5's premise:
         // the guarantee must hold whenever the estimated demand reaches
@@ -497,95 +657,133 @@ impl Controller {
         //   to C_i immediately (instead of doubling its way up from the
         //   idle floor across many periods), and the increase factor
         //   governs growth beyond the guarantee.
-        for e in &mut estimates {
+        for e in &mut self.estimates {
             let floors = !self.prev_alloc.contains_key(&e.addr)
                 || e.case == crate::estimate::EstimateCase::Increase;
             if floors {
-                let c_i = guarantee.get(&e.addr.vm).copied().unwrap_or(Micros::ZERO);
+                let slot = self.slot_of[&e.addr] as usize;
+                let c_i = self.vm_guarantee[self.slot_vm[slot] as usize];
                 e.estimate = e.estimate.max(c_i);
             }
         }
 
-        let mut allocations: HashMap<VcpuAddr, Micros>;
         let market_initial;
         let auction_outcome;
         let distributed;
         let market_left;
 
-        if self.cfg.mode == ControlMode::Full {
-            // Wallet snapshots bracketing earn and auction let us derive
-            // per-VM minted/spent amounts without touching the stages'
-            // signatures (AuctionOutcome stays `Copy`).
-            let balances_before = self.wallet.snapshot();
-            // ---- stage 3: credits + base capping (Eqs. 4, 5) ---------------
+        if full {
+            // ---- stage 3: credits + base capping (Eqs. 4, 5) --------------
             let t = Instant::now();
-            self.wallet.earn(&observations, &guarantee);
-            self.wallet
-                .retain_vms(&vms.iter().map(|v| v.vm).collect::<Vec<_>>());
-            allocations = base_allocations(&estimates, &guarantee);
+            self.vm_minted.clear();
+            self.vm_minted.resize(n_vms, 0);
+            for obs in self.monitor.observations() {
+                let slot = self.slot_of[&obs.addr] as usize;
+                let vi = self.slot_vm[slot] as usize;
+                let c_i = self.vm_guarantee[vi];
+                if c_i > obs.used {
+                    let amount = (c_i - obs.used).as_u64();
+                    self.wallet.credit(self.vm_ids[vi], amount);
+                    self.vm_minted[vi] += amount;
+                }
+            }
+            self.slot_alloc.clear();
+            self.slot_alloc.resize(self.slots.len(), Micros::ZERO);
+            self.slot_has.clear();
+            self.slot_has.resize(self.slots.len(), false);
+            for e in &self.estimates {
+                let slot = self.slot_of[&e.addr] as usize;
+                let c_i = self.vm_guarantee[self.slot_vm[slot] as usize];
+                self.slot_alloc[slot] = e.estimate.min(c_i);
+                self.slot_has[slot] = true;
+            }
             // Over-subscription guard: placement (Eq. 7) should prevent
             // the sum of guarantees from exceeding the node, but if an
             // operator over-packs anyway, degrade every base allocation
             // proportionally instead of writing caps the node cannot
             // honour.
             let c_max = self.topo.c_max(period);
-            let base_total: Micros = allocations.values().copied().sum();
+            let base_total: Micros = self.slot_alloc.iter().copied().sum();
             if base_total > c_max && !base_total.is_zero() {
                 let ratio = c_max.as_u64() as f64 / base_total.as_u64() as f64;
-                for alloc in allocations.values_mut() {
+                for alloc in self.slot_alloc.iter_mut() {
                     // Floor so the scaled sum can never exceed C_MAX.
                     *alloc = Micros((alloc.as_u64() as f64 * ratio) as u64);
                 }
             }
             timings.enforce = t.elapsed();
             self.metrics.observe_stage(Stage::Enforce, timings.enforce);
-            let balances_after_earn = self.wallet.snapshot();
-            crate::credits::record_telemetry(
-                &balance_delta(&balances_after_earn, &balances_before),
-                &names,
-                &mut self.metrics,
-            );
+            for vi in 0..n_vms {
+                if self.vm_minted[vi] > 0 {
+                    self.metrics
+                        .record_credits_minted(&self.vm_names[vi], self.vm_minted[vi]);
+                }
+            }
 
-            // ---- stage 4: auction (Eq. 6, Alg. 1) ----------------------------
+            // ---- stage 4: auction (Eq. 6, Alg. 1) --------------------------
             let t = Instant::now();
-            let allocated: Micros = allocations.values().copied().sum();
+            let allocated: Micros = self.slot_alloc.iter().copied().sum();
             let mut market = c_max.saturating_sub(allocated);
             market_initial = market;
-            let mut buyers: Vec<Buyer> = estimates
-                .iter()
-                .filter_map(|e| {
-                    let alloc = allocations.get(&e.addr).copied().unwrap_or(Micros::ZERO);
-                    (e.estimate > alloc).then(|| Buyer {
+            self.buyers.clear();
+            for e in &self.estimates {
+                let alloc = self.slot_alloc[self.slot_of[&e.addr] as usize];
+                if e.estimate > alloc {
+                    self.buyers.push(Buyer {
                         addr: e.addr,
                         want: e.estimate - alloc,
-                    })
-                })
-                .collect();
-            auction_outcome = run_auction(
-                &mut market,
-                &mut buyers,
-                &mut self.wallet,
-                self.cfg.window,
-                &mut allocations,
-            );
+                    });
+                }
+            }
+            self.vm_spent.clear();
+            self.vm_spent.resize(n_vms, 0);
+            {
+                let slot_of = &self.slot_of;
+                let slot_vm = &self.slot_vm;
+                let slot_alloc = &mut self.slot_alloc;
+                let vm_spent = &mut self.vm_spent;
+                auction_outcome = run_auction_with(
+                    &mut market,
+                    &mut self.buyers,
+                    &mut self.wallet,
+                    self.cfg.window,
+                    |addr, paid| {
+                        let slot = slot_of[&addr] as usize;
+                        slot_alloc[slot] += paid;
+                        vm_spent[slot_vm[slot] as usize] += paid.as_u64();
+                    },
+                );
+            }
             timings.auction = t.elapsed();
             self.metrics.observe_stage(Stage::Auction, timings.auction);
-            crate::auction::record_telemetry(
-                &balance_delta(&balances_after_earn, &self.wallet.snapshot()),
-                &names,
-                &mut self.metrics,
-            );
+            for vi in 0..n_vms {
+                if self.vm_spent[vi] > 0 {
+                    self.metrics
+                        .record_credits_spent(&self.vm_names[vi], self.vm_spent[vi]);
+                }
+            }
 
-            // ---- stage 5: free distribution ------------------------------------
+            // ---- stage 5: free distribution --------------------------------
             let t = Instant::now();
-            let residual: Vec<(VcpuAddr, Micros)> = estimates
-                .iter()
-                .filter_map(|e| {
-                    let alloc = allocations.get(&e.addr).copied().unwrap_or(Micros::ZERO);
-                    (e.estimate > alloc).then(|| (e.addr, e.estimate - alloc))
-                })
-                .collect();
-            distributed = distribute_leftovers(&mut market, &residual, &mut allocations);
+            self.residual.clear();
+            for e in &self.estimates {
+                let alloc = self.slot_alloc[self.slot_of[&e.addr] as usize];
+                if e.estimate > alloc {
+                    self.residual.push((e.addr, e.estimate - alloc));
+                }
+            }
+            {
+                let slot_of = &self.slot_of;
+                let slot_alloc = &mut self.slot_alloc;
+                distributed = distribute_leftovers_with(
+                    &mut market,
+                    &self.residual,
+                    &mut self.dist_scratch,
+                    |addr, share| {
+                        slot_alloc[slot_of[&addr] as usize] += share;
+                    },
+                );
+            }
             market_left = market;
             timings.distribute = t.elapsed();
             self.metrics
@@ -598,171 +796,262 @@ impl Controller {
                 &mut self.metrics,
             );
 
-            // ---- stage 6: apply ----------------------------------------------------
+            // ---- stage 6: apply --------------------------------------------
+            // The slot order *is* the deterministic sorted write order.
+            // Per slot, the write candidate is this period's fresh
+            // allocation, or a re-issue of last period's failed write for
+            // the (skipped) vCPUs that got no fresh one. A candidate whose
+            // `cpu.max` value is already in force is elided — kernel state
+            // ends up identical without the syscall.
             let t = Instant::now();
-            // Re-issue last period's failed writes for vCPUs that got no
-            // fresh allocation this period (the skipped ones); a fresh
-            // allocation supersedes the stale retry.
-            let mut to_write = allocations.clone();
-            let listed: std::collections::HashSet<VmId> = vms.iter().map(|v| v.vm).collect();
-            for (addr, alloc) in std::mem::take(&mut self.pending_writes) {
-                if !to_write.contains_key(&addr) && listed.contains(&addr.vm) {
-                    to_write.insert(addr, alloc);
-                    health.write_retries += 1;
+            self.failed.clear();
+            self.write_vanished.clear();
+            let mut attempted = 0u64;
+            let mut volume = 0u64;
+            let mut elided = 0u64;
+            let mut retries = 0u32;
+            let min_delta = self.cfg.apply_min_delta_us;
+            'slots: for slot in 0..self.slots.len() {
+                let addr = self.slots[slot];
+                if self.write_vanished.contains(&addr.vm) {
+                    continue;
                 }
-            }
-            let applied: ApplyOutcome = apply_allocations(backend, &self.cfg, &to_write);
-            health.write_errors = applied.errors() as u32;
-
-            // What's actually in force now: the fresh allocations, except
-            // that a failed write leaves the previous capping in place and
-            // a skipped vCPU keeps its previous allocation.
-            let mut new_prev = allocations.clone();
-            for (addr, _) in &applied.failed {
-                match self.prev_alloc.get(addr).copied() {
-                    Some(old) => {
-                        new_prev.insert(*addr, old);
+                let (alloc, is_retry) = if self.slot_has[slot] {
+                    (self.slot_alloc[slot], false)
+                } else if let Some(pending) = self.pending_writes.get(&addr).copied() {
+                    (pending, true)
+                } else {
+                    continue 'slots;
+                };
+                if is_retry {
+                    retries += 1;
+                }
+                let max = allocation_to_cpu_max(alloc, period);
+                if let Some(&(in_alloc, in_max)) = self.in_force.get(&addr) {
+                    if in_max == max {
+                        // Exact dedup: the kernel already enforces this
+                        // value, so the write would be a no-op syscall.
+                        elided += 1;
+                        self.prev_alloc.insert(addr, alloc);
+                        self.in_force.insert(addr, (alloc, max));
+                        continue;
                     }
-                    None => {
-                        new_prev.remove(addr);
+                    if min_delta > 0 && in_alloc.as_u64().abs_diff(alloc.as_u64()) < min_delta {
+                        // Hysteresis: keep the in-force cap, and keep
+                        // treating it as `c_{i,j,t}` so the estimator
+                        // references what is actually enforced.
+                        elided += 1;
+                        self.prev_alloc.insert(addr, in_alloc);
+                        continue;
+                    }
+                }
+                attempted += 1;
+                match backend.set_vcpu_max(addr.vm, addr.vcpu, max) {
+                    Ok(()) => {
+                        volume += alloc.as_u64();
+                        self.in_force.insert(addr, (alloc, max));
+                        if !is_retry {
+                            self.prev_alloc.insert(addr, alloc);
+                        }
+                        // A successful retry keeps the *old* prev_alloc:
+                        // the vCPU was skipped this period, so stages 2–5
+                        // never saw the retried value as `c_{t-1}`.
+                    }
+                    Err(e) if e.is_vanished() => {
+                        self.write_vanished.push(addr.vm);
+                    }
+                    Err(_) => {
+                        // The kernel keeps the old capping, but our model
+                        // of it is now suspect — and a vCPU stuck on a
+                        // stale low cap reads as "stable low" to Eq. 3
+                        // for `history_len` periods (its consumption is
+                        // pinned at the cap, so no positive trend ever
+                        // forms). Drop `prev_alloc` so the vCPU re-enters
+                        // through the cold-start path at its next
+                        // observation: the estimate is floored at `C_i`,
+                        // bounding recovery to one observed period. The
+                        // pending write still re-issues the intended
+                        // value while the vCPU stays unobserved, and is
+                        // never elided, because the in-force entry is
+                        // cleared here.
+                        self.failed.push((addr, alloc));
+                        self.prev_alloc.remove(&addr);
+                        self.in_force.remove(&addr);
                     }
                 }
             }
-            for addr in &health.skipped_vcpus {
-                if let Some(old) = self.prev_alloc.get(addr).copied() {
-                    new_prev.insert(*addr, old);
-                }
-            }
-            new_prev.retain(|a, _| !applied.vanished.contains(&a.vm));
-            self.prev_alloc = new_prev;
+            report.health.write_retries = retries;
+            report.health.write_errors = (self.failed.len() + self.write_vanished.len()) as u32;
 
             // Retriable write failures are re-issued next period.
-            self.pending_writes = applied.failed.iter().copied().collect();
+            self.pending_writes.clear();
+            for &(addr, alloc) in &self.failed {
+                self.pending_writes.insert(addr, alloc);
+            }
 
             // A VM that disappeared during the writes gets the same
             // cleanup as one that disappeared during monitoring.
-            if !applied.vanished.is_empty() {
-                let keep: Vec<VmId> = vms
-                    .iter()
-                    .map(|v| v.vm)
-                    .filter(|v| !applied.vanished.contains(v))
-                    .collect();
-                self.wallet.retain_vms(&keep);
-                for vm in &applied.vanished {
+            if !self.write_vanished.is_empty() {
+                let vanished = std::mem::take(&mut self.write_vanished);
+                for vm in &vanished {
+                    self.prev_alloc.retain(|a, _| a.vm != *vm);
                     self.pending_writes.retain(|a, _| a.vm != *vm);
+                    self.in_force.retain(|a, _| a.vm != *vm);
                     self.monitor.forget_vm(*vm);
-                }
-                health.vanished_vms.extend(applied.vanished.iter().copied());
-                for vm in &applied.vanished {
-                    if let Some(name) = names.get(vm) {
-                        vanished_names.push((*name).to_string());
+                    if let Some(name) = self.last_names.get(vm) {
+                        vanished_names.push(name.clone());
                     }
                 }
+                let keep: Vec<VmId> = self
+                    .vm_ids
+                    .iter()
+                    .copied()
+                    .filter(|v| !vanished.contains(v))
+                    .collect();
+                self.wallet.retain_vms(&keep);
+                report.health.vanished_vms.extend(vanished.iter().copied());
+                self.write_vanished = vanished;
             }
             timings.apply = t.elapsed();
             self.metrics.observe_stage(Stage::Apply, timings.apply);
-            let failed_addrs: std::collections::HashSet<VcpuAddr> =
-                applied.failed.iter().map(|(a, _)| *a).collect();
-            let volume: u64 = to_write
-                .iter()
-                .filter(|(a, _)| !failed_addrs.contains(a) && !applied.vanished.contains(&a.vm))
-                .map(|(_, m)| m.as_u64())
-                .sum();
-            applied.record_telemetry(
-                to_write.len() as u64,
+            self.metrics.record_apply(
+                attempted,
                 volume,
-                health.write_retries as u64,
-                &mut self.metrics,
+                report.health.write_errors as u64,
+                report.health.write_retries as u64,
+                elided,
             );
         } else {
             // Scenario A: nothing is written; estimates are still computed
             // (only "the control part of the controller is disabled").
-            allocations = HashMap::new();
             market_initial = Micros::ZERO;
-            auction_outcome = AuctionOutcome {
-                sold: Micros::ZERO,
-                rounds: 0,
-            };
+            auction_outcome = AuctionOutcome::default();
             distributed = Micros::ZERO;
             market_left = Micros::ZERO;
         }
 
-        // ---- report ------------------------------------------------------------
-        let obs_by_addr: HashMap<VcpuAddr, &crate::monitor::VcpuObservation> =
-            observations.iter().map(|o| (o.addr, o)).collect();
-        let mut vcpus: Vec<VcpuReport> = estimates
-            .iter()
-            .map(|e| {
-                let o = obs_by_addr[&e.addr];
-                VcpuReport {
-                    addr: e.addr,
-                    vm_name: names
-                        .get(&e.addr.vm)
-                        .map(|s| s.to_string())
-                        .unwrap_or_default(),
-                    vfreq: vfreqs.get(&e.addr.vm).copied().flatten(),
-                    used: o.used,
-                    freq_est: o.freq_est,
-                    estimate: e.estimate,
-                    case: e.case,
-                    guaranteed: guarantee.get(&e.addr.vm).copied().unwrap_or(Micros::ZERO),
-                    alloc: allocations.get(&e.addr).copied().unwrap_or(Micros::ZERO),
-                }
-            })
-            .collect();
-        vcpus.sort_by_key(|v| v.addr);
+        // ---- report -------------------------------------------------------
+        let n_rows = self.estimates.len();
+        report.vcpus.truncate(n_rows);
+        while report.vcpus.len() < n_rows {
+            report.vcpus.push(VcpuReport {
+                addr: VcpuAddr::new(VmId::new(0), VcpuId::new(0)),
+                vm_name: String::new(),
+                vfreq: None,
+                used: Micros::ZERO,
+                freq_est: MHz::ZERO,
+                estimate: Micros::ZERO,
+                case: EstimateCase::Stable,
+                guaranteed: Micros::ZERO,
+                alloc: Micros::ZERO,
+            });
+        }
+        for i in 0..n_rows {
+            let e = &self.estimates[i];
+            let o = &self.monitor.observations()[i];
+            let slot = self.slot_of[&e.addr] as usize;
+            let vi = self.slot_vm[slot] as usize;
+            let row = &mut report.vcpus[i];
+            row.addr = e.addr;
+            let name = &self.vm_names[vi];
+            if row.vm_name != *name {
+                row.vm_name.clear();
+                row.vm_name.push_str(name);
+            }
+            row.vfreq = self.vm_vfreq[vi];
+            row.used = o.used;
+            row.freq_est = o.freq_est;
+            row.estimate = e.estimate;
+            row.case = e.case;
+            row.guaranteed = self.vm_guarantee[vi];
+            row.alloc = if full && self.slot_has[slot] {
+                self.slot_alloc[slot]
+            } else {
+                Micros::ZERO
+            };
+        }
+        report.vcpus.sort_unstable_by_key(|v| v.addr);
+        report.market_initial = market_initial;
+        report.auction = auction_outcome;
+        report.distributed = distributed;
+        report.market_left = market_left;
 
         timings.total = t_start.elapsed();
+        report.timings = timings;
         self.iterations += 1;
-        health.finalize();
-        self.health_totals.absorb(&health);
+        report.health.finalize();
+        self.health_totals.absorb(&report.health);
 
-        // ---- telemetry epilogue (outside the timed window) --------------------
+        // ---- telemetry epilogue (outside the timed window) ----------------
         self.metrics
-            .observe_iteration(timings.total, health.degraded);
-        let credits = self.wallet.snapshot();
-        for (vm, bal) in &credits {
-            if let Some(name) = names.get(vm) {
-                self.metrics.record_credit_balance(name, *bal);
+            .observe_iteration(timings.total, report.health.degraded);
+        self.wallet.snapshot_into(&mut report.credits);
+        for (vm, bal) in &report.credits {
+            if let Some(&vi) = self.vm_index_of.get(vm) {
+                self.metrics
+                    .record_credit_balance(&self.vm_names[vi as usize], *bal);
             }
         }
         for name in &vanished_names {
             self.metrics.forget_vm(name);
         }
-        let mut alloc_by_vm: std::collections::BTreeMap<&str, u64> =
-            std::collections::BTreeMap::new();
-        for v in &vcpus {
-            *alloc_by_vm.entry(v.vm_name.as_str()).or_insert(0) += v.alloc.as_u64();
+
+        // Per-VM allocation totals, aggregated by *name* (several VMs may
+        // share one), in name order — filled into the trace ring entry,
+        // recycling the evicted entry's strings.
+        self.vm_alloc.clear();
+        self.vm_alloc.resize(n_vms, 0);
+        for row in &report.vcpus {
+            if let Some(&slot) = self.slot_of.get(&row.addr) {
+                self.vm_alloc[self.slot_vm[slot as usize] as usize] += row.alloc.as_u64();
+            }
         }
-        self.metrics.push_trace(vfc_telemetry::IterationTrace {
-            iteration: self.iterations,
-            unix_ms: vfc_telemetry::trace::unix_now_ms(),
-            stages_us: vec![
+        let iteration = self.iterations;
+        let degraded = report.health.degraded;
+        let vm_names = &self.vm_names;
+        let vm_alloc = &self.vm_alloc;
+        let order = &self.vm_name_order;
+        self.metrics.push_trace_with(|tr| {
+            tr.iteration = iteration;
+            tr.unix_ms = vfc_telemetry::trace::unix_now_ms();
+            tr.stages_us.clear();
+            tr.stages_us.extend_from_slice(&[
                 timings.monitor.as_micros() as u64,
                 timings.estimate.as_micros() as u64,
                 timings.enforce.as_micros() as u64,
                 timings.auction.as_micros() as u64,
                 timings.distribute.as_micros() as u64,
                 timings.apply.as_micros() as u64,
-            ],
-            total_us: timings.total.as_micros() as u64,
-            degraded: health.degraded,
-            vm_alloc_us: alloc_by_vm
-                .into_iter()
-                .map(|(k, v)| (k.to_string(), v))
-                .collect(),
+            ]);
+            tr.total_us = timings.total.as_micros() as u64;
+            tr.degraded = degraded;
+            let mut k = 0usize;
+            let mut i = 0usize;
+            while i < order.len() {
+                let name = &vm_names[order[i] as usize];
+                let mut sum = vm_alloc[order[i] as usize];
+                let mut j = i + 1;
+                while j < order.len() && vm_names[order[j] as usize] == *name {
+                    sum += vm_alloc[order[j] as usize];
+                    j += 1;
+                }
+                if k < tr.vm_alloc_us.len() {
+                    let entry = &mut tr.vm_alloc_us[k];
+                    if entry.0 != *name {
+                        entry.0.clear();
+                        entry.0.push_str(name);
+                    }
+                    entry.1 = sum;
+                } else {
+                    tr.vm_alloc_us.push((name.clone(), sum));
+                }
+                k += 1;
+                i = j;
+            }
+            tr.vm_alloc_us.truncate(k);
         });
 
-        Ok(IterationReport {
-            vcpus,
-            market_initial,
-            auction: auction_outcome,
-            distributed,
-            market_left,
-            credits,
-            timings,
-            health,
-        })
+        Ok(())
     }
 }
 

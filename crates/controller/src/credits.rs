@@ -13,12 +13,12 @@
 use crate::estimate::Estimate;
 use crate::monitor::VcpuObservation;
 use std::collections::HashMap;
-use vfc_simcore::{Micros, VcpuAddr, VmId};
+use vfc_simcore::{FastMap, Micros, VcpuAddr, VmId};
 
 /// Per-VM credit wallets (µs of cycles).
 #[derive(Debug, Default)]
 pub struct Wallet {
-    credits: HashMap<VmId, u64>,
+    credits: FastMap<VmId, u64>,
 }
 
 impl Wallet {
@@ -37,6 +37,14 @@ impl Wallet {
             if c_i > obs.used {
                 *self.credits.entry(obs.addr.vm).or_insert(0) += (c_i - obs.used).as_u64();
             }
+        }
+    }
+
+    /// Credit one VM directly (the per-slot Eq. 4 path: the controller
+    /// hot loop computes `C_i − u` itself and deposits the difference).
+    pub fn credit(&mut self, vm: VmId, amount: u64) {
+        if amount > 0 {
+            *self.credits.entry(vm).or_insert(0) += amount;
         }
     }
 
@@ -89,9 +97,17 @@ impl Wallet {
 
     /// Snapshot of all balances (for reports), sorted by VM id.
     pub fn snapshot(&self) -> Vec<(VmId, u64)> {
-        let mut v: Vec<_> = self.credits.iter().map(|(k, v)| (*k, *v)).collect();
-        v.sort_by_key(|(vm, _)| *vm);
+        let mut v = Vec::new();
+        self.snapshot_into(&mut v);
         v
+    }
+
+    /// [`Wallet::snapshot`] into a caller-owned buffer (cleared first) —
+    /// allocation-free once its capacity covers the VM count.
+    pub fn snapshot_into(&self, out: &mut Vec<(VmId, u64)>) {
+        out.clear();
+        out.extend(self.credits.iter().map(|(k, v)| (*k, *v)));
+        out.sort_unstable_by_key(|(vm, _)| *vm);
     }
 }
 

@@ -42,7 +42,7 @@
 
 use crate::apply::cpu_max_to_allocation;
 use crate::config::{ControlMode, ControllerConfig};
-use crate::controller::Controller;
+use crate::controller::{Controller, IterationReport};
 use crate::persist::{self, LoadOutcome};
 use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
@@ -222,6 +222,11 @@ pub fn parse_config_file(content: &str) -> Result<DaemonConfig, String> {
                 cfg.controller.stale_sample_ttl = value
                     .parse()
                     .map_err(|_| format!("line {}: bad stale_sample_ttl", lineno + 1))?;
+            }
+            "apply_min_delta_us" => {
+                cfg.controller.apply_min_delta_us = value
+                    .parse()
+                    .map_err(|_| format!("line {}: bad apply_min_delta_us", lineno + 1))?;
             }
             "max_consecutive_errors" => {
                 cfg.max_consecutive_errors = value
@@ -706,6 +711,10 @@ pub fn run_with_shutdown<B: HostBackend + ?Sized>(
 
     let mut done = 0u64;
     let mut consecutive_errors = 0u32;
+    // One report, reused every period: its row and health buffers reach
+    // steady-state capacity after a few iterations, keeping the daemon
+    // loop off the allocator (see `Controller::iterate_into`).
+    let mut report = IterationReport::default();
     loop {
         if shutdown.due(done) {
             // Warm handoff: the successor adopts the caps we leave.
@@ -724,8 +733,8 @@ pub fn run_with_shutdown<B: HostBackend + ?Sized>(
             }
         }
         let started = std::time::Instant::now();
-        let errored = match controller.iterate(backend) {
-            Ok(report) => {
+        let errored = match controller.iterate_into(backend, &mut report) {
+            Ok(()) => {
                 if cfg.verbose {
                     if report.health.degraded {
                         eprintln!(
@@ -1144,10 +1153,12 @@ mod tests {
     fn config_file_accepts_resilience_keys() {
         let cfg = parse_config_file(
             "stale_sample_ttl = 4\nmax_consecutive_errors = 25\n\
-             discovery_retries = 7\ndiscovery_backoff_ms = 250\n",
+             discovery_retries = 7\ndiscovery_backoff_ms = 250\n\
+             apply_min_delta_us = 1500\n",
         )
         .unwrap();
         assert_eq!(cfg.controller.stale_sample_ttl, 4);
+        assert_eq!(cfg.controller.apply_min_delta_us, 1500);
         assert_eq!(cfg.max_consecutive_errors, 25);
         assert_eq!(cfg.discovery_retries, 7);
         assert_eq!(cfg.discovery_backoff, Duration::from_millis(250));
@@ -1156,6 +1167,7 @@ mod tests {
     #[test]
     fn config_file_rejects_bad_resilience_values() {
         assert!(parse_config_file("stale_sample_ttl = forever").is_err());
+        assert!(parse_config_file("apply_min_delta_us = -5").is_err());
         assert!(parse_config_file("max_consecutive_errors = -1").is_err());
         assert!(parse_config_file("discovery_retries = 1.5").is_err());
         assert!(parse_config_file("discovery_backoff_ms = soon").is_err());

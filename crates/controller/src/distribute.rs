@@ -17,6 +17,23 @@ pub fn distribute_leftovers(
     residual: &[(VcpuAddr, Micros)],
     allocations: &mut HashMap<VcpuAddr, Micros>,
 ) -> Micros {
+    let mut grants = Vec::new();
+    distribute_leftovers_with(market, residual, &mut grants, |addr, share| {
+        *allocations.entry(addr).or_insert(Micros::ZERO) += share;
+    })
+}
+
+/// [`distribute_leftovers`] with a caller-supplied grant sink and scratch
+/// buffer: `grant(addr, share)` is invoked per non-zero share instead of
+/// touching a HashMap, and the intermediate `(addr, share, cap)` table
+/// lives in the reused `scratch` — zero heap allocation once its
+/// capacity has grown to the buyer count.
+pub fn distribute_leftovers_with<F: FnMut(VcpuAddr, Micros)>(
+    market: &mut Micros,
+    residual: &[(VcpuAddr, Micros)],
+    scratch: &mut Vec<(VcpuAddr, u64, u64)>,
+    mut grant: F,
+) -> Micros {
     let total_residual: u64 = residual.iter().map(|(_, r)| r.as_u64()).sum();
     if market.is_zero() || total_residual == 0 {
         return Micros::ZERO;
@@ -25,7 +42,8 @@ pub fn distribute_leftovers(
 
     // Proportional floor shares...
     let mut given = 0u64;
-    let mut grants: Vec<(VcpuAddr, u64, u64)> = Vec::with_capacity(residual.len());
+    let grants = scratch;
+    grants.clear();
     for (addr, r) in residual {
         let share = (pot as u128 * r.as_u64() as u128 / total_residual as u128) as u64;
         let share = share.min(r.as_u64());
@@ -52,9 +70,9 @@ pub fn distribute_leftovers(
     }
 
     let distributed: u64 = grants.iter().map(|(_, s, _)| *s).sum();
-    for (addr, share, _) in grants {
+    for &(addr, share, _) in grants.iter() {
         if share > 0 {
-            *allocations.entry(addr).or_insert(Micros::ZERO) += Micros(share);
+            grant(addr, Micros(share));
         }
     }
     *market -= Micros(distributed);

@@ -18,8 +18,7 @@
 
 use crate::config::ControllerConfig;
 use crate::monitor::VcpuObservation;
-use std::collections::HashMap;
-use vfc_simcore::{Micros, RingBuffer, VcpuAddr};
+use vfc_simcore::{FastMap, Micros, RingBuffer, VcpuAddr};
 
 /// Which estimator case fired (for reporting and the Fig. 3–5 traces).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
@@ -74,28 +73,127 @@ pub fn trend_paper_literal(history: &[u64]) -> f64 {
 
 /// Ordinary least-squares slope of a consumption history
 /// (µs per iteration). Histories shorter than 2 have no trend (0).
+///
+/// Computed in exact integer arithmetic: with abscissa `x = 0..n-1` the
+/// slope is `(n·Σxy − Σx·Σy) / (n·Σx² − (Σx)²)`; both numerator and
+/// denominator are exact integers (the sums fit an `i128` comfortably
+/// for any realistic history), so the only rounding is the final `f64`
+/// division. This makes the batch formula bit-identical to the
+/// incremental [`TrendAccumulator`], which maintains the same two data
+/// sums `Σy` / `Σxy` with O(1) work per sample.
 pub fn trend(history: &[u64]) -> f64 {
-    let n = history.len();
+    let mut sum_y: u128 = 0;
+    let mut sum_xy: u128 = 0;
+    for (x, &y) in history.iter().enumerate() {
+        sum_y += y as u128;
+        sum_xy += x as u128 * y as u128;
+    }
+    trend_from_sums(history.len(), sum_y, sum_xy)
+}
+
+/// Shared tail of [`trend`] and [`TrendAccumulator::trend`]: the exact
+/// integer least-squares slope from the two data sums.
+fn trend_from_sums(n: usize, sum_y: u128, sum_xy: u128) -> f64 {
     if n < 2 {
         return 0.0;
     }
-    let nf = n as f64;
-    let x_mean = (nf - 1.0) / 2.0; // x = 0..n-1
-    let y_mean = history.iter().sum::<u64>() as f64 / nf;
-    let mut num = 0.0;
-    let mut den = 0.0;
-    for (x, &y) in history.iter().enumerate() {
-        let dx = x as f64 - x_mean;
-        num += dx * (y as f64 - y_mean);
-        den += dx * dx;
+    let n = n as u128;
+    let sum_x = n * (n - 1) / 2; // Σx for x = 0..n-1
+    let sum_x2 = n * (n - 1) * (2 * n - 1) / 6; // Σx²
+    let num = (n * sum_xy) as i128 - (sum_x * sum_y) as i128;
+    let den = (n * sum_x2 - sum_x * sum_x) as i128;
+    num as f64 / den as f64
+}
+
+/// Incremental Eq. 3 state: the rolling `Σy` / `Σxy` over one vCPU's
+/// consumption ring buffer, updated in O(1) per sample instead of
+/// re-walking the window.
+///
+/// Sliding a full window of size `n` (evicting `y₀`, appending `yₙ`)
+/// shifts every surviving sample's abscissa down by one, so
+/// `Σxy' = Σxy − (Σy − y₀) + (n−1)·yₙ` and `Σy' = Σy − y₀ + yₙ`.
+/// Because the accumulator carries the *exact* integer sums, its slope
+/// is bit-identical to recomputing [`trend`] over the window contents
+/// (property-tested below).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TrendAccumulator {
+    sum_y: u128,
+    sum_xy: u128,
+}
+
+impl TrendAccumulator {
+    /// Fold one sample in. `evicted` is the sample that left the ring
+    /// (`None` while the window is still filling), `pushed` the new
+    /// sample, and `n` the window length *after* the push.
+    pub fn slide(&mut self, evicted: Option<u64>, pushed: u64, n: usize) {
+        debug_assert!(n >= 1);
+        let pushed = pushed as u128;
+        match evicted {
+            // Still filling: the new sample lands at abscissa n-1.
+            None => {
+                self.sum_xy += (n as u128 - 1) * pushed;
+                self.sum_y += pushed;
+            }
+            // Full window slid by one: survivors' abscissae all drop by
+            // one (Σxy loses Σy − y₀ ≥ 0, no underflow), then the new
+            // sample lands at abscissa n-1.
+            Some(y0) => {
+                let y0 = y0 as u128;
+                self.sum_xy = self.sum_xy - (self.sum_y - y0) + (n as u128 - 1) * pushed;
+                self.sum_y = self.sum_y - y0 + pushed;
+            }
+        }
     }
-    num / den
+
+    /// Least-squares slope over the current window of length `n` —
+    /// bit-identical to [`trend`] over the same samples.
+    pub fn trend(&self, n: usize) -> f64 {
+        trend_from_sums(n, self.sum_y, self.sum_xy)
+    }
+}
+
+/// One vCPU's stage-2 state: the consumption ring plus its rolling
+/// trend sums.
+#[derive(Debug)]
+struct History {
+    ring: RingBuffer<u64>,
+    acc: TrendAccumulator,
+}
+
+impl History {
+    fn new(cap: usize) -> Self {
+        History {
+            ring: RingBuffer::new(cap),
+            acc: TrendAccumulator::default(),
+        }
+    }
+
+    /// Push one sample and return the updated Eq. 3 trend, O(1).
+    fn push(&mut self, y: u64) -> f64 {
+        let evicted = if self.ring.is_full() {
+            self.ring.oldest()
+        } else {
+            None
+        };
+        self.ring.push(y);
+        self.acc.slide(evicted, y, self.ring.len());
+        self.acc.trend(self.ring.len())
+    }
+
+    /// Replace the window contents wholesale (warm restart).
+    fn reseed(&mut self, samples: &[u64]) {
+        self.ring.clear();
+        self.acc = TrendAccumulator::default();
+        for &s in samples {
+            self.push(s);
+        }
+    }
 }
 
 /// Stage-2 state: one consumption history per vCPU.
 #[derive(Debug)]
 pub struct Estimator {
-    histories: HashMap<VcpuAddr, RingBuffer<u64>>,
+    histories: FastMap<VcpuAddr, History>,
     history_len: usize,
 }
 
@@ -103,7 +201,7 @@ impl Estimator {
     /// Create a fresh estimator sized to the configured history length.
     pub fn new(cfg: &ControllerConfig) -> Self {
         Estimator {
-            histories: HashMap::new(),
+            histories: FastMap::default(),
             history_len: cfg.history_len,
         }
     }
@@ -117,19 +215,34 @@ impl Estimator {
         &mut self,
         cfg: &ControllerConfig,
         observations: &[VcpuObservation],
-        prev_alloc: &HashMap<VcpuAddr, Micros>,
+        prev_alloc: &FastMap<VcpuAddr, Micros>,
     ) -> Vec<Estimate> {
-        let period = cfg.period;
         let mut out = Vec::with_capacity(observations.len());
+        self.estimate_into(cfg, observations, prev_alloc, &mut out);
+        out
+    }
+
+    /// [`Estimator::estimate`] writing into a caller-owned buffer — the
+    /// hot-path entry point. `out` is cleared first; once its capacity
+    /// has grown to the vCPU count this performs no heap allocation in
+    /// steady state (history rings are created on first sighting only).
+    pub fn estimate_into(
+        &mut self,
+        cfg: &ControllerConfig,
+        observations: &[VcpuObservation],
+        prev_alloc: &FastMap<VcpuAddr, Micros>,
+        out: &mut Vec<Estimate>,
+    ) {
+        let period = cfg.period;
+        out.clear();
 
         for obs in observations {
+            let history_len = self.history_len.max(2);
             let history = self
                 .histories
                 .entry(obs.addr)
-                .or_insert_with(|| RingBuffer::new(self.history_len.max(2)));
-            history.push(obs.used.as_u64());
-            let hist_vec = history.to_vec();
-            let t = trend(&hist_vec);
+                .or_insert_with(|| History::new(history_len));
+            let t = history.push(obs.used.as_u64());
 
             let cap = prev_alloc.get(&obs.addr).copied().unwrap_or(period);
             let cap_f = cap.as_u64() as f64;
@@ -176,21 +289,21 @@ impl Estimator {
             });
         }
 
-        // Forget vCPUs that disappeared.
+        // Forget vCPUs that disappeared. The membership check only runs
+        // when the tracked set is larger than the observed one, so the
+        // steady state never builds the HashSet.
         if self.histories.len() > observations.len() {
             let live: std::collections::HashSet<VcpuAddr> =
                 observations.iter().map(|o| o.addr).collect();
             self.histories.retain(|addr, _| live.contains(addr));
         }
-
-        out
     }
 
     /// Consumption history of one vCPU (oldest → newest), for reporting.
     pub fn history_of(&self, addr: VcpuAddr) -> Vec<u64> {
         self.histories
             .get(&addr)
-            .map(|h| h.to_vec())
+            .map(|h| h.ring.to_vec())
             .unwrap_or_default()
     }
 
@@ -200,7 +313,7 @@ impl Estimator {
         let mut out: Vec<_> = self
             .histories
             .iter()
-            .map(|(addr, h)| (*addr, h.to_vec()))
+            .map(|(addr, h)| (*addr, h.ring.to_vec()))
             .collect();
         out.sort_by_key(|(addr, _)| *addr);
         out
@@ -221,14 +334,12 @@ impl Estimator {
     /// Replace a vCPU's history with journalled samples (warm restart).
     /// Only the most recent `history_len` samples are retained.
     pub fn seed_history(&mut self, addr: VcpuAddr, samples: &[u64]) {
-        let ring = self
+        let history_len = self.history_len.max(2);
+        let history = self
             .histories
             .entry(addr)
-            .or_insert_with(|| RingBuffer::new(self.history_len.max(2)));
-        ring.clear();
-        for &s in samples {
-            ring.push(s);
-        }
+            .or_insert_with(|| History::new(history_len));
+        history.reseed(samples);
     }
 }
 
@@ -277,7 +388,7 @@ mod tests {
     fn run(consumptions: &[u64], cap: u64) -> Vec<Estimate> {
         let c = cfg();
         let mut est = Estimator::new(&c);
-        let mut prev = HashMap::new();
+        let mut prev = FastMap::default();
         prev.insert(VcpuAddr::new(VmId::new(0), VcpuId::new(0)), Micros(cap));
         consumptions
             .iter()
@@ -359,7 +470,7 @@ mod tests {
         let c = cfg();
         let mut est = Estimator::new(&c);
         let addr = VcpuAddr::new(VmId::new(0), VcpuId::new(0));
-        let mut prev = HashMap::new();
+        let mut prev = FastMap::default();
         let mut cap = Micros(400_000);
         let mut last_estimates = Vec::new();
         for _ in 0..20 {
@@ -392,7 +503,7 @@ mod tests {
     fn estimates_are_clamped_to_period_and_floor() {
         let c = cfg();
         let mut est = Estimator::new(&c);
-        let mut prev = HashMap::new();
+        let mut prev = FastMap::default();
         prev.insert(VcpuAddr::new(VmId::new(0), VcpuId::new(0)), Micros(900_000));
         // Increase case would give 1.8 s > period.
         let _ = est.estimate(&c, &[obs(880_000)], &prev);
@@ -400,7 +511,7 @@ mod tests {
         assert!(e[0].estimate <= c.period);
         // Zero consumption floors at min_cap.
         let mut est = Estimator::new(&c);
-        let e = est.estimate(&c, &[obs(0)], &HashMap::new());
+        let e = est.estimate(&c, &[obs(0)], &FastMap::default());
         assert_eq!(e[0].estimate, c.min_cap);
     }
 
@@ -411,7 +522,7 @@ mod tests {
         // for 300 ms. The paper's estimator stays in the stable case; the
         // throttle-aware extension fires an increase immediately.
         let addr = VcpuAddr::new(VmId::new(0), VcpuId::new(0));
-        let mut prev = HashMap::new();
+        let mut prev = FastMap::default();
         prev.insert(addr, Micros(1_000));
         let burst_obs = VcpuObservation {
             throttled: Micros(300_000),
@@ -434,7 +545,7 @@ mod tests {
     fn throttle_aware_ignores_negligible_throttling() {
         // A few µs of throttling (scheduler jitter) must not trigger.
         let addr = VcpuAddr::new(VmId::new(0), VcpuId::new(0));
-        let mut prev = HashMap::new();
+        let mut prev = FastMap::default();
         prev.insert(addr, Micros(100_000));
         let aware = ControllerConfig::throttle_aware();
         let mut est = Estimator::new(&aware);
@@ -450,12 +561,12 @@ mod tests {
     fn stale_vcpus_are_dropped() {
         let c = cfg();
         let mut est = Estimator::new(&c);
-        est.estimate(&c, &[obs(1)], &HashMap::new());
+        est.estimate(&c, &[obs(1)], &FastMap::default());
         let other = VcpuObservation {
             addr: VcpuAddr::new(VmId::new(9), VcpuId::new(0)),
             ..obs(1)
         };
-        est.estimate(&c, &[other], &HashMap::new());
+        est.estimate(&c, &[other], &FastMap::default());
         assert!(est
             .history_of(VcpuAddr::new(VmId::new(0), VcpuId::new(0)))
             .is_empty());
@@ -484,6 +595,27 @@ mod tests {
             prop_assert!(trend(&inc) > 0.0);
             let dec: Vec<u64> = inc.iter().rev().copied().collect();
             prop_assert!(trend(&dec) < 0.0);
+        }
+
+        #[test]
+        fn prop_incremental_trend_is_bit_identical(
+            ys in proptest::collection::vec(0u64..2_000_000, 1..40),
+            cap in 2usize..8,
+        ) {
+            // Feed a stream through a ring + accumulator exactly as the
+            // estimator does and compare against the batch formula over
+            // the ring contents: the slopes must agree to the bit.
+            let mut ring = RingBuffer::new(cap);
+            let mut acc = TrendAccumulator::default();
+            for &y in &ys {
+                let evicted = if ring.is_full() { ring.oldest() } else { None };
+                ring.push(y);
+                acc.slide(evicted, y, ring.len());
+                let batch = trend(&ring.to_vec());
+                let incremental = acc.trend(ring.len());
+                prop_assert_eq!(batch.to_bits(), incremental.to_bits(),
+                    "batch {} != incremental {}", batch, incremental);
+            }
         }
 
         #[test]

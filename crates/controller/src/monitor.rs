@@ -24,10 +24,9 @@
 //!    it keeps whatever capping it already has, and its history resumes
 //!    when reads succeed again.
 
-use std::collections::HashMap;
 use vfc_cgroupfs::backend::{HostBackend, VmCgroupInfo};
 use vfc_cgroupfs::error::Result;
-use vfc_simcore::{CpuId, MHz, Micros, VcpuAddr, VcpuId, VmId};
+use vfc_simcore::{CpuId, FastMap, MHz, Micros, VcpuAddr, VcpuId, VmId};
 
 /// One vCPU's monitored state for this iteration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,14 +65,33 @@ pub struct MonitorOutcome {
 }
 
 /// Stage-1 state: previous cumulative counters plus the last good
-/// observation per vCPU (for bounded stale reuse).
+/// observation per vCPU (for bounded stale reuse), and the cached VM
+/// inventory with this period's observation buffers — all updated in
+/// place so a steady-state `observe_in_place` call performs no heap
+/// allocation.
 #[derive(Debug, Default)]
 pub struct Monitor {
-    prev_usage: HashMap<VcpuAddr, Micros>,
-    prev_throttled: HashMap<VcpuAddr, Micros>,
+    prev_usage: FastMap<VcpuAddr, Micros>,
+    prev_throttled: FastMap<VcpuAddr, Micros>,
     /// Last successful observation and its age in periods (0 = produced
     /// by the previous `observe` call).
-    last_good: HashMap<VcpuAddr, (VcpuObservation, u32)>,
+    last_good: FastMap<VcpuAddr, (VcpuObservation, u32)>,
+    /// Cached `vms()` listing, vanished VMs removed. Refreshed only when
+    /// the backend's [`HostBackend::vms_epoch`] moves (or is `None`).
+    inventory: Vec<VmCgroupInfo>,
+    /// The epoch `inventory` was listed at.
+    inventory_epoch: Option<u64>,
+    /// Whether `inventory` has been listed at least once.
+    listed_once: bool,
+    /// Bumped whenever `inventory` *contents* change — downstream dense
+    /// slot tables key their rebuilds off this.
+    generation: u64,
+    // This period's outputs, reused across calls.
+    observations: Vec<VcpuObservation>,
+    read_errors: u32,
+    stale_reused: Vec<VcpuAddr>,
+    skipped: Vec<VcpuAddr>,
+    vanished: Vec<VmId>,
 }
 
 impl Monitor {
@@ -87,69 +105,104 @@ impl Monitor {
     /// per-vCPU errors degrade per the module docs, and `stale_ttl`
     /// bounds how many periods a cached sample may substitute for a
     /// failed read.
+    ///
+    /// This is the allocating convenience wrapper around
+    /// [`Monitor::observe_in_place`]; the controller hot path uses the
+    /// latter plus the accessor methods.
     pub fn observe<B: HostBackend + ?Sized>(
         &mut self,
         backend: &B,
         period: Micros,
         stale_ttl: u32,
     ) -> MonitorOutcome {
-        let vms = backend.vms();
-        let mut out = MonitorOutcome::default();
-        let mut fresh_usage = HashMap::with_capacity(self.prev_usage.len());
-        let mut fresh_throttled = HashMap::with_capacity(self.prev_throttled.len());
+        self.observe_in_place(backend, period, stale_ttl);
+        MonitorOutcome {
+            vms: self.inventory.clone(),
+            observations: self.observations.clone(),
+            read_errors: self.read_errors,
+            stale_reused: self.stale_reused.clone(),
+            skipped: self.skipped.clone(),
+            vanished: self.vanished.clone(),
+        }
+    }
 
-        'vms: for vm in &vms {
-            let vm_start = out.observations.len();
-            for j in 0..vm.nr_vcpus {
-                let addr = VcpuAddr::new(vm.vm, VcpuId::new(j));
-                match self.read_vcpu(backend, vm.vm, VcpuId::new(j), period) {
+    /// Re-list the inventory if the backend cannot prove it unchanged.
+    /// Returns true when the cached contents changed (generation bump).
+    fn refresh_inventory<B: HostBackend + ?Sized>(&mut self, backend: &B) -> bool {
+        let epoch = backend.vms_epoch();
+        if self.listed_once && epoch.is_some() && epoch == self.inventory_epoch {
+            return false; // proven unchanged: skip the allocating re-list
+        }
+        let vms = backend.vms();
+        self.inventory_epoch = epoch;
+        self.listed_once = true;
+        if vms != self.inventory {
+            self.inventory = vms;
+            self.generation = self.generation.wrapping_add(1);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// [`Monitor::observe`] without constructing a [`MonitorOutcome`]:
+    /// results land in buffers reused across periods, readable through
+    /// [`Monitor::observations`] and friends. In steady state (inventory
+    /// unchanged, no errors) this performs zero heap allocations.
+    pub fn observe_in_place<B: HostBackend + ?Sized>(
+        &mut self,
+        backend: &B,
+        period: Micros,
+        stale_ttl: u32,
+    ) {
+        let mut changed = self.refresh_inventory(backend);
+        self.observations.clear();
+        self.read_errors = 0;
+        self.stale_reused.clear();
+        self.skipped.clear();
+        self.vanished.clear();
+
+        'vms: for vi in 0..self.inventory.len() {
+            let (vm, nr_vcpus) = (self.inventory[vi].vm, self.inventory[vi].nr_vcpus);
+            let vm_start = self.observations.len();
+            for j in 0..nr_vcpus {
+                let addr = VcpuAddr::new(vm, VcpuId::new(j));
+                match self.read_vcpu(backend, vm, VcpuId::new(j), period) {
                     Ok((obs, cumulative, throttled_cum)) => {
-                        fresh_usage.insert(addr, cumulative);
-                        fresh_throttled.insert(addr, throttled_cum);
+                        self.prev_usage.insert(addr, cumulative);
+                        self.prev_throttled.insert(addr, throttled_cum);
                         self.last_good.insert(addr, (obs, 0));
-                        out.observations.push(obs);
+                        self.observations.push(obs);
                     }
                     Err(e) if e.is_vanished() => {
                         // The VM's cgroups were removed under us. Undo its
                         // partial observations and forget the VM entirely.
-                        out.observations.truncate(vm_start);
-                        for k in 0..vm.nr_vcpus {
-                            let a = VcpuAddr::new(vm.vm, VcpuId::new(k));
-                            fresh_usage.remove(&a);
-                            fresh_throttled.remove(&a);
+                        self.observations.truncate(vm_start);
+                        for k in 0..nr_vcpus {
+                            let a = VcpuAddr::new(vm, VcpuId::new(k));
+                            self.prev_usage.remove(&a);
+                            self.prev_throttled.remove(&a);
                             self.last_good.remove(&a);
                         }
-                        out.vanished.push(vm.vm);
+                        self.vanished.push(vm);
                         continue 'vms;
                     }
                     Err(_) => {
-                        out.read_errors += 1;
+                        self.read_errors += 1;
                         match self.last_good.get_mut(&addr) {
                             Some((obs, age)) if *age < stale_ttl => {
                                 *age += 1;
                                 let obs = *obs;
-                                // Carry the old baselines forward so the
-                                // next successful read differences against
-                                // the last *real* counter value.
-                                if let Some(&u) = self.prev_usage.get(&addr) {
-                                    fresh_usage.insert(addr, u);
-                                }
-                                if let Some(&t) = self.prev_throttled.get(&addr) {
-                                    fresh_throttled.insert(addr, t);
-                                }
-                                out.stale_reused.push(addr);
-                                out.observations.push(obs);
+                                // Baselines stay as they are (in place),
+                                // so the next successful read differences
+                                // against the last *real* counter value.
+                                self.stale_reused.push(addr);
+                                self.observations.push(obs);
                             }
                             _ => {
-                                // No (young enough) sample: skip, but keep
+                                // No (young enough) sample: skip, keeping
                                 // the baselines so history resumes cleanly.
-                                if let Some(&u) = self.prev_usage.get(&addr) {
-                                    fresh_usage.insert(addr, u);
-                                }
-                                if let Some(&t) = self.prev_throttled.get(&addr) {
-                                    fresh_throttled.insert(addr, t);
-                                }
-                                out.skipped.push(addr);
+                                self.skipped.push(addr);
                             }
                         }
                     }
@@ -157,19 +210,67 @@ impl Monitor {
             }
         }
 
-        // Drop state for departed vCPUs (and vanished VMs).
-        self.prev_usage = fresh_usage;
-        self.prev_throttled = fresh_throttled;
-        self.last_good.retain(|a, _| {
-            self.prev_usage.contains_key(a)
-                || out.skipped.contains(a)
-                || out.stale_reused.contains(a)
-        });
-        out.vms = vms
-            .into_iter()
-            .filter(|v| !out.vanished.contains(&v.vm))
-            .collect();
-        out
+        if !self.vanished.is_empty() {
+            let vanished = std::mem::take(&mut self.vanished);
+            self.inventory.retain(|v| !vanished.contains(&v.vm));
+            self.vanished = vanished;
+            // Force a re-list next period: the backend's epoch may not
+            // move for a vanish it does not know about (fault layers).
+            self.inventory_epoch = None;
+            self.listed_once = false;
+            self.generation = self.generation.wrapping_add(1);
+            changed = true;
+        }
+
+        // Drop state for departed vCPUs — only worth scanning when the
+        // membership actually changed.
+        if changed {
+            let inventory = &self.inventory;
+            let live = |a: &VcpuAddr| {
+                inventory
+                    .iter()
+                    .any(|v| v.vm == a.vm && a.vcpu.as_u32() < v.nr_vcpus)
+            };
+            self.prev_usage.retain(|a, _| live(a));
+            self.prev_throttled.retain(|a, _| live(a));
+            self.last_good.retain(|a, _| live(a));
+        }
+    }
+
+    /// The cached VM inventory (vanished VMs removed), as of the last
+    /// [`Monitor::observe_in_place`] call.
+    pub fn inventory(&self) -> &[VmCgroupInfo] {
+        &self.inventory
+    }
+
+    /// Bumped whenever [`Monitor::inventory`] contents change.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// This period's observations (fresh or stale), one per readable vCPU.
+    pub fn observations(&self) -> &[VcpuObservation] {
+        &self.observations
+    }
+
+    /// Per-vCPU read errors this period (vanished VMs not included).
+    pub fn read_errors(&self) -> u32 {
+        self.read_errors
+    }
+
+    /// vCPUs answered from the stale-sample cache this period.
+    pub fn stale_reused(&self) -> &[VcpuAddr] {
+        &self.stale_reused
+    }
+
+    /// vCPUs with no observation this period.
+    pub fn skipped(&self) -> &[VcpuAddr] {
+        &self.skipped
+    }
+
+    /// VMs that disappeared between enumeration and reads this period.
+    pub fn vanished(&self) -> &[VmId] {
+        &self.vanished
     }
 
     /// The fallible per-vCPU read sequence: usage, throttled, placement,
@@ -197,8 +298,8 @@ impl Monitor {
         // Thread placement → core frequency. A vCPU cgroup holds
         // exactly one thread under KVM; be tolerant of zero (the
         // thread may be mid-exit) by reporting core 0.
-        let last_cpu = match backend.vcpu_threads(vm, vcpu)?.first() {
-            Some(&tid) => backend.thread_last_cpu(tid)?,
+        let last_cpu = match backend.vcpu_first_thread(vm, vcpu)? {
+            Some(tid) => backend.thread_last_cpu(tid)?,
             None => CpuId::new(0),
         };
         let core_freq = backend.cpu_cur_freq(last_cpu)?;
@@ -257,6 +358,14 @@ impl Monitor {
         self.prev_usage.retain(|a, _| a.vm != vm);
         self.prev_throttled.retain(|a, _| a.vm != vm);
         self.last_good.retain(|a, _| a.vm != vm);
+        if self.inventory.iter().any(|v| v.vm == vm) {
+            self.inventory.retain(|v| v.vm != vm);
+            self.generation = self.generation.wrapping_add(1);
+            // The backend may not bump its epoch for a vanish it never
+            // saw; force a real re-list next period.
+            self.inventory_epoch = None;
+            self.listed_once = false;
+        }
     }
 }
 
@@ -280,6 +389,7 @@ impl MonitorOutcome {
 mod tests {
     use super::*;
     use std::cell::Cell;
+    use std::collections::HashMap;
     use vfc_cgroupfs::error::CgroupError;
     use vfc_cgroupfs::model::CpuMax;
     use vfc_simcore::{Tid, VmId};

@@ -80,6 +80,7 @@ pub struct ControllerMetrics {
     cap_write_usec: MetricId,
     cap_write_errors: MetricId,
     cap_write_retries: MetricId,
+    cap_writes_elided: MetricId,
     // Health roll-up.
     degraded_iterations: MetricId,
 }
@@ -185,6 +186,10 @@ impl ControllerMetrics {
             "vfc_cap_write_retries_total",
             "Failed writes re-issued a period later",
         );
+        let cap_writes_elided = r.counter(
+            "vfc_cap_writes_elided_total",
+            "cpu.max writes skipped: the in-force value already matched",
+        );
         let degraded_iterations = r.counter(
             "vfc_degraded_iterations_total",
             "Iterations with any degradation (see HealthReport)",
@@ -213,6 +218,7 @@ impl ControllerMetrics {
             cap_write_usec,
             cap_write_errors,
             cap_write_retries,
+            cap_writes_elided,
             degraded_iterations,
         }
     }
@@ -300,17 +306,31 @@ impl ControllerMetrics {
     }
 
     /// Stage 6: write traffic — attempts, volume actually applied,
-    /// failures and retries.
-    pub fn record_apply(&mut self, writes: u64, volume_usec: u64, errors: u64, retries: u64) {
+    /// failures, retries and elided (deduplicated) writes.
+    pub fn record_apply(
+        &mut self,
+        writes: u64,
+        volume_usec: u64,
+        errors: u64,
+        retries: u64,
+        elided: u64,
+    ) {
         self.registry.inc(self.cap_writes, 0, writes);
         self.registry.inc(self.cap_write_usec, 0, volume_usec);
         self.registry.inc(self.cap_write_errors, 0, errors);
         self.registry.inc(self.cap_write_retries, 0, retries);
+        self.registry.inc(self.cap_writes_elided, 0, elided);
     }
 
     /// Append one iteration to the trace ring.
     pub fn push_trace(&mut self, trace: vfc_telemetry::IterationTrace) {
         self.trace.push(trace);
+    }
+
+    /// Append one iteration to the trace ring, recycling the evicted
+    /// entry's buffers (see [`TraceRing::push_with`]).
+    pub fn push_trace_with<F: FnOnce(&mut vfc_telemetry::IterationTrace)>(&mut self, fill: F) {
+        self.trace.push_with(fill);
     }
 
     // ---- read side -----------------------------------------------------

@@ -908,6 +908,65 @@ fn overhead_cmd(ctx: &mut Ctx) {
         ],
         &rows,
     );
+
+    // Scaling sweep: per-stage mean µs at several hosted-vCPU counts, to
+    // see how each stage grows with the number of slots.
+    println!();
+    println!(
+        "{:<8} {:>9} {:>9} {:>9} {:>9} {:>11} {:>7} {:>9} {:>9}",
+        "vcpus",
+        "monitor",
+        "estimate",
+        "enforce",
+        "auction",
+        "distribute",
+        "apply",
+        "total",
+        "p50_us"
+    );
+    let mut sweep_rows = Vec::new();
+    for target in [20u32, 80, 160] {
+        let s = overhead::measure(target, 20);
+        let us = |d: Duration| d.as_micros().to_string();
+        println!(
+            "{:<8} {:>9} {:>9} {:>9} {:>9} {:>11} {:>7} {:>9} {:>9}",
+            s.vcpus,
+            us(s.mean.monitor),
+            us(s.mean.estimate),
+            us(s.mean.enforce),
+            us(s.mean.auction),
+            us(s.mean.distribute),
+            us(s.mean.apply),
+            us(s.mean.total),
+            s.iteration.p50_us,
+        );
+        sweep_rows.push(vec![
+            s.vcpus.to_string(),
+            us(s.mean.monitor),
+            us(s.mean.estimate),
+            us(s.mean.enforce),
+            us(s.mean.auction),
+            us(s.mean.distribute),
+            us(s.mean.apply),
+            us(s.mean.total),
+            s.iteration.p50_us.to_string(),
+        ]);
+    }
+    ctx.save_rows(
+        "overhead_sweep",
+        &[
+            "vcpus",
+            "monitor_us",
+            "estimate_us",
+            "enforce_us",
+            "auction_us",
+            "distribute_us",
+            "apply_us",
+            "total_us",
+            "iteration_p50_us",
+        ],
+        &sweep_rows,
+    );
     let verdict = if r.mean.total.as_millis() < 100 {
         Verdict::Reproduced
     } else {

@@ -21,11 +21,13 @@
 //! running at `f` MHz performs exactly `f` hardware cycles
 //! (`10⁶ Hz × 10⁻⁶ s = 1`).
 
+pub mod fasthash;
 pub mod ids;
 pub mod ring;
 pub mod rng;
 pub mod time;
 
+pub use fasthash::{FastHash, FastMap, FastSet};
 pub use ids::{CpuId, Tid, VcpuAddr, VcpuId, VmId};
 pub use ring::RingBuffer;
 pub use rng::SplitMix64;

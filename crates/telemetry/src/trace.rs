@@ -81,6 +81,29 @@ impl TraceRing {
         self.buf.push_back(trace);
     }
 
+    /// Append a trace by filling a recycled entry in place: once the
+    /// ring is full, the evicted oldest entry (with its `stages_us` /
+    /// `vm_alloc_us` buffers and their `String`s) is handed to `fill`
+    /// for reuse, so steady-state tracing performs no heap allocation.
+    /// While the ring is still filling, `fill` receives a fresh empty
+    /// entry.
+    pub fn push_with<F: FnOnce(&mut IterationTrace)>(&mut self, fill: F) {
+        let mut entry = if self.buf.len() == self.cap {
+            self.buf.pop_front().expect("cap >= 1")
+        } else {
+            IterationTrace {
+                iteration: 0,
+                unix_ms: 0,
+                stages_us: Vec::new(),
+                total_us: 0,
+                degraded: false,
+                vm_alloc_us: Vec::new(),
+            }
+        };
+        fill(&mut entry);
+        self.buf.push_back(entry);
+    }
+
     /// Entries currently held.
     pub fn len(&self) -> usize {
         self.buf.len()

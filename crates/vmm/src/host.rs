@@ -77,6 +77,10 @@ pub struct SimHost {
     events: Vec<HostEvent>,
     telemetry: Vec<TickTelemetry>,
     pending_deprovision: Vec<VmId>,
+    /// Bumped whenever the `vms()` listing would change (provision,
+    /// deprovision, vfreq resize) — the [`HostBackend::vms_epoch`]
+    /// inventory cookie.
+    inventory_epoch: u64,
 }
 
 impl SimHost {
@@ -99,6 +103,7 @@ impl SimHost {
             events: Vec::new(),
             telemetry: Vec::new(),
             pending_deprovision: Vec::new(),
+            inventory_epoch: 0,
         }
     }
 
@@ -193,6 +198,7 @@ impl SimHost {
             vcpu_groups,
             tids,
         ));
+        self.inventory_epoch += 1;
         id
     }
 
@@ -207,6 +213,8 @@ impl SimHost {
     /// this is precisely the agility the paper's template knob enables.
     pub fn set_vfreq(&mut self, vm: VmId, vfreq: MHz) {
         self.vms[vm.as_usize()].template.vfreq = vfreq;
+        // The vfreq is part of the `vms()` listing.
+        self.inventory_epoch += 1;
     }
 
     /// Tear a VM down (KVM shutdown or migration source side): its
@@ -242,6 +250,7 @@ impl SimHost {
         // Drop ground-truth windows for the departed vCPUs.
         self.cur_win.retain(|a, _| a.vm != vm);
         self.last_win.retain(|a, _| a.vm != vm);
+        self.inventory_epoch += 1;
         workload
     }
 
@@ -457,6 +466,10 @@ impl HostBackend for SimHost {
             .collect()
     }
 
+    fn vms_epoch(&self) -> Option<u64> {
+        Some(self.inventory_epoch)
+    }
+
     fn vcpu_usage(&self, vm: VmId, vcpu: VcpuId) -> Result<Micros> {
         let g = self.vcpu_group(vm, vcpu)?;
         Ok(self.tree.node(g).cpu_stat.usage_usec)
@@ -470,6 +483,11 @@ impl HostBackend for SimHost {
     fn vcpu_threads(&self, vm: VmId, vcpu: VcpuId) -> Result<Vec<Tid>> {
         let g = self.vcpu_group(vm, vcpu)?;
         Ok(self.tree.node(g).threads.clone())
+    }
+
+    fn vcpu_first_thread(&self, vm: VmId, vcpu: VcpuId) -> Result<Option<Tid>> {
+        let g = self.vcpu_group(vm, vcpu)?;
+        Ok(self.tree.node(g).threads.first().copied())
     }
 
     fn thread_last_cpu(&self, tid: Tid) -> Result<CpuId> {

@@ -133,6 +133,13 @@ fn ebusy_write_is_retried_next_period() {
         "contended vCPU must be capped"
     );
 
+    // Drop VM a's demand so this period computes a genuinely *different*
+    // capping — an unchanged one would be elided (syscall dedup) and the
+    // scripted fault would have no write to intercept.
+    faulty
+        .inner_mut()
+        .attach_workload(a, Box::new(SteadyDemand::new(0.15)));
+
     // The kernel bounces this period's `cpu.max` write with EBUSY.
     faulty.script_fault(
         FaultOp::SetVcpuMax,

@@ -3,11 +3,20 @@
 //! Keeps the bench-authoring API (`Criterion`, `benchmark_group`,
 //! `bench_function`, `bench_with_input`, `BenchmarkId`,
 //! `criterion_group!`, `criterion_main!`) but replaces the statistics
-//! engine with a run-once wall-clock measurement per benchmark, printed
-//! to stdout. Good enough to keep `cargo bench` working offline and to
-//! spot order-of-magnitude regressions.
+//! engine with a fixed-sample wall-clock measurement per benchmark:
+//! each benchmark routine is run `VFC_BENCH_WARMUP` times untimed
+//! (default 10), then `VFC_BENCH_SAMPLES` times timed (default 60), and
+//! the min/p50/mean per-iteration times are printed to stdout. Good
+//! enough to keep `cargo bench` working offline and to gate on
+//! order-of-magnitude regressions (`tools/bench_gate.sh`).
+//!
+//! When `VFC_BENCH_JSON` names a file, one JSON line per benchmark is
+//! appended to it:
+//! `{"bench":"<group>/<id>","samples":N,"min_us":..,"p50_us":..,"mean_us":..}`
+//! — the machine-readable feed for `BENCH_controller.json`.
 
 use std::fmt::Display;
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 /// Benchmark driver handed to `criterion_group!` targets.
@@ -44,6 +53,14 @@ impl Display for BenchmarkId {
     }
 }
 
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
 /// A named group of benchmarks; see [`Criterion::benchmark_group`].
 pub struct BenchmarkGroup<'a> {
     name: String,
@@ -51,8 +68,8 @@ pub struct BenchmarkGroup<'a> {
 }
 
 impl<'a> BenchmarkGroup<'a> {
-    /// Accepted for source compatibility; this harness always runs one
-    /// sample.
+    /// Accepted for source compatibility; sample count is controlled by
+    /// the `VFC_BENCH_SAMPLES` environment variable instead.
     pub fn sample_size(&mut self, _n: usize) -> &mut Self {
         self
     }
@@ -62,10 +79,7 @@ impl<'a> BenchmarkGroup<'a> {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher {
-            elapsed: Duration::ZERO,
-            iters: 0,
-        };
+        let mut b = Bencher::default();
         f(&mut b);
         self.report(&id.to_string(), &b);
         self
@@ -77,10 +91,7 @@ impl<'a> BenchmarkGroup<'a> {
         I: ?Sized,
         F: FnMut(&mut Bencher, &I),
     {
-        let mut b = Bencher {
-            elapsed: Duration::ZERO,
-            iters: 0,
-        };
+        let mut b = Bencher::default();
         f(&mut b, input);
         self.report(&id.to_string(), &b);
         self
@@ -90,28 +101,88 @@ impl<'a> BenchmarkGroup<'a> {
     pub fn finish(self) {}
 
     fn report(&self, id: &str, b: &Bencher) {
-        if b.iters == 0 {
-            println!("{}/{id}: no measurement taken", self.name);
-        } else {
-            let per_iter = b.elapsed / b.iters;
-            println!("{}/{id}: {per_iter:?} per iteration", self.name);
+        let full = format!("{}/{id}", self.name);
+        match b.stats() {
+            None => println!("{full}: no measurement taken"),
+            Some(stats) => {
+                println!(
+                    "{full}: p50 {:?}  min {:?}  mean {:?}  ({} samples)",
+                    stats.p50, stats.min, stats.mean, stats.samples
+                );
+                if let Ok(path) = std::env::var("VFC_BENCH_JSON") {
+                    if !path.is_empty() {
+                        let line = format!(
+                            "{{\"bench\":\"{full}\",\"samples\":{},\"min_us\":{},\"p50_us\":{},\"mean_us\":{}}}\n",
+                            stats.samples,
+                            stats.min.as_micros(),
+                            stats.p50.as_micros(),
+                            stats.mean.as_micros(),
+                        );
+                        let _ = std::fs::OpenOptions::new()
+                            .create(true)
+                            .append(true)
+                            .open(&path)
+                            .and_then(|mut f| f.write_all(line.as_bytes()));
+                    }
+                }
+            }
         }
     }
 }
 
+/// Summary statistics over one benchmark's timed samples.
+struct Stats {
+    samples: usize,
+    min: Duration,
+    p50: Duration,
+    mean: Duration,
+}
+
 /// Timing harness passed to each benchmark closure.
+#[derive(Default)]
 pub struct Bencher {
-    elapsed: Duration,
-    iters: u32,
+    durations: Vec<Duration>,
 }
 
 impl Bencher {
-    /// Time `routine`. This harness runs it once per call.
+    /// Time `routine`: warm it up untimed, then collect timed samples
+    /// (counts from `VFC_BENCH_WARMUP` / `VFC_BENCH_SAMPLES`).
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
-        let start = Instant::now();
-        std::hint::black_box(routine());
-        self.elapsed += start.elapsed();
-        self.iters += 1;
+        self.iter_custom(|| {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            start.elapsed()
+        });
+    }
+
+    /// Like [`Bencher::iter`], but the routine reports the measured
+    /// duration itself — use this to exclude per-sample setup (e.g.
+    /// advancing a simulated host) from the timed window.
+    pub fn iter_custom<F: FnMut() -> Duration>(&mut self, mut routine: F) {
+        let warmup = env_usize("VFC_BENCH_WARMUP", 10);
+        let samples = env_usize("VFC_BENCH_SAMPLES", 60);
+        for _ in 0..warmup {
+            std::hint::black_box(routine());
+        }
+        self.durations.reserve(samples);
+        for _ in 0..samples {
+            self.durations.push(routine());
+        }
+    }
+
+    fn stats(&self) -> Option<Stats> {
+        if self.durations.is_empty() {
+            return None;
+        }
+        let mut sorted = self.durations.clone();
+        sorted.sort_unstable();
+        let sum: Duration = sorted.iter().sum();
+        Some(Stats {
+            samples: sorted.len(),
+            min: sorted[0],
+            p50: sorted[sorted.len() / 2],
+            mean: sum / sorted.len() as u32,
+        })
     }
 }
 
@@ -154,6 +225,15 @@ mod tests {
             b.iter(|| x * 2);
         });
         group.finish();
-        assert_eq!(runs, 1);
+        assert!(runs > 1, "warmup + samples should run the routine");
+    }
+
+    #[test]
+    fn iter_custom_records_reported_durations() {
+        let mut b = Bencher::default();
+        b.iter_custom(|| Duration::from_micros(100));
+        let stats = b.stats().unwrap();
+        assert_eq!(stats.p50, Duration::from_micros(100));
+        assert_eq!(stats.min, Duration::from_micros(100));
     }
 }

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Regression gate for the controller-loop benchmark.
+#
+# Re-runs crates/bench/benches/controller.rs with the vendored criterion
+# shim's JSON export and compares each bench's p50 against the budget_us
+# recorded in BENCH_controller.json. Budgets are ~4x the committed
+# after-p50, so the gate trips on order-of-magnitude regressions, not on
+# shared-runner jitter. VFC_BENCH_GATE_SCALE (default 1.0) multiplies
+# every budget for unusually slow machines.
+#
+# Usage: tools/bench_gate.sh [baseline.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=${1:-BENCH_controller.json}
+OUT=$(mktemp)
+trap 'rm -f "$OUT"' EXIT
+
+VFC_BENCH_WARMUP=${VFC_BENCH_WARMUP:-20} \
+VFC_BENCH_SAMPLES=${VFC_BENCH_SAMPLES:-120} \
+VFC_BENCH_JSON="$OUT" \
+  cargo bench -q -p vfc-bench --bench controller
+
+python3 - "$BASELINE" "$OUT" <<'EOF'
+import json, os, sys
+
+baseline_path, run_path = sys.argv[1], sys.argv[2]
+scale = float(os.environ.get("VFC_BENCH_GATE_SCALE", "1.0"))
+
+with open(baseline_path) as f:
+    budgets = {b["bench"]: b["budget_us"] for b in json.load(f)["benches"]}
+
+# The shim appends one line per bench; keep the last run of each.
+measured = {}
+with open(run_path) as f:
+    for line in f:
+        line = line.strip()
+        if line:
+            rec = json.loads(line)
+            measured[rec["bench"]] = rec
+
+failed = []
+print(f"{'bench':<32} {'p50_us':>8} {'budget_us':>10}  verdict")
+for bench, budget in sorted(budgets.items()):
+    rec = measured.get(bench)
+    if rec is None:
+        failed.append(bench)
+        print(f"{bench:<32} {'-':>8} {budget * scale:>10.0f}  MISSING")
+        continue
+    p50 = rec["p50_us"]
+    ok = p50 <= budget * scale
+    if not ok:
+        failed.append(bench)
+    print(f"{bench:<32} {p50:>8} {budget * scale:>10.0f}  {'ok' if ok else 'OVER BUDGET'}")
+
+if failed:
+    print(f"\nbench gate FAILED: {', '.join(failed)}", file=sys.stderr)
+    print("(rebless BENCH_controller.json only with a same-machine before/after run)", file=sys.stderr)
+    sys.exit(1)
+print("\nbench gate passed")
+EOF

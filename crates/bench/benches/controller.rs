@@ -103,5 +103,68 @@ fn bench_stages(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_iteration, bench_stages);
+/// Event-core replay throughput: the full trace → events → report path
+/// the `trace` experiment gates at datacenter scale, shrunk to a bench
+/// sample. `replay_60vms_8nodes` is a busy fleet (every node runs its
+/// controller every period); `quiet_fleet_40nodes` pins the core claim
+/// that idle hosts schedule nothing — 4 busy + 36 idle nodes must cost
+/// about the same as 4 busy nodes alone.
+fn bench_event_core(c: &mut Criterion) {
+    use vfc_cluster::{ClusterManager, EventDrivenCluster, Strategy, SyntheticTrace, TraceVmSpec};
+    use vfc_cpusched::topology::NodeSpec;
+    use vfc_placement::algo::PlacementAlgorithm;
+    use vfc_simcore::MHz;
+    use vfc_vmm::VmTemplate;
+
+    let mut group = c.benchmark_group("events");
+
+    let trace = SyntheticTrace::new(60, 60, 7).generate();
+    group.bench_function("replay_60vms_8nodes", |b| {
+        b.iter_custom(|| {
+            let mgr = ClusterManager::new(
+                vec![NodeSpec::custom("bench", 1, 4, 2, MHz(2400)); 8],
+                Strategy::FrequencyControl,
+                7,
+            );
+            let mut cluster =
+                EventDrivenCluster::new(mgr).with_algorithm(PlacementAlgorithm::BestFit);
+            cluster.load_trace(trace.clone());
+            let t = Instant::now();
+            cluster.run_until(60);
+            let d = t.elapsed();
+            black_box(cluster.stats().events_processed);
+            d
+        });
+    });
+
+    let quiet: Vec<TraceVmSpec> = (0..8)
+        .map(|i| TraceVmSpec {
+            trace_id: format!("q-{i}"),
+            arrival: 0,
+            departure: None,
+            template: VmTemplate::new("std", 2, MHz(2400)),
+        })
+        .collect();
+    group.bench_function("quiet_fleet_40nodes", |b| {
+        b.iter_custom(|| {
+            let mgr = ClusterManager::new(
+                vec![NodeSpec::custom("quiet", 1, 2, 2, MHz(2400)); 40],
+                Strategy::FrequencyControl,
+                7,
+            );
+            let mut cluster =
+                EventDrivenCluster::new(mgr).with_algorithm(PlacementAlgorithm::FirstFit);
+            cluster.load_trace(quiet.clone());
+            let t = Instant::now();
+            cluster.run_until(60);
+            let d = t.elapsed();
+            black_box(cluster.stats().events_processed);
+            d
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_iteration, bench_stages, bench_event_core);
 criterion_main!(benches);

@@ -18,15 +18,23 @@
 //!
 //! The [`manager::ClusterManager`] runs either strategy over a set of
 //! [`vfc_cpusched::topology::NodeSpec`]s, tracking energy, migrations and
-//! per-class SLO violations ([`slo`]).
+//! per-class SLO violations ([`slo`]). Two drivers sit on top of it:
+//! the legacy fixed-step [`ClusterManager::run_period`] (every node,
+//! every period) and the discrete-event [`events::EventDrivenCluster`]
+//! (only busy nodes cost anything), which replays VM lifetimes from a
+//! [`trace::TraceReader`] at datacenter scale.
 
+pub mod events;
 pub mod faults;
 pub mod manager;
 pub mod slo;
+pub mod trace;
 
+pub use events::{EventDrivenCluster, EventStats, WorkloadFactory};
 pub use faults::{FaultModel, FaultReport, RestartPolicy};
 pub use manager::{
     ClusterError, ClusterManager, ClusterReport, GlobalVmId, NodeLoad, PeriodSample, ResizeOutcome,
     Strategy,
 };
 pub use slo::{SloTracker, VmSlo};
+pub use trace::{CsvTraceReader, SyntheticTrace, TraceError, TraceReader, TraceVmSpec};

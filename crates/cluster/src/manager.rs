@@ -197,11 +197,16 @@ struct NodeRuntime {
     /// stays off the allocator (see `Controller::iterate_into`).
     report: IterationReport,
     /// VMs resident on this node, as (VM-record index, local id,
-    /// guaranteed vfreq, vCPU count) — the serial pre-pass of
-    /// `run_period` refills it, so the parallel pass touches each VM
-    /// exactly once without scanning the fleet per node (and without
-    /// borrowing the non-`Sync` VM records across threads).
+    /// guaranteed vfreq, vCPU count), kept sorted by VM-record index and
+    /// maintained *incrementally* at every placement transition (deploy,
+    /// undeploy, migration, crash, resize) — so neither the legacy
+    /// per-period pass nor the event-driven core ever scans the whole
+    /// fleet per node, and an empty node's emptiness is an O(1) check.
     residents: Vec<(usize, VmId, MHz, u32)>,
+    /// Set by the event-driven core to select this node for the next
+    /// parallel advance ([`ClusterManager::advance_marked_nodes`]);
+    /// cleared by the advance itself.
+    run_mark: bool,
     /// SLO samples this node computed in the parallel pass, merged
     /// serially afterwards. Both buffers keep their capacity across
     /// periods.
@@ -225,6 +230,7 @@ impl NodeRuntime {
             recovery_until: 0,
             report: IterationReport::default(),
             residents: Vec::new(),
+            run_mark: false,
             slo_scratch: Vec::new(),
         }
     }
@@ -321,6 +327,23 @@ pub struct ClusterManager {
     frng: SplitMix64,
     freport: FaultReport,
     recovery: SloTracker,
+    /// VM-record indices currently [`Location::InFlight`] or
+    /// [`Location::Stranded`], sorted — the per-period offline-SLO
+    /// accounting and the event core's landing scheduler read this
+    /// instead of scanning the whole fleet.
+    offline_vms: Vec<usize>,
+    /// When `true` (set by the event-driven core), every transition into
+    /// [`Location::InFlight`] records `(vm index, arrival period)` in
+    /// [`ClusterManager::pending_inflight`] so the core can schedule a
+    /// landing event. The legacy `run_period` path leaves this off.
+    track_inflight: bool,
+    pending_inflight: Vec<(usize, u64)>,
+    /// Prebuilt `0..nodes.len()` index list — the legacy full-fleet
+    /// driver's `active` set, kept so `run_period` allocates nothing.
+    node_ids: Vec<usize>,
+    /// Reusable snapshot of [`ClusterManager::offline_vms`] for the
+    /// per-period landing sweep (landing mutates the offline set).
+    landing_scratch: Vec<usize>,
 }
 
 impl ClusterManager {
@@ -339,11 +362,12 @@ impl ClusterManager {
         seed: u64,
         faults: FaultModel,
     ) -> Self {
-        let nodes = specs
+        let nodes: Vec<NodeRuntime> = specs
             .into_iter()
             .enumerate()
             .map(|(i, spec)| NodeRuntime::new(spec, &strategy, seed.wrapping_add(i as u64 * 7919)))
             .collect();
+        let node_ids = (0..nodes.len()).collect();
         let frng = SplitMix64::new(faults.seed ^ 0x5EED_F417);
         ClusterManager {
             strategy,
@@ -359,7 +383,81 @@ impl ClusterManager {
             frng,
             freport: FaultReport::default(),
             recovery: SloTracker::new(0.95),
+            offline_vms: Vec::new(),
+            track_inflight: false,
+            pending_inflight: Vec::new(),
+            node_ids,
+            landing_scratch: Vec::new(),
         }
+    }
+
+    /// Insert VM `vm` into `node`'s resident index (sorted by VM-record
+    /// index). Called at every transition into [`Location::OnNode`].
+    fn add_resident(&mut self, node: usize, vm: usize, local: VmId) {
+        let t = &self.vms[vm].template;
+        let entry = (vm, local, t.vfreq, t.vcpus);
+        let residents = &mut self.nodes[node].residents;
+        let at = residents
+            .binary_search_by_key(&vm, |r| r.0)
+            .expect_err("VM resident twice on one node");
+        residents.insert(at, entry);
+    }
+
+    /// Remove VM `vm` from `node`'s resident index. A node emptied this
+    /// way also forgets its migration-policy hot streak (an empty node
+    /// cannot stay hot).
+    fn remove_resident(&mut self, node: usize, vm: usize) {
+        let residents = &mut self.nodes[node].residents;
+        let at = residents
+            .binary_search_by_key(&vm, |r| r.0)
+            .expect("resident index out of sync");
+        residents.remove(at);
+        if residents.is_empty() {
+            self.nodes[node].hot_streak = 0;
+        }
+    }
+
+    /// Track VM `vm` as offline (in flight or stranded).
+    fn add_offline(&mut self, vm: usize) {
+        if let Err(at) = self.offline_vms.binary_search(&vm) {
+            self.offline_vms.insert(at, vm);
+        }
+    }
+
+    /// VM `vm` is no longer offline (landed or departed).
+    fn remove_offline(&mut self, vm: usize) {
+        if let Ok(at) = self.offline_vms.binary_search(&vm) {
+            self.offline_vms.remove(at);
+        }
+    }
+
+    /// Record a transition into [`Location::InFlight`] for the event
+    /// core's landing scheduler (no-op on the legacy path).
+    fn note_inflight(&mut self, vm: usize, arrive: u64) {
+        if self.track_inflight {
+            self.pending_inflight.push((vm, arrive));
+        }
+    }
+
+    /// Turn on in-flight tracking (event-driven core only).
+    pub(crate) fn set_track_inflight(&mut self) {
+        self.track_inflight = true;
+    }
+
+    /// Drain the in-flight transitions recorded since the last call.
+    pub(crate) fn drain_pending_inflight(&mut self) -> Vec<(usize, u64)> {
+        std::mem::take(&mut self.pending_inflight)
+    }
+
+    /// Sorted VM-record indices currently stranded (evacuated with
+    /// nowhere to go). The event core re-schedules a landing retry for
+    /// each of these every period, mirroring the legacy per-period scan.
+    pub(crate) fn stranded_indices(&self) -> Vec<usize> {
+        self.offline_vms
+            .iter()
+            .copied()
+            .filter(|&i| matches!(self.vms[i].location, Location::Stranded))
+            .collect()
     }
 
     /// Fault counters accumulated so far.
@@ -461,6 +559,7 @@ impl ClusterManager {
             location: Location::OnNode { node, local },
             parked: None,
         });
+        self.add_resident(node, id.0 as usize, local);
         Ok(id)
     }
 
@@ -539,10 +638,12 @@ impl ClusterManager {
             Location::OnNode { node, local } => {
                 let _ = self.nodes[node].host.deprovision(local);
                 self.nodes[node].bin.remove(&request);
+                self.remove_resident(node, id.0 as usize);
                 Ok(())
             }
             Location::InFlight { .. } | Location::Stranded => {
                 record.parked = None;
+                self.remove_offline(id.0 as usize);
                 Ok(())
             }
             Location::Gone => Err(ClusterError::AlreadyRemoved(id)),
@@ -599,6 +700,11 @@ impl ClusterManager {
             if let Some(ctl) = &mut rt.controller {
                 ctl.set_vfreq(local, new_vfreq);
             }
+            let at = rt
+                .residents
+                .binary_search_by_key(&(id.0 as usize), |r| r.0)
+                .expect("resident index out of sync");
+            rt.residents[at].2 = new_vfreq;
             self.vms[id.0 as usize].template = new_template;
             return Ok(ResizeOutcome::InPlace);
         }
@@ -609,14 +715,18 @@ impl ClusterManager {
         };
         let workload = self.nodes[node].host.deprovision(local);
         self.nodes[node].bin.remove(&old_request);
+        self.remove_resident(node, id.0 as usize);
+        let arrive = self.period + 1;
         let record = &mut self.vms[id.0 as usize];
         record.template = new_template;
         record.parked = Some(workload);
         record.location = Location::InFlight {
             dest,
-            arrive: self.period + 1,
+            arrive,
             src: None,
         };
+        self.add_offline(id.0 as usize);
+        self.note_inflight(id.0 as usize, arrive);
         self.migrations += 1;
         Ok(ResizeOutcome::Migrating)
     }
@@ -669,6 +779,11 @@ impl ClusterManager {
     }
 
     /// Advance the whole cluster by one controller period (1 s).
+    ///
+    /// This is the legacy fixed-step driver: every node advances every
+    /// period, even empty ones. The event-driven core
+    /// ([`crate::events::EventDrivenCluster`]) reuses the same phase
+    /// helpers below but only advances nodes that actually host VMs.
     pub fn run_period(&mut self) {
         self.period += 1;
 
@@ -678,142 +793,205 @@ impl ClusterManager {
         // crashes; crashes happen before landings so nothing lands on a
         // node that just died.
         if self.faults.enabled() {
-            self.recover_for_period();
-            self.inject_node_crashes();
-            self.inject_controller_crashes();
+            self.fault_phase();
         }
 
         // 1. Land migrations whose downtime elapsed; retry stranded VMs.
         self.land_migrations();
 
-        // 2. Advance hosts + run controllers, and compute each node's
-        // residents' SLO samples while its state is hot. Nodes are fully
-        // independent within a period (the manager only talks to them
-        // between periods), so this is embarrassingly parallel — the
-        // dominant cost of a cluster run. Crashed nodes stand still (but
-        // their residents still get sampled, off the stood-still host);
-        // a node whose controller died advances uncapped.
-        use rayon::prelude::*;
-        // Serial pre-pass: refill each node's resident index so the
-        // parallel pass touches each VM exactly once instead of scanning
-        // the whole fleet per node.
-        for node in &mut self.nodes {
-            node.residents.clear();
+        // 2.–3. Advance every node in parallel, then the serial
+        // accounting. `node_ids` is the prebuilt `0..n` index list, so
+        // the steady-state loop stays off the allocator.
+        let ids = std::mem::take(&mut self.node_ids);
+        self.advance_node_set(&ids);
+        self.close_period_for(&ids);
+        self.node_ids = ids;
+    }
+
+    /// Phase 0 of a period: due repairs and controller restarts come
+    /// into effect, then new node/controller crashes are drawn. Serial —
+    /// every random draw comes from one stream in a fixed order, so runs
+    /// are reproducible.
+    pub(crate) fn fault_phase(&mut self) {
+        self.recover_for_period();
+        self.inject_node_crashes();
+        self.inject_controller_crashes();
+    }
+
+    /// Event-core entry: move the period counter to `p`. The legacy
+    /// driver increments one period at a time; the event core jumps over
+    /// stretches where nothing is scheduled. Must be monotone.
+    pub(crate) fn begin_period_at(&mut self, p: u64) {
+        debug_assert!(p >= self.period, "period must be monotone");
+        self.period = p;
+    }
+
+    /// Current period counter (the last period started).
+    pub(crate) fn period(&self) -> u64 {
+        self.period
+    }
+
+    /// Is a fault model active?
+    pub(crate) fn faults_enabled(&self) -> bool {
+        self.faults.enabled()
+    }
+
+    /// Node currently hosting VM-record `vm`, if it is placed.
+    pub(crate) fn vm_node(&self, vm: usize) -> Option<usize> {
+        match self.vms.get(vm)?.location {
+            Location::OnNode { node, .. } => Some(node),
+            _ => None,
         }
-        for (i, record) in self.vms.iter().enumerate() {
-            if let Location::OnNode { node, local } = &record.location {
-                self.nodes[*node].residents.push((
-                    i,
-                    *local,
-                    record.template.vfreq,
-                    record.template.vcpus,
-                ));
+    }
+
+    /// Does node `n` currently host at least one VM? O(1) off the
+    /// incrementally maintained resident index.
+    pub(crate) fn node_has_residents(&self, n: usize) -> bool {
+        !self.nodes[n].residents.is_empty()
+    }
+
+    /// Number of nodes in the cluster.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// One node's share of the parallel phase: advance the host, run the
+    /// controller, then compute each resident's SLO sample while the
+    /// node state is hot. A crashed node stands still; a node whose
+    /// controller died advances uncapped (fail-open).
+    fn advance_node(node: &mut NodeRuntime, period: u64) {
+        if !node.is_down() {
+            node.host.advance_period();
+            // A dead controller writes no cpu.max: fail-open.
+            if node.controller_returns_at.is_none() {
+                if let Some(ctl) = &mut node.controller {
+                    ctl.iterate_into(&mut node.host, &mut node.report)
+                        .expect("sim backend");
+                }
             }
         }
+        let f_max = node.host.spec().max_mhz;
+        let uncontrolled = node.controller_returns_at.is_some();
+        let in_recovery = uncontrolled || period < node.recovery_until;
+        node.slo_scratch.clear();
+        for k in 0..node.residents.len() {
+            let (vm, local, vfreq, nr_vcpus) = node.residents[k];
+            let c_i = vfc_controller::guaranteed_cycles(vfreq, f_max, Micros::SEC);
+            if c_i.is_zero() {
+                continue;
+            }
+            // Worst vCPU decides the period's outcome.
+            let mut worst_demand = f64::INFINITY;
+            let mut worst_delivery = f64::INFINITY;
+            // Demand-aware variant for recovery windows: what share
+            // of the *demanded* time was actually served.
+            let mut rec_demand = f64::NEG_INFINITY;
+            let mut rec_served = f64::INFINITY;
+            for j in 0..nr_vcpus {
+                let demanded = node.host.vcpu_demand_last_window(local, VcpuId::new(j));
+                let freq = node.host.vcpu_freq_exact(local, VcpuId::new(j));
+                let demand_ratio = demanded.as_u64() as f64 / c_i.as_u64() as f64;
+                let delivery_ratio = freq.as_f64() / vfreq.as_f64().max(1.0);
+                // Track the vCPU that demanded most but got least.
+                if delivery_ratio < worst_delivery {
+                    worst_delivery = delivery_ratio;
+                    worst_demand = demand_ratio;
+                }
+                if !demanded.is_zero() {
+                    let served_us =
+                        freq.as_f64() / f_max.as_f64().max(1.0) * Micros::SEC.as_u64() as f64;
+                    let served_ratio = served_us / demanded.as_u64() as f64;
+                    if served_ratio < rec_served {
+                        rec_served = served_ratio;
+                        rec_demand = demand_ratio;
+                    }
+                }
+            }
+            node.slo_scratch.push(SloSample {
+                vm,
+                worst_demand,
+                worst_delivery,
+                rec_demand,
+                rec_served,
+                in_recovery,
+                uncontrolled,
+            });
+        }
+    }
+
+    /// Phase 2: advance the given nodes (sorted indices) for the current
+    /// period. Nodes are fully independent within a period (the manager
+    /// only talks to them between periods), so this is embarrassingly
+    /// parallel — the dominant cost of a cluster run. Small batches run
+    /// serially (spinning up scoped threads to flip a couple of nodes
+    /// costs more than the work); larger ones are marked via
+    /// [`NodeRuntime::run_mark`] and swept by one `par_iter_mut` pass,
+    /// since the vendored rayon subset can only split whole slices.
+    pub(crate) fn advance_node_set(&mut self, active: &[usize]) {
         let period = self.period;
-        self.nodes.par_iter_mut().for_each(|node| {
-            if !node.is_down() {
-                node.host.advance_period();
-                // A dead controller writes no cpu.max: fail-open.
-                if node.controller_returns_at.is_none() {
-                    if let Some(ctl) = &mut node.controller {
-                        ctl.iterate_into(&mut node.host, &mut node.report)
-                            .expect("sim backend");
-                    }
-                }
+        if active.len() <= 4 {
+            for &i in active {
+                Self::advance_node(&mut self.nodes[i], period);
             }
-            let f_max = node.host.spec().max_mhz;
-            let uncontrolled = node.controller_returns_at.is_some();
-            let in_recovery = uncontrolled || period < node.recovery_until;
-            node.slo_scratch.clear();
-            for k in 0..node.residents.len() {
-                let (vm, local, vfreq, nr_vcpus) = node.residents[k];
-                let c_i = vfc_controller::guaranteed_cycles(vfreq, f_max, Micros::SEC);
-                if c_i.is_zero() {
-                    continue;
-                }
-                // Worst vCPU decides the period's outcome.
-                let mut worst_demand = f64::INFINITY;
-                let mut worst_delivery = f64::INFINITY;
-                // Demand-aware variant for recovery windows: what share
-                // of the *demanded* time was actually served.
-                let mut rec_demand = f64::NEG_INFINITY;
-                let mut rec_served = f64::INFINITY;
-                for j in 0..nr_vcpus {
-                    let demanded = node.host.vcpu_demand_last_window(local, VcpuId::new(j));
-                    let freq = node.host.vcpu_freq_exact(local, VcpuId::new(j));
-                    let demand_ratio = demanded.as_u64() as f64 / c_i.as_u64() as f64;
-                    let delivery_ratio = freq.as_f64() / vfreq.as_f64().max(1.0);
-                    // Track the vCPU that demanded most but got least.
-                    if delivery_ratio < worst_delivery {
-                        worst_delivery = delivery_ratio;
-                        worst_demand = demand_ratio;
-                    }
-                    if !demanded.is_zero() {
-                        let served_us =
-                            freq.as_f64() / f_max.as_f64().max(1.0) * Micros::SEC.as_u64() as f64;
-                        let served_ratio = served_us / demanded.as_u64() as f64;
-                        if served_ratio < rec_served {
-                            rec_served = served_ratio;
-                            rec_demand = demand_ratio;
-                        }
-                    }
-                }
-                node.slo_scratch.push(SloSample {
-                    vm,
-                    worst_demand,
-                    worst_delivery,
-                    rec_demand,
-                    rec_served,
-                    in_recovery,
-                    uncontrolled,
-                });
+            return;
+        }
+        for &i in active {
+            self.nodes[i].run_mark = true;
+        }
+        use rayon::prelude::*;
+        self.nodes.par_iter_mut().for_each(|node| {
+            if node.run_mark {
+                node.run_mark = false;
+                Self::advance_node(node, period);
             }
         });
+    }
 
-        // 3. SLO + energy accounting, merged serially in VM-record order
-        // so tracker updates (and their float accumulation) happen in
-        // exactly the order the old serial scan produced.
-        let mut by_vm: Vec<Option<SloSample>> = Vec::new();
-        by_vm.resize_with(self.vms.len(), || None);
-        for node in &self.nodes {
-            for s in &node.slo_scratch {
-                by_vm[s.vm] = Some(*s);
+    /// Phase 3–4: serial end-of-period accounting. Merges the SLO
+    /// samples the `active` nodes computed in their parallel advance,
+    /// accounts offline (in-flight/stranded) VMs, integrates energy,
+    /// records the period sample, and runs the migration policy.
+    ///
+    /// `active` must be sorted ascending: energy accumulates in node
+    /// order, so a legacy full-fleet pass and an event-driven pass over
+    /// the busy subset produce bit-identical float sums (quiet nodes are
+    /// powered off and contribute exactly nothing). The SLO trackers are
+    /// integer counters per class, so merge order cannot affect them.
+    pub(crate) fn close_period_for(&mut self, active: &[usize]) {
+        debug_assert!(active.windows(2).all(|w| w[0] < w[1]), "active not sorted");
+        for &n in active {
+            for k in 0..self.nodes[n].slo_scratch.len() {
+                let s = self.nodes[n].slo_scratch[k];
+                let class = self.vms[s.vm].template.name.as_str();
+                if s.worst_demand.is_finite() {
+                    self.slo.record(class, s.worst_demand, s.worst_delivery);
+                }
+                if s.in_recovery && s.rec_demand.is_finite() {
+                    self.recovery.record(class, s.rec_demand, s.rec_served);
+                }
+                if s.uncontrolled {
+                    self.freport.uncontrolled_vm_periods += 1;
+                }
             }
         }
-        for (i, record) in self.vms.iter().enumerate() {
-            let class = record.template.name.as_str();
-            match &record.location {
-                Location::OnNode { .. } => {
-                    let Some(s) = &by_vm[i] else { continue };
-                    if s.worst_demand.is_finite() {
-                        self.slo.record(class, s.worst_demand, s.worst_delivery);
-                    }
-                    if s.in_recovery && s.rec_demand.is_finite() {
-                        self.recovery.record(class, s.rec_demand, s.rec_served);
-                    }
-                    if s.uncontrolled {
-                        self.freport.uncontrolled_vm_periods += 1;
-                    }
-                }
-                Location::InFlight { .. } => {
-                    // A VM is only migrated off a hot node: it was
-                    // demanding; downtime is a violated period.
-                    self.slo.record_offline_demanding(class);
-                    if self.faults.enabled() {
-                        self.recovery.record_offline_demanding(class);
-                    }
-                }
-                Location::Stranded => {
-                    self.slo.record_offline_demanding(class);
-                    self.recovery.record_offline_demanding(class);
-                    self.freport.stranded_vm_periods += 1;
-                }
-                Location::Gone => {}
+        // A VM is only migrated off a hot node: it was demanding;
+        // downtime is a violated period. Stranded VMs additionally count
+        // toward recovery accounting unconditionally.
+        for k in 0..self.offline_vms.len() {
+            let i = self.offline_vms[k];
+            let stranded = matches!(self.vms[i].location, Location::Stranded);
+            let class = self.vms[i].template.name.as_str();
+            self.slo.record_offline_demanding(class);
+            if stranded {
+                self.recovery.record_offline_demanding(class);
+                self.freport.stranded_vm_periods += 1;
+            } else if self.faults.enabled() {
+                self.recovery.record_offline_demanding(class);
             }
         }
         let mut period_power = 0.0;
-        for node in &self.nodes {
+        for &n in active {
+            let node = &self.nodes[n];
             if !node.bin.is_used() || node.is_down() {
                 continue; // powered off / crashed
             }
@@ -827,9 +1005,9 @@ impl ClusterManager {
         }
         self.energy_j += period_power; // × 1 s
         let in_flight = self
-            .vms
+            .offline_vms
             .iter()
-            .filter(|r| matches!(r.location, Location::InFlight { .. }))
+            .filter(|&&i| matches!(self.vms[i].location, Location::InFlight { .. }))
             .count();
         self.history.push(PeriodSample {
             period: self.period,
@@ -838,7 +1016,9 @@ impl ClusterManager {
             in_flight,
         });
 
-        // 4. Migration policy.
+        // Migration policy. Quiet nodes cannot be hot (emptying a node
+        // resets its streak in `remove_resident`), so restricting the
+        // sweep to `active` changes no outcome.
         if let Strategy::MigrationBased {
             high_watermark,
             sustain,
@@ -846,7 +1026,7 @@ impl ClusterManager {
             ..
         } = self.strategy
         {
-            for src in 0..self.nodes.len() {
+            for &src in active {
                 if self.nodes[src].is_down() {
                     continue;
                 }
@@ -866,10 +1046,27 @@ impl ClusterManager {
     }
 
     /// Land migrations whose downtime elapsed (possibly failing and
-    /// rolling back), and retry stranded VMs.
+    /// rolling back), and retry stranded VMs. Scans only the offline
+    /// set — placed VMs are never touched here. The scratch buffer keeps
+    /// its capacity across periods, so the steady-state loop stays off
+    /// the allocator.
     fn land_migrations(&mut self) {
+        let mut due = std::mem::take(&mut self.landing_scratch);
+        due.clear();
+        due.extend_from_slice(&self.offline_vms);
+        self.land_vm_set(&due);
+        self.landing_scratch = due;
+    }
+
+    /// Try to land each offline VM in `vms` (VM-record indices, sorted
+    /// ascending): stranded VMs are re-placed if capacity appeared,
+    /// in-flight VMs whose downtime elapsed land (possibly failing the
+    /// handshake and rolling back). Indices that are not currently
+    /// offline — or in flight but not yet due — are skipped, so the
+    /// event core may pass a superset.
+    pub(crate) fn land_vm_set(&mut self, vms: &[usize]) {
         let p = self.period;
-        for idx in 0..self.vms.len() {
+        for &idx in vms {
             match self.vms[idx].location {
                 Location::Stranded => {
                     let request = PlacementRequest::from(&self.vms[idx].template);
@@ -883,14 +1080,18 @@ impl ClusterManager {
                     if self.nodes[dest].is_down() || !mode.fits(&self.nodes[dest].bin, &request) {
                         // Destination died (or filled up) while the VM
                         // was in flight: place it somewhere else.
-                        self.vms[idx].location = match self.place_excluding(&request, None) {
-                            Some(other) => Location::InFlight {
-                                dest: other,
-                                arrive: p + 1,
-                                src: None,
-                            },
+                        let next = match self.place_excluding(&request, None) {
+                            Some(other) => {
+                                self.note_inflight(idx, p + 1);
+                                Location::InFlight {
+                                    dest: other,
+                                    arrive: p + 1,
+                                    src: None,
+                                }
+                            }
                             None => Location::Stranded,
                         };
+                        self.vms[idx].location = next;
                     } else if src.is_some()
                         && self.faults.migration_fail_rate > 0.0
                         && self.frng.chance(self.faults.migration_fail_rate)
@@ -904,14 +1105,18 @@ impl ClusterManager {
                                 !self.nodes[s].is_down() && mode.fits(&self.nodes[s].bin, &request)
                             })
                             .or_else(|| self.place_excluding(&request, Some(dest)));
-                        self.vms[idx].location = match back {
-                            Some(node) => Location::InFlight {
-                                dest: node,
-                                arrive: p + 1,
-                                src: None,
-                            },
+                        let next = match back {
+                            Some(node) => {
+                                self.note_inflight(idx, p + 1);
+                                Location::InFlight {
+                                    dest: node,
+                                    arrive: p + 1,
+                                    src: None,
+                                }
+                            }
                             None => Location::Stranded,
                         };
+                        self.vms[idx].location = next;
                     } else {
                         self.land_on(idx, dest);
                     }
@@ -934,6 +1139,8 @@ impl ClusterManager {
             .bin
             .place(&PlacementRequest::from(&template));
         self.vms[idx].location = Location::OnNode { node: dest, local };
+        self.remove_offline(idx);
+        self.add_resident(dest, idx, local);
     }
 
     /// Bring due repairs and controller restarts into effect.
@@ -1000,30 +1207,33 @@ impl ClusterManager {
     /// rejoins empty with a cold controller.
     fn crash_node(&mut self, node: usize) {
         self.freport.node_crashes += 1;
-        let victims: Vec<usize> = self
-            .vms
-            .iter()
-            .enumerate()
-            .filter(|(_, r)| matches!(r.location, Location::OnNode { node: n, .. } if n == node))
-            .map(|(i, _)| i)
-            .collect();
+        // The resident index is sorted by VM-record index, so evacuation
+        // order matches the old full-fleet scan.
+        let victims: Vec<usize> = self.nodes[node].residents.iter().map(|r| r.0).collect();
         for idx in victims {
             let Location::OnNode { local, .. } = self.vms[idx].location else {
-                unreachable!("victim filter guarantees OnNode");
+                unreachable!("resident index guarantees OnNode");
             };
             let workload = self.nodes[node].host.deprovision(local);
             let request = PlacementRequest::from(&self.vms[idx].template);
             self.nodes[node].bin.remove(&request);
+            self.remove_resident(node, idx);
             self.vms[idx].parked = Some(workload);
             self.freport.evacuated_vms += 1;
-            self.vms[idx].location = match self.place_excluding(&request, Some(node)) {
-                Some(dest) => Location::InFlight {
-                    dest,
-                    arrive: self.period + self.faults.evacuation_downtime_periods.max(1),
-                    src: None,
-                },
+            let arrive = self.period + self.faults.evacuation_downtime_periods.max(1);
+            let next = match self.place_excluding(&request, Some(node)) {
+                Some(dest) => {
+                    self.note_inflight(idx, arrive);
+                    Location::InFlight {
+                        dest,
+                        arrive,
+                        src: None,
+                    }
+                }
                 None => Location::Stranded,
             };
+            self.vms[idx].location = next;
+            self.add_offline(idx);
         }
         let rt = &mut self.nodes[node];
         rt.repairs_at = Some(self.period + self.faults.repair_periods.max(1));
@@ -1093,14 +1303,14 @@ impl ClusterManager {
     /// Migrate the largest VM off `src` to the emptiest node that fits.
     fn try_migrate_from(&mut self, src: usize, downtime: u32) -> bool {
         let mode = self.strategy.constraint();
-        // Largest frequency-demand VM currently on src.
-        let candidate = self
-            .vms
+        // Largest frequency-demand VM currently on src, off the resident
+        // index (sorted ascending, so ties break exactly like the old
+        // full-fleet scan: last maximal VM-record index wins).
+        let candidate = self.nodes[src]
+            .residents
             .iter()
-            .enumerate()
-            .filter(|(_, r)| matches!(r.location, Location::OnNode { node, .. } if node == src))
-            .max_by_key(|(_, r)| r.template.vcpus as u64 * r.template.vfreq.as_u32() as u64)
-            .map(|(i, _)| i);
+            .max_by_key(|r| r.3 as u64 * r.2.as_u32() as u64)
+            .map(|r| r.0);
         let Some(vm_idx) = candidate else {
             return false;
         };
@@ -1122,12 +1332,16 @@ impl ClusterManager {
         debug_assert_eq!(node, src);
         let workload = self.nodes[src].host.deprovision(local);
         self.nodes[src].bin.remove(&request);
+        self.remove_resident(src, vm_idx);
         self.vms[vm_idx].parked = Some(workload);
+        let arrive = self.period + downtime as u64;
         self.vms[vm_idx].location = Location::InFlight {
             dest,
-            arrive: self.period + downtime as u64,
+            arrive,
             src: Some(src),
         };
+        self.add_offline(vm_idx);
+        self.note_inflight(vm_idx, arrive);
         self.migrations += 1;
         true
     }

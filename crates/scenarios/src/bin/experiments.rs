@@ -17,6 +17,7 @@
 //!   baselines                     §II comparison (Burst VM, VMDFS, CFS shares)
 //!   cluster                       cluster-scale strategy comparison
 //!   churn                         control-plane admission + reconcile churn
+//!   trace                         trace-driven event-core scale evaluation
 //!   recovery                      warm vs cold controller restart under faults
 //!   ablation                      design-parameter quality sweeps
 //!   factor-sweep                  §III.C consolidation factor on Eq. 7
@@ -151,6 +152,7 @@ fn main() -> ExitCode {
         "ablation",
         "factor-sweep",
         "churn",
+        "trace",
     ];
     let commands: Vec<&str> = if command == "all" {
         all.to_vec()
@@ -271,6 +273,11 @@ fn main() -> ExitCode {
             "factor-sweep" => factor_sweep_cmd(&mut ctx),
             "churn" => {
                 if !churn_cmd(&mut ctx) {
+                    return ExitCode::FAILURE;
+                }
+            }
+            "trace" => {
+                if !trace_cmd(&mut ctx) {
                     return ExitCode::FAILURE;
                 }
             }
@@ -1521,6 +1528,190 @@ fn churn_cmd(ctx: &mut Ctx) -> bool {
                 "  throughput floor met: {:.0} ≥ {floor:.0} ops/s",
                 o.admission_ops_per_sec
             );
+        }
+    }
+    true
+}
+
+/// Trace-driven event-core evaluation: replay a committed golden trace
+/// as a smoke check, then a synthetic datacenter-scale trace under the
+/// Eq. 7 FF/BF regimes and the vCPU-packing baseline. Returns `false`
+/// (CI failure) when the golden replay misbehaves or `VFC_TRACE_MIN_EPS`
+/// is set and the slowest regime's replay throughput falls below it.
+///
+/// Scale knobs (all optional): `VFC_TRACE_NODES`, `VFC_TRACE_VMS`,
+/// `VFC_TRACE_PERIODS` override the synthetic scenario; `--quick` runs
+/// the shrunk variant.
+fn trace_cmd(ctx: &mut Ctx) -> bool {
+    use vfc_cluster::{ClusterManager, CsvTraceReader, EventDrivenCluster, Strategy, TraceReader};
+    use vfc_scenarios::trace_eval::{run_variant, variants, TraceScenario};
+    use vfc_simcore::MHz;
+
+    // 1. Golden replay: the committed sample trace must parse and every
+    //    VM must be admitted on a small fleet.
+    let sample = "traces/sample_small.csv";
+    match CsvTraceReader::from_path(sample).and_then(|mut r| r.read()) {
+        Ok(specs) => {
+            let n = specs.len();
+            let mgr = ClusterManager::new(
+                vec![NodeSpec::custom("smoke", 2, 10, 2, MHz(2400)); 4],
+                Strategy::FrequencyControl,
+                7,
+            );
+            let mut cluster = EventDrivenCluster::new(mgr);
+            cluster.load_trace(specs);
+            cluster.run_until(130);
+            let r = cluster.report();
+            if r.deployed != n || r.rejected != 0 {
+                eprintln!(
+                    "FAIL: golden trace replay admitted {}/{n} VMs ({} rejected)",
+                    r.deployed, r.rejected
+                );
+                return false;
+            }
+            println!(
+                "  golden replay: {n} VMs admitted, {} migrations",
+                r.migrations
+            );
+        }
+        Err(e) => {
+            eprintln!("FAIL: could not replay {sample}: {e}");
+            return false;
+        }
+    }
+
+    // 2. Scale comparison.
+    let mut scenario = if ctx.scale.0 < 1.0 {
+        TraceScenario::quick()
+    } else {
+        TraceScenario::default()
+    };
+    let env_usize = |key: &str| {
+        std::env::var(key)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+    };
+    if let Some(n) = env_usize("VFC_TRACE_NODES") {
+        scenario.nodes = n.max(1);
+    }
+    if let Some(n) = env_usize("VFC_TRACE_VMS") {
+        scenario.vms = n.max(1);
+    }
+    if let Some(n) = env_usize("VFC_TRACE_PERIODS") {
+        scenario.horizon_s = (n as u64).max(1);
+    }
+    let trace = scenario.trace();
+    let vm_events: u64 = trace.iter().map(|s| s.event_count() as u64).sum();
+    println!(
+        "  replaying {} VMs ({} events) over {} periods on {} nodes…",
+        scenario.vms, vm_events, scenario.horizon_s, scenario.nodes
+    );
+
+    let mut t = TextTable::new(&[
+        "regime",
+        "deployed",
+        "rejected",
+        "migrations",
+        "SLO viol.",
+        "energy Wh",
+        "events",
+        "events/s",
+        "wall",
+    ]);
+    let mut rows = Vec::new();
+    let mut min_eps = f64::INFINITY;
+    let mut outcomes = Vec::new();
+    for v in variants() {
+        let o = run_variant(&scenario, v, trace.clone());
+        min_eps = min_eps.min(o.events_per_sec);
+        t.row_strs(&[
+            o.label,
+            &o.report.deployed.to_string(),
+            &o.report.rejected.to_string(),
+            &o.report.migrations.to_string(),
+            &format!("{:.4}", o.report.slo_overall),
+            &format!("{:.0}", o.report.energy_wh),
+            &o.events_processed.to_string(),
+            &format!("{:.0}", o.events_per_sec),
+            &format!("{:.2?}", o.wall),
+        ]);
+        rows.push(vec![
+            o.label.to_owned(),
+            scenario.nodes.to_string(),
+            scenario.vms.to_string(),
+            o.vm_events.to_string(),
+            o.report.deployed.to_string(),
+            o.report.rejected.to_string(),
+            o.report.migrations.to_string(),
+            format!("{:.6}", o.report.slo_overall),
+            format!("{:.1}", o.report.energy_wh),
+            o.events_processed.to_string(),
+            format!("{:.0}", o.events_per_sec),
+        ]);
+        outcomes.push(o);
+    }
+    print!("{}", t.render());
+    ctx.save_rows(
+        "trace_eval",
+        &[
+            "regime",
+            "nodes",
+            "vms",
+            "vm_events",
+            "deployed",
+            "rejected",
+            "migrations",
+            "slo_overall",
+            "energy_wh",
+            "events_processed",
+            "events_per_sec",
+        ],
+        &rows,
+    );
+
+    let eq7 = &outcomes[1]; // eq7-bf
+    let pack = &outcomes[2]; // pack-bf
+    ctx.registry.add(
+        ExperimentRecord::new(
+            "trace",
+            "Trace-driven event-core scale evaluation",
+            "§IV.C closing argument: migration-based overcommitment either \
+             degrades VM performance or migrates (using more nodes); Eq. 7 \
+             admission + per-node control keeps the promise without moving VMs",
+        )
+        .metric("eq7_bf_slo_overall", eq7.report.slo_overall)
+        .metric("pack_bf_slo_overall", pack.report.slo_overall)
+        .metric("pack_bf_migrations", pack.report.migrations as f64)
+        .metric("min_events_per_sec", min_eps)
+        .measured(format!(
+            "eq7-bf: {} deployed, SLO {:.4}, {} migrations; pack-bf: {} deployed, \
+             SLO {:.4}, {} migrations; slowest replay {:.0} events/s",
+            eq7.report.deployed,
+            eq7.report.slo_overall,
+            eq7.report.migrations,
+            pack.report.deployed,
+            pack.report.slo_overall,
+            pack.report.migrations,
+            min_eps,
+        ))
+        .verdict(
+            if eq7.report.migrations == 0 && eq7.report.slo_overall <= pack.report.slo_overall {
+                Verdict::Reproduced
+            } else {
+                Verdict::Diverged
+            },
+        ),
+    );
+
+    if let Ok(floor) = std::env::var("VFC_TRACE_MIN_EPS") {
+        if let Ok(floor) = floor.parse::<f64>() {
+            if min_eps < floor {
+                eprintln!(
+                    "FAIL: replay throughput {min_eps:.0} events/s below the {floor:.0} events/s floor"
+                );
+                return false;
+            }
+            println!("  throughput floor met: {min_eps:.0} ≥ {floor:.0} events/s");
         }
     }
     true

@@ -29,5 +29,6 @@ pub mod overhead;
 pub mod placement_eval;
 pub mod recovery_eval;
 pub mod runner;
+pub mod trace_eval;
 
 pub use runner::{Scale, ScenarioOutcome, ScenarioSpec, VmGroup, WorkloadKind};

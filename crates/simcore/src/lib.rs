@@ -11,7 +11,10 @@
 //! * a deterministic, seedable [`SplitMix64`] RNG so that every simulation
 //!   in the workspace is exactly reproducible regardless of external crate
 //!   versions;
-//! * a fixed-capacity [`RingBuffer`] used for consumption histories.
+//! * a fixed-capacity [`RingBuffer`] used for consumption histories;
+//! * a deterministic discrete-event queue ([`EventQueue`]) ordered by
+//!   `(timestamp, seqno)` — the core of the event-driven cluster
+//!   simulation.
 //!
 //! # Unit conventions
 //!
@@ -21,12 +24,14 @@
 //! running at `f` MHz performs exactly `f` hardware cycles
 //! (`10⁶ Hz × 10⁻⁶ s = 1`).
 
+pub mod events;
 pub mod fasthash;
 pub mod ids;
 pub mod ring;
 pub mod rng;
 pub mod time;
 
+pub use events::{EventQueue, Scheduled};
 pub use fasthash::{FastHash, FastMap, FastSet};
 pub use ids::{CpuId, Tid, VcpuAddr, VcpuId, VmId};
 pub use ring::RingBuffer;

@@ -1,0 +1,392 @@
+//! Pins for the event-driven cluster core: queue ordering properties,
+//! same-seed byte-identical replays, legacy-vs-event-core equivalence,
+//! trace-reader robustness, and the "quiet hosts are free" bound.
+
+use proptest::prelude::*;
+use proptest::Strategy as _;
+use vfc::cluster::{
+    ClusterManager, CsvTraceReader, EventDrivenCluster, FaultModel, GlobalVmId, Strategy,
+    SyntheticTrace, TraceError, TraceReader, TraceVmSpec,
+};
+use vfc::cpusched::topology::NodeSpec;
+use vfc::placement::algo::PlacementAlgorithm;
+use vfc::simcore::{EventQueue, MHz};
+use vfc::vmm::workload::{SteadyDemand, Workload};
+use vfc::vmm::VmTemplate;
+
+// ---------------------------------------------------------------------
+// Event-queue ordering properties
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary interleavings of schedule/pop drain in nondecreasing
+    /// timestamp order with FIFO tie-breaks — checked against a naive
+    /// mirror model that picks min-by-(time, seq) each pop.
+    #[test]
+    fn queue_drains_in_order(ops in proptest::collection::vec(
+        (0u8..=3, 0u64..=15), 1..80,
+    )) {
+        let mut q = EventQueue::new();
+        let mut mirror: Vec<(u64, u64, u32)> = Vec::new();
+        let mut payload = 0u32;
+        for (choice, delta) in ops {
+            if choice < 3 {
+                // Schedule relative to `now` (never in the past).
+                let t = q.now() + delta;
+                let seq = q.schedule(t, payload);
+                mirror.push((t, seq, payload));
+                payload += 1;
+            } else if let Some(got) = q.pop() {
+                let best = mirror
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| (e.0, e.1))
+                    .map(|(i, _)| i)
+                    .expect("queue and mirror agree on emptiness");
+                let want = mirror.remove(best);
+                prop_assert_eq!((got.time, got.seq, got.event), want);
+            } else {
+                prop_assert!(mirror.is_empty());
+            }
+        }
+        // Drain the rest: globally nondecreasing (time, seq).
+        let mut last = (0u64, 0u64);
+        while let Some(got) = q.pop() {
+            prop_assert!((got.time, got.seq) >= last, "out of order");
+            last = (got.time, got.seq);
+            let best = mirror
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| (e.0, e.1))
+                .map(|(i, _)| i)
+                .expect("mirror still has events");
+            let want = mirror.remove(best);
+            prop_assert_eq!((got.time, got.seq, got.event), want);
+        }
+        prop_assert!(mirror.is_empty());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Same-seed determinism
+// ---------------------------------------------------------------------
+
+fn synthetic_run(trace_seed: u64, cluster_seed: u64) -> (Vec<String>, String) {
+    let trace = SyntheticTrace::new(120, 40, trace_seed).generate();
+    let nodes = vec![NodeSpec::custom("det", 1, 4, 2, MHz(2400)); 8];
+    let mgr = ClusterManager::new(nodes, Strategy::FrequencyControl, cluster_seed);
+    let mut cluster = EventDrivenCluster::new(mgr).with_workloads(
+        cluster_seed,
+        Box::new(|slot, _t, _rng| Box::new(SteadyDemand::new(0.3 + 0.05 * (slot % 10) as f64))),
+    );
+    cluster.enable_journal();
+    cluster.load_trace(trace);
+    cluster.run_until(90);
+    let journal = cluster.journal().expect("enabled").to_vec();
+    let report = serde_json::to_string(&cluster.report()).expect("serializable");
+    (journal, report)
+}
+
+#[test]
+fn same_seed_runs_are_byte_identical() {
+    let (j1, r1) = synthetic_run(9, 42);
+    let (j2, r2) = synthetic_run(9, 42);
+    assert!(!j1.is_empty(), "the run processed events");
+    assert_eq!(j1, j2, "same-seed event journals must be byte-identical");
+    assert_eq!(r1, r2, "same-seed reports must be byte-identical");
+
+    let (j3, _) = synthetic_run(10, 42);
+    assert_ne!(j1, j3, "a different trace seed must change the schedule");
+}
+
+// ---------------------------------------------------------------------
+// Legacy run_period vs event core equivalence
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct EqVm {
+    vcpus: u32,
+    vfreq_mhz: u32,
+    /// 0 = never departs; d ≥ 1 = departs at second d.
+    depart_s: u64,
+}
+
+const EQ_HORIZON: u64 = 12;
+
+fn eq_workload(slot: usize) -> Box<dyn Workload> {
+    Box::new(SteadyDemand::new(0.25 + 0.08 * (slot % 9) as f64))
+}
+
+fn eq_fleet() -> Vec<NodeSpec> {
+    vec![NodeSpec::custom("eq", 1, 2, 2, MHz(2400)); 3]
+}
+
+/// The contract (see `events` module docs): equivalence holds when no VM
+/// lands on a host the event core previously skipped — here, all
+/// arrivals precede period 1, departures are free, no faults, and the
+/// frequency strategy never migrates.
+fn legacy_report(plans: &[EqVm], seed: u64) -> String {
+    let mut mgr = ClusterManager::new(eq_fleet(), Strategy::FrequencyControl, seed);
+    let mut ids: Vec<Option<GlobalVmId>> = Vec::new();
+    for (slot, p) in plans.iter().enumerate() {
+        let t = VmTemplate::new(&format!("c{}", slot % 3), p.vcpus, MHz(p.vfreq_mhz));
+        ids.push(
+            mgr.try_deploy_with(&t, eq_workload(slot), PlacementAlgorithm::BestFit)
+                .ok(),
+        );
+    }
+    for period in 1..=EQ_HORIZON {
+        for (slot, p) in plans.iter().enumerate() {
+            if p.depart_s != 0 && p.depart_s + 1 == period {
+                if let Some(id) = ids[slot] {
+                    mgr.undeploy(id).expect("departs once");
+                }
+            }
+        }
+        mgr.run_period();
+    }
+    serde_json::to_string(&mgr.report()).expect("serializable")
+}
+
+fn event_report(plans: &[EqVm], seed: u64) -> String {
+    let mgr = ClusterManager::new(eq_fleet(), Strategy::FrequencyControl, seed);
+    let mut cluster = EventDrivenCluster::new(mgr)
+        .with_workloads(0, Box::new(|slot, _t, _rng| eq_workload(slot)));
+    for (slot, p) in plans.iter().enumerate() {
+        cluster.schedule_vm(TraceVmSpec {
+            trace_id: format!("eq-{slot}"),
+            arrival: 0,
+            departure: (p.depart_s != 0).then_some(p.depart_s),
+            template: VmTemplate::new(&format!("c{}", slot % 3), p.vcpus, MHz(p.vfreq_mhz)),
+        });
+    }
+    cluster.run_until(EQ_HORIZON);
+    serde_json::to_string(&cluster.report()).expect("serializable")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn event_core_matches_legacy_run_period(
+        plans in proptest::collection::vec(
+            (1u32..=2, 300u32..=1200, 0u64..=10).prop_map(|(vcpus, vfreq_mhz, depart_s)| EqVm {
+                vcpus,
+                vfreq_mhz,
+                depart_s,
+            }),
+            1..10,
+        ),
+        seed in 0u64..1000,
+    ) {
+        let legacy = legacy_report(&plans, seed);
+        let event = event_report(&plans, seed);
+        prop_assert_eq!(legacy, event, "reports diverged for {:?}", plans);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Trace-reader robustness
+// ---------------------------------------------------------------------
+
+#[test]
+fn golden_sample_trace_parses() {
+    let specs = CsvTraceReader::from_path("traces/sample_small.csv")
+        .expect("committed trace exists")
+        .read()
+        .expect("committed trace is well-formed");
+    assert_eq!(specs.len(), 40);
+    let first = &specs[0];
+    assert_eq!(first.trace_id, "web-000");
+    assert_eq!(first.arrival, 0);
+    assert_eq!(first.departure, Some(45));
+    assert_eq!(first.template.vcpus, 2);
+    assert_eq!(first.template.vfreq, MHz(500));
+    assert_eq!(first.template.mem_gb, 4);
+    assert_eq!(first.template.name, "small");
+    // Long-running VMs have no departure.
+    assert!(specs
+        .iter()
+        .any(|s| s.trace_id == "db-000" && s.departure.is_none()));
+    // Every row yields a deployable template.
+    for s in &specs {
+        assert!(
+            s.template.validate().is_ok(),
+            "{}: invalid template",
+            s.trace_id
+        );
+        assert_eq!(s.event_count(), 1 + usize::from(s.departure.is_some()));
+    }
+}
+
+/// Every malformed row is a line-numbered `TraceError`, never a panic.
+#[test]
+fn malformed_rows_are_line_numbered_errors() {
+    let header = "vm_id,arrival_s,departure_s,vcpus,vfreq_mhz,mem_gb,class\n";
+    let cases: &[(&str, &str)] = &[
+        ("a,-5,,2,500,4,small", "negative arrival_s"),
+        ("a,0,-1,2,500,4,small", "negative departure_s"),
+        ("a,10,5,2,500,4,small", "not after arrival_s"),
+        ("a,10,10,2,500,4,small", "not after arrival_s"),
+        ("a,0,50,0,500,4,small", "zero vcpus"),
+        ("a,0,50,2,NaN,4,small", "non-finite vfreq_mhz"),
+        ("a,0,50,2,inf,4,small", "non-finite vfreq_mhz"),
+        ("a,0,50,2,-200,4,small", "out of range"),
+        ("a,0,50,2,0,4,small", "out of range"),
+        ("a,0,50,2,500,0,small", "zero mem_gb"),
+        ("a,0,50,2,500,4,", "empty class"),
+        (",0,50,2,500,4,small", "empty vm_id"),
+        ("a,0,50,2,500,4", "expected 7 columns"),
+        ("a,0,50,2,500,4,small,extra", "expected 7 columns"),
+        ("a,zero,,2,500,4,small", "unparsable arrival_s"),
+        ("a,0,soon,2,500,4,small", "unparsable departure_s"),
+        ("a,0,50,two,500,4,small", "unparsable vcpus"),
+        ("a,0,50,2,fast,4,small", "unparsable vfreq_mhz"),
+        ("a,0,50,2,500,lots,small", "unparsable mem_gb"),
+    ];
+    for (row, want) in cases {
+        let src = format!("{header}ok-1,0,30,2,500,4,small\n{row}\n");
+        let err = CsvTraceReader::from_csv(&src)
+            .read()
+            .expect_err("malformed row must be rejected");
+        match err {
+            TraceError::Malformed { line, ref reason } => {
+                assert_eq!(line, 3, "row {row:?} reported the wrong line");
+                assert!(
+                    reason.contains(want),
+                    "row {row:?}: reason {reason:?} missing {want:?}"
+                );
+            }
+            other => panic!("row {row:?}: unexpected error {other:?}"),
+        }
+    }
+
+    // Duplicate ids are rejected on the *second* occurrence.
+    let err = CsvTraceReader::from_csv(&format!(
+        "{header}dup,0,30,2,500,4,small\ndup,5,40,2,500,4,small\n"
+    ))
+    .read()
+    .expect_err("duplicate id");
+    assert_eq!(
+        err,
+        TraceError::Malformed {
+            line: 3,
+            reason: "duplicate vm_id \"dup\"".into()
+        }
+    );
+
+    // Missing files are I/O errors, not panics.
+    assert!(matches!(
+        CsvTraceReader::from_path("traces/no_such_trace.csv"),
+        Err(TraceError::Io(_))
+    ));
+}
+
+// ---------------------------------------------------------------------
+// Quiet hosts are free
+// ---------------------------------------------------------------------
+
+#[test]
+fn quiet_hosts_cost_nothing() {
+    const NODES: usize = 40;
+    const PERIODS: u64 = 30;
+    const VMS: usize = 8;
+    // First-Fit packs eight 2-vCPU @ 2400 MHz VMs (4800 MHz each) onto
+    // the first four 9600 MHz nodes: 10 % of the fleet busy, 90 % idle.
+    let fleet = vec![NodeSpec::custom("quiet", 1, 2, 2, MHz(2400)); NODES];
+    let mgr = ClusterManager::new(fleet, Strategy::FrequencyControl, 7);
+    let mut cluster = EventDrivenCluster::new(mgr).with_algorithm(PlacementAlgorithm::FirstFit);
+    for i in 0..VMS {
+        cluster.schedule_vm(TraceVmSpec {
+            trace_id: format!("busy-{i}"),
+            arrival: 0,
+            departure: None,
+            template: VmTemplate::new("std", 2, MHz(2400)),
+        });
+    }
+    cluster.run_until(PERIODS);
+
+    let report = cluster.report();
+    assert_eq!(report.deployed, VMS);
+    assert_eq!(report.rejected, 0);
+    assert_eq!(report.periods, PERIODS);
+    assert_eq!(report.nodes_active, 4);
+
+    // Idle hosts ran zero controller iterations; busy hosts ran one per
+    // period.
+    let totals = cluster.manager().health_totals();
+    assert_eq!(totals.len(), NODES);
+    let busy: Vec<_> = totals.iter().filter(|(_, t)| t.iterations > 0).collect();
+    let idle = totals.len() - busy.len();
+    assert_eq!(busy.len(), 4, "only the packed nodes may run controllers");
+    assert!(idle >= NODES * 9 / 10, "90 % of hosts stay idle");
+    for (name, t) in &busy {
+        assert_eq!(t.iterations, PERIODS, "{name} advanced every period");
+    }
+
+    // Total events stay within the analytic bound: one arrival per VM,
+    // one period event per *busy* node per period, one close per period
+    // — idle hosts contribute nothing at all.
+    let stats = cluster.stats();
+    assert_eq!(stats.arrivals, VMS as u64);
+    assert_eq!(stats.departures, 0);
+    assert_eq!(stats.landings, 0);
+    assert_eq!(stats.fault_ticks, 0);
+    assert_eq!(stats.node_periods, 4 * PERIODS);
+    assert_eq!(stats.closes, PERIODS);
+    let bound = VMS as u64 + 4 * PERIODS + PERIODS;
+    assert!(
+        stats.events_processed <= bound,
+        "{} events exceeds the analytic bound {bound}",
+        stats.events_processed
+    );
+}
+
+// ---------------------------------------------------------------------
+// Fault machinery through the event core (smoke)
+// ---------------------------------------------------------------------
+
+#[test]
+fn event_core_survives_faults_and_terminates() {
+    let faults = FaultModel {
+        seed: 3,
+        node_crash_rate: 0.02,
+        controller_crash_rate: 0.02,
+        migration_fail_rate: 0.1,
+        ..FaultModel::none()
+    };
+    let fleet = vec![NodeSpec::custom("f", 1, 2, 2, MHz(2400)); 6];
+    let mgr = ClusterManager::with_faults(fleet, Strategy::FrequencyControl, 11, faults);
+    let mut cluster = EventDrivenCluster::new(mgr);
+    let trace = SyntheticTrace::new(60, 30, 5).generate();
+    cluster.load_trace(trace);
+    cluster.run_until(120);
+    let report = cluster.report();
+    let stats = cluster.stats();
+    assert_eq!(report.periods, 120);
+    assert!(stats.fault_ticks > 0, "fault machinery ran");
+    assert!(report.faults.is_some(), "fault counters reported");
+    // Deterministic under replay even with faults and landings.
+    let mgr2 = ClusterManager::with_faults(
+        vec![NodeSpec::custom("f", 1, 2, 2, MHz(2400)); 6],
+        Strategy::FrequencyControl,
+        11,
+        FaultModel {
+            seed: 3,
+            node_crash_rate: 0.02,
+            controller_crash_rate: 0.02,
+            migration_fail_rate: 0.1,
+            ..FaultModel::none()
+        },
+    );
+    let mut cluster2 = EventDrivenCluster::new(mgr2);
+    cluster2.load_trace(SyntheticTrace::new(60, 30, 5).generate());
+    cluster2.run_until(120);
+    assert_eq!(
+        serde_json::to_string(&report).unwrap(),
+        serde_json::to_string(&cluster2.report()).unwrap(),
+        "fault-injected event runs replay bit-identically"
+    );
+}

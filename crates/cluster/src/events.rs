@@ -220,6 +220,15 @@ impl EventDrivenCluster {
         &self.mgr
     }
 
+    /// Mutable access to the wrapped manager, for the control actions a
+    /// driving harness performs *between* `run_until` steps: lease
+    /// renewal heartbeats, stage-delay fault injection, policy enables.
+    /// Mutating VM placement through this handle mid-run is not
+    /// supported — use the event API for arrivals and departures.
+    pub fn manager_mut(&mut self) -> &mut ClusterManager {
+        &mut self.mgr
+    }
+
     /// Final accounting (delegates to [`ClusterManager::report`]).
     pub fn report(&self) -> ClusterReport {
         self.mgr.report()

@@ -19,6 +19,13 @@
 //! * **migration failure** — a live migration fails at the landing
 //!   handshake with some probability and rolls back to the source node
 //!   (re-placed elsewhere if the source meanwhile died or filled up).
+//! * **control-plane partition** — a node keeps running its controller
+//!   but cannot reach the control plane: lease renewals
+//!   ([`ClusterManager::renew_leases`](crate::manager::ClusterManager::renew_leases))
+//!   skip it for the window, so with cap leases enabled the node's
+//!   controller degrades to its locally-safe ladder (hold Eq. 2
+//!   guarantees, then uncap) instead of enforcing stale allocations
+//!   forever.
 //!
 //! All draws come from one seeded [`SplitMix64`] stream consumed in a
 //! fixed order, so runs are reproducible and warm-vs-cold comparisons can
@@ -67,6 +74,11 @@ pub struct FaultModel {
     /// Periods after a controller restart during which VM-periods on the
     /// node still count toward the recovery-window SLO accounting.
     pub recovery_tail_periods: u64,
+    /// Control-plane partition windows: `(start, end, node index)` — the
+    /// node cannot reach the control plane for periods `start..end`
+    /// (half-open). The node itself keeps running; only lease renewals
+    /// are cut off.
+    pub scripted_partitions: Vec<(u64, u64, usize)>,
 }
 
 impl Default for FaultModel {
@@ -90,6 +102,7 @@ impl FaultModel {
             migration_fail_rate: 0.0,
             evacuation_downtime_periods: 3,
             recovery_tail_periods: 10,
+            scripted_partitions: Vec::new(),
         }
     }
 
@@ -100,6 +113,14 @@ impl FaultModel {
             || self.migration_fail_rate > 0.0
             || !self.scripted_node_crashes.is_empty()
             || !self.scripted_controller_crashes.is_empty()
+            || !self.scripted_partitions.is_empty()
+    }
+
+    /// Is `node` partitioned from the control plane at `period`?
+    pub fn is_partitioned(&self, node: usize, period: u64) -> bool {
+        self.scripted_partitions
+            .iter()
+            .any(|&(start, end, n)| n == node && (start..end).contains(&period))
     }
 }
 
@@ -126,6 +147,9 @@ pub struct FaultReport {
     /// VM-periods spent on a node whose controller was down (running
     /// uncapped, guarantees unenforced).
     pub uncontrolled_vm_periods: u64,
+    /// Node-periods spent partitioned from the control plane (lease
+    /// renewals cut off; zero unless partitions are scripted).
+    pub partitioned_node_periods: u64,
 }
 
 #[cfg(test)]
@@ -149,6 +173,20 @@ mod tests {
         let mut m = FaultModel::none();
         m.scripted_controller_crashes.push((5, 0));
         assert!(m.enabled());
+        let mut m = FaultModel::none();
+        m.scripted_partitions.push((5, 10, 0));
+        assert!(m.enabled());
+    }
+
+    #[test]
+    fn partition_windows_are_half_open_per_node() {
+        let mut m = FaultModel::none();
+        m.scripted_partitions.push((5, 10, 1));
+        assert!(!m.is_partitioned(1, 4));
+        assert!(m.is_partitioned(1, 5));
+        assert!(m.is_partitioned(1, 9));
+        assert!(!m.is_partitioned(1, 10));
+        assert!(!m.is_partitioned(0, 7), "only the named node is cut off");
     }
 
     #[test]

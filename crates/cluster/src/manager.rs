@@ -6,7 +6,9 @@ use crate::slo::{SloTracker, VmSlo};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use vfc_cgroupfs::backend::HostBackend;
-use vfc_controller::{ControlMode, Controller, ControllerConfig, IterationReport, Journal};
+use vfc_controller::{
+    ControlMode, Controller, ControllerConfig, IterationReport, Journal, LeaseState,
+};
 use vfc_cpusched::topology::NodeSpec;
 use vfc_placement::algo::PlacementAlgorithm;
 use vfc_placement::constraint::ConstraintMode;
@@ -344,6 +346,14 @@ pub struct ClusterManager {
     /// Reusable snapshot of [`ClusterManager::offline_vms`] for the
     /// per-period landing sweep (landing mutates the offline set).
     landing_scratch: Vec<usize>,
+    /// Fail-safe cap leases `(ttl, grace)` in periods, when enabled via
+    /// [`ClusterManager::enable_cap_leases`]; applied to every
+    /// controller built from here on (restarts included).
+    lease: Option<(u64, u64)>,
+    /// Deadline-ladder policy `(budget_frac, recovery_periods)`, when
+    /// enabled via [`ClusterManager::enable_deadline_ladder`]; applied
+    /// to every controller built from here on (restarts included).
+    ladder: Option<(f64, u32)>,
 }
 
 impl ClusterManager {
@@ -388,7 +398,126 @@ impl ClusterManager {
             pending_inflight: Vec::new(),
             node_ids,
             landing_scratch: Vec::new(),
+            lease: None,
+            ladder: None,
         }
+    }
+
+    /// The controller configuration new controllers are built with: the
+    /// strategy's parameters plus the cap-lease / deadline-ladder
+    /// policies, if enabled.
+    fn active_controller_config(&self) -> Option<ControllerConfig> {
+        let mut cfg = self.strategy.controller_config()?;
+        if let Some((ttl, grace)) = self.lease {
+            cfg.cap_lease_ttl = ttl;
+            cfg.cap_lease_grace = grace;
+        }
+        if let Some((frac, recovery)) = self.ladder {
+            cfg.deadline_budget_frac = frac;
+            cfg.ladder_recovery_periods = recovery;
+        }
+        Some(cfg)
+    }
+
+    /// Enable the deadline-aware degradation ladder on every
+    /// controller-bearing node: each period gets a time budget of
+    /// `budget_frac` of the period and overruns descend the
+    /// full → reuse-previous → monitor-only → uncap-all ladder;
+    /// `recovery_periods` consecutive in-budget periods climb one rung
+    /// back. Call right after construction: existing controllers are
+    /// rebuilt fresh. No-op under the migration strategy.
+    pub fn enable_deadline_ladder(&mut self, budget_frac: f64, recovery_periods: u32) {
+        self.ladder = Some((budget_frac, recovery_periods));
+        let Some(cfg) = self.active_controller_config() else {
+            return;
+        };
+        for node in &mut self.nodes {
+            if node.controller.is_some() {
+                node.controller = Some(Controller::new(
+                    cfg.clone().with_mode(ControlMode::Full),
+                    node.host.topology_info(),
+                ));
+            }
+        }
+    }
+
+    /// Inject a synthetic per-period stage delay (µs) into one node's
+    /// controller — the overload-evaluation fault hook; see
+    /// [`Controller::inject_stage_delay_us`]. Returns `false` when the
+    /// node has no live controller to inject into.
+    pub fn inject_stage_delay_us(&mut self, node: usize, us: u64) -> bool {
+        match self.nodes.get_mut(node).and_then(|n| n.controller.as_mut()) {
+            Some(ctl) => {
+                ctl.inject_stage_delay_us(us);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// One node's current degradation-ladder rung (`None` for a down
+    /// node or one without a controller).
+    pub fn ladder_rung(&self, node: usize) -> Option<vfc_controller::LadderRung> {
+        let rt = self.nodes.get(node)?;
+        if rt.is_down() {
+            return None;
+        }
+        rt.controller.as_ref().map(|c| c.ladder_rung())
+    }
+
+    /// Enable fail-safe cap leases on every controller-bearing node:
+    /// each controller's caps are covered by a lease of `ttl` periods
+    /// that [`ClusterManager::renew_leases`] (called by the control
+    /// plane's reconciler) refreshes; a node partitioned from the
+    /// control plane lets its lease expire and degrades to guarantees
+    /// only, then — after `grace` further periods — uncaps. Call right
+    /// after construction: existing controllers are rebuilt fresh.
+    /// No-op under the migration strategy (no controllers to lease).
+    pub fn enable_cap_leases(&mut self, ttl: u64, grace: u64) {
+        self.lease = Some((ttl, grace));
+        let Some(cfg) = self.active_controller_config() else {
+            return;
+        };
+        for node in &mut self.nodes {
+            if node.controller.is_some() {
+                node.controller = Some(Controller::new(
+                    cfg.clone().with_mode(ControlMode::Full),
+                    node.host.topology_info(),
+                ));
+            }
+        }
+    }
+
+    /// Renew the cap lease of every node the control plane can reach:
+    /// up, controller alive, and not inside a scripted partition window
+    /// for the *upcoming* period. Returns how many leases were renewed.
+    /// Harmless when leases are disabled (renewal is a no-op then).
+    pub fn renew_leases(&mut self) -> usize {
+        let next = self.period + 1;
+        let mut renewed = 0;
+        for i in 0..self.nodes.len() {
+            if self.nodes[i].is_down()
+                || self.nodes[i].controller_returns_at.is_some()
+                || self.faults.is_partitioned(i, next)
+            {
+                continue;
+            }
+            if let Some(ctl) = &mut self.nodes[i].controller {
+                ctl.renew_lease();
+                renewed += 1;
+            }
+        }
+        renewed
+    }
+
+    /// One node's current lease state (`None` for a down node or one
+    /// without a controller).
+    pub fn lease_state(&self, node: usize) -> Option<LeaseState> {
+        let rt = self.nodes.get(node)?;
+        if rt.is_down() {
+            return None;
+        }
+        rt.controller.as_ref().map(|c| c.lease_state())
     }
 
     /// Insert VM `vm` into `node`'s resident index (sorted by VM-record
@@ -816,6 +945,22 @@ impl ClusterManager {
         self.recover_for_period();
         self.inject_node_crashes();
         self.inject_controller_crashes();
+        self.count_partitions();
+    }
+
+    /// Account node-periods spent inside a scripted partition window
+    /// (the window itself only acts by making
+    /// [`ClusterManager::renew_leases`] skip the node).
+    fn count_partitions(&mut self) {
+        if self.faults.scripted_partitions.is_empty() {
+            return;
+        }
+        let p = self.period;
+        for i in 0..self.nodes.len() {
+            if !self.nodes[i].is_down() && self.faults.is_partitioned(i, p) {
+                self.freport.partitioned_node_periods += 1;
+            }
+        }
     }
 
     /// Event-core entry: move the period counter to `p`. The legacy
@@ -1155,8 +1300,7 @@ impl ClusterManager {
             if self.nodes[i].controller_returns_at == Some(p) && !self.nodes[i].is_down() {
                 self.nodes[i].controller_returns_at = None;
                 let cfg = self
-                    .strategy
-                    .controller_config()
+                    .active_controller_config()
                     .expect("only controller strategies lose controllers");
                 let mut ctl = Controller::new(
                     cfg.with_mode(ControlMode::Full),
@@ -1235,6 +1379,7 @@ impl ClusterManager {
             self.vms[idx].location = next;
             self.add_offline(idx);
         }
+        let cfg = self.active_controller_config();
         let rt = &mut self.nodes[node];
         rt.repairs_at = Some(self.period + self.faults.repair_periods.max(1));
         rt.controller_returns_at = None;
@@ -1242,10 +1387,8 @@ impl ClusterManager {
         rt.hot_streak = 0;
         rt.recovery_until = 0;
         // Whatever controller state existed died with the node.
-        rt.controller = self
-            .strategy
-            .controller_config()
-            .map(|cfg| Controller::new(cfg.with_mode(ControlMode::Full), rt.host.topology_info()));
+        rt.controller =
+            cfg.map(|cfg| Controller::new(cfg.with_mode(ControlMode::Full), rt.host.topology_info()));
     }
 
     /// Decide controller crashes for this period (scripted + random).
@@ -1403,6 +1546,54 @@ mod tests {
         assert_eq!(r.deployed, 3);
         assert_eq!(r.rejected, 1);
         assert_eq!(r.nodes_active, 3);
+    }
+
+    #[test]
+    fn partitioned_lease_degrades_then_readopts_on_heal() {
+        let mut faults = FaultModel::none();
+        // Node 0 loses the control plane for periods 3..12.
+        faults.scripted_partitions.push((3, 12, 0));
+        let mut c = ClusterManager::with_faults(
+            vec![NodeSpec::custom("n", 1, 2, 2, MHz(2400)); 2],
+            Strategy::FrequencyControl,
+            1,
+            faults,
+        );
+        // TTL 2, grace 3: renewals must come at least every 2 periods.
+        c.enable_cap_leases(2, 3);
+        c.deploy(
+            &VmTemplate::new("std", 2, MHz(1200)),
+            Box::new(SteadyDemand::full()),
+        )
+        .expect("fits");
+
+        let mut states = Vec::new();
+        for _ in 0..16 {
+            c.renew_leases(); // what the reconciler does each pass
+            c.run_period();
+            states.push(c.lease_state(0).unwrap());
+        }
+        // Healthy at first, guarantee-only once renewals stop reaching
+        // the node, uncapped after the grace runs out, and re-adopted
+        // (leased again) once the partition heals.
+        assert_eq!(states[0], LeaseState::Leased, "{states:?}");
+        assert!(
+            states.contains(&LeaseState::GuaranteeOnly),
+            "never degraded: {states:?}"
+        );
+        assert!(
+            states.contains(&LeaseState::Uncapped),
+            "grace never ran out: {states:?}"
+        );
+        assert_eq!(
+            *states.last().unwrap(),
+            LeaseState::Leased,
+            "not re-adopted after heal: {states:?}"
+        );
+        // The untouched node never degraded.
+        assert_eq!(c.lease_state(1).unwrap(), LeaseState::Leased);
+        // Partition node-periods were accounted.
+        assert_eq!(c.fault_report().partitioned_node_periods, 9);
     }
 
     #[test]

@@ -74,6 +74,39 @@ pub struct ControllerConfig {
     /// value are still elided as pure syscall dedup — the kernel state
     /// ends up byte-identical either way).
     pub apply_min_delta_us: u64,
+    /// Per-period time budget for one whole iteration, as a fraction of
+    /// [`period`](ControllerConfig::period). When the measured iteration
+    /// time overruns the budget the controller descends one rung of the
+    /// deadline degradation ladder (full pipeline → reuse previous
+    /// allocations → monitor-only → uncap-all watchdog) and climbs back
+    /// only after [`ladder_recovery_periods`] consecutive in-budget
+    /// periods. `0.0` disables deadline enforcement entirely (the
+    /// paper's behavior). Must be `< 1.0`: a budget of a full period or
+    /// more can never fire and would silently disable the safety net —
+    /// [`validate`](ControllerConfig::validate) rejects it.
+    ///
+    /// [`ladder_recovery_periods`]: ControllerConfig::ladder_recovery_periods
+    pub deadline_budget_frac: f64,
+    /// Hysteresis of the deadline ladder: consecutive in-budget periods
+    /// required before climbing back **one** rung toward the full
+    /// pipeline. Must be ≥ 1 when the deadline budget is enabled.
+    pub ladder_recovery_periods: u32,
+    /// Fail-safe cap lease TTL, in controller periods. When positive,
+    /// every allocation this controller enforces is covered by a lease
+    /// that the control plane renews through the reconciler; if the
+    /// lease expires (control-plane partition, reconciler death) the
+    /// controller stops trusting its market state and degrades to
+    /// locally-safe behavior: hold each vCPU at its Eq. 2 guaranteed
+    /// `F_v` (releasing market surplus), and after
+    /// [`cap_lease_grace`](ControllerConfig::cap_lease_grace) further
+    /// periods uncap entirely rather than enforce stale allocations
+    /// forever. `0` disables leases (standalone operation: the
+    /// controller owns its caps indefinitely).
+    pub cap_lease_ttl: u64,
+    /// Periods spent in the guarantee-only lease state after expiry
+    /// before the controller uncaps everything. Renewal at any point
+    /// returns the controller to normal operation.
+    pub cap_lease_grace: u64,
 }
 
 impl ControllerConfig {
@@ -94,6 +127,10 @@ impl ControllerConfig {
             throttle_aware: false,
             stale_sample_ttl: 2,
             apply_min_delta_us: 0,
+            deadline_budget_frac: 0.0,
+            ladder_recovery_periods: 3,
+            cap_lease_ttl: 0,
+            cap_lease_grace: 10,
         }
     }
 
@@ -158,6 +195,27 @@ impl ControllerConfig {
         if self.trend_epsilon_floor < 0.0 || self.trend_epsilon_rel < 0.0 {
             return Err("trend epsilons must be non-negative".into());
         }
+        if !self.deadline_budget_frac.is_finite() || self.deadline_budget_frac < 0.0 {
+            return Err(format!(
+                "deadline_budget_frac {} must be a non-negative fraction",
+                self.deadline_budget_frac
+            ));
+        }
+        if self.deadline_budget_frac >= 1.0 {
+            return Err(format!(
+                "deadline_budget_frac {} is ≥ 100 % of the period: the deadline \
+                 could never fire and the ladder would be silently disabled \
+                 (use 0 to disable deliberately)",
+                self.deadline_budget_frac
+            ));
+        }
+        if self.deadline_budget_frac > 0.0 && self.ladder_recovery_periods == 0 {
+            return Err(
+                "ladder_recovery_periods must be ≥ 1 when a deadline budget is set \
+                 (zero hysteresis would oscillate rung-per-period)"
+                    .into(),
+            );
+        }
         Ok(())
     }
 }
@@ -204,5 +262,35 @@ mod tests {
         assert!(bad(&|c| c.increase_factor = 0.0));
         assert!(bad(&|c| c.decrease_factor = 1.0));
         assert!(bad(&|c| c.window = Micros::ZERO));
+    }
+
+    #[test]
+    fn validation_rejects_deadline_footguns() {
+        let base = ControllerConfig::paper_defaults();
+        let bad = |f: &dyn Fn(&mut ControllerConfig)| {
+            let mut c = base.clone();
+            f(&mut c);
+            c.validate().is_err()
+        };
+        // A budget of ≥ 100 % of the period can never fire.
+        assert!(bad(&|c| c.deadline_budget_frac = 1.0));
+        assert!(bad(&|c| c.deadline_budget_frac = 2.5));
+        assert!(bad(&|c| c.deadline_budget_frac = -0.1));
+        assert!(bad(&|c| c.deadline_budget_frac = f64::NAN));
+        // Zero hysteresis with an active budget oscillates.
+        assert!(bad(&|c| {
+            c.deadline_budget_frac = 0.5;
+            c.ladder_recovery_periods = 0;
+        }));
+        // But both knobs off together stay valid (the default).
+        let mut ok = base.clone();
+        ok.deadline_budget_frac = 0.0;
+        ok.ladder_recovery_periods = 0;
+        assert!(ok.validate().is_ok());
+        // And a sane enabled pair is valid.
+        let mut ok = base.clone();
+        ok.deadline_budget_frac = 0.25;
+        ok.ladder_recovery_periods = 2;
+        assert!(ok.validate().is_ok());
     }
 }

@@ -71,7 +71,19 @@ pub struct HealthReport {
     pub skipped_vcpus: Vec<VcpuAddr>,
     /// VMs that disappeared mid-iteration; wallets and history purged.
     pub vanished_vms: Vec<VmId>,
-    /// True iff anything above is non-zero/non-empty.
+    /// Deadline-ladder rung in effect this period (see [`LadderRung`]).
+    pub ladder_rung: LadderRung,
+    /// The time charged against the deadline budget this period exceeded
+    /// it (the ladder descends one rung for the *next* period).
+    pub deadline_overrun: bool,
+    /// Time charged against the deadline budget this period, µs
+    /// (measured wall time plus any injected synthetic stage time).
+    pub deadline_spent_us: u64,
+    /// The per-period deadline budget, µs; `0` when disabled.
+    pub deadline_budget_us: u64,
+    /// Fail-safe cap-lease state in effect this period.
+    pub lease_state: LeaseState,
+    /// True iff anything above is non-zero/non-empty/degraded.
     pub degraded: bool,
 }
 
@@ -82,8 +94,123 @@ impl HealthReport {
             || self.write_retries > 0
             || self.stale_reused > 0
             || !self.skipped_vcpus.is_empty()
-            || !self.vanished_vms.is_empty();
+            || !self.vanished_vms.is_empty()
+            || self.ladder_rung != LadderRung::Full
+            || self.deadline_overrun
+            || matches!(
+                self.lease_state,
+                LeaseState::GuaranteeOnly | LeaseState::Uncapped
+            );
     }
+}
+
+/// Rung of the **deadline degradation ladder**, mildest first.
+///
+/// When [`ControllerConfig::deadline_budget_frac`] is positive, every
+/// iteration's wall time is charged against the budget; an overrun
+/// descends exactly one rung for the next period, and
+/// [`ControllerConfig::ladder_recovery_periods`] consecutive in-budget
+/// periods climb back exactly one rung (hysteresis). The rung in effect
+/// each period is exported in [`HealthReport::ladder_rung`] and the
+/// `vfc_deadline_ladder_rung` gauge.
+///
+/// This ladder is distinct from the per-vCPU fault ladder documented on
+/// [`HealthReport`] (stale reuse → skip → retry → vanish) and from the
+/// daemon's circuit breaker: it reacts to *time*, not to errors.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, serde::Serialize)]
+pub enum LadderRung {
+    /// All six stages run.
+    #[default]
+    Full,
+    /// Stages 1–2 only; previous allocations stay in force (pending
+    /// failed writes are still re-issued), no credits minted or spent.
+    ReusePrev,
+    /// Stages 1–2 only; nothing is written, no credits minted or spent.
+    MonitorOnly,
+    /// Watchdog: every cap is removed and the node runs uncontrolled —
+    /// a controller too slow to decide must not enforce stale caps.
+    UncapAll,
+}
+
+impl LadderRung {
+    /// One rung more degraded, or `self` at the bottom.
+    pub fn down(self) -> LadderRung {
+        match self {
+            LadderRung::Full => LadderRung::ReusePrev,
+            LadderRung::ReusePrev => LadderRung::MonitorOnly,
+            LadderRung::MonitorOnly | LadderRung::UncapAll => LadderRung::UncapAll,
+        }
+    }
+
+    /// One rung less degraded, or `self` at the top.
+    pub fn up(self) -> LadderRung {
+        match self {
+            LadderRung::Full | LadderRung::ReusePrev => LadderRung::Full,
+            LadderRung::MonitorOnly => LadderRung::ReusePrev,
+            LadderRung::UncapAll => LadderRung::MonitorOnly,
+        }
+    }
+
+    /// Stable numeric encoding (gauge value): `Full` = 0 … `UncapAll` = 3.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            LadderRung::Full => 0,
+            LadderRung::ReusePrev => 1,
+            LadderRung::MonitorOnly => 2,
+            LadderRung::UncapAll => 3,
+        }
+    }
+}
+
+/// State of the **fail-safe cap lease** (see
+/// [`ControllerConfig::cap_lease_ttl`]).
+///
+/// Caps pushed by a control plane are only as trustworthy as the last
+/// renewal: a partitioned controller enforcing week-old allocations is
+/// worse than one that backs off to the locally-provable guarantee.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+pub enum LeaseState {
+    /// Leases disabled (`cap_lease_ttl == 0`): standalone operation,
+    /// the controller owns its caps indefinitely.
+    #[default]
+    Disabled,
+    /// The lease is current; normal operation.
+    Leased,
+    /// The lease expired: only the Eq. 2 guarantee is enforced — market
+    /// surplus is released, no credits are minted or spent.
+    GuaranteeOnly,
+    /// The grace window is exhausted: everything is uncapped until the
+    /// control plane renews (re-adoption then re-issues fresh caps).
+    Uncapped,
+}
+
+impl LeaseState {
+    /// Stable numeric encoding (gauge value): `Disabled`/`Leased` = 0,
+    /// `GuaranteeOnly` = 1, `Uncapped` = 2.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            LeaseState::Disabled | LeaseState::Leased => 0,
+            LeaseState::GuaranteeOnly => 1,
+            LeaseState::Uncapped => 2,
+        }
+    }
+}
+
+/// What the pipeline actually runs this period, after the deadline
+/// ladder and the cap lease have both had their say — ordered mildest
+/// first so combining is `max`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Plan {
+    /// Full market pipeline (stages 3–6).
+    Market,
+    /// Lease expired: write the Eq. 2 guarantee, nothing more.
+    Guarantee,
+    /// Ladder `ReusePrev`: keep previous caps, re-issue failed writes.
+    Retry,
+    /// Stages 1–2 only.
+    Monitor,
+    /// Remove every cap (once per excursion), then monitor.
+    Uncap,
 }
 
 /// Cumulative health counters since the controller was built — the
@@ -109,6 +236,13 @@ pub struct HealthTotals {
     pub skipped_vcpus: u64,
     /// VMs that disappeared mid-iteration.
     pub vanished_vms: u64,
+    /// Periods whose charged time overran the deadline budget.
+    pub deadline_overruns: u64,
+    /// Periods spent on a deadline-ladder rung below `Full`.
+    pub ladder_degraded_periods: u64,
+    /// Periods spent with an expired cap lease (guarantee-only or
+    /// uncapped).
+    pub lease_expired_periods: u64,
 }
 
 impl HealthTotals {
@@ -121,6 +255,18 @@ impl HealthTotals {
         self.stale_reused += h.stale_reused as u64;
         self.skipped_vcpus += h.skipped_vcpus.len() as u64;
         self.vanished_vms += h.vanished_vms.len() as u64;
+        if h.deadline_overrun {
+            self.deadline_overruns += 1;
+        }
+        if h.ladder_rung != LadderRung::Full {
+            self.ladder_degraded_periods += 1;
+        }
+        if matches!(
+            h.lease_state,
+            LeaseState::GuaranteeOnly | LeaseState::Uncapped
+        ) {
+            self.lease_expired_periods += 1;
+        }
         if h.degraded {
             self.degraded_iterations += 1;
         }
@@ -244,6 +390,24 @@ pub struct Controller {
     /// Stage histograms, market counters and the trace ring.
     metrics: ControllerMetrics,
 
+    // ---- overload resilience ------------------------------------------
+    /// Current rung of the deadline degradation ladder.
+    rung: LadderRung,
+    /// Consecutive in-budget periods (the ladder's hysteresis counter).
+    ladder_streak: u32,
+    /// Synthetic per-iteration stage time (µs) charged against the
+    /// deadline budget — the fault-injection hook behind
+    /// [`Controller::inject_stage_delay_us`].
+    synthetic_stage_us: u64,
+    /// Periods left on the cap lease before it expires.
+    lease_remaining: u64,
+    /// Periods left in the guarantee-only grace window.
+    lease_grace_left: u64,
+    /// Current cap-lease state.
+    lease: LeaseState,
+    /// The uncap watchdog already fired for the current excursion.
+    uncap_done: bool,
+
     // ---- dense slot registry (rebuilt per inventory generation) -------
     /// Monitor generation the registry was built against.
     registry_generation: Option<u64>,
@@ -288,6 +452,7 @@ impl Controller {
         if let Err(e) = cfg.validate() {
             panic!("invalid controller config: {e}");
         }
+        let lease_ttl = cfg.cap_lease_ttl;
         Controller {
             estimator: Estimator::new(&cfg),
             cfg,
@@ -301,6 +466,17 @@ impl Controller {
             iterations: 0,
             health_totals: HealthTotals::default(),
             metrics: ControllerMetrics::new(),
+            rung: LadderRung::Full,
+            ladder_streak: 0,
+            synthetic_stage_us: 0,
+            lease_remaining: lease_ttl,
+            lease_grace_left: 0,
+            lease: if lease_ttl > 0 {
+                LeaseState::Leased
+            } else {
+                LeaseState::Disabled
+            },
+            uncap_done: false,
             registry_generation: None,
             slots: Vec::new(),
             slot_of: FastMap::default(),
@@ -350,6 +526,44 @@ impl Controller {
     /// [`HealthTotals`] for the reset semantics).
     pub fn health_totals(&self) -> HealthTotals {
         self.health_totals
+    }
+
+    /// Current rung of the deadline degradation ladder.
+    pub fn ladder_rung(&self) -> LadderRung {
+        self.rung
+    }
+
+    /// Current fail-safe cap-lease state.
+    pub fn lease_state(&self) -> LeaseState {
+        self.lease
+    }
+
+    /// Renew the fail-safe cap lease (no-op when leases are disabled).
+    ///
+    /// The control plane's reconciler calls this for every node it can
+    /// still reach; a node it cannot reach misses renewals, its lease
+    /// runs out, and the controller degrades to locally-safe behavior
+    /// (see [`LeaseState`]). Renewal after an expiry is the re-adoption
+    /// path: the next iteration runs the full pipeline again and issues
+    /// exactly the writes needed to move from the degraded caps (or no
+    /// caps at all) back to market allocations — the `in_force` write
+    /// cache already reflects whatever the degraded states enforced.
+    pub fn renew_lease(&mut self) {
+        if self.cfg.cap_lease_ttl == 0 {
+            return;
+        }
+        self.lease_remaining = self.cfg.cap_lease_ttl;
+        self.lease_grace_left = 0;
+        self.lease = LeaseState::Leased;
+    }
+
+    /// Fault-injection hook: charge `us` µs of synthetic stage time
+    /// against the deadline budget on every subsequent iteration, on top
+    /// of the measured wall time. Lets tests drive the degradation
+    /// ladder deterministically without real sleeps (which would make
+    /// the chaos suites wall-clock-dependent). `0` disables.
+    pub fn inject_stage_delay_us(&mut self, us: u64) {
+        self.synthetic_stage_us = us;
     }
 
     /// The telemetry registry, stage histograms and trace ring.
@@ -556,6 +770,146 @@ impl Controller {
         self.registry_generation = Some(self.monitor.generation());
     }
 
+    /// Stage 6 — write the slot allocations (and pending retries) to the
+    /// backend. Shared by the full market pipeline and the degraded
+    /// plans that still write caps (guarantee-only lease state, the
+    /// ladder's retry rung); `slot_alloc`/`slot_has` must already be
+    /// sized to the slot table. Returns the stage's wall time.
+    ///
+    /// The slot order *is* the deterministic sorted write order. Per
+    /// slot, the write candidate is this period's fresh allocation, or a
+    /// re-issue of last period's failed write for the (skipped) vCPUs
+    /// that got no fresh one. A candidate whose `cpu.max` value is
+    /// already in force is elided — kernel state ends up identical
+    /// without the syscall.
+    fn stage_apply<B: HostBackend + ?Sized>(
+        &mut self,
+        backend: &mut B,
+        period: Micros,
+        report: &mut IterationReport,
+        vanished_names: &mut Vec<String>,
+    ) -> Duration {
+        let t = Instant::now();
+        self.failed.clear();
+        self.write_vanished.clear();
+        let mut attempted = 0u64;
+        let mut volume = 0u64;
+        let mut elided = 0u64;
+        let mut retries = 0u32;
+        let min_delta = self.cfg.apply_min_delta_us;
+        'slots: for slot in 0..self.slots.len() {
+            let addr = self.slots[slot];
+            if self.write_vanished.contains(&addr.vm) {
+                continue;
+            }
+            let (alloc, is_retry) = if self.slot_has[slot] {
+                (self.slot_alloc[slot], false)
+            } else if let Some(pending) = self.pending_writes.get(&addr).copied() {
+                (pending, true)
+            } else {
+                continue 'slots;
+            };
+            if is_retry {
+                retries += 1;
+            }
+            let max = allocation_to_cpu_max(alloc, period);
+            if let Some(&(in_alloc, in_max)) = self.in_force.get(&addr) {
+                if in_max == max {
+                    // Exact dedup: the kernel already enforces this
+                    // value, so the write would be a no-op syscall.
+                    elided += 1;
+                    self.prev_alloc.insert(addr, alloc);
+                    self.in_force.insert(addr, (alloc, max));
+                    continue;
+                }
+                if min_delta > 0 && in_alloc.as_u64().abs_diff(alloc.as_u64()) < min_delta {
+                    // Hysteresis: keep the in-force cap, and keep
+                    // treating it as `c_{i,j,t}` so the estimator
+                    // references what is actually enforced.
+                    elided += 1;
+                    self.prev_alloc.insert(addr, in_alloc);
+                    continue;
+                }
+            }
+            attempted += 1;
+            match backend.set_vcpu_max(addr.vm, addr.vcpu, max) {
+                Ok(()) => {
+                    volume += alloc.as_u64();
+                    self.in_force.insert(addr, (alloc, max));
+                    if !is_retry {
+                        self.prev_alloc.insert(addr, alloc);
+                    }
+                    // A successful retry keeps the *old* prev_alloc:
+                    // the vCPU was skipped this period, so stages 2–5
+                    // never saw the retried value as `c_{t-1}`.
+                }
+                Err(e) if e.is_vanished() => {
+                    self.write_vanished.push(addr.vm);
+                }
+                Err(_) => {
+                    // The kernel keeps the old capping, but our model
+                    // of it is now suspect — and a vCPU stuck on a
+                    // stale low cap reads as "stable low" to Eq. 3
+                    // for `history_len` periods (its consumption is
+                    // pinned at the cap, so no positive trend ever
+                    // forms). Drop `prev_alloc` so the vCPU re-enters
+                    // through the cold-start path at its next
+                    // observation: the estimate is floored at `C_i`,
+                    // bounding recovery to one observed period. The
+                    // pending write still re-issues the intended
+                    // value while the vCPU stays unobserved, and is
+                    // never elided, because the in-force entry is
+                    // cleared here.
+                    self.failed.push((addr, alloc));
+                    self.prev_alloc.remove(&addr);
+                    self.in_force.remove(&addr);
+                }
+            }
+        }
+        report.health.write_retries = retries;
+        report.health.write_errors = (self.failed.len() + self.write_vanished.len()) as u32;
+
+        // Retriable write failures are re-issued next period.
+        self.pending_writes.clear();
+        for &(addr, alloc) in &self.failed {
+            self.pending_writes.insert(addr, alloc);
+        }
+
+        // A VM that disappeared during the writes gets the same
+        // cleanup as one that disappeared during monitoring.
+        if !self.write_vanished.is_empty() {
+            let vanished = std::mem::take(&mut self.write_vanished);
+            for vm in &vanished {
+                self.prev_alloc.retain(|a, _| a.vm != *vm);
+                self.pending_writes.retain(|a, _| a.vm != *vm);
+                self.in_force.retain(|a, _| a.vm != *vm);
+                self.monitor.forget_vm(*vm);
+                if let Some(name) = self.last_names.get(vm) {
+                    vanished_names.push(name.clone());
+                }
+            }
+            let keep: Vec<VmId> = self
+                .vm_ids
+                .iter()
+                .copied()
+                .filter(|v| !vanished.contains(v))
+                .collect();
+            self.wallet.retain_vms(&keep);
+            report.health.vanished_vms.extend(vanished.iter().copied());
+            self.write_vanished = vanished;
+        }
+        let elapsed = t.elapsed();
+        self.metrics.observe_stage(Stage::Apply, elapsed);
+        self.metrics.record_apply(
+            attempted,
+            volume,
+            report.health.write_errors as u64,
+            report.health.write_retries as u64,
+            elided,
+        );
+        elapsed
+    }
+
     /// [`Controller::iterate`] into a caller-owned report. The report's
     /// vectors are recycled in place; once their capacities cover the
     /// inventory, a healthy steady-state iteration performs **zero heap
@@ -569,6 +923,60 @@ impl Controller {
         let mut timings = StageTimings::default();
         let period = self.cfg.period;
         let full = self.cfg.mode == ControlMode::Full;
+
+        // ---- lease tick ---------------------------------------------------
+        // One period of the cap lease is consumed up front; expiry and
+        // grace transitions take effect for *this* iteration, renewal
+        // (between iterations) resets them.
+        let mut lease_expired_now = false;
+        if self.cfg.cap_lease_ttl > 0 {
+            match self.lease {
+                LeaseState::Leased => {
+                    if self.lease_remaining > 0 {
+                        self.lease_remaining -= 1;
+                    } else {
+                        self.lease = LeaseState::GuaranteeOnly;
+                        self.lease_grace_left = self.cfg.cap_lease_grace;
+                        lease_expired_now = true;
+                    }
+                }
+                LeaseState::GuaranteeOnly => {
+                    if self.lease_grace_left > 0 {
+                        self.lease_grace_left -= 1;
+                    } else {
+                        self.lease = LeaseState::Uncapped;
+                    }
+                }
+                LeaseState::Uncapped | LeaseState::Disabled => {}
+            }
+        }
+
+        // ---- degradation plan ---------------------------------------------
+        // The ladder rung chosen at the end of the previous period and
+        // the lease state each demand a pipeline shape; the more
+        // degraded one wins. Monitor-only *mode* (scenario A) trumps
+        // both — it never wrote caps, so there is nothing to degrade.
+        let rung = self.rung;
+        let lease_plan = match self.lease {
+            LeaseState::Disabled | LeaseState::Leased => Plan::Market,
+            LeaseState::GuaranteeOnly => Plan::Guarantee,
+            LeaseState::Uncapped => Plan::Uncap,
+        };
+        let ladder_plan = match rung {
+            LadderRung::Full => Plan::Market,
+            LadderRung::ReusePrev => Plan::Retry,
+            LadderRung::MonitorOnly => Plan::Monitor,
+            LadderRung::UncapAll => Plan::Uncap,
+        };
+        let plan = if full {
+            lease_plan.max(ladder_plan)
+        } else {
+            Plan::Monitor
+        };
+        if plan != Plan::Uncap {
+            // Arm the watchdog again once the excursion is over.
+            self.uncap_done = false;
+        }
 
         // ---- stage 1: monitor ---------------------------------------------
         let t = Instant::now();
@@ -672,7 +1080,7 @@ impl Controller {
         let distributed;
         let market_left;
 
-        if full {
+        if plan == Plan::Market {
             // ---- stage 3: credits + base capping (Eqs. 4, 5) --------------
             let t = Instant::now();
             self.vm_minted.clear();
@@ -797,140 +1205,71 @@ impl Controller {
             );
 
             // ---- stage 6: apply --------------------------------------------
-            // The slot order *is* the deterministic sorted write order.
-            // Per slot, the write candidate is this period's fresh
-            // allocation, or a re-issue of last period's failed write for
-            // the (skipped) vCPUs that got no fresh one. A candidate whose
-            // `cpu.max` value is already in force is elided — kernel state
-            // ends up identical without the syscall.
-            let t = Instant::now();
-            self.failed.clear();
-            self.write_vanished.clear();
-            let mut attempted = 0u64;
-            let mut volume = 0u64;
-            let mut elided = 0u64;
-            let mut retries = 0u32;
-            let min_delta = self.cfg.apply_min_delta_us;
-            'slots: for slot in 0..self.slots.len() {
-                let addr = self.slots[slot];
-                if self.write_vanished.contains(&addr.vm) {
-                    continue;
-                }
-                let (alloc, is_retry) = if self.slot_has[slot] {
-                    (self.slot_alloc[slot], false)
-                } else if let Some(pending) = self.pending_writes.get(&addr).copied() {
-                    (pending, true)
-                } else {
-                    continue 'slots;
-                };
-                if is_retry {
-                    retries += 1;
-                }
-                let max = allocation_to_cpu_max(alloc, period);
-                if let Some(&(in_alloc, in_max)) = self.in_force.get(&addr) {
-                    if in_max == max {
-                        // Exact dedup: the kernel already enforces this
-                        // value, so the write would be a no-op syscall.
-                        elided += 1;
-                        self.prev_alloc.insert(addr, alloc);
-                        self.in_force.insert(addr, (alloc, max));
-                        continue;
-                    }
-                    if min_delta > 0 && in_alloc.as_u64().abs_diff(alloc.as_u64()) < min_delta {
-                        // Hysteresis: keep the in-force cap, and keep
-                        // treating it as `c_{i,j,t}` so the estimator
-                        // references what is actually enforced.
-                        elided += 1;
-                        self.prev_alloc.insert(addr, in_alloc);
-                        continue;
-                    }
-                }
-                attempted += 1;
-                match backend.set_vcpu_max(addr.vm, addr.vcpu, max) {
-                    Ok(()) => {
-                        volume += alloc.as_u64();
-                        self.in_force.insert(addr, (alloc, max));
-                        if !is_retry {
-                            self.prev_alloc.insert(addr, alloc);
-                        }
-                        // A successful retry keeps the *old* prev_alloc:
-                        // the vCPU was skipped this period, so stages 2–5
-                        // never saw the retried value as `c_{t-1}`.
-                    }
-                    Err(e) if e.is_vanished() => {
-                        self.write_vanished.push(addr.vm);
-                    }
-                    Err(_) => {
-                        // The kernel keeps the old capping, but our model
-                        // of it is now suspect — and a vCPU stuck on a
-                        // stale low cap reads as "stable low" to Eq. 3
-                        // for `history_len` periods (its consumption is
-                        // pinned at the cap, so no positive trend ever
-                        // forms). Drop `prev_alloc` so the vCPU re-enters
-                        // through the cold-start path at its next
-                        // observation: the estimate is floored at `C_i`,
-                        // bounding recovery to one observed period. The
-                        // pending write still re-issues the intended
-                        // value while the vCPU stays unobserved, and is
-                        // never elided, because the in-force entry is
-                        // cleared here.
-                        self.failed.push((addr, alloc));
-                        self.prev_alloc.remove(&addr);
-                        self.in_force.remove(&addr);
-                    }
-                }
-            }
-            report.health.write_retries = retries;
-            report.health.write_errors = (self.failed.len() + self.write_vanished.len()) as u32;
-
-            // Retriable write failures are re-issued next period.
-            self.pending_writes.clear();
-            for &(addr, alloc) in &self.failed {
-                self.pending_writes.insert(addr, alloc);
-            }
-
-            // A VM that disappeared during the writes gets the same
-            // cleanup as one that disappeared during monitoring.
-            if !self.write_vanished.is_empty() {
-                let vanished = std::mem::take(&mut self.write_vanished);
-                for vm in &vanished {
-                    self.prev_alloc.retain(|a, _| a.vm != *vm);
-                    self.pending_writes.retain(|a, _| a.vm != *vm);
-                    self.in_force.retain(|a, _| a.vm != *vm);
-                    self.monitor.forget_vm(*vm);
-                    if let Some(name) = self.last_names.get(vm) {
-                        vanished_names.push(name.clone());
-                    }
-                }
-                let keep: Vec<VmId> = self
-                    .vm_ids
-                    .iter()
-                    .copied()
-                    .filter(|v| !vanished.contains(v))
-                    .collect();
-                self.wallet.retain_vms(&keep);
-                report.health.vanished_vms.extend(vanished.iter().copied());
-                self.write_vanished = vanished;
-            }
-            timings.apply = t.elapsed();
-            self.metrics.observe_stage(Stage::Apply, timings.apply);
-            self.metrics.record_apply(
-                attempted,
-                volume,
-                report.health.write_errors as u64,
-                report.health.write_retries as u64,
-                elided,
-            );
+            timings.apply = self.stage_apply(backend, period, report, &mut vanished_names);
         } else {
-            // Scenario A: nothing is written; estimates are still computed
-            // (only "the control part of the controller is disabled").
+            // Scenario A, a degraded ladder rung, or an expired lease:
+            // the market does not run this period.
             market_initial = Micros::ZERO;
             auction_outcome = AuctionOutcome::default();
             distributed = Micros::ZERO;
             market_left = Micros::ZERO;
+            match plan {
+                Plan::Guarantee => {
+                    // Lease expired: enforce exactly the Eq. 2 guarantee
+                    // for every observed vCPU — market surplus released,
+                    // no credits minted or spent. VMs with no declared
+                    // `F_v` have no guarantee to hold; their caps are
+                    // released outright (an allocation of a full period
+                    // writes as `max`).
+                    self.slot_alloc.clear();
+                    self.slot_alloc.resize(self.slots.len(), Micros::ZERO);
+                    self.slot_has.clear();
+                    self.slot_has.resize(self.slots.len(), false);
+                    for e in &self.estimates {
+                        let slot = self.slot_of[&e.addr] as usize;
+                        let c_i = self.vm_guarantee[self.slot_vm[slot] as usize];
+                        self.slot_alloc[slot] = if c_i.is_zero() { period } else { c_i };
+                        self.slot_has[slot] = true;
+                    }
+                    timings.apply = self.stage_apply(backend, period, report, &mut vanished_names);
+                }
+                Plan::Retry => {
+                    // Ladder `ReusePrev`: previous caps stay in force
+                    // (they are already written); only last period's
+                    // failed writes are re-issued.
+                    self.slot_has.clear();
+                    self.slot_has.resize(self.slots.len(), false);
+                    timings.apply = self.stage_apply(backend, period, report, &mut vanished_names);
+                }
+                Plan::Uncap => {
+                    // Watchdog: a controller too degraded to decide must
+                    // not keep stale caps enforced. Fires once per
+                    // excursion; VMs arriving while uncapped start at
+                    // the kernel default (`max`) anyway.
+                    if !self.uncap_done {
+                        let t = Instant::now();
+                        let mut cleared = 0u64;
+                        for slot in 0..self.slots.len() {
+                            let addr = self.slots[slot];
+                            if backend.clear_vcpu_max(addr.vm, addr.vcpu).is_ok() {
+                                cleared += 1;
+                            }
+                        }
+                        self.prev_alloc.clear();
+                        self.pending_writes.clear();
+                        self.in_force.clear();
+                        self.uncap_done = true;
+                        timings.apply = t.elapsed();
+                        self.metrics.observe_stage(Stage::Apply, timings.apply);
+                        self.metrics.record_apply(cleared, 0, 0, 0, 0);
+                    }
+                }
+                Plan::Monitor | Plan::Market => {}
+            }
         }
 
         // ---- report -------------------------------------------------------
+        let wrote_fresh = matches!(plan, Plan::Market | Plan::Guarantee);
         let n_rows = self.estimates.len();
         report.vcpus.truncate(n_rows);
         while report.vcpus.len() < n_rows {
@@ -964,7 +1303,7 @@ impl Controller {
             row.estimate = e.estimate;
             row.case = e.case;
             row.guaranteed = self.vm_guarantee[vi];
-            row.alloc = if full && self.slot_has[slot] {
+            row.alloc = if wrote_fresh && self.slot_has[slot] {
                 self.slot_alloc[slot]
             } else {
                 Micros::ZERO
@@ -979,12 +1318,55 @@ impl Controller {
         timings.total = t_start.elapsed();
         report.timings = timings;
         self.iterations += 1;
+
+        // ---- deadline accounting ------------------------------------------
+        // The charged time is the measured wall time plus any injected
+        // synthetic stage time; the verdict applies to the *next* period
+        // (this one already ran on the rung chosen last period).
+        let budget_us = if self.cfg.deadline_budget_frac > 0.0 {
+            (period.as_u64() as f64 * self.cfg.deadline_budget_frac) as u64
+        } else {
+            0
+        };
+        let spent_us = timings.total.as_micros() as u64 + self.synthetic_stage_us;
+        let overrun = budget_us > 0 && spent_us > budget_us;
+        report.health.ladder_rung = rung;
+        report.health.deadline_overrun = overrun;
+        report.health.deadline_spent_us = spent_us;
+        report.health.deadline_budget_us = budget_us;
+        report.health.lease_state = self.lease;
+        let mut descended = false;
+        let mut climbed = false;
+        if budget_us > 0 {
+            if overrun {
+                self.ladder_streak = 0;
+                let next = self.rung.down();
+                if next != self.rung {
+                    self.rung = next;
+                    descended = true;
+                }
+            } else {
+                self.ladder_streak = self.ladder_streak.saturating_add(1);
+                if self.rung != LadderRung::Full
+                    && self.ladder_streak >= self.cfg.ladder_recovery_periods
+                {
+                    self.rung = self.rung.up();
+                    self.ladder_streak = 0;
+                    climbed = true;
+                }
+            }
+        }
+
         report.health.finalize();
         self.health_totals.absorb(&report.health);
 
         // ---- telemetry epilogue (outside the timed window) ----------------
         self.metrics
             .observe_iteration(timings.total, report.health.degraded);
+        self.metrics
+            .observe_deadline(budget_us, spent_us, rung.as_u8(), overrun, descended, climbed);
+        self.metrics
+            .observe_lease(self.lease.as_u8(), self.lease_remaining, lease_expired_now);
         self.wallet.snapshot_into(&mut report.credits);
         for (vm, bal) in &report.credits {
             if let Some(&vi) = self.vm_index_of.get(vm) {

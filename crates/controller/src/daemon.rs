@@ -17,6 +17,10 @@
 //! decrease_trigger = 0.5
 //! decrease_factor = 0.05
 //! history_len = 5
+//! deadline_budget_frac = 0.25   # degradation ladder arms past 25 % of p
+//! ladder_recovery_periods = 3   # in-budget periods before climbing back
+//! lease_ttl = 30         # cap lease TTL in periods (omit to disable)
+//! lease_grace = 10       # guarantee-only periods after expiry, then uncap
 //! journal_path = /var/lib/vfcd/journal.json
 //! journal_interval = 1   # periods between journal flushes
 //! metrics_path = /run/vfcd/metrics.prom   # Prometheus textfile
@@ -228,6 +232,36 @@ pub fn parse_config_file(content: &str) -> Result<DaemonConfig, String> {
                     .parse()
                     .map_err(|_| format!("line {}: bad apply_min_delta_us", lineno + 1))?;
             }
+            "deadline_budget_frac" => {
+                cfg.controller.deadline_budget_frac = parse_f64(value)?;
+            }
+            "ladder_recovery_periods" => {
+                cfg.controller.ladder_recovery_periods = value
+                    .parse()
+                    .map_err(|_| format!("line {}: bad ladder_recovery_periods", lineno + 1))?;
+            }
+            "lease_ttl" => {
+                let ttl: u64 = value
+                    .parse()
+                    .map_err(|_| format!("line {}: bad lease_ttl", lineno + 1))?;
+                // An explicit zero is always a footgun: it reads like "very
+                // short lease" but actually means "no lease at all" — caps
+                // would never fail safe. Disabling is the *default*; an
+                // operator who writes the key wanted leases.
+                if ttl == 0 {
+                    return Err(format!(
+                        "line {}: lease_ttl 0 disables leases entirely; omit the key \
+                         to run without fail-safe leases",
+                        lineno + 1
+                    ));
+                }
+                cfg.controller.cap_lease_ttl = ttl;
+            }
+            "lease_grace" => {
+                cfg.controller.cap_lease_grace = value
+                    .parse()
+                    .map_err(|_| format!("line {}: bad lease_grace", lineno + 1))?;
+            }
             "max_consecutive_errors" => {
                 cfg.max_consecutive_errors = value
                     .parse()
@@ -273,6 +307,8 @@ pub fn parse_config_file(content: &str) -> Result<DaemonConfig, String> {
 ///
 /// ```text
 /// vfcd [--config FILE] [--monitor-only] [--iterations N] [--verbose]
+///      [--deadline-budget FRAC] [--ladder-recovery N]
+///      [--lease-ttl N] [--lease-grace N]
 ///      [--vfreq NAME=MHZ]... [--log-json FILE]
 ///      [--journal FILE] [--journal-interval N]
 ///      [--metrics FILE] [--metrics-addr HOST:PORT]
@@ -313,6 +349,34 @@ pub fn parse_args(args: &[String]) -> Result<DaemonConfig, String> {
                 cfg.trace_len = file_cfg.trace_len;
             }
             "--monitor-only" => cfg.controller.mode = ControlMode::MonitorOnly,
+            "--deadline-budget" => {
+                cfg.controller.deadline_budget_frac = next(&mut i)?
+                    .parse()
+                    .map_err(|_| "--deadline-budget needs a fraction".to_owned())?;
+            }
+            "--ladder-recovery" => {
+                cfg.controller.ladder_recovery_periods = next(&mut i)?
+                    .parse()
+                    .map_err(|_| "--ladder-recovery needs an integer".to_owned())?;
+            }
+            "--lease-ttl" => {
+                let ttl: u64 = next(&mut i)?
+                    .parse()
+                    .map_err(|_| "--lease-ttl needs an integer".to_owned())?;
+                if ttl == 0 {
+                    return Err(
+                        "--lease-ttl 0 disables leases entirely; drop the flag to run \
+                         without fail-safe leases"
+                            .into(),
+                    );
+                }
+                cfg.controller.cap_lease_ttl = ttl;
+            }
+            "--lease-grace" => {
+                cfg.controller.cap_lease_grace = next(&mut i)?
+                    .parse()
+                    .map_err(|_| "--lease-grace needs an integer".to_owned())?;
+            }
             "--verbose" => cfg.verbose = true,
             "--iterations" => {
                 let n: u64 = next(&mut i)?
@@ -357,6 +421,9 @@ pub fn parse_args(args: &[String]) -> Result<DaemonConfig, String> {
         (Some(c), Some(p), Some(u)) => Some((c, p, u)),
         _ => return Err("--cgroup-root, --proc-root and --cpu-root must be given together".into()),
     };
+    cfg.controller
+        .validate()
+        .map_err(|e| format!("invalid controller parameters: {e}"))?;
     validate_daemon(&cfg)?;
     Ok(cfg)
 }
@@ -851,6 +918,46 @@ mod tests {
         assert!(parse_config_file("unknown_key = 1").is_err());
         // Invalid combinations are caught by ControllerConfig::validate.
         assert!(parse_config_file("history_len = 1").is_err());
+    }
+
+    #[test]
+    fn config_file_overload_knobs() {
+        let cfg = parse_config_file(
+            "deadline_budget_frac = 0.25\nladder_recovery_periods = 4\n\
+             lease_ttl = 30\nlease_grace = 5\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.controller.deadline_budget_frac, 0.25);
+        assert_eq!(cfg.controller.ladder_recovery_periods, 4);
+        assert_eq!(cfg.controller.cap_lease_ttl, 30);
+        assert_eq!(cfg.controller.cap_lease_grace, 5);
+        // Footguns rejected at load time, not at 3 a.m.
+        assert!(parse_config_file("deadline_budget_frac = 1.0").is_err());
+        assert!(parse_config_file("lease_ttl = 0").is_err());
+        assert!(
+            parse_config_file("deadline_budget_frac = 0.5\nladder_recovery_periods = 0").is_err()
+        );
+    }
+
+    #[test]
+    fn cli_overload_knobs() {
+        let cfg = parse_args(&args(&[
+            "--deadline-budget",
+            "0.3",
+            "--ladder-recovery",
+            "2",
+            "--lease-ttl",
+            "10",
+            "--lease-grace",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.controller.deadline_budget_frac, 0.3);
+        assert_eq!(cfg.controller.ladder_recovery_periods, 2);
+        assert_eq!(cfg.controller.cap_lease_ttl, 10);
+        assert_eq!(cfg.controller.cap_lease_grace, 4);
+        assert!(parse_args(&args(&["--lease-ttl", "0"])).is_err());
+        assert!(parse_args(&args(&["--deadline-budget", "1.5"])).is_err());
     }
 
     #[test]

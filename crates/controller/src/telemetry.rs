@@ -83,7 +83,20 @@ pub struct ControllerMetrics {
     cap_writes_elided: MetricId,
     // Health roll-up.
     degraded_iterations: MetricId,
+    // Deadline ladder.
+    deadline_budget: MetricId,
+    deadline_spent: MetricId,
+    deadline_overruns: MetricId,
+    deadline_rung: MetricId,
+    deadline_transitions: MetricId,
+    // Cap lease.
+    lease_state: MetricId,
+    lease_remaining: MetricId,
+    lease_expiries: MetricId,
 }
+
+/// Direction labels of `vfc_deadline_transitions_total`, in index order.
+const LADDER_DIRECTIONS: [&str; 2] = ["descend", "climb"];
 
 impl Default for ControllerMetrics {
     fn default() -> Self {
@@ -194,6 +207,40 @@ impl ControllerMetrics {
             "vfc_degraded_iterations_total",
             "Iterations with any degradation (see HealthReport)",
         );
+        let deadline_budget = r.gauge(
+            "vfc_deadline_budget_us",
+            "Per-period deadline budget in µs (0 = deadline disabled)",
+        );
+        let deadline_spent = r.gauge(
+            "vfc_deadline_spent_us",
+            "Time charged against the deadline budget last period (µs)",
+        );
+        let deadline_overruns = r.counter(
+            "vfc_deadline_overruns_total",
+            "Periods whose charged time exceeded the deadline budget",
+        );
+        let deadline_rung = r.gauge(
+            "vfc_deadline_ladder_rung",
+            "Deadline-ladder rung in effect (0=full 1=reuse 2=monitor 3=uncap)",
+        );
+        let deadline_transitions = r.counter_vec(
+            "vfc_deadline_transitions_total",
+            "Deadline-ladder rung changes, by direction",
+            "direction",
+            &LADDER_DIRECTIONS,
+        );
+        let lease_state = r.gauge(
+            "vfc_lease_state",
+            "Cap-lease state (0=leased/disabled 1=guarantee-only 2=uncapped)",
+        );
+        let lease_remaining = r.gauge(
+            "vfc_lease_remaining_periods",
+            "Periods left on the cap lease before expiry",
+        );
+        let lease_expiries = r.counter(
+            "vfc_lease_expiries_total",
+            "Cap-lease expiries (transitions into guarantee-only)",
+        );
         ControllerMetrics {
             registry: r,
             trace: TraceRing::new(DEFAULT_TRACE_LEN),
@@ -220,6 +267,14 @@ impl ControllerMetrics {
             cap_write_retries,
             cap_writes_elided,
             degraded_iterations,
+            deadline_budget,
+            deadline_spent,
+            deadline_overruns,
+            deadline_rung,
+            deadline_transitions,
+            lease_state,
+            lease_remaining,
+            lease_expiries,
         }
     }
 
@@ -320,6 +375,43 @@ impl ControllerMetrics {
         self.registry.inc(self.cap_write_errors, 0, errors);
         self.registry.inc(self.cap_write_retries, 0, retries);
         self.registry.inc(self.cap_writes_elided, 0, elided);
+    }
+
+    /// Deadline accounting for one period: the budget and charged time,
+    /// the rung in effect, and whether the period overran or moved the
+    /// ladder (`descended`/`climbed` are mutually exclusive).
+    pub fn observe_deadline(
+        &mut self,
+        budget_us: u64,
+        spent_us: u64,
+        rung: u8,
+        overrun: bool,
+        descended: bool,
+        climbed: bool,
+    ) {
+        self.registry.set(self.deadline_budget, 0, budget_us);
+        self.registry.set(self.deadline_spent, 0, spent_us);
+        self.registry.set(self.deadline_rung, 0, rung as u64);
+        if overrun {
+            self.registry.inc(self.deadline_overruns, 0, 1);
+        }
+        if descended {
+            self.registry.inc(self.deadline_transitions, 0, 1);
+        }
+        if climbed {
+            self.registry.inc(self.deadline_transitions, 1, 1);
+        }
+    }
+
+    /// Cap-lease bookkeeping for one period: the encoded state, the
+    /// periods left before expiry, and whether the lease expired this
+    /// period (transition into guarantee-only).
+    pub fn observe_lease(&mut self, state: u8, remaining: u64, expired_now: bool) {
+        self.registry.set(self.lease_state, 0, state as u64);
+        self.registry.set(self.lease_remaining, 0, remaining);
+        if expired_now {
+            self.registry.inc(self.lease_expiries, 0, 1);
+        }
     }
 
     /// Append one iteration to the trace ring.

@@ -23,15 +23,31 @@
 //! Rejections map [`AdmissionError::http_status`]: `400` invalid shape,
 //! `403` unknown tenant / quota, `404` unknown id, `429` rate limited,
 //! `507` the desired state no longer packs under Eq. 7.
+//!
+//! ## Overload protection
+//!
+//! Every limit that stands between a hostile client and the reconcile
+//! loop lives in [`ApiServerConfig`], and every refusal is a typed
+//! [`OverloadError`] mapped 1:1 to a status — `408` a client that
+//! cannot deliver a request within the read timeout (slow loris),
+//! `413` a body over the cap (refused from the `Content-Length` header
+//! before a single body byte is read), `503` + `Retry-After` when the
+//! bounded accept queue or the reconciler backlog saturates. Rate-limit
+//! `429`s also carry `Retry-After`. Sheds are counted per reason in
+//! `vfc_cp_shed_total` ([`ShedReason`]). Reads (`GET`) are never shed
+//! on backlog: an operator must be able to see an overloaded plane.
 
 use crate::admission::{AdmissionError, ControlPlane};
 use crate::quota::{TenantQuota, TenantUsage};
 use crate::reconcile::{ReconcileSummary, Reconciler};
 use crate::spec::SpecId;
+use crate::telemetry::ShedReason;
 use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::mpsc::{self, TrySendError};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 use vfc_cluster::ClusterManager;
 use vfc_simcore::MHz;
 use vfc_vmm::VmTemplate;
@@ -112,34 +128,179 @@ struct ErrorResp {
     error: String,
 }
 
+/// Overload limits of the API front door.
+#[derive(Debug, Clone, Copy)]
+pub struct ApiServerConfig {
+    /// Total time a client gets to deliver one full request. The clock
+    /// covers the whole read — a slow loris trickling one byte per
+    /// packet still hits it — and expiry answers `408`.
+    pub read_timeout: Duration,
+    /// Socket write timeout for the response.
+    pub write_timeout: Duration,
+    /// Largest accepted request body; a larger `Content-Length` is
+    /// refused with `413` before any body byte is read (oversized
+    /// headers are cut off the same way).
+    pub max_body_bytes: usize,
+    /// Bounded accept queue depth: connections beyond it are shed
+    /// immediately with `503` + `Retry-After` instead of queueing
+    /// without bound behind a busy worker.
+    pub queue_depth: usize,
+    /// Worker threads draining the accept queue (≥ 1).
+    pub workers: usize,
+    /// Mutations (`POST`/`PUT`/`DELETE`) are shed with `503` while the
+    /// reconciler backlog is at or above this many pending actions,
+    /// letting the loop drain before taking new work. `0` disables
+    /// backlog shedding. Reads always pass.
+    pub max_backlog: usize,
+}
+
+impl Default for ApiServerConfig {
+    fn default() -> Self {
+        ApiServerConfig {
+            read_timeout: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(2),
+            max_body_bytes: 64 * 1024,
+            queue_depth: 64,
+            workers: 2,
+            max_backlog: 0,
+        }
+    }
+}
+
+/// Why the front door refused a request before admission saw it. Each
+/// variant maps 1:1 to a status via [`OverloadError::http_status`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverloadError {
+    /// The client did not deliver a full request within the read
+    /// timeout (`408`).
+    ReadTimeout,
+    /// Declared or delivered request size exceeds the cap (`413`).
+    BodyTooLarge,
+    /// The bounded accept queue was full (`503`, retryable).
+    QueueFull,
+    /// The reconciler backlog is saturated; mutations are refused until
+    /// it drains (`503`, retryable).
+    BacklogSaturated,
+    /// The bytes were not a parseable HTTP request (`400` — client
+    /// error, not overload; it sheds no counter).
+    Malformed,
+}
+
+impl OverloadError {
+    /// The HTTP status the API layer answers with.
+    pub fn http_status(&self) -> u16 {
+        match self {
+            OverloadError::ReadTimeout => 408,
+            OverloadError::BodyTooLarge => 413,
+            OverloadError::QueueFull | OverloadError::BacklogSaturated => 503,
+            OverloadError::Malformed => 400,
+        }
+    }
+
+    /// Seconds for the `Retry-After` header, when retrying can help.
+    pub fn retry_after(&self) -> Option<u64> {
+        match self {
+            OverloadError::QueueFull | OverloadError::BacklogSaturated => Some(1),
+            _ => None,
+        }
+    }
+
+    /// The shed counter this refusal increments, if it is an overload
+    /// (a malformed request is the client's fault, not load).
+    pub fn shed_reason(&self) -> Option<ShedReason> {
+        match self {
+            OverloadError::ReadTimeout => Some(ShedReason::ReadTimeout),
+            OverloadError::BodyTooLarge => Some(ShedReason::BodyTooLarge),
+            OverloadError::QueueFull => Some(ShedReason::QueueFull),
+            OverloadError::BacklogSaturated => Some(ShedReason::Backlog),
+            OverloadError::Malformed => None,
+        }
+    }
+}
+
+impl std::fmt::Display for OverloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OverloadError::ReadTimeout => write!(f, "request read timed out"),
+            OverloadError::BodyTooLarge => write!(f, "request exceeds the body cap"),
+            OverloadError::QueueFull => write!(f, "server overloaded: accept queue full"),
+            OverloadError::BacklogSaturated => {
+                write!(f, "server overloaded: reconcile backlog saturated")
+            }
+            OverloadError::Malformed => write!(f, "malformed request"),
+        }
+    }
+}
+
+impl std::error::Error for OverloadError {}
+
 /// The API endpoint: owns nothing but the bound address; the accept
-/// thread holds the runtime `Arc` and exits with the process.
+/// and worker threads hold the runtime `Arc` and exit with the process.
 pub struct ApiServer {
     addr: std::net::SocketAddr,
 }
 
 impl ApiServer {
     /// Bind `addr` (use port 0 to let the OS pick) and serve requests
-    /// against `runtime` on a background thread.
+    /// against `runtime` with the default overload limits.
     pub fn bind<A: ToSocketAddrs>(
         addr: A,
         runtime: Arc<Mutex<ControlPlaneRuntime>>,
+    ) -> Result<ApiServer, String> {
+        ApiServer::bind_with(addr, runtime, ApiServerConfig::default())
+    }
+
+    /// Bind with explicit overload limits: a bounded accept queue
+    /// drained by `cfg.workers` threads, with the accept thread
+    /// answering `503` the moment the queue is full.
+    pub fn bind_with<A: ToSocketAddrs>(
+        addr: A,
+        runtime: Arc<Mutex<ControlPlaneRuntime>>,
+        cfg: ApiServerConfig,
     ) -> Result<ApiServer, String> {
         let listener = TcpListener::bind(addr).map_err(|e| format!("bind api addr: {e}"))?;
         let local = listener
             .local_addr()
             .map_err(|e| format!("api local addr: {e}"))?;
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(cfg.queue_depth.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        for worker in 0..cfg.workers.max(1) {
+            let rx = Arc::clone(&rx);
+            let runtime = Arc::clone(&runtime);
+            std::thread::Builder::new()
+                .name(format!("vfc-cp-api-{worker}"))
+                .spawn(move || loop {
+                    // Hold the receiver lock only for the dequeue, not
+                    // while handling.
+                    let next = match rx.lock() {
+                        Ok(rx) => rx.recv(),
+                        Err(_) => break,
+                    };
+                    let Ok(mut stream) = next else { break };
+                    handle(&runtime, &cfg, &mut stream);
+                })
+                .map_err(|e| format!("spawn api worker: {e}"))?;
+        }
         std::thread::Builder::new()
             .name("vfc-cp-api".into())
             .spawn(move || {
                 for stream in listener.incoming() {
-                    let Ok(mut stream) = stream else { continue };
-                    let Some((method, path, body)) = read_request(&mut stream) else {
-                        respond(&mut stream, 400, &err_body("malformed request"));
-                        continue;
-                    };
-                    let (status, body) = route(&runtime, &method, &path, &body);
-                    respond(&mut stream, status, &body);
+                    let Ok(stream) = stream else { continue };
+                    match tx.try_send(stream) {
+                        Ok(()) => {}
+                        Err(TrySendError::Full(mut stream)) => {
+                            shed(&runtime, OverloadError::QueueFull);
+                            let _ = stream.set_write_timeout(Some(cfg.write_timeout));
+                            let e = OverloadError::QueueFull;
+                            respond(
+                                &mut stream,
+                                e.http_status(),
+                                &err_body(&e.to_string()),
+                                e.retry_after(),
+                            );
+                        }
+                        Err(TrySendError::Disconnected(_)) => break,
+                    }
                 }
             })
             .map_err(|e| format!("spawn api thread: {e}"))?;
@@ -149,6 +310,34 @@ impl ApiServer {
     /// The actually bound address (resolves `:0` to the chosen port).
     pub fn local_addr(&self) -> std::net::SocketAddr {
         self.addr
+    }
+}
+
+/// Count a shed in the runtime's metrics (skipped if the lock is
+/// poisoned — shedding must never block on accounting).
+fn shed(runtime: &Mutex<ControlPlaneRuntime>, e: OverloadError) {
+    if let (Some(reason), Ok(mut rt)) = (e.shed_reason(), runtime.lock()) {
+        rt.plane.metrics.shed(reason);
+    }
+}
+
+/// Serve one connection: read within the limits, route, respond.
+fn handle(runtime: &Mutex<ControlPlaneRuntime>, cfg: &ApiServerConfig, stream: &mut TcpStream) {
+    let _ = stream.set_write_timeout(Some(cfg.write_timeout));
+    match read_request(stream, cfg) {
+        Ok((method, path, body)) => {
+            let (status, body, retry_after) = route(runtime, cfg, &method, &path, &body);
+            respond(stream, status, &body, retry_after);
+        }
+        Err(e) => {
+            shed(runtime, e);
+            respond(
+                stream,
+                e.http_status(),
+                &err_body(&e.to_string()),
+                e.retry_after(),
+            );
+        }
     }
 }
 
@@ -164,35 +353,54 @@ fn err_body(msg: &str) -> String {
     .unwrap_or_else(|_| "{\"error\":\"unrenderable\"}".into())
 }
 
-fn admission_err(e: &AdmissionError) -> (u16, String) {
-    (e.http_status(), err_body(&e.to_string()))
+/// `429`s carry `Retry-After: 1` — the bucket refills next period — so
+/// a well-behaved client knows when trying again can succeed.
+fn admission_err(e: &AdmissionError) -> (u16, String, Option<u64>) {
+    let status = e.http_status();
+    let retry_after = (status == 429).then_some(1);
+    (status, err_body(&e.to_string()), retry_after)
 }
 
-fn ok_json<T: Serialize>(status: u16, value: &T) -> (u16, String) {
+fn ok_json<T: Serialize>(status: u16, value: &T) -> (u16, String, Option<u64>) {
     match serde_json::to_string(value) {
-        Ok(body) => (status, body),
-        Err(e) => (500, err_body(&format!("serialize response: {e}"))),
+        Ok(body) => (status, body, None),
+        Err(e) => (500, err_body(&format!("serialize response: {e}")), None),
     }
 }
 
 /// Dispatch one request. Split out of the accept loop so unit tests can
-/// call it without sockets.
+/// call it without sockets. Returns `(status, body, retry_after)`.
 fn route(
     runtime: &Mutex<ControlPlaneRuntime>,
+    cfg: &ApiServerConfig,
     method: &str,
     path: &str,
     body: &[u8],
-) -> (u16, String) {
+) -> (u16, String, Option<u64>) {
     let Ok(mut rt) = runtime.lock() else {
-        return (500, err_body("runtime lock poisoned"));
+        return (500, err_body("runtime lock poisoned"), None);
     };
     let rt = &mut *rt;
+    // Backlog shedding guards mutations only: reads must keep working
+    // on an overloaded plane or the operator flies blind.
+    if cfg.max_backlog > 0 && matches!(method, "POST" | "PUT" | "DELETE") {
+        let backlog = rt.reconciler.backlog(&rt.plane);
+        if backlog >= cfg.max_backlog {
+            rt.plane.metrics.shed(ShedReason::Backlog);
+            let per_period = rt.reconciler.config().max_actions_per_period.max(1);
+            // Seconds until the loop has plausibly drained the queue,
+            // at one reconcile pass per (≈1 s) period.
+            let drain = (backlog / per_period) as u64 + 1;
+            let e = OverloadError::BacklogSaturated;
+            return (e.http_status(), err_body(&e.to_string()), Some(drain));
+        }
+    }
     let segments: Vec<&str> = path.trim_matches('/').split('/').collect();
     match (method, segments.as_slice()) {
         ("POST", ["vms"]) => {
             let req: CreateReq = match parse_body(body) {
                 Ok(r) => r,
-                Err(e) => return (400, err_body(&format!("bad body: {e}"))),
+                Err(e) => return (400, err_body(&format!("bad body: {e}")), None),
             };
             let template = VmTemplate::new(&req.name, req.vcpus, MHz(req.vfreq_mhz))
                 .with_mem_gb(req.mem_gb.unwrap_or(4));
@@ -210,7 +418,7 @@ fn route(
         }
         ("DELETE", ["vms", id]) => {
             let Ok(id) = id.parse::<u64>() else {
-                return (400, err_body("vm id must be an integer"));
+                return (400, err_body("vm id must be an integer"), None);
             };
             match rt.plane.delete_vm(SpecId(id)) {
                 Ok(_) => ok_json(200, &DeletedResp { id }),
@@ -219,11 +427,11 @@ fn route(
         }
         ("PUT", ["vms", id, "vfreq"]) => {
             let Ok(id) = id.parse::<u64>() else {
-                return (400, err_body("vm id must be an integer"));
+                return (400, err_body("vm id must be an integer"), None);
             };
             let req: VfreqReq = match parse_body(body) {
                 Ok(r) => r,
-                Err(e) => return (400, err_body(&format!("bad body: {e}"))),
+                Err(e) => return (400, err_body(&format!("bad body: {e}")), None),
             };
             let loads = rt.cluster.node_loads();
             match rt.plane.resize_vm(SpecId(id), MHz(req.vfreq_mhz), &loads) {
@@ -240,7 +448,7 @@ fn route(
                     quota,
                 },
             ),
-            None => (404, err_body(&format!("unknown tenant {name:?}"))),
+            None => (404, err_body(&format!("unknown tenant {name:?}")), None),
         },
         ("GET", ["healthz"]) => ok_json(
             200,
@@ -251,13 +459,51 @@ fn route(
                 log_seq: rt.plane.store().seq(),
             },
         ),
-        ("GET", ["metrics"]) => (200, rt.plane.metrics.render()),
-        _ => (404, err_body(&format!("no route {method} {path}"))),
+        ("GET", ["metrics"]) => (200, rt.plane.metrics.render(), None),
+        _ => (404, err_body(&format!("no route {method} {path}")), None),
     }
 }
 
-/// Read one request: request line, headers, and a `Content-Length` body.
-fn read_request(stream: &mut TcpStream) -> Option<(String, String, Vec<u8>)> {
+/// One bounded, deadline-aware read. The socket read timeout is set to
+/// the time left until the overall deadline, so a trickling sender
+/// cannot reset the clock packet by packet.
+fn read_chunk(
+    stream: &mut TcpStream,
+    chunk: &mut [u8],
+    started: std::time::Instant,
+    timeout: Duration,
+) -> Result<usize, OverloadError> {
+    let remaining = timeout
+        .checked_sub(started.elapsed())
+        .filter(|d| !d.is_zero())
+        .ok_or(OverloadError::ReadTimeout)?;
+    stream
+        .set_read_timeout(Some(remaining))
+        .map_err(|_| OverloadError::Malformed)?;
+    match stream.read(chunk) {
+        Ok(0) => Err(OverloadError::Malformed), // EOF mid-request
+        Ok(n) => Ok(n),
+        Err(e)
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) =>
+        {
+            Err(OverloadError::ReadTimeout)
+        }
+        Err(_) => Err(OverloadError::Malformed),
+    }
+}
+
+/// Read one request — request line, headers, `Content-Length` body —
+/// within `cfg`'s limits: the whole read must finish inside
+/// `read_timeout`, headers stop at 16 KiB, and a declared body over
+/// `max_body_bytes` is refused before a single body byte is read.
+fn read_request(
+    stream: &mut TcpStream,
+    cfg: &ApiServerConfig,
+) -> Result<(String, String, Vec<u8>), OverloadError> {
+    let started = std::time::Instant::now();
     let mut buf: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 1024];
     let header_end = loop {
@@ -265,51 +511,57 @@ fn read_request(stream: &mut TcpStream) -> Option<(String, String, Vec<u8>)> {
             break pos + 4;
         }
         if buf.len() > 16 * 1024 {
-            return None;
+            return Err(OverloadError::BodyTooLarge);
         }
-        let n = stream.read(&mut chunk).ok()?;
-        if n == 0 {
-            return None;
-        }
+        let n = read_chunk(stream, &mut chunk, started, cfg.read_timeout)?;
         buf.extend_from_slice(&chunk[..n]);
     };
-    let head = std::str::from_utf8(&buf[..header_end]).ok()?;
+    let head = std::str::from_utf8(&buf[..header_end]).map_err(|_| OverloadError::Malformed)?;
     let mut lines = head.split("\r\n");
-    let mut request_line = lines.next()?.split_whitespace();
-    let method = request_line.next()?.to_owned();
-    let path = request_line.next()?.to_owned();
+    let mut request_line = lines
+        .next()
+        .ok_or(OverloadError::Malformed)?
+        .split_whitespace();
+    let method = request_line
+        .next()
+        .ok_or(OverloadError::Malformed)?
+        .to_owned();
+    let path = request_line
+        .next()
+        .ok_or(OverloadError::Malformed)?
+        .to_owned();
     let content_length = lines
         .filter_map(|l| l.split_once(':'))
         .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
         .and_then(|(_, v)| v.trim().parse::<usize>().ok())
         .unwrap_or(0);
-    if content_length > 1024 * 1024 {
-        return None;
+    if content_length > cfg.max_body_bytes {
+        return Err(OverloadError::BodyTooLarge);
     }
     let mut body = buf[header_end..].to_vec();
     while body.len() < content_length {
-        let n = stream.read(&mut chunk).ok()?;
-        if n == 0 {
-            return None;
-        }
+        let n = read_chunk(stream, &mut chunk, started, cfg.read_timeout)?;
         body.extend_from_slice(&chunk[..n]);
     }
     body.truncate(content_length);
-    Some((method, path, body))
+    Ok((method, path, body))
 }
 
 fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
     haystack.windows(needle.len()).position(|w| w == needle)
 }
 
-fn respond(stream: &mut TcpStream, status: u16, body: &str) {
+fn respond(stream: &mut TcpStream, status: u16, body: &str, retry_after: Option<u64>) {
     let reason = match status {
         200 => "OK",
         201 => "Created",
         400 => "Bad Request",
         403 => "Forbidden",
         404 => "Not Found",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
         429 => "Too Many Requests",
+        503 => "Service Unavailable",
         507 => "Insufficient Storage",
         _ => "Internal Server Error",
     };
@@ -318,8 +570,11 @@ fn respond(stream: &mut TcpStream, status: u16, body: &str) {
     } else {
         "text/plain; version=0.0.4; charset=utf-8"
     };
+    let retry = retry_after
+        .map(|secs| format!("Retry-After: {secs}\r\n"))
+        .unwrap_or_default();
     let response = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n{retry}Connection: close\r\n\r\n{body}",
         body.len(),
     );
     let _ = stream.write_all(response.as_bytes());
@@ -468,5 +723,126 @@ mod tests {
         // 404: unknown route.
         let (status, _) = http(addr, "GET /nope HTTP/1.1\r\nHost: x\r\n\r\n");
         assert_eq!(status, 404);
+    }
+
+    /// Send raw bytes and return the full response (status line, headers
+    /// and body) for header-level assertions.
+    fn raw(addr: std::net::SocketAddr, request: &[u8]) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(request).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    #[test]
+    fn slow_loris_and_oversized_bodies_are_shed_typed() {
+        let rt = runtime();
+        let cfg = ApiServerConfig {
+            read_timeout: Duration::from_millis(200),
+            max_body_bytes: 1024,
+            ..ApiServerConfig::default()
+        };
+        let server = ApiServer::bind_with("127.0.0.1:0", Arc::clone(&rt), cfg).unwrap();
+        let addr = server.local_addr();
+
+        // 413 from the Content-Length header alone — no body byte read.
+        let response = raw(
+            addr,
+            b"POST /vms HTTP/1.1\r\nHost: x\r\nContent-Length: 10000000\r\n\r\n",
+        );
+        assert!(response.starts_with("HTTP/1.1 413"), "{response}");
+
+        // 408: a slow loris that never finishes its headers.
+        let response = raw(addr, b"POST /vms HTTP/1.1\r\n");
+        assert!(response.starts_with("HTTP/1.1 408"), "{response}");
+
+        // A well-behaved request still lands after the abuse.
+        let (status, _) = http(addr, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(status, 200);
+
+        let rt = rt.lock().unwrap();
+        assert_eq!(rt.plane.metrics.sheds(ShedReason::BodyTooLarge), 1);
+        assert_eq!(rt.plane.metrics.sheds(ShedReason::ReadTimeout), 1);
+    }
+
+    #[test]
+    fn backlog_saturation_sheds_mutations_but_not_reads() {
+        let rt = runtime();
+        let cfg = ApiServerConfig {
+            max_backlog: 1,
+            ..ApiServerConfig::default()
+        };
+        let server = ApiServer::bind_with("127.0.0.1:0", Arc::clone(&rt), cfg).unwrap();
+        let addr = server.local_addr();
+
+        // Backlog 0 < 1: the first create is admitted...
+        let (status, body) = post(
+            addr,
+            "POST",
+            "/vms",
+            r#"{"tenant":"acme","name":"a","vcpus":1,"vfreq_mhz":500}"#,
+        );
+        assert_eq!(status, 201, "{body}");
+
+        // ...and now one unbound spec saturates the threshold: the next
+        // mutation gets 503 + Retry-After while reads keep working.
+        let response = raw(
+            addr,
+            b"POST /vms HTTP/1.1\r\nHost: x\r\nContent-Length: 54\r\n\r\n{\"tenant\":\"acme\",\"name\":\"b\",\"vcpus\":1,\"vfreq_mhz\":500}",
+        );
+        assert!(response.starts_with("HTTP/1.1 503"), "{response}");
+        assert!(response.contains("Retry-After:"), "{response}");
+        let (status, _) = http(addr, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(status, 200);
+
+        // Reconciling drains the backlog and mutations flow again.
+        rt.lock().unwrap().step();
+        let (status, body) = post(
+            addr,
+            "POST",
+            "/vms",
+            r#"{"tenant":"acme","name":"c","vcpus":1,"vfreq_mhz":500}"#,
+        );
+        assert_eq!(status, 201, "{body}");
+        assert_eq!(
+            rt.lock().unwrap().plane.metrics.sheds(ShedReason::Backlog),
+            1
+        );
+    }
+
+    #[test]
+    fn rate_limited_mutations_carry_retry_after() {
+        let rt = runtime();
+        {
+            let mut rt = rt.lock().unwrap();
+            rt.plane.set_rate_limit(crate::admission::RateLimit {
+                burst: 1,
+                per_tick: 1,
+            });
+            rt.plane.add_tenant(
+                "tiny",
+                TenantQuota {
+                    max_vms: 4,
+                    max_vcpus: 16,
+                    max_mhz: 20_000,
+                },
+            );
+        }
+        let server = ApiServer::bind("127.0.0.1:0", Arc::clone(&rt)).unwrap();
+        let addr = server.local_addr();
+        let body = r#"{"tenant":"tiny","name":"a","vcpus":1,"vfreq_mhz":500}"#;
+        let (status, _) = post(addr, "POST", "/vms", body);
+        assert_eq!(status, 201);
+        let response = raw(
+            addr,
+            format!(
+                "POST /vms HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        );
+        assert!(response.starts_with("HTTP/1.1 429"), "{response}");
+        assert!(response.contains("Retry-After: 1"), "{response}");
     }
 }

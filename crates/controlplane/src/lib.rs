@@ -41,8 +41,8 @@ pub mod spec;
 pub mod telemetry;
 
 pub use admission::{AdmissionError, ControlPlane, RateLimit};
-pub use api::{ApiServer, ControlPlaneRuntime};
+pub use api::{ApiServer, ApiServerConfig, ControlPlaneRuntime, OverloadError};
 pub use quota::{TenantQuota, TenantUsage, TokenBucket};
 pub use reconcile::{Binding, ReconcileSummary, Reconciler, ReconcilerConfig, WorkloadFactory};
 pub use spec::{SpecEvent, SpecId, SpecStore, VmSpec};
-pub use telemetry::{ActionKind, ControlPlaneMetrics, ACTION_LABELS};
+pub use telemetry::{ActionKind, ControlPlaneMetrics, ShedReason, ACTION_LABELS, SHED_LABELS};

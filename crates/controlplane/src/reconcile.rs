@@ -52,6 +52,12 @@ pub struct ReconcilerConfig {
     pub backoff_max: u64,
     /// Placement algorithm used for deploys.
     pub algorithm: PlacementAlgorithm,
+    /// Cap-lease renewal cadence: every this many reconcile passes the
+    /// reconciler renews the lease of every reachable node
+    /// ([`ClusterManager::renew_leases`]). Nodes inside a partition
+    /// window miss their renewal and fail safe locally. `1` (the
+    /// default) renews every pass; treated as ≥ 1.
+    pub lease_renew_every: u64,
 }
 
 impl Default for ReconcilerConfig {
@@ -61,7 +67,30 @@ impl Default for ReconcilerConfig {
             backoff_base: 1,
             backoff_max: 16,
             algorithm: PlacementAlgorithm::BestFit,
+            lease_renew_every: 1,
         }
+    }
+}
+
+impl ReconcilerConfig {
+    /// Load-time footgun check for fail-safe cap leases: a lease TTL
+    /// shorter than the renewal cadence expires *between* renewals, so
+    /// every node would cycle guarantee-only → uncapped → re-adopted
+    /// forever while believing itself partitioned. `cap_lease_ttl` is
+    /// the controllers' [`cap_lease_ttl`] in periods (`0` = leases
+    /// disabled, always valid).
+    ///
+    /// [`cap_lease_ttl`]: vfc_controller::ControllerConfig::cap_lease_ttl
+    pub fn validate_lease_ttl(&self, cap_lease_ttl: u64) -> Result<(), String> {
+        let cadence = self.lease_renew_every.max(1);
+        if cap_lease_ttl > 0 && cap_lease_ttl < cadence {
+            return Err(format!(
+                "cap lease TTL of {cap_lease_ttl} periods is shorter than the \
+                 reconcile renewal cadence of {cadence} periods: every lease \
+                 would expire between renewals"
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -154,6 +183,32 @@ impl Reconciler {
         self.bindings.len()
     }
 
+    /// The loop's tuning knobs.
+    pub fn config(&self) -> &ReconcilerConfig {
+        &self.cfg
+    }
+
+    /// Pending work: specs not yet bound at their current generation
+    /// plus bindings whose spec is gone — the queue depth the API layer
+    /// sheds mutations on when it saturates.
+    pub fn backlog(&self, plane: &ControlPlane) -> usize {
+        let stale = self
+            .bindings
+            .iter()
+            .filter(|(id, _)| plane.store().get(**id).is_none())
+            .count();
+        let behind = plane
+            .store()
+            .specs()
+            .filter(|s| {
+                self.bindings
+                    .get(&s.id)
+                    .is_none_or(|b| b.applied_generation < s.generation)
+            })
+            .count();
+        stale + behind
+    }
+
     /// One reconcile pass. Ticks the control plane (rate-limit refill +
     /// usage gauges), diffs desired vs observed, issues at most
     /// `max_actions_per_period` cluster actions, and records metrics.
@@ -166,6 +221,12 @@ impl Reconciler {
     ) -> ReconcileSummary {
         let started = std::time::Instant::now();
         plane.tick();
+        // Lease renewal rides the reconcile heartbeat: every reachable
+        // node's cap lease is refreshed, so a node that stops hearing
+        // from us (partition, reconciler death) fails safe on its own.
+        if self.period % self.cfg.lease_renew_every.max(1) == 0 {
+            cluster.renew_leases();
+        }
         let mut summary = ReconcileSummary::default();
         let mut budget = self.cfg.max_actions_per_period;
 
@@ -469,5 +530,40 @@ mod tests {
         }
         assert!(converged, "deploy retried after backoff");
         assert!(rec.binding(a).is_some() && rec.binding(b).is_some());
+    }
+
+    #[test]
+    fn lease_ttl_must_cover_the_renewal_cadence() {
+        let cfg = ReconcilerConfig::default();
+        assert!(cfg.validate_lease_ttl(0).is_ok(), "disabled is fine");
+        assert!(cfg.validate_lease_ttl(1).is_ok());
+        let slow = ReconcilerConfig {
+            lease_renew_every: 5,
+            ..ReconcilerConfig::default()
+        };
+        assert!(slow.validate_lease_ttl(3).is_err(), "expires between renewals");
+        assert!(slow.validate_lease_ttl(5).is_ok());
+        assert!(slow.validate_lease_ttl(0).is_ok());
+    }
+
+    #[test]
+    fn backlog_counts_unbound_stale_and_orphaned() {
+        let (mut plane, mut cluster, mut rec) = rig(2);
+        let loads = cluster.node_loads();
+        let a = plane
+            .create_vm("acme", VmTemplate::new("a", 1, MHz(500)), &loads)
+            .unwrap();
+        let b = plane
+            .create_vm("acme", VmTemplate::new("b", 1, MHz(500)), &loads)
+            .unwrap();
+        assert_eq!(rec.backlog(&plane), 2, "two unbound specs");
+        rec.reconcile(&mut plane, &mut cluster);
+        assert_eq!(rec.backlog(&plane), 0, "converged");
+        plane.resize_vm(a, MHz(700), &cluster.node_loads()).unwrap();
+        assert_eq!(rec.backlog(&plane), 1, "one generation-stale binding");
+        plane.delete_vm(b).unwrap();
+        assert_eq!(rec.backlog(&plane), 2, "plus one orphaned binding");
+        rec.reconcile(&mut plane, &mut cluster);
+        assert_eq!(rec.backlog(&plane), 0);
     }
 }

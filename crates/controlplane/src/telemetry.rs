@@ -17,6 +17,7 @@
 //! | `vfc_cp_reconcile_actions_total` | counter | `action` |
 //! | `vfc_cp_reconcile_duration_seconds` | histogram | — |
 //! | `vfc_cp_resize_duration_seconds` | histogram | — |
+//! | `vfc_cp_shed_total` | counter | `reason` |
 //!
 //! Rate-limited rejections count **only** toward
 //! `…_ratelimited_total`, not `…_rejected_total`, so the two series
@@ -50,6 +51,26 @@ pub const ACTION_LABELS: [&str; 6] = [
     "deploy", "resize", "undeploy", "retry", "deferred", "failed",
 ];
 
+/// Why the API front door refused work before it reached admission —
+/// the label values of `vfc_cp_shed_total`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// A client failed to deliver a full request within the read
+    /// timeout (slow loris, stalled sender).
+    ReadTimeout = 0,
+    /// The declared or delivered request size exceeded the body cap.
+    BodyTooLarge = 1,
+    /// The bounded accept queue was full when the connection arrived.
+    QueueFull = 2,
+    /// The reconciler backlog was at the shed threshold, so a mutation
+    /// was refused to let the loop drain.
+    Backlog = 3,
+}
+
+/// Label values of `vfc_cp_shed_total`, indexed by [`ShedReason`]
+/// discriminant.
+pub const SHED_LABELS: [&str; 4] = ["read_timeout", "body_too_large", "queue_full", "backlog"];
+
 /// Registered control-plane metric handles plus their registry.
 #[derive(Debug)]
 pub struct ControlPlaneMetrics {
@@ -67,6 +88,7 @@ pub struct ControlPlaneMetrics {
     actions: MetricId,
     reconcile_duration: MetricId,
     resize_duration: MetricId,
+    shed: MetricId,
 }
 
 impl Default for ControlPlaneMetrics {
@@ -130,6 +152,12 @@ impl ControlPlaneMetrics {
             "Wall time of one live virtual-frequency resize (cluster call)",
             &LATENCY_BUCKETS_US,
         );
+        let shed = r.counter_vec(
+            "vfc_cp_shed_total",
+            "Requests shed by the API front door before admission, by reason",
+            "reason",
+            &SHED_LABELS,
+        );
         ControlPlaneMetrics {
             registry: r,
             accepted,
@@ -143,6 +171,7 @@ impl ControlPlaneMetrics {
             actions,
             reconcile_duration,
             resize_duration,
+            shed,
         }
     }
 
@@ -206,6 +235,16 @@ impl ControlPlaneMetrics {
         self.registry.observe_us(self.resize_duration, 0, us);
     }
 
+    /// Count one shed request.
+    pub fn shed(&mut self, reason: ShedReason) {
+        self.registry.inc(self.shed, reason as usize, 1);
+    }
+
+    /// Read back one shed counter (tests, rollups).
+    pub fn sheds(&self, reason: ShedReason) -> u64 {
+        self.registry.value(self.shed, reason as usize)
+    }
+
     /// Render the registry as a Prometheus text page.
     pub fn render(&self) -> String {
         vfc_telemetry::render(&self.registry, None)
@@ -235,6 +274,12 @@ mod tests {
         m.count_actions(ActionKind::Deferred, 0);
         m.observe_reconcile_us(120);
         m.observe_resize_us(45);
+        m.shed(ShedReason::ReadTimeout);
+        m.shed(ShedReason::Backlog);
+        m.shed(ShedReason::Backlog);
+        assert_eq!(m.sheds(ShedReason::ReadTimeout), 1);
+        assert_eq!(m.sheds(ShedReason::Backlog), 2);
+        assert_eq!(m.sheds(ShedReason::QueueFull), 0);
         assert_eq!(m.actions(ActionKind::Deploy), 2);
         assert_eq!(m.actions(ActionKind::Deferred), 0);
         let page = m.render();
@@ -245,5 +290,6 @@ mod tests {
         assert!(page.contains("vfc_cp_reconcile_actions_total{action=\"deploy\"} 2"));
         assert!(page.contains("vfc_cp_spec_log_seq 3"));
         assert!(page.contains("vfc_cp_resize_duration_seconds_count 1"));
+        assert!(page.contains("vfc_cp_shed_total{reason=\"backlog\"} 2"));
     }
 }

@@ -18,6 +18,7 @@
 //!   cluster                       cluster-scale strategy comparison
 //!   churn                         control-plane admission + reconcile churn
 //!   trace                         trace-driven event-core scale evaluation
+//!   overload                      deadline ladder + leases + API shedding under overload
 //!   recovery                      warm vs cold controller restart under faults
 //!   ablation                      design-parameter quality sweeps
 //!   factor-sweep                  §III.C consolidation factor on Eq. 7
@@ -153,6 +154,7 @@ fn main() -> ExitCode {
         "factor-sweep",
         "churn",
         "trace",
+        "overload",
     ];
     let commands: Vec<&str> = if command == "all" {
         all.to_vec()
@@ -278,6 +280,11 @@ fn main() -> ExitCode {
             }
             "trace" => {
                 if !trace_cmd(&mut ctx) {
+                    return ExitCode::FAILURE;
+                }
+            }
+            "overload" => {
+                if !overload_cmd(&mut ctx) {
                     return ExitCode::FAILURE;
                 }
             }
@@ -1712,6 +1719,186 @@ fn trace_cmd(ctx: &mut Ctx) -> bool {
                 return false;
             }
             println!("  throughput floor met: {min_eps:.0} ≥ {floor:.0} events/s");
+        }
+    }
+    true
+}
+
+/// Overload resilience: the deadline degradation ladder under loop-time
+/// inflation, fail-safe cap leases under a control-plane partition, and
+/// socket-level shedding of slow-loris / oversized clients — with and
+/// without the ladder over the identical schedule. Returns `false` (CI
+/// failure) when the ladder never engages or never recovers, when the
+/// well-behaved API failure rate reaches 1 %, or when
+/// `VFC_OVERLOAD_MAX_RECOVERY` is set and the full pipeline takes more
+/// than that many periods past the stress window to return.
+fn overload_cmd(ctx: &mut Ctx) -> bool {
+    use vfc_scenarios::overload_eval::{api_stress, compare, ApiStressScenario, OverloadScenario};
+    let scenario = if ctx.scale.0 < 1.0 {
+        OverloadScenario::quick()
+    } else {
+        OverloadScenario::default()
+    };
+    println!(
+        "  {} nodes, {}+{} VMs, stress {:?} ({} µs/period), partition {:?}…",
+        scenario.nodes,
+        scenario.base_vms,
+        scenario.burst_vms,
+        scenario.stress,
+        scenario.stage_delay_us,
+        scenario.partition,
+    );
+    let cmp = match compare(scenario) {
+        Ok(cmp) => cmp,
+        Err(e) => {
+            eprintln!("FAIL: scenario rejected: {e}");
+            return false;
+        }
+    };
+    let (w, wo) = (&cmp.with_ladder, &cmp.without_ladder);
+    let viol = |r: &vfc_scenarios::overload_eval::OverloadRun| -> u64 {
+        r.points.iter().map(|p| p.violations).sum()
+    };
+    let mut t = TextTable::new(&["measure", "with ladder", "without"]);
+    t.row_strs(&[
+        "deadline overruns",
+        &w.total_overruns.to_string(),
+        &wo.total_overruns.to_string(),
+    ]);
+    t.row_strs(&[
+        "worst ladder rung",
+        &w.max_rung.to_string(),
+        &wo.max_rung.to_string(),
+    ]);
+    t.row_strs(&[
+        "recovered at period",
+        &w.recovered_at.map_or("never".into(), |p| p.to_string()),
+        "n/a",
+    ]);
+    t.row_strs(&[
+        "SLO-violated VM-periods",
+        &viol(w).to_string(),
+        &viol(wo).to_string(),
+    ]);
+    t.row_strs(&[
+        "partitioned node-periods",
+        &w.faults.partitioned_node_periods.to_string(),
+        &wo.faults.partitioned_node_periods.to_string(),
+    ]);
+    print!("{}", t.render());
+
+    let rows: Vec<Vec<String>> = w
+        .points
+        .iter()
+        .zip(&wo.points)
+        .map(|(a, b)| {
+            vec![
+                a.period.to_string(),
+                a.rung.to_string(),
+                a.overruns.to_string(),
+                a.violations.to_string(),
+                a.leases_degraded.to_string(),
+                b.violations.to_string(),
+                b.leases_degraded.to_string(),
+            ]
+        })
+        .collect();
+    ctx.save_rows(
+        "overload_eval",
+        &[
+            "period",
+            "ladder_rung",
+            "deadline_overruns",
+            "violations_with_ladder",
+            "leases_degraded_with_ladder",
+            "violations_without_ladder",
+            "leases_degraded_without_ladder",
+        ],
+        &rows,
+    );
+
+    let api = match api_stress(ApiStressScenario::default()) {
+        Ok(api) => api,
+        Err(e) => {
+            eprintln!("FAIL: api stress could not bind: {e}");
+            return false;
+        }
+    };
+    println!(
+        "  api: {} probes ok / {} failed ({:.2} % failure), {} loris shed (408), {} oversized shed (413)",
+        api.good_ok,
+        api.good_failed,
+        api.good_failure_rate * 100.0,
+        api.shed_read_timeout,
+        api.shed_body_too_large,
+    );
+
+    let ladder_worked = w.max_rung > 0 && w.recovered_at.is_some();
+    let api_ok =
+        api.good_failure_rate < 0.01 && api.shed_read_timeout > 0 && api.shed_body_too_large > 0;
+    ctx.registry.add(
+        ExperimentRecord::new(
+            "overload",
+            "Overload resilience (deadline ladder, cap leases, API shedding)",
+            "A controller too slow to decide must degrade instead of enforcing \
+             stale caps, a partitioned node must fail safe, and the API front \
+             end must shed abusive clients without hurting well-behaved ones",
+        )
+        .metric("deadline_overruns_with_ladder", w.total_overruns as f64)
+        .metric("worst_rung", w.max_rung as f64)
+        .metric("violations_with_ladder", viol(w) as f64)
+        .metric("violations_without_ladder", viol(wo) as f64)
+        .metric("api_good_failure_rate", api.good_failure_rate)
+        .measured(format!(
+            "ladder descended to rung {} and recovered at period {:?}; \
+             violations {} (ladder) vs {} (none); api shed {}×408 / {}×413 \
+             at {:.2} % well-behaved failures",
+            w.max_rung,
+            w.recovered_at,
+            viol(w),
+            viol(wo),
+            api.shed_read_timeout,
+            api.shed_body_too_large,
+            api.good_failure_rate * 100.0,
+        ))
+        .verdict(if ladder_worked && api_ok {
+            Verdict::Reproduced
+        } else {
+            Verdict::Diverged
+        }),
+    );
+    if !ladder_worked {
+        eprintln!(
+            "FAIL: ladder never engaged or never recovered (worst rung {}, recovered {:?})",
+            w.max_rung, w.recovered_at
+        );
+        return false;
+    }
+    if !api_ok {
+        eprintln!(
+            "FAIL: api shedding misbehaved ({:.2} % well-behaved failures, {}×408, {}×413)",
+            api.good_failure_rate * 100.0,
+            api.shed_read_timeout,
+            api.shed_body_too_large
+        );
+        return false;
+    }
+    if let Ok(max) = std::env::var("VFC_OVERLOAD_MAX_RECOVERY") {
+        if let Ok(max) = max.parse::<u64>() {
+            let lag = w
+                .recovered_at
+                .map(|p| p.saturating_sub(cmp.scenario.stress.1));
+            match lag {
+                Some(lag) if lag <= max => {
+                    println!("  recovery floor met: {lag} ≤ {max} periods past the stress window");
+                }
+                lag => {
+                    eprintln!(
+                        "FAIL: ladder recovery lag {lag:?} exceeds the {max}-period ceiling"
+                    );
+                    return false;
+                }
+            }
         }
     }
     true

@@ -26,6 +26,7 @@ pub mod eval1;
 pub mod eval2;
 pub mod factor_sweep;
 pub mod overhead;
+pub mod overload_eval;
 pub mod placement_eval;
 pub mod recovery_eval;
 pub mod runner;

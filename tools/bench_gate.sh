@@ -39,22 +39,29 @@ with open(run_path) as f:
             rec = json.loads(line)
             measured[rec["bench"]] = rec
 
-failed = []
+failed = []  # (bench, reason) pairs, one per failing row
 print(f"{'bench':<32} {'p50_us':>8} {'budget_us':>10}  verdict")
 for bench, budget in sorted(budgets.items()):
+    allowed = budget * scale
     rec = measured.get(bench)
     if rec is None:
-        failed.append(bench)
-        print(f"{bench:<32} {'-':>8} {budget * scale:>10.0f}  MISSING")
+        failed.append((bench, f"no measurement in the run output (budget {allowed:.0f} µs)"))
+        print(f"{bench:<32} {'-':>8} {allowed:>10.0f}  MISSING")
         continue
     p50 = rec["p50_us"]
-    ok = p50 <= budget * scale
+    ok = p50 <= allowed
     if not ok:
-        failed.append(bench)
-    print(f"{bench:<32} {p50:>8} {budget * scale:>10.0f}  {'ok' if ok else 'OVER BUDGET'}")
+        failed.append(
+            (bench, f"p50 {p50} µs vs budget {allowed:.0f} µs ({p50 / allowed:.2f}x over)")
+        )
+    print(f"{bench:<32} {p50:>8} {allowed:>10.0f}  {'ok' if ok else 'OVER BUDGET'}")
 
 if failed:
-    print(f"\nbench gate FAILED: {', '.join(failed)}", file=sys.stderr)
+    print(f"\nbench gate FAILED ({len(failed)} of {len(budgets)} benches):", file=sys.stderr)
+    for bench, reason in failed:
+        print(f"  {bench}: {reason}", file=sys.stderr)
+    if scale != 1.0:
+        print(f"  (budgets scaled by VFC_BENCH_GATE_SCALE={scale})", file=sys.stderr)
     print("(rebless BENCH_controller.json only with a same-machine before/after run)", file=sys.stderr)
     sys.exit(1)
 print("\nbench gate passed")

@@ -9,12 +9,12 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::collections::HashMap;
 use std::hint::black_box;
 use std::time::Instant;
-use vfc_bench::{loaded_host, warm_up};
+use vfc_bench::{dense_host, loaded_host, warm_up};
 use vfc_controller::auction::{run_auction, Buyer};
 use vfc_controller::controller::IterationReport;
 use vfc_controller::credits::Wallet;
 use vfc_controller::estimate::trend;
-use vfc_controller::ControlMode;
+use vfc_controller::{ControlMode, ShardCount};
 use vfc_simcore::{Micros, VcpuAddr, VcpuId, VmId};
 
 fn bench_iteration(c: &mut Criterion) {
@@ -52,6 +52,50 @@ fn bench_iteration(c: &mut Criterion) {
             t.elapsed()
         });
     });
+    group.finish();
+}
+
+/// Dense-host scaling (ROADMAP open item 1): the single-threaded loop
+/// at 500/1000/2000 vCPUs, and the sharded parallel loop at the shard
+/// counts `ShardCount::Auto` would pick for those densities (4 @ 1000,
+/// 8 @ 2000). `full_loop/*` rows pin `Fixed(1)` so they measure the
+/// unsharded pipeline even where Auto would shard; `sharded/*` rows run
+/// [`Controller::iterate_into_parallel`], whose stage-1/2 fan-out is
+/// required by BENCH_controller.json to beat the single-threaded p50 at
+/// 1000 vCPUs by ≥ 2x.
+fn bench_dense(c: &mut Criterion) {
+    let mut group = c.benchmark_group("iteration");
+    for vcpus in [500u32, 1000, 2000] {
+        group.bench_with_input(BenchmarkId::new("full_loop", vcpus), &vcpus, |b, &vcpus| {
+            let (mut host, mut ctl) = dense_host(vcpus, ShardCount::Fixed(1), ControlMode::Full);
+            warm_up(&mut host, &mut ctl, 5);
+            let mut report = IterationReport::default();
+            b.iter_custom(|| {
+                host.advance_period();
+                let t = Instant::now();
+                ctl.iterate_into(&mut host, &mut report)
+                    .expect("sim backend");
+                black_box(&report);
+                t.elapsed()
+            });
+        });
+    }
+    for (vcpus, shards) in [(1000u32, 4u32), (2000, 8)] {
+        group.bench_with_input(BenchmarkId::new("sharded", vcpus), &vcpus, |b, &vcpus| {
+            let (mut host, mut ctl) =
+                dense_host(vcpus, ShardCount::Fixed(shards), ControlMode::Full);
+            warm_up(&mut host, &mut ctl, 5);
+            let mut report = IterationReport::default();
+            b.iter_custom(|| {
+                host.advance_period();
+                let t = Instant::now();
+                ctl.iterate_into_parallel(&mut host, &mut report)
+                    .expect("sim backend");
+                black_box(&report);
+                t.elapsed()
+            });
+        });
+    }
     group.finish();
 }
 
@@ -166,5 +210,11 @@ fn bench_event_core(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_iteration, bench_stages, bench_event_core);
+criterion_group!(
+    benches,
+    bench_iteration,
+    bench_dense,
+    bench_stages,
+    bench_event_core
+);
 criterion_main!(benches);

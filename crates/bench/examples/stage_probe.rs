@@ -1,0 +1,33 @@
+//! Quick probe: stage timing breakdown at 1000 vCPUs, seq vs parallel.
+use std::time::Instant;
+use vfc_bench::{dense_host, warm_up};
+use vfc_controller::controller::IterationReport;
+use vfc_controller::{ControlMode, ShardCount};
+
+fn main() {
+    for (label, shards, par) in [
+        ("seq-1", ShardCount::Fixed(1), false),
+        ("seq-4", ShardCount::Fixed(4), false),
+        ("par-4", ShardCount::Fixed(4), true),
+    ] {
+        let (mut host, mut ctl) = dense_host(1000, shards, ControlMode::Full);
+        warm_up(&mut host, &mut ctl, 5);
+        let mut report = IterationReport::default();
+        let mut best = u128::MAX;
+        for _ in 0..40 {
+            host.advance_period();
+            let t = Instant::now();
+            if par {
+                ctl.iterate_into_parallel(&mut host, &mut report).unwrap();
+            } else {
+                ctl.iterate_into(&mut host, &mut report).unwrap();
+            }
+            best = best.min(t.elapsed().as_micros());
+        }
+        let t = &report.timings;
+        println!(
+            "{label}: best-total {best}us | mon {:?} est {:?} enforce {:?} auction {:?} dist {:?} apply {:?} total {:?}",
+            t.monitor, t.estimate, t.enforce, t.auction, t.distribute, t.apply, t.total
+        );
+    }
+}

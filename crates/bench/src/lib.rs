@@ -13,7 +13,7 @@
 //! * `ablation` — controller cost under swept design parameters (auction
 //!   window, history length, increase factor).
 
-use vfc_controller::{ControlMode, Controller, ControllerConfig};
+use vfc_controller::{ControlMode, Controller, ControllerConfig, ShardCount};
 use vfc_cpusched::topology::NodeSpec;
 use vfc_simcore::MHz;
 use vfc_vmm::workload::SteadyDemand;
@@ -34,6 +34,27 @@ pub fn loaded_host(vcpus: u32, mode: ControlMode) -> (SimHost, Controller) {
         ControllerConfig::paper_defaults().with_mode(mode),
         host.topology_info(),
     );
+    (host, controller)
+}
+
+/// A dense many-vCPU host for the sharding benchmarks: `vcpus / 2`
+/// hardware threads (the same 2:1 virtual oversubscription as the
+/// chetemi fixture, scaled up), saturating 2-vCPU VMs, and a controller
+/// pinned to the given shard count. Sizes past [`loaded_host`]'s
+/// chetemi node — 500, 1000, 2000 vCPUs — model the dense-host future
+/// of ROADMAP open item 1, not the paper's testbed.
+pub fn dense_host(vcpus: u32, shards: ShardCount, mode: ControlMode) -> (SimHost, Controller) {
+    let spec = NodeSpec::custom("dense", 1, (vcpus / 4).max(1), 2, MHz(2400));
+    let mut host = SimHost::new(spec, 42);
+    let mut hosted = 0;
+    while hosted < vcpus {
+        let vm = host.provision(&VmTemplate::new("bench", 2, MHz(600)));
+        host.attach_workload(vm, Box::new(SteadyDemand::full()));
+        hosted += 2;
+    }
+    let mut cfg = ControllerConfig::paper_defaults().with_mode(mode);
+    cfg.shard_count = shards;
+    let controller = Controller::new(cfg, host.topology_info());
     (host, controller)
 }
 

@@ -49,6 +49,26 @@ pub struct VmCgroupInfo {
     pub vfreq: Option<MHz>,
 }
 
+/// One vCPU's raw monitoring counters, gathered in a single batched
+/// read (see [`HostBackend::read_vcpu_raw`]).
+///
+/// All values are *cumulative* kernel counters or instantaneous
+/// hardware state — the monitor owns the differencing against the
+/// previous period's baselines, the backend only collects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VcpuRawSample {
+    /// Cumulative `usage_usec` since cgroup creation.
+    pub usage: Micros,
+    /// Cumulative `throttled_usec` since cgroup creation.
+    pub throttled: Micros,
+    /// CPU the vCPU thread last ran on (`CpuId(0)` when the thread id
+    /// could not be determined — matching the monitor's historic
+    /// fallback).
+    pub last_cpu: CpuId,
+    /// Current frequency of that CPU.
+    pub core_freq: MHz,
+}
+
 /// Everything the six controller stages need from the host.
 ///
 /// Implementations must be cheap for the read methods: they are called for
@@ -105,6 +125,46 @@ pub trait HostBackend {
     /// Current frequency of a CPU
     /// (`/sys/devices/system/cpu/cpu{i}/cpufreq/scaling_cur_freq`).
     fn cpu_cur_freq(&self, cpu: CpuId) -> Result<MHz>;
+
+    /// Hook called once at the start of every monitoring read pass (one
+    /// pass per controller shard per period), *before* the first
+    /// [`HostBackend::read_vcpu_raw`] of that pass. Backends that can
+    /// amortise work across a pass — e.g. [`crate::fs::FsBackend`]
+    /// memoising per-core `scaling_cur_freq` reads so `k` vCPUs packed
+    /// on one core cost one sysfs read instead of `k` — reset their
+    /// per-pass state here. The default does nothing.
+    fn begin_read_pass(&self) {}
+
+    /// Batched per-vCPU monitoring read: everything stage 1 needs for
+    /// one vCPU, in one call.
+    ///
+    /// The default composes the legacy call sequence **exactly** —
+    /// `vcpu_usage` → `vcpu_throttled` → `vcpu_first_thread` →
+    /// `thread_last_cpu` (a missing thread id falls back to `CpuId(0)`)
+    /// → `cpu_cur_freq` — aborting on the first error, so fault
+    /// injection layered on the fine-grained methods keeps its
+    /// per-call, in-order semantics. Backends for which the fine-grained
+    /// methods each pay a syscall (the filesystem backend parses
+    /// `cpu.stat` twice per vCPU through the default) should override
+    /// this with a fused read; the controller's sharded monitor issues
+    /// all stage-1 reads through here.
+    fn read_vcpu_raw(&self, vm: VmId, vcpu: VcpuId) -> Result<VcpuRawSample> {
+        let usage = self.vcpu_usage(vm, vcpu)?;
+        let throttled = self.vcpu_throttled(vm, vcpu)?;
+        let last_cpu = match self.vcpu_first_thread(vm, vcpu)? {
+            Some(tid) => self.thread_last_cpu(tid)?,
+            // No thread id (vCPU not yet running): attribute to CPU 0 so
+            // the frequency estimate still has a source.
+            None => CpuId::new(0),
+        };
+        let core_freq = self.cpu_cur_freq(last_cpu)?;
+        Ok(VcpuRawSample {
+            usage,
+            throttled,
+            last_cpu,
+            core_freq,
+        })
+    }
 
     /// Write the vCPU cgroup's `cpu.max`.
     fn set_vcpu_max(&mut self, vm: VmId, vcpu: VcpuId, max: CpuMax) -> Result<()>;

@@ -513,6 +513,16 @@ impl<B: HostBackend> HostBackend for FaultInjectingBackend<B> {
         listed
     }
 
+    fn begin_read_pass(&self) {
+        // Forwarded so the inner backend's per-pass amortisations still
+        // reset. `read_vcpu_raw` is deliberately NOT overridden: the
+        // trait default decomposes it into the fine-grained calls below,
+        // so every fault draw happens per call, in the legacy order —
+        // a fault plan replays identically whether the monitor reads
+        // through the batched or the fine-grained surface.
+        self.inner.begin_read_pass();
+    }
+
     fn vcpu_usage(&self, vm: VmId, vcpu: VcpuId) -> Result<Micros> {
         self.check_vm(vm)?;
         match self.decide(FaultOp::VcpuUsage, Some(vm), Some(vcpu)) {

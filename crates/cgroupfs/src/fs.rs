@@ -25,10 +25,10 @@ use crate::model::CpuMax;
 use crate::parse;
 use crate::tree::kvm_layout;
 use crate::v1;
-use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::RwLock;
 use vfc_simcore::{CpuId, MHz, Micros, Tid, VcpuId, VmId};
 
 /// One discovered VM scope.
@@ -102,8 +102,15 @@ pub struct FsBackend {
     cpu_root: PathBuf,
     version: CgroupVersion,
     vfreq: HashMap<String, MHz>,
-    /// Discovery cache, refreshed by [`HostBackend::vms`].
-    cache: RefCell<Vec<DiscoveredVm>>,
+    /// Discovery cache, refreshed by [`HostBackend::vms`]. Behind a
+    /// lock (not a `RefCell`) so the backend is `Sync`: the sharded
+    /// controller reads several shards' vCPUs concurrently through a
+    /// shared `&FsBackend`.
+    cache: RwLock<Vec<DiscoveredVm>>,
+    /// Per-read-pass memo of `scaling_cur_freq` by CPU, cleared by
+    /// [`HostBackend::begin_read_pass`]: vCPUs packed on one core cost
+    /// one sysfs read per pass instead of one each.
+    freq_memo: RwLock<HashMap<u32, MHz>>,
 }
 
 impl FsBackend {
@@ -122,7 +129,8 @@ impl FsBackend {
             cpu_root: cpu_root.into(),
             version,
             vfreq: HashMap::new(),
-            cache: RefCell::new(Vec::new()),
+            cache: RwLock::new(Vec::new()),
+            freq_memo: RwLock::new(HashMap::new()),
         }
     }
 
@@ -245,20 +253,20 @@ impl FsBackend {
         let lookup = |cache: &[DiscoveredVm]| -> Option<PathBuf> {
             cache.get(vm.as_usize()).map(|v| v.scope_dir.clone())
         };
-        if let Some(p) = lookup(&self.cache.borrow()) {
+        if let Some(p) = lookup(&self.cache.read().unwrap()) {
             return Ok(p);
         }
         let fresh = self.discover()?;
-        *self.cache.borrow_mut() = fresh;
-        lookup(&self.cache.borrow()).ok_or(CgroupError::NoSuchVcpu {
+        *self.cache.write().unwrap() = fresh;
+        lookup(&self.cache.read().unwrap()).ok_or(CgroupError::NoSuchVcpu {
             vm: vm.as_u32(),
             vcpu: 0,
         })
     }
 
     /// Run `f` against a vCPU's precomputed path plan, refreshing the
-    /// discovery cache once on miss. The closure executes with the cache
-    /// borrowed (shared), so it must not re-enter cache-mutating paths —
+    /// discovery cache once on miss. The closure executes holding the
+    /// cache's read lock, so it must not re-enter cache-mutating paths —
     /// the file reads and writes it performs never do.
     fn with_vcpu_plan<T>(
         &self,
@@ -267,7 +275,7 @@ impl FsBackend {
         f: impl FnOnce(&VcpuPlan) -> Result<T>,
     ) -> Result<T> {
         {
-            let cache = self.cache.borrow();
+            let cache = self.cache.read().unwrap();
             if let Some(plan) = cache
                 .get(vm.as_usize())
                 .and_then(|v| v.vcpus.get(vcpu.as_usize()))
@@ -276,8 +284,8 @@ impl FsBackend {
             }
         }
         let fresh = self.discover()?;
-        *self.cache.borrow_mut() = fresh;
-        let cache = self.cache.borrow();
+        *self.cache.write().unwrap() = fresh;
+        let cache = self.cache.read().unwrap();
         match cache
             .get(vm.as_usize())
             .and_then(|v| v.vcpus.get(vcpu.as_usize()))
@@ -326,7 +334,7 @@ impl HostBackend for FsBackend {
                 vfreq: self.vfreq.get(&v.name).copied(),
             })
             .collect();
-        *self.cache.borrow_mut() = discovered;
+        *self.cache.write().unwrap() = discovered;
         infos
     }
 
@@ -379,6 +387,61 @@ impl HostBackend for FsBackend {
             .join(format!("cpu{}", cpu.as_u32()))
             .join("cpufreq/scaling_cur_freq");
         parse::parse_scaling_cur_freq(&self.read(&path)?)
+    }
+
+    fn begin_read_pass(&self) {
+        self.freq_memo.write().unwrap().clear();
+    }
+
+    /// Fused monitoring read: on v2 one `cpu.stat` parse yields both
+    /// `usage_usec` and `throttled_usec` (the default trait path parses
+    /// the same file twice), and `scaling_cur_freq` is memoised per CPU
+    /// for the duration of the read pass. Error order matches the
+    /// default exactly: usage source first, then throttled, threads,
+    /// `/proc` stat, frequency.
+    fn read_vcpu_raw(&self, vm: VmId, vcpu: VcpuId) -> Result<crate::backend::VcpuRawSample> {
+        let (usage, throttled, tid) = self.with_vcpu_plan(vm, vcpu, |plan| match self.version {
+            CgroupVersion::V2 => {
+                let stat = parse::parse_cpu_stat(&self.read(&plan.usage)?)?;
+                let tid = parse::parse_threads(&self.read(&plan.threads)?)?
+                    .first()
+                    .copied();
+                Ok((stat.usage_usec, stat.throttled_usec, tid))
+            }
+            CgroupVersion::V1 => {
+                let usage = v1::parse_cpuacct_usage(&self.read(&plan.usage)?)?;
+                let throttled = match self.read(&plan.throttled) {
+                    Ok(content) => v1::parse_v1_cpu_stat(&content)?.2,
+                    Err(_) => Micros::ZERO,
+                };
+                let tid = v1::parse_tasks(&self.read(&plan.threads)?)?
+                    .first()
+                    .copied();
+                Ok((usage, throttled, tid))
+            }
+        })?;
+        let last_cpu = match tid {
+            Some(tid) => self.thread_last_cpu(tid)?,
+            None => CpuId::new(0),
+        };
+        let core_freq = {
+            let memo = self.freq_memo.read().unwrap();
+            memo.get(&last_cpu.as_u32()).copied()
+        };
+        let core_freq = match core_freq {
+            Some(f) => f,
+            None => {
+                let f = self.cpu_cur_freq(last_cpu)?;
+                self.freq_memo.write().unwrap().insert(last_cpu.as_u32(), f);
+                f
+            }
+        };
+        Ok(crate::backend::VcpuRawSample {
+            usage,
+            throttled,
+            last_cpu,
+            core_freq,
+        })
     }
 
     fn set_vcpu_max(&mut self, vm: VmId, vcpu: VcpuId, max: CpuMax) -> Result<()> {

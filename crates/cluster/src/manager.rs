@@ -1387,8 +1387,8 @@ impl ClusterManager {
         rt.hot_streak = 0;
         rt.recovery_until = 0;
         // Whatever controller state existed died with the node.
-        rt.controller =
-            cfg.map(|cfg| Controller::new(cfg.with_mode(ControlMode::Full), rt.host.topology_info()));
+        rt.controller = cfg
+            .map(|cfg| Controller::new(cfg.with_mode(ControlMode::Full), rt.host.topology_info()));
     }
 
     /// Decide controller crashes for this period (scripted + random).

@@ -5,9 +5,9 @@ use crate::auction::{run_auction_with, AuctionOutcome, Buyer};
 use crate::config::{ControlMode, ControllerConfig};
 use crate::credits::Wallet;
 use crate::distribute::distribute_leftovers_with;
-use crate::estimate::{Estimate, EstimateCase, Estimator};
-use crate::monitor::Monitor;
+use crate::estimate::{Estimate, EstimateCase};
 use crate::persist::{Journal, VcpuState, VmState, JOURNAL_VERSION};
+use crate::shard::{self, Shard, ShardedPipeline};
 use crate::telemetry::{ControllerMetrics, Stage};
 use crate::vfreq::guaranteed_cycles;
 use std::collections::HashMap;
@@ -356,16 +356,25 @@ impl IterationReport {
 /// allocations** per iteration. The per-vCPU working set lives in a
 /// *dense slot registry* — `slots` (live vCPU addresses in sorted
 /// order) plus flat per-slot and per-VM tables — rebuilt only when the
-/// monitor's inventory generation moves. Every per-iteration structure
+/// pipeline's inventory generation moves. Every per-iteration structure
 /// (estimates, allocations, buyers, residuals, per-VM accumulators) is
 /// a flat `Vec` owned by the controller and reused across periods; the
 /// auction and distribution stages add into the slot table through
 /// grant closures instead of HashMaps.
+///
+/// Stages 1–2 run through a sharded pipeline
+/// ([`ControllerConfig::shard_count`], `docs/PERFORMANCE.md`):
+/// [`Controller::iterate_into`] runs the shards sequentially on the
+/// calling thread, [`Controller::iterate_into_parallel`] spreads them
+/// across cores. Both produce byte-identical caps, wallets and health
+/// counters for any shard count — the partition is a contiguous split
+/// of the inventory order and the merge concatenates in shard order.
 pub struct Controller {
     cfg: ControllerConfig,
     topo: TopologyInfo,
-    monitor: Monitor,
-    estimator: Estimator,
+    /// Stages 1–2: the sharded monitor + estimator pipeline, owning the
+    /// inventory lister and the merged observation buffers.
+    pipeline: ShardedPipeline,
     wallet: Wallet,
     /// `c_{i,j,t-1}` — what we applied last iteration.
     prev_alloc: FastMap<VcpuAddr, Micros>,
@@ -389,6 +398,9 @@ pub struct Controller {
     health_totals: HealthTotals,
     /// Stage histograms, market counters and the trace ring.
     metrics: ControllerMetrics,
+    /// Pipeline repartition count already folded into telemetry (the
+    /// pipeline exposes a cumulative total; the metric is a counter).
+    repartitions_seen: u64,
 
     // ---- overload resilience ------------------------------------------
     /// Current rung of the deadline degradation ladder.
@@ -454,10 +466,9 @@ impl Controller {
         }
         let lease_ttl = cfg.cap_lease_ttl;
         Controller {
-            estimator: Estimator::new(&cfg),
+            pipeline: ShardedPipeline::new(&cfg),
             cfg,
             topo,
-            monitor: Monitor::new(),
             wallet: Wallet::new(),
             prev_alloc: FastMap::default(),
             pending_writes: FastMap::default(),
@@ -466,6 +477,7 @@ impl Controller {
             iterations: 0,
             health_totals: HealthTotals::default(),
             metrics: ControllerMetrics::new(),
+            repartitions_seen: 0,
             rung: LadderRung::Full,
             ladder_streak: 0,
             synthetic_stage_us: 0,
@@ -580,15 +592,38 @@ impl Controller {
     /// histories, previous allocations, monitor baselines and the period
     /// counter — keyed by VM name (see [`crate::persist`]). VMs whose
     /// name is not known yet (never inventoried) are omitted.
+    ///
+    /// What is *deliberately not* in the snapshot:
+    ///
+    /// * **backend VM ids** — not stable across restarts; the journal
+    ///   keys by cgroup scope name and [`Controller::restore_state`]
+    ///   re-binds to whatever ids the live listing reports;
+    /// * **the `in_force` write cache and stale-sample cache** — both
+    ///   describe the *previous process's* relationship with the
+    ///   kernel; a successor must re-learn caps from a live read-back
+    ///   ([`Controller::adopt_allocation`]) rather than trust memory;
+    /// * **ladder / lease / telemetry state** — overload and health
+    ///   tracking restart clean by design (a restart *is* the reset);
+    /// * **shard assignment** — per-vCPU state is gathered across all
+    ///   shards and serialized flat, so the restoring process may run
+    ///   any `shard_count` (the §14 merge contract makes shard layout
+    ///   invisible to outputs, journals included).
+    ///
+    /// The snapshot is deterministic for a given loop state: VMs are
+    /// sorted by name and vCPUs by index, so two exports without an
+    /// intervening iteration are byte-identical — which is what lets
+    /// `tests/restart.rs` diff journals across kill/restart cycles.
+    /// Atomic write-out and validation on load live in
+    /// [`crate::persist`]; this method only captures state.
     pub fn export_state(&self) -> Journal {
         let mut per_vm: HashMap<VmId, Vec<VcpuState>> = HashMap::new();
-        for (addr, history) in self.estimator.export_histories() {
+        for (addr, history) in self.pipeline.export_histories() {
             per_vm.entry(addr.vm).or_default().push(VcpuState {
                 vcpu: addr.vcpu.as_u32(),
                 history,
                 prev_alloc: self.prev_alloc.get(&addr).copied(),
-                usage_baseline: self.monitor.usage_baseline(addr),
-                throttled_baseline: self.monitor.throttled_baseline(addr),
+                usage_baseline: self.pipeline.usage_baseline(addr),
+                throttled_baseline: self.pipeline.throttled_baseline(addr),
             });
         }
         let mut vms: Vec<VmState> = per_vm
@@ -618,9 +653,33 @@ impl Controller {
     /// and previous allocations under its *current* backend id. Live VMs
     /// absent from the journal are untouched (they cold-start), and
     /// journalled VMs that no longer exist are dropped. Returns the
-    /// names of the VMs resumed. The caller remains responsible for
-    /// reconciling `prev_alloc` against the caps actually in force
-    /// ([`Controller::adopt_allocation`]).
+    /// names of the VMs resumed.
+    ///
+    /// Per-field semantics, chosen so a *stale* journal can degrade but
+    /// never corrupt:
+    ///
+    /// * **wallet** — restored verbatim; this is the whole point of
+    ///   warm restart (a cold-started frugal VM re-earns its guarantee
+    ///   in one period but has lost the burst capacity it saved for —
+    ///   DESIGN.md §10.3 quantifies the gap);
+    /// * **histories & monitor baselines** — seeded so the first warm
+    ///   observation differences against the last *real* cumulative
+    ///   counters instead of reporting a zero-usage period that would
+    ///   crater every estimate;
+    /// * **vCPUs past the live count** — skipped (the VM shrank while
+    ///   the daemon was dead); vCPUs the journal lacks cold-start
+    ///   through the `C_i` floor like any first sighting;
+    /// * **the iteration counter** — `max(live, journal)`, monotone so
+    ///   period-indexed telemetry never runs backwards even if the
+    ///   journal is older than the current process's progress.
+    ///
+    /// This method trusts the journal's *contents* (validation —
+    /// version, staleness, torn files — happened in
+    /// [`crate::persist::Journal::load`]) but not its *relationship to
+    /// the kernel*: the caller remains responsible for reconciling
+    /// `prev_alloc` against the caps actually in force via
+    /// [`Controller::adopt_allocation`] — a read-back beats the
+    /// journal's memory (DESIGN.md §10.2 table).
     pub fn restore_state(&mut self, journal: &Journal, live: &[VmCgroupInfo]) -> Vec<String> {
         let by_name: HashMap<&str, &VmState> =
             journal.vms.iter().map(|v| (v.name.as_str(), v)).collect();
@@ -637,8 +696,8 @@ impl Controller {
                     continue;
                 }
                 let addr = VcpuAddr::new(vm.vm, VcpuId::new(v.vcpu));
-                self.estimator.seed_history(addr, &v.history);
-                self.monitor
+                self.pipeline.seed_history(addr, &v.history);
+                self.pipeline
                     .seed_baselines(addr, v.usage_baseline, v.throttled_baseline);
                 if let Some(alloc) = v.prev_alloc {
                     self.prev_alloc.insert(addr, alloc);
@@ -679,7 +738,7 @@ impl Controller {
     pub fn set_vfreq(&mut self, vm: VmId, new_vfreq: MHz) -> Micros {
         let c_i = guaranteed_cycles(new_vfreq, self.topo.max_mhz, self.cfg.period);
         let vcpus = self
-            .estimator
+            .pipeline
             .export_histories()
             .iter()
             .filter(|(addr, _)| addr.vm == vm)
@@ -687,7 +746,7 @@ impl Controller {
             .max(1) as u64;
         let ceiling = c_i.as_u64() * vcpus * self.cfg.history_len as u64;
         self.wallet.clamp(vm, ceiling);
-        self.estimator.forget_vm(vm);
+        self.pipeline.forget_vm_histories(vm);
         self.prev_alloc.retain(|addr, _| addr.vm != vm);
         // A retry queued under the old frequency would re-impose an
         // old-sized cap if the vCPU is ever skipped; drop it.
@@ -716,11 +775,18 @@ impl Controller {
         Ok(report)
     }
 
-    /// Rebuild the dense slot registry from the monitor's inventory.
+    /// Rebuild the dense slot registry from the pipeline's inventory.
     /// Called only when the inventory generation moves; allocation here
     /// is fine (membership changes are rare events, not steady state).
+    ///
+    /// The registry is the bridge between the sharded stage-1/2 world
+    /// (per-shard maps keyed by [`VcpuAddr`]) and the flat stage-3–6
+    /// world: `slots` holds every live address in sorted order, and the
+    /// slot index is the dense key into every per-iteration table
+    /// (`slot_alloc`, `slot_has`, `slot_vm`). Sorted slot order is also
+    /// the deterministic `cpu.max` write order of stage 6.
     fn rebuild_registry(&mut self) {
-        let inv = self.monitor.inventory();
+        let inv = self.pipeline.inventory();
         self.vm_ids.clear();
         self.vm_names.clear();
         self.vm_guarantee.clear();
@@ -767,7 +833,7 @@ impl Controller {
         self.pending_writes.retain(|a, _| slot_of.contains_key(a));
         self.in_force.retain(|a, _| slot_of.contains_key(a));
         self.wallet.retain_vms(&self.vm_ids);
-        self.registry_generation = Some(self.monitor.generation());
+        self.registry_generation = Some(self.pipeline.generation());
     }
 
     /// Stage 6 — write the slot allocations (and pending retries) to the
@@ -883,7 +949,7 @@ impl Controller {
                 self.prev_alloc.retain(|a, _| a.vm != *vm);
                 self.pending_writes.retain(|a, _| a.vm != *vm);
                 self.in_force.retain(|a, _| a.vm != *vm);
-                self.monitor.forget_vm(*vm);
+                self.pipeline.forget_vm(*vm);
                 if let Some(name) = self.last_names.get(vm) {
                     vanished_names.push(name.clone());
                 }
@@ -914,11 +980,55 @@ impl Controller {
     /// vectors are recycled in place; once their capacities cover the
     /// inventory, a healthy steady-state iteration performs **zero heap
     /// allocations** end to end.
+    ///
+    /// Stages 1–2 run through the sharded pipeline, but **sequentially**
+    /// on the calling thread, visiting shards in inventory order — the
+    /// exact per-vCPU read sequence of the pre-sharding loop, which
+    /// non-`Sync` fault-injecting backends rely on for deterministic
+    /// replay. Use [`Controller::iterate_into_parallel`] to spread the
+    /// shards across cores; both entry points produce byte-identical
+    /// caps, wallets and health counters.
     pub fn iterate_into<B: HostBackend + ?Sized>(
         &mut self,
         backend: &mut B,
         report: &mut IterationReport,
     ) -> Result<()> {
+        self.iterate_core(backend, report, shard::run_shards_sequential::<B>)
+    }
+
+    /// [`Controller::iterate_into`] with stages 1–2 parallelized across
+    /// shards (one scoped thread per chunk of shards, via the vendored
+    /// `rayon`). Requires a `Sync` backend: shard state is disjoint, so
+    /// workers only share `&B`, the config and `c_{t-1}`.
+    ///
+    /// Output-equivalent to the sequential entry point — the merge
+    /// concatenates per-shard results in shard order, so stages 3–6 see
+    /// the same flat buffers either way. Worth it from a few hundred
+    /// vCPUs up (see `docs/PERFORMANCE.md` for measured crossovers);
+    /// below that the thread-scope overhead dominates, and with one
+    /// shard it degenerates to the sequential path plus one spawn-free
+    /// `thread::scope` guard.
+    pub fn iterate_into_parallel<B: HostBackend + Sync>(
+        &mut self,
+        backend: &mut B,
+        report: &mut IterationReport,
+    ) -> Result<()> {
+        self.iterate_core(backend, report, shard::run_shards_parallel::<B>)
+    }
+
+    /// The six-stage loop, generic over how stages 1–2 are driven
+    /// across shards (`runner` is one of `shard::run_shards_sequential`
+    /// / `shard::run_shards_parallel`).
+    fn iterate_core<B, F>(
+        &mut self,
+        backend: &mut B,
+        report: &mut IterationReport,
+        runner: F,
+    ) -> Result<()>
+    where
+        B: HostBackend + ?Sized,
+        F: FnOnce(&mut [Shard], &B, &ControllerConfig, &FastMap<VcpuAddr, Micros>),
+    {
         let t_start = Instant::now();
         let mut timings = StageTimings::default();
         let period = self.cfg.period;
@@ -978,54 +1088,74 @@ impl Controller {
             self.uncap_done = false;
         }
 
-        // ---- stage 1: monitor ---------------------------------------------
-        let t = Instant::now();
-        self.monitor
-            .observe_in_place(backend, period, self.cfg.stale_sample_ttl);
-        timings.monitor = t.elapsed();
+        // ---- stages 1–2: monitor + estimate (sharded pipeline) ------------
+        // Each shard runs its monitor pass and its estimate pass
+        // back-to-back; the merge then concatenates per-shard outputs in
+        // shard order, which is inventory order — the same flat buffers
+        // the unsharded loop produced. The estimator reads `prev_alloc`
+        // *before* this period's vanish cleanup prunes it, which is
+        // equivalent: the pruned entries belong to unobserved vCPUs the
+        // estimator never looks up.
+        self.pipeline.run(
+            backend,
+            &self.cfg,
+            &self.prev_alloc,
+            &mut self.estimates,
+            runner,
+        );
+        // Stage-time attribution: the critical-path shard (largest
+        // monitor+estimate sum) supplies the split, so under the
+        // parallel runner the reported stage times still bound the
+        // pass's wall time instead of summing hidden concurrency.
+        let (mon_t, est_t) = self.pipeline.critical_stage_times();
+        timings.monitor = mon_t;
+        timings.estimate = est_t;
         self.metrics.observe_stage(Stage::Monitor, timings.monitor);
+        self.metrics
+            .observe_stage(Stage::Estimate, timings.estimate);
         let vcpu_total: u64 = self
-            .monitor
+            .pipeline
             .inventory()
             .iter()
             .map(|v| v.nr_vcpus as u64)
             .sum();
         self.metrics.record_monitor(
-            self.monitor.inventory().len() as u64,
+            self.pipeline.inventory().len() as u64,
             vcpu_total,
-            self.monitor.read_errors() as u64,
-            self.monitor.stale_reused().len() as u64,
-            self.monitor.skipped().len() as u64,
-            self.monitor.vanished().len() as u64,
+            self.pipeline.read_errors() as u64,
+            self.pipeline.stale_reused().len() as u64,
+            self.pipeline.skipped().len() as u64,
+            self.pipeline.vanished().len() as u64,
         );
+        crate::estimate::record_telemetry(&self.estimates, &mut self.metrics);
 
         // Names of vanished VMs (only the previous registry still knows
         // them) — their per-VM gauge series are dropped in the epilogue.
         // `Vec::new()` does not allocate; the vanish path is cold.
         let mut vanished_names: Vec<String> = Vec::new();
-        for vm in self.monitor.vanished() {
+        for vm in self.pipeline.vanished() {
             if let Some(name) = self.last_names.get(vm) {
                 vanished_names.push(name.clone());
             }
         }
 
         let health = &mut report.health;
-        health.read_errors = self.monitor.read_errors();
+        health.read_errors = self.pipeline.read_errors();
         health.write_errors = 0;
         health.write_retries = 0;
-        health.stale_reused = self.monitor.stale_reused().len() as u32;
+        health.stale_reused = self.pipeline.stale_reused().len() as u32;
         health.skipped_vcpus.clear();
         health
             .skipped_vcpus
-            .extend_from_slice(self.monitor.skipped());
+            .extend_from_slice(self.pipeline.skipped());
         health.vanished_vms.clear();
         health
             .vanished_vms
-            .extend_from_slice(self.monitor.vanished());
+            .extend_from_slice(self.pipeline.vanished());
         health.degraded = false;
 
         // A vanished VM must not leave a ghost capping or a pending write.
-        for vm in self.monitor.vanished() {
+        for vm in self.pipeline.vanished() {
             self.prev_alloc.retain(|a, _| a.vm != *vm);
             self.pending_writes.retain(|a, _| a.vm != *vm);
             self.in_force.retain(|a, _| a.vm != *vm);
@@ -1033,23 +1163,10 @@ impl Controller {
 
         // Membership changed (or first iteration): rebuild the dense
         // slot registry the rest of the pipeline indexes into.
-        if self.registry_generation != Some(self.monitor.generation()) {
+        if self.registry_generation != Some(self.pipeline.generation()) {
             self.rebuild_registry();
         }
         let n_vms = self.vm_ids.len();
-
-        // ---- stage 2: estimate --------------------------------------------
-        let t = Instant::now();
-        self.estimator.estimate_into(
-            &self.cfg,
-            self.monitor.observations(),
-            &self.prev_alloc,
-            &mut self.estimates,
-        );
-        timings.estimate = t.elapsed();
-        self.metrics
-            .observe_stage(Stage::Estimate, timings.estimate);
-        crate::estimate::record_telemetry(&self.estimates, &mut self.metrics);
 
         // QoS floors on the estimates (both follow from Eq. 5's premise:
         // the guarantee must hold whenever the estimated demand reaches
@@ -1085,7 +1202,7 @@ impl Controller {
             let t = Instant::now();
             self.vm_minted.clear();
             self.vm_minted.resize(n_vms, 0);
-            for obs in self.monitor.observations() {
+            for obs in self.pipeline.observations() {
                 let slot = self.slot_of[&obs.addr] as usize;
                 let vi = self.slot_vm[slot] as usize;
                 let c_i = self.vm_guarantee[vi];
@@ -1287,7 +1404,7 @@ impl Controller {
         }
         for i in 0..n_rows {
             let e = &self.estimates[i];
-            let o = &self.monitor.observations()[i];
+            let o = &self.pipeline.observations()[i];
             let slot = self.slot_of[&e.addr] as usize;
             let vi = self.slot_vm[slot] as usize;
             let row = &mut report.vcpus[i];
@@ -1363,10 +1480,26 @@ impl Controller {
         // ---- telemetry epilogue (outside the timed window) ----------------
         self.metrics
             .observe_iteration(timings.total, report.health.degraded);
-        self.metrics
-            .observe_deadline(budget_us, spent_us, rung.as_u8(), overrun, descended, climbed);
+        self.metrics.observe_deadline(
+            budget_us,
+            spent_us,
+            rung.as_u8(),
+            overrun,
+            descended,
+            climbed,
+        );
         self.metrics
             .observe_lease(self.lease.as_u8(), self.lease_remaining, lease_expired_now);
+        let repartitions = self.pipeline.repartitions();
+        self.metrics.record_shards(
+            self.pipeline.shards().len() as u64,
+            repartitions - self.repartitions_seen,
+        );
+        self.repartitions_seen = repartitions;
+        for (idx, s) in self.pipeline.shards().iter().enumerate() {
+            self.metrics
+                .observe_shard(idx, s.nr_vcpus() as u64, s.mon_time(), s.est_time());
+        }
         self.wallet.snapshot_into(&mut report.credits);
         for (vm, bal) in &report.credits {
             if let Some(&vi) = self.vm_index_of.get(vm) {

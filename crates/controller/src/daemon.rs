@@ -17,6 +17,7 @@
 //! decrease_trigger = 0.5
 //! decrease_factor = 0.05
 //! history_len = 5
+//! shard_count = auto     # or n >= 1; stage-1/2 sharding (docs/PERFORMANCE.md)
 //! deadline_budget_frac = 0.25   # degradation ladder arms past 25 % of p
 //! ladder_recovery_periods = 3   # in-budget periods before climbing back
 //! lease_ttl = 30         # cap lease TTL in periods (omit to disable)
@@ -45,7 +46,7 @@
 //! the circuit breaker, which uncaps before exiting.
 
 use crate::apply::cpu_max_to_allocation;
-use crate::config::{ControlMode, ControllerConfig};
+use crate::config::{ControlMode, ControllerConfig, ShardCount};
 use crate::controller::{Controller, IterationReport};
 use crate::persist::{self, LoadOutcome};
 use std::collections::{HashMap, HashSet};
@@ -261,6 +262,18 @@ pub fn parse_config_file(content: &str) -> Result<DaemonConfig, String> {
                 cfg.controller.cap_lease_grace = value
                     .parse()
                     .map_err(|_| format!("line {}: bad lease_grace", lineno + 1))?;
+            }
+            "shard_count" => {
+                cfg.controller.shard_count = if value == "auto" {
+                    ShardCount::Auto
+                } else {
+                    ShardCount::Fixed(value.parse().map_err(|_| {
+                        format!(
+                            "line {}: bad shard_count {value:?} (auto or n >= 1)",
+                            lineno + 1
+                        )
+                    })?)
+                };
             }
             "max_consecutive_errors" => {
                 cfg.max_consecutive_errors = value
@@ -706,7 +719,16 @@ fn reconcile_on_boot<B: HostBackend + ?Sized>(
 /// between iterations exactly as §III.B.6 describes.
 pub fn run(cfg: DaemonConfig) -> Result<u64, String> {
     let mut backend = discover_backend(&cfg)?;
-    run_with_backend(cfg, &mut backend)
+    // The production backend is the concrete (and `Sync`) `FsBackend`,
+    // so stages 1–2 run sharded across cores; the generic test/embedder
+    // entry points below stay sequential because fault-injecting
+    // backends are deliberately not `Sync` (deterministic RNG replay).
+    run_loop(
+        cfg,
+        &mut backend,
+        &ShutdownHandle::new(),
+        Controller::iterate_into_parallel::<FsBackend>,
+    )
 }
 
 /// Run the control loop against an already-built backend. Split from
@@ -734,6 +756,23 @@ pub fn run_with_shutdown<B: HostBackend + ?Sized>(
     cfg: DaemonConfig,
     backend: &mut B,
     shutdown: &ShutdownHandle,
+) -> Result<u64, String> {
+    run_loop(cfg, backend, shutdown, Controller::iterate_into::<B>)
+}
+
+/// The daemon lifecycle shared by every entry point, parameterized over
+/// how one iteration is driven (`step` is [`Controller::iterate_into`]
+/// or [`Controller::iterate_into_parallel`] — the loop around it is
+/// identical either way).
+fn run_loop<B: HostBackend + ?Sized>(
+    cfg: DaemonConfig,
+    backend: &mut B,
+    shutdown: &ShutdownHandle,
+    mut step: impl FnMut(
+        &mut Controller,
+        &mut B,
+        &mut IterationReport,
+    ) -> vfc_cgroupfs::error::Result<()>,
 ) -> Result<u64, String> {
     validate_daemon(&cfg)?;
     let topo = backend.topology();
@@ -800,7 +839,7 @@ pub fn run_with_shutdown<B: HostBackend + ?Sized>(
             }
         }
         let started = std::time::Instant::now();
-        let errored = match controller.iterate_into(backend, &mut report) {
+        let errored = match step(&mut controller, backend, &mut report) {
             Ok(()) => {
                 if cfg.verbose {
                     if report.health.degraded {
@@ -906,6 +945,17 @@ mod tests {
         assert_eq!(cfg.controller.window, Micros(50_000));
         assert_eq!(cfg.vfreq["web"], MHz(500));
         assert_eq!(cfg.vfreq["batch"], MHz(1800));
+    }
+
+    #[test]
+    fn config_file_shard_count() {
+        let auto = parse_config_file("shard_count = auto\n[vms]\nweb = 500\n").unwrap();
+        assert_eq!(auto.controller.shard_count, ShardCount::Auto);
+        let fixed = parse_config_file("shard_count = 4\n[vms]\nweb = 500\n").unwrap();
+        assert_eq!(fixed.controller.shard_count, ShardCount::Fixed(4));
+        assert!(parse_config_file("shard_count = many").is_err());
+        // Fixed(0) parses but is rejected by ControllerConfig::validate.
+        assert!(parse_config_file("shard_count = 0").is_err());
     }
 
     #[test]

@@ -153,9 +153,10 @@ impl TrendAccumulator {
 }
 
 /// One vCPU's stage-2 state: the consumption ring plus its rolling
-/// trend sums.
+/// trend sums. `pub(crate)` so the sharded pipeline can move a vCPU's
+/// history between shard-local estimators without replaying samples.
 #[derive(Debug)]
-struct History {
+pub(crate) struct History {
     ring: RingBuffer<u64>,
     acc: TrendAccumulator,
 }
@@ -233,6 +234,31 @@ impl Estimator {
         prev_alloc: &FastMap<VcpuAddr, Micros>,
         out: &mut Vec<Estimate>,
     ) {
+        self.estimate_into_unpruned(cfg, observations, prev_alloc, out);
+
+        // Forget vCPUs that disappeared. The membership check only runs
+        // when the tracked set is larger than the observed one, so the
+        // steady state never builds the HashSet.
+        if self.histories.len() > observations.len() {
+            let live: std::collections::HashSet<VcpuAddr> =
+                observations.iter().map(|o| o.addr).collect();
+            self.histories.retain(|addr, _| live.contains(addr));
+        }
+    }
+
+    /// [`Estimator::estimate_into`] minus the departed-vCPU prune. The
+    /// sharded pipeline calls this per shard and runs the prune *once,
+    /// globally* after merging (see `shard.rs`): the trigger condition
+    /// (`tracked > observed`) must compare host-wide totals, or a vCPU
+    /// skipped in one shard during the same period another shard gained
+    /// one would lose its history under sharding but keep it unsharded.
+    pub(crate) fn estimate_into_unpruned(
+        &mut self,
+        cfg: &ControllerConfig,
+        observations: &[VcpuObservation],
+        prev_alloc: &FastMap<VcpuAddr, Micros>,
+        out: &mut Vec<Estimate>,
+    ) {
         let period = cfg.period;
         out.clear();
 
@@ -288,14 +314,40 @@ impl Estimator {
                 case,
             });
         }
+    }
 
-        // Forget vCPUs that disappeared. The membership check only runs
-        // when the tracked set is larger than the observed one, so the
-        // steady state never builds the HashSet.
-        if self.histories.len() > observations.len() {
-            let live: std::collections::HashSet<VcpuAddr> =
-                observations.iter().map(|o| o.addr).collect();
-            self.histories.retain(|addr, _| live.contains(addr));
+    /// Number of vCPU histories currently tracked.
+    pub(crate) fn tracked(&self) -> usize {
+        self.histories.len()
+    }
+
+    /// Keep only histories whose address is in `live` — the global half
+    /// of the departed-vCPU prune under sharding.
+    pub(crate) fn retain_addrs(&mut self, live: &std::collections::HashSet<VcpuAddr>) {
+        self.histories.retain(|addr, _| live.contains(addr));
+    }
+
+    /// Detach all histories for shard migration (rings and trend sums
+    /// move as-is — bit-identical, no sample replay).
+    pub(crate) fn take_histories(&mut self) -> FastMap<VcpuAddr, History> {
+        std::mem::take(&mut self.histories)
+    }
+
+    /// Absorb pooled histories owned by VMs accepted by `owns`, removing
+    /// them from the pool — the receiving half of
+    /// [`Estimator::take_histories`].
+    pub(crate) fn absorb_histories(
+        &mut self,
+        pool: &mut FastMap<VcpuAddr, History>,
+        owns: impl Fn(vfc_simcore::VmId) -> bool,
+    ) {
+        // FastMap has no drain-filter; collect the keys to move (cold
+        // path — repartitions only happen on membership change).
+        let moving: Vec<VcpuAddr> = pool.keys().copied().filter(|a| owns(a.vm)).collect();
+        for addr in moving {
+            if let Some(h) = pool.remove(&addr) {
+                self.histories.insert(addr, h);
+            }
         }
     }
 

@@ -64,6 +64,25 @@ pub struct MonitorOutcome {
     pub vanished: Vec<VmId>,
 }
 
+/// Per-vCPU monitor state detached from one shard's [`Monitor`] during
+/// repartitioning, waiting to be re-absorbed by the new owner shards
+/// (see [`Monitor::take_state`] / [`Monitor::absorb_state`]).
+#[derive(Debug, Default)]
+pub(crate) struct MonitorState {
+    pub(crate) prev_usage: FastMap<VcpuAddr, Micros>,
+    pub(crate) prev_throttled: FastMap<VcpuAddr, Micros>,
+    pub(crate) last_good: FastMap<VcpuAddr, (VcpuObservation, u32)>,
+}
+
+impl MonitorState {
+    /// Merge another detached state into this pool.
+    pub(crate) fn merge(&mut self, other: MonitorState) {
+        self.prev_usage.extend(other.prev_usage);
+        self.prev_throttled.extend(other.prev_throttled);
+        self.last_good.extend(other.last_good);
+    }
+}
+
 /// Stage-1 state: previous cumulative counters plus the last good
 /// observation per vCPU (for bounded stale reuse), and the cached VM
 /// inventory with this period's observation buffers — all updated in
@@ -156,14 +175,59 @@ impl Monitor {
         stale_ttl: u32,
     ) {
         let mut changed = self.refresh_inventory(backend);
+        // The read loop wants the inventory as a plain slice while it
+        // mutates the per-vCPU maps; detach it for the duration (a
+        // pointer swap, not a copy).
+        let inventory = std::mem::take(&mut self.inventory);
+        self.observe_listed(backend, &inventory, period, stale_ttl);
+        self.inventory = inventory;
+
+        if !self.vanished.is_empty() {
+            let vanished = std::mem::take(&mut self.vanished);
+            self.inventory.retain(|v| !vanished.contains(&v.vm));
+            self.vanished = vanished;
+            // Force a re-list next period: the backend's epoch may not
+            // move for a vanish it does not know about (fault layers).
+            self.inventory_epoch = None;
+            self.listed_once = false;
+            self.generation = self.generation.wrapping_add(1);
+            changed = true;
+        }
+
+        // Drop state for departed vCPUs — only worth scanning when the
+        // membership actually changed.
+        if changed {
+            let inventory = std::mem::take(&mut self.inventory);
+            self.retain_members(&inventory);
+            self.inventory = inventory;
+        }
+    }
+
+    /// The stage-1 read loop over an externally-owned VM list — the
+    /// shard-callable core of [`Monitor::observe_in_place`]. Reads every
+    /// vCPU of every VM in `vms` (in order, through one batched
+    /// [`HostBackend::read_vcpu_raw`] pass), filling the output buffers
+    /// and updating baselines/last-good state. Vanished VMs land in
+    /// [`Monitor::vanished`] with their per-vCPU state dropped; the
+    /// caller owns `vms` and decides what the vanish means for the
+    /// inventory (the unsharded path prunes its own cached listing, the
+    /// sharded pipeline reports it to the global lister).
+    pub(crate) fn observe_listed<B: HostBackend + ?Sized>(
+        &mut self,
+        backend: &B,
+        vms: &[VmCgroupInfo],
+        period: Micros,
+        stale_ttl: u32,
+    ) {
         self.observations.clear();
         self.read_errors = 0;
         self.stale_reused.clear();
         self.skipped.clear();
         self.vanished.clear();
+        backend.begin_read_pass();
 
-        'vms: for vi in 0..self.inventory.len() {
-            let (vm, nr_vcpus) = (self.inventory[vi].vm, self.inventory[vi].nr_vcpus);
+        'vms: for info in vms {
+            let (vm, nr_vcpus) = (info.vm, info.nr_vcpus);
             let vm_start = self.observations.len();
             for j in 0..nr_vcpus {
                 let addr = VcpuAddr::new(vm, VcpuId::new(j));
@@ -209,32 +273,19 @@ impl Monitor {
                 }
             }
         }
+    }
 
-        if !self.vanished.is_empty() {
-            let vanished = std::mem::take(&mut self.vanished);
-            self.inventory.retain(|v| !vanished.contains(&v.vm));
-            self.vanished = vanished;
-            // Force a re-list next period: the backend's epoch may not
-            // move for a vanish it does not know about (fault layers).
-            self.inventory_epoch = None;
-            self.listed_once = false;
-            self.generation = self.generation.wrapping_add(1);
-            changed = true;
-        }
-
-        // Drop state for departed vCPUs — only worth scanning when the
-        // membership actually changed.
-        if changed {
-            let inventory = &self.inventory;
-            let live = |a: &VcpuAddr| {
-                inventory
-                    .iter()
-                    .any(|v| v.vm == a.vm && a.vcpu.as_u32() < v.nr_vcpus)
-            };
-            self.prev_usage.retain(|a, _| live(a));
-            self.prev_throttled.retain(|a, _| live(a));
-            self.last_good.retain(|a, _| live(a));
-        }
+    /// Drop per-vCPU state for addresses outside `vms` — the membership
+    /// cleanup half of [`Monitor::observe_in_place`], also used by the
+    /// sharded pipeline after repartitioning.
+    pub(crate) fn retain_members(&mut self, vms: &[VmCgroupInfo]) {
+        let live = |a: &VcpuAddr| {
+            vms.iter()
+                .any(|v| v.vm == a.vm && a.vcpu.as_u32() < v.nr_vcpus)
+        };
+        self.prev_usage.retain(|a, _| live(a));
+        self.prev_throttled.retain(|a, _| live(a));
+        self.last_good.retain(|a, _| live(a));
     }
 
     /// The cached VM inventory (vanished VMs removed), as of the last
@@ -273,9 +324,12 @@ impl Monitor {
         &self.vanished
     }
 
-    /// The fallible per-vCPU read sequence: usage, throttled, placement,
-    /// core frequency. Returns the observation plus the raw cumulative
-    /// counters (for baseline bookkeeping).
+    /// The fallible per-vCPU read: one [`HostBackend::read_vcpu_raw`]
+    /// call (backends fuse it; the trait default preserves the legacy
+    /// usage → throttled → placement → frequency call order), then
+    /// differencing against the previous period's baselines. Returns the
+    /// observation plus the raw cumulative counters (for baseline
+    /// bookkeeping).
     fn read_vcpu<B: HostBackend + ?Sized>(
         &self,
         backend: &B,
@@ -284,38 +338,72 @@ impl Monitor {
         period: Micros,
     ) -> Result<(VcpuObservation, Micros, Micros)> {
         let addr = VcpuAddr::new(vm, vcpu);
-        let cumulative = backend.vcpu_usage(vm, vcpu)?;
+        let raw = backend.read_vcpu_raw(vm, vcpu)?;
         let used = match self.prev_usage.get(&addr) {
-            Some(&prev) => cumulative.saturating_sub(prev),
+            Some(&prev) => raw.usage.saturating_sub(prev),
             None => Micros::ZERO,
         };
-        let throttled_cum = backend.vcpu_throttled(vm, vcpu)?;
         let throttled = match self.prev_throttled.get(&addr) {
-            Some(&prev) => throttled_cum.saturating_sub(prev),
+            Some(&prev) => raw.throttled.saturating_sub(prev),
             None => Micros::ZERO,
         };
-
-        // Thread placement → core frequency. A vCPU cgroup holds
-        // exactly one thread under KVM; be tolerant of zero (the
-        // thread may be mid-exit) by reporting core 0.
-        let last_cpu = match backend.vcpu_first_thread(vm, vcpu)? {
-            Some(tid) => backend.thread_last_cpu(tid)?,
-            None => CpuId::new(0),
-        };
-        let core_freq = backend.cpu_cur_freq(last_cpu)?;
-        let freq_est = MHz((used.ratio_of(period) * core_freq.as_f64()).round() as u32);
+        let freq_est = MHz((used.ratio_of(period) * raw.core_freq.as_f64()).round() as u32);
 
         Ok((
             VcpuObservation {
                 addr,
                 used,
                 throttled,
-                last_cpu,
+                last_cpu: raw.last_cpu,
                 freq_est,
             },
-            cumulative,
-            throttled_cum,
+            raw.usage,
+            raw.throttled,
         ))
+    }
+
+    /// Detach the per-vCPU differencing state (baselines and last-good
+    /// cache) for shard migration: when the sharded pipeline
+    /// repartitions, every vCPU's state moves with it so `used` deltas
+    /// and stale-reuse ages survive the move bit-identically.
+    pub(crate) fn take_state(&mut self) -> MonitorState {
+        MonitorState {
+            prev_usage: std::mem::take(&mut self.prev_usage),
+            prev_throttled: std::mem::take(&mut self.prev_throttled),
+            last_good: std::mem::take(&mut self.last_good),
+        }
+    }
+
+    /// Absorb entries of `pool` owned by VMs accepted by `owns`,
+    /// removing them from the pool — the receiving half of
+    /// [`Monitor::take_state`].
+    pub(crate) fn absorb_state(&mut self, pool: &mut MonitorState, owns: impl Fn(VmId) -> bool) {
+        let MonitorState {
+            prev_usage,
+            prev_throttled,
+            last_good,
+        } = pool;
+        prev_usage.retain(|a, v| {
+            let take = owns(a.vm);
+            if take {
+                self.prev_usage.insert(*a, *v);
+            }
+            !take
+        });
+        prev_throttled.retain(|a, v| {
+            let take = owns(a.vm);
+            if take {
+                self.prev_throttled.insert(*a, *v);
+            }
+            !take
+        });
+        last_good.retain(|a, v| {
+            let take = owns(a.vm);
+            if take {
+                self.last_good.insert(*a, *v);
+            }
+            !take
+        });
     }
 
     /// Number of vCPUs currently tracked.

@@ -141,6 +141,46 @@ fn warm_steady_state_iteration_allocates_nothing() {
     }
 }
 
+/// The zero-allocation guarantee survives sharding: with `Fixed(4)`
+/// the sequential runner walks four warm shards per period — merge
+/// buffers, per-shard telemetry series and the repartition plan are
+/// all steady after warmup, so the allocator stays untouched. (The
+/// parallel runner is exempt: spawning scoped workers allocates by
+/// design; its *per-shard stage work* is the same allocation-free code
+/// measured here.)
+#[test]
+fn warm_sharded_iteration_allocates_nothing() {
+    let mut host = quiet_host(8, 2, 23);
+    for (i, name) in ["web", "db", "batch", "cache", "proxy"].iter().enumerate() {
+        let vm = host.provision(&VmTemplate::new(name, 1 + (i as u32 % 3), MHz(800)));
+        host.attach_workload(vm, Box::new(SteadyDemand::new(0.7)));
+    }
+
+    let mut cfg = full_config();
+    cfg.shard_count = vfc_controller::ShardCount::Fixed(4);
+    let mut ctl = Controller::new(cfg, host.topology_info());
+    ctl.telemetry_mut().set_trace_capacity(4);
+
+    let mut report = IterationReport::default();
+    for _ in 0..16 {
+        host.advance_period();
+        ctl.iterate_into(&mut host, &mut report).unwrap();
+    }
+    assert!(!report.health.degraded, "{:?}", report.health);
+
+    for _ in 0..3 {
+        host.advance_period();
+        let before = thread_alloc_events();
+        ctl.iterate_into(&mut host, &mut report).unwrap();
+        let after = thread_alloc_events();
+        assert_eq!(
+            after - before,
+            0,
+            "steady-state sharded iterate_into must not touch the allocator"
+        );
+    }
+}
+
 // ---- write elision -----------------------------------------------------
 
 #[test]

@@ -133,7 +133,10 @@ fn degraded_rungs_never_mint_or_spend_credits() {
         }
         last = bal;
     }
-    assert!(minted, "an idle VM must accrue credits on the full pipeline");
+    assert!(
+        minted,
+        "an idle VM must accrue credits on the full pipeline"
+    );
 
     // Two overruns walk Full → ReusePrev → MonitorOnly; the in-budget
     // periods after hold MonitorOnly while the recovery streak builds.

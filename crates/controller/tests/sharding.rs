@@ -1,0 +1,318 @@
+//! Shard-boundary behaviour of the sharded stage-1/2 pipeline:
+//!
+//! * **output equivalence** — a controller running `shard_count:
+//!   Fixed(4)` and one running `Fixed(1)` produce byte-identical
+//!   `cpu.max` state, wallet balances and health counters across
+//!   randomized demand schedules *with* VM churn (provision,
+//!   deprovision, mid-monitor vanish) and injected read/write faults;
+//! * **vanish isolation** — a VM whose cgroups disappear while one
+//!   shard is mid-monitor is purged without disturbing the VMs owned
+//!   by the other shards, and the loop is clean again one period later;
+//! * **fault roll-up** — a shard whose every backend read faults
+//!   degrades through the stale→skip ladder, and its counters surface
+//!   in the merged [`HealthReport`] while sibling shards keep applying
+//!   caps.
+//!
+//! All tests drive the *sequential* shard runner
+//! ([`Controller::iterate_into`]): the fault layer's RNG draws are
+//! keyed to read order, and the sequential runner visits shards in
+//! inventory order — exactly the legacy read order — so a fault plan
+//! replays identically at any shard count. That replay property is
+//! what the equivalence proptest pins.
+
+use std::io;
+
+use vfc_cgroupfs::backend::HostBackend;
+use vfc_cgroupfs::{FaultInjectingBackend, FaultKind, FaultOp, FaultPlan};
+use vfc_controller::controller::{Controller, IterationReport};
+use vfc_controller::{ControlMode, ControllerConfig, ShardCount};
+use vfc_cpusched::dvfs::{Governor, GovernorKind};
+use vfc_cpusched::engine::Engine;
+use vfc_cpusched::topology::NodeSpec;
+use vfc_simcore::{MHz, Micros, VcpuAddr, VcpuId, VmId};
+use vfc_vmm::workload::SteadyDemand;
+use vfc_vmm::{SimHost, VmTemplate};
+
+use proptest::prelude::*;
+
+// ---- fixtures ----------------------------------------------------------
+
+/// Deterministic host: performance governor, zero frequency noise.
+fn quiet_host(cores: u32, threads_per_core: u32, seed: u64) -> SimHost {
+    let spec = NodeSpec::custom("shard", 1, cores, threads_per_core, MHz(2400));
+    let gov =
+        Governor::new(GovernorKind::Performance, spec.min_mhz, spec.max_mhz, 1).with_noise_std(0.0);
+    let engine = Engine::with_parts(spec.clone(), Micros(100_000), gov, seed);
+    SimHost::new(spec, seed).with_engine(engine)
+}
+
+fn config_with_shards(shards: ShardCount) -> ControllerConfig {
+    let mut cfg = ControllerConfig::paper_defaults().with_mode(ControlMode::Full);
+    cfg.shard_count = shards;
+    cfg
+}
+
+/// Four 2-vCPU VMs: with `Fixed(4)` the contiguous vCPU-balanced
+/// partition puts exactly one VM in each shard, so per-shard behaviour
+/// is addressable by VM.
+fn one_vm_per_shard(seed: u64) -> (SimHost, Vec<VmId>) {
+    let mut host = quiet_host(8, 2, seed);
+    let mut vms = Vec::new();
+    for (i, name) in ["alpha", "beta", "gamma", "delta"].iter().enumerate() {
+        let vm = host.provision(&VmTemplate::new(name, 2, MHz(600 + 200 * i as u32)));
+        host.attach_workload(vm, Box::new(SteadyDemand::new(0.6)));
+        vms.push(vm);
+    }
+    (host, vms)
+}
+
+// ---- vanish isolation --------------------------------------------------
+
+/// A VM vanishing mid-monitor (its shard sees vanished-errors while the
+/// listing still carries it) is purged that same period; the VMs owned
+/// by the *other* shards keep their caps, and the next period — after
+/// the forced re-list and repartition — is healthy again.
+#[test]
+fn vanish_in_one_shard_leaves_other_shards_untouched() {
+    let (host, vms) = one_vm_per_shard(7);
+    let mut backend = FaultInjectingBackend::new(host, FaultPlan::none(), 7);
+    let mut ctl = Controller::new(config_with_shards(ShardCount::Fixed(4)), backend.topology());
+    let mut report = IterationReport::default();
+
+    for _ in 0..8 {
+        backend.inner_mut().advance_period();
+        ctl.iterate_into(&mut backend, &mut report).unwrap();
+    }
+    assert!(!report.health.degraded, "{:?}", report.health);
+
+    // gamma's cgroups disappear under shard 2 while the stale listing
+    // still reports the VM — the mid-monitor race window.
+    let victim = vms[2];
+    backend.vanish_vm(victim);
+    backend.inner_mut().advance_period();
+    ctl.iterate_into(&mut backend, &mut report).unwrap();
+
+    assert_eq!(report.health.vanished_vms, vec![victim]);
+    assert_eq!(report.health.read_errors, 0, "vanish is not a read error");
+    assert!(report.health.skipped_vcpus.is_empty());
+    assert!(report.health.degraded);
+    assert_eq!(ctl.credit_of(victim), 0, "vanished wallet is purged");
+    for &vm in [vms[0], vms[1], vms[3]].iter() {
+        for j in 0..2 {
+            assert!(
+                backend.inner().vcpu_max(vm, VcpuId::new(j)).is_ok(),
+                "sibling shard's {vm:?} vcpu {j} must keep its cap"
+            );
+        }
+    }
+
+    // The next listing omits the VM; the pipeline repartitions over the
+    // three survivors and the loop is clean again.
+    backend.inner_mut().advance_period();
+    ctl.iterate_into(&mut backend, &mut report).unwrap();
+    assert!(!report.health.degraded, "{:?}", report.health);
+    assert_eq!(
+        report.vcpus.iter().filter(|r| r.addr.vm == victim).count(),
+        0
+    );
+}
+
+// ---- fault roll-up -----------------------------------------------------
+
+/// Every monitoring read of one shard's VM faults with `EBUSY`. The
+/// shard degrades exactly like the unsharded monitor — two periods of
+/// stale reuse (the default `stale_sample_ttl`), then per-vCPU skips —
+/// and the counters roll up into the merged health report while the
+/// other shards keep estimating and applying caps.
+#[test]
+fn all_reads_faulting_in_one_shard_rolls_up_into_health() {
+    let (host, vms) = one_vm_per_shard(11);
+    let victim = vms[1];
+    let mut plan = FaultPlan::none()
+        .with_kinds(&[FaultKind::Io(io::ErrorKind::ResourceBusy)])
+        .with_target_vm(victim);
+    for op in FaultOp::READS {
+        plan = plan.with_rate(op, 1.0);
+    }
+    let mut backend = FaultInjectingBackend::new(host, plan, 11);
+    let cfg = config_with_shards(ShardCount::Fixed(4));
+    assert_eq!(cfg.stale_sample_ttl, 2, "test tracks the default TTL");
+    let mut ctl = Controller::new(cfg, backend.topology());
+    let mut report = IterationReport::default();
+
+    backend.disarm();
+    for _ in 0..8 {
+        backend.inner_mut().advance_period();
+        ctl.iterate_into(&mut backend, &mut report).unwrap();
+    }
+    assert!(!report.health.degraded, "{:?}", report.health);
+    backend.arm();
+
+    let faulted: Vec<VcpuAddr> = (0..2)
+        .map(|j| VcpuAddr::new(victim, VcpuId::new(j)))
+        .collect();
+
+    // Periods 1–2 after arming: both vCPUs served from the stale cache.
+    for period in 0..2 {
+        backend.inner_mut().advance_period();
+        ctl.iterate_into(&mut backend, &mut report).unwrap();
+        assert_eq!(report.health.read_errors, 2, "period {period}");
+        assert_eq!(report.health.stale_reused, 2, "period {period}");
+        assert!(report.health.skipped_vcpus.is_empty(), "period {period}");
+        assert!(report.health.degraded);
+    }
+
+    // TTL exhausted: the shard's vCPUs are skipped, in inventory order.
+    for period in 0..3 {
+        backend.inner_mut().advance_period();
+        ctl.iterate_into(&mut backend, &mut report).unwrap();
+        assert_eq!(report.health.read_errors, 2, "period {period}");
+        assert_eq!(report.health.stale_reused, 0, "period {period}");
+        assert_eq!(report.health.skipped_vcpus, faulted, "period {period}");
+        // Sibling shards still observe and cap their VMs.
+        for &vm in [vms[0], vms[2], vms[3]].iter() {
+            assert_eq!(report.vcpus.iter().filter(|r| r.addr.vm == vm).count(), 2);
+        }
+    }
+
+    // The shard gauge reflects the fixed partition on the exposition.
+    let prom = ctl.telemetry().render_prometheus();
+    assert!(
+        prom.lines().any(|l| l.trim() == "vfc_shards 4"),
+        "vfc_shards gauge missing or wrong:\n{prom}"
+    );
+}
+
+// ---- sharded vs unsharded equivalence ----------------------------------
+
+const INITIAL_VMS: usize = 5;
+const PERIODS: usize = 48;
+
+/// One side of the equivalence pair: a controller at the given shard
+/// count over a fault-injecting backend with an identical plan and RNG
+/// seed. Both sides perform the same backend call sequence, so the
+/// fault draws replay identically.
+struct Side {
+    backend: FaultInjectingBackend<SimHost>,
+    ctl: Controller,
+    report: IterationReport,
+}
+
+impl Side {
+    fn new(shards: ShardCount, seed: u64, fault_rate: f64, levels: &[u32]) -> (Self, Vec<VmId>) {
+        let mut host = quiet_host(8, 2, seed);
+        let mut vms = Vec::new();
+        for (i, &lvl) in levels.iter().take(INITIAL_VMS).enumerate() {
+            let vcpus = 1 + (i as u32 % 3);
+            let vm = host.provision(&VmTemplate::new(
+                &format!("vm{i}"),
+                vcpus,
+                MHz(600 + 300 * (i as u32 % 3)),
+            ));
+            host.attach_workload(vm, Box::new(SteadyDemand::new(f64::from(lvl) / 10.0)));
+            vms.push(vm);
+        }
+        let topo = host.topology_info();
+        let plan = FaultPlan::random(fault_rate).with_vanish_rate(fault_rate / 4.0);
+        let backend = FaultInjectingBackend::new(host, plan, seed ^ 0x5eed);
+        let ctl = Controller::new(config_with_shards(shards), topo);
+        (
+            Side {
+                backend,
+                ctl,
+                report: IterationReport::default(),
+            },
+            vms,
+        )
+    }
+
+    fn step(&mut self) {
+        self.backend.inner_mut().advance_period();
+        self.ctl
+            .iterate_into(&mut self.backend, &mut self.report)
+            .unwrap();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `Fixed(4)` and `Fixed(1)` controllers over identical hosts,
+    /// fault plans and churn scripts leave byte-identical `cpu.max`
+    /// state, wallets and health counters after every one of 48
+    /// periods. Churn: a deprovision at period 16, a late provision at
+    /// period 24, a mid-monitor vanish at period 32, plus the plan's
+    /// own random read/write faults and whole-VM vanishes throughout.
+    #[test]
+    fn sharded_equals_unsharded_under_churn_and_faults(
+        seed in 0u64..u64::MAX,
+        fault_rate in 0.0f64..0.12,
+        levels in proptest::collection::vec(0u32..=10u32, INITIAL_VMS + 1),
+    ) {
+        let (mut sharded, vms_a) = Side::new(ShardCount::Fixed(4), seed, fault_rate, &levels);
+        let (mut flat, vms_b) = Side::new(ShardCount::Fixed(1), seed, fault_rate, &levels);
+        prop_assert_eq!(&vms_a, &vms_b, "identical hosts assign identical ids");
+        let mut vms: Vec<(VmId, u32)> = vms_a
+            .iter()
+            .enumerate()
+            .map(|(i, &vm)| (vm, 1 + (i as u32 % 3)))
+            .collect();
+
+        for period in 0..PERIODS {
+            match period {
+                16 => {
+                    let (vm, _) = vms[1];
+                    sharded.backend.inner_mut().deprovision(vm);
+                    flat.backend.inner_mut().deprovision(vm);
+                }
+                24 => {
+                    let lvl = f64::from(levels[INITIAL_VMS]) / 10.0;
+                    let t = VmTemplate::new("late", 2, MHz(900));
+                    let a = sharded.backend.inner_mut().provision(&t);
+                    let b = flat.backend.inner_mut().provision(&t);
+                    prop_assert_eq!(a, b);
+                    sharded.backend.inner_mut().attach_workload(a, Box::new(SteadyDemand::new(lvl)));
+                    flat.backend.inner_mut().attach_workload(b, Box::new(SteadyDemand::new(lvl)));
+                    vms.push((a, 2));
+                }
+                32 => {
+                    // Mid-monitor vanish: the next listing still carries
+                    // the VM, every read already fails as vanished.
+                    let (vm, _) = vms[3];
+                    sharded.backend.vanish_vm(vm);
+                    flat.backend.vanish_vm(vm);
+                }
+                _ => {}
+            }
+
+            sharded.step();
+            flat.step();
+
+            let (a, b) = (&sharded.report.health, &flat.report.health);
+            prop_assert_eq!(a.read_errors, b.read_errors, "period {}", period);
+            prop_assert_eq!(a.write_errors, b.write_errors, "period {}", period);
+            prop_assert_eq!(a.write_retries, b.write_retries, "period {}", period);
+            prop_assert_eq!(a.stale_reused, b.stale_reused, "period {}", period);
+            prop_assert_eq!(&a.skipped_vcpus, &b.skipped_vcpus, "period {}", period);
+            prop_assert_eq!(&a.vanished_vms, &b.vanished_vms, "period {}", period);
+            prop_assert_eq!(a.lease_state, b.lease_state, "period {}", period);
+            prop_assert_eq!(a.degraded, b.degraded, "period {}", period);
+
+            for &(vm, vcpus) in &vms {
+                for j in 0..vcpus {
+                    let ca = sharded.backend.inner().vcpu_max(vm, VcpuId::new(j)).ok();
+                    let cb = flat.backend.inner().vcpu_max(vm, VcpuId::new(j)).ok();
+                    prop_assert_eq!(
+                        ca, cb,
+                        "period {}: cpu.max diverged on vm {:?} vcpu {}", period, vm, j
+                    );
+                }
+                prop_assert_eq!(
+                    sharded.ctl.credit_of(vm),
+                    flat.ctl.credit_of(vm),
+                    "period {}: wallet diverged on vm {:?}", period, vm
+                );
+            }
+        }
+    }
+}

@@ -77,10 +77,9 @@ impl ReconcilerConfig {
     /// shorter than the renewal cadence expires *between* renewals, so
     /// every node would cycle guarantee-only → uncapped → re-adopted
     /// forever while believing itself partitioned. `cap_lease_ttl` is
-    /// the controllers' [`cap_lease_ttl`] in periods (`0` = leases
-    /// disabled, always valid).
-    ///
-    /// [`cap_lease_ttl`]: vfc_controller::ControllerConfig::cap_lease_ttl
+    /// the controllers' `ControllerConfig::cap_lease_ttl` in periods
+    /// (`0` = leases disabled, always valid; this crate does not depend
+    /// on `vfc-controller`, so the caller passes the value through).
     pub fn validate_lease_ttl(&self, cap_lease_ttl: u64) -> Result<(), String> {
         let cadence = self.lease_renew_every.max(1);
         if cap_lease_ttl > 0 && cap_lease_ttl < cadence {
@@ -224,7 +223,10 @@ impl Reconciler {
         // Lease renewal rides the reconcile heartbeat: every reachable
         // node's cap lease is refreshed, so a node that stops hearing
         // from us (partition, reconciler death) fails safe on its own.
-        if self.period % self.cfg.lease_renew_every.max(1) == 0 {
+        if self
+            .period
+            .is_multiple_of(self.cfg.lease_renew_every.max(1))
+        {
             cluster.renew_leases();
         }
         let mut summary = ReconcileSummary::default();
@@ -541,7 +543,10 @@ mod tests {
             lease_renew_every: 5,
             ..ReconcilerConfig::default()
         };
-        assert!(slow.validate_lease_ttl(3).is_err(), "expires between renewals");
+        assert!(
+            slow.validate_lease_ttl(3).is_err(),
+            "expires between renewals"
+        );
         assert!(slow.validate_lease_ttl(5).is_ok());
         assert!(slow.validate_lease_ttl(0).is_ok());
     }

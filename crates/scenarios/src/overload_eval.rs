@@ -30,11 +30,11 @@ use vfc_cluster::{
     ClusterManager, ClusterReport, EventDrivenCluster, FaultModel, FaultReport, Strategy,
     TraceVmSpec, WorkloadFactory,
 };
+use vfc_controller::LadderRung;
 use vfc_controlplane::{
     ApiServer, ApiServerConfig, ControlPlane, ControlPlaneRuntime, Reconciler, ReconcilerConfig,
     ShedReason, TenantQuota,
 };
-use vfc_controller::LadderRung;
 use vfc_cpusched::topology::NodeSpec;
 use vfc_simcore::{MHz, Micros};
 use vfc_vmm::workload::{BurstyWeb, SteadyDemand};

@@ -11,9 +11,42 @@
 //! a pure function of the inserted keys — one less source of run-to-run
 //! variation in tests.
 //!
-//! Not for attacker-controlled keys: a tenant who could choose keys
-//! could force collisions. Inventory ids are allocator-assigned, so the
-//! controller is not exposed.
+//! # When to use which
+//!
+//! * **`FastMap`/`FastSet`** — hot-path maps whose keys are
+//!   allocator-assigned inventory ids and whose lookups happen every
+//!   control period. The win is real: before the switch, SipHash
+//!   keying + finalization dominated both the monitor and estimate
+//!   stages at 160 vCPUs (DESIGN.md §12 records the before/after).
+//! * **`std::collections::HashMap`** — anything keyed by data a tenant
+//!   can influence (cgroup scope names, API payloads) or anything off
+//!   the hot path. The default SipHash seed is the DoS defence; keep
+//!   it there.
+//!
+//! # Determinism contract
+//!
+//! `FastHash` carries no per-instance seed, so a given key hashes to
+//! the same `u64` in every process, every run, and every shard. Two
+//! consequences the rest of the tree relies on:
+//!
+//! * map iteration order is a pure function of the *set of inserted
+//!   keys* (plus capacity history) — tests and the sharded controller's
+//!   merge can iterate id-keyed maps without introducing run-to-run
+//!   variation, though ordered output paths still sort explicitly
+//!   rather than trusting bucket order across `std` versions;
+//! * equal inventories hash identically on both sides of a
+//!   sharded-vs-unsharded comparison, so per-shard `FastMap`s are
+//!   layout-stable and the equivalence proptests
+//!   (`crates/controller/tests/sharding.rs`) never chase hash-order
+//!   ghosts.
+//!
+//! # Security caveat
+//!
+//! Not for attacker-controlled keys: without a random seed, a tenant
+//! who could choose keys could precompute collisions and degrade a map
+//! to a linked list. Inventory ids are allocator-assigned small
+//! integers, so the controller is not exposed — re-evaluate before
+//! keying any `FastMap` by externally supplied data.
 
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasher, Hasher};

@@ -494,6 +494,30 @@ impl HostBackend for SimHost {
         Ok(self.engine.thread_last_cpu(tid).unwrap_or(CpuId::new(0)))
     }
 
+    /// Fused monitoring read: one vCPU-group lookup serves all four
+    /// counters instead of the default's four lookups (usage, throttled,
+    /// thread, cap). Semantically identical to the default composition —
+    /// the simulator's reads are infallible once the group resolves.
+    fn read_vcpu_raw(
+        &self,
+        vm: VmId,
+        vcpu: VcpuId,
+    ) -> Result<vfc_cgroupfs::backend::VcpuRawSample> {
+        let g = self.vcpu_group(vm, vcpu)?;
+        let node = self.tree.node(g);
+        let last_cpu = node
+            .threads
+            .first()
+            .and_then(|tid| self.engine.thread_last_cpu(*tid))
+            .unwrap_or(CpuId::new(0));
+        Ok(vfc_cgroupfs::backend::VcpuRawSample {
+            usage: node.cpu_stat.usage_usec,
+            throttled: node.cpu_stat.throttled_usec,
+            last_cpu,
+            core_freq: self.engine.core_freq(last_cpu),
+        })
+    }
+
     fn cpu_cur_freq(&self, cpu: CpuId) -> Result<MHz> {
         Ok(self.engine.core_freq(cpu))
     }

@@ -79,7 +79,13 @@ pub enum WorkloadEvent {
 }
 
 /// Guest workload behaviour. See module docs for the tick protocol.
-pub trait Workload: Send {
+///
+/// `Send + Sync` so a [`crate::SimHost`] holding boxed workloads can be
+/// read concurrently (`&SimHost` crossing threads) by the sharded
+/// controller's parallel monitoring pass; all methods still take
+/// `&mut self`, so workload state is only ever mutated from the
+/// simulation thread.
+pub trait Workload: Send + Sync {
     /// Demand fraction in `[0, 1]` for each of the `vcpus` vCPUs during
     /// the tick starting at `now`.
     fn demand(&mut self, now: Micros, vcpus: u32) -> Vec<f64>;

@@ -59,12 +59,21 @@ impl<'a, T: Send> ParIterMut<'a, T> {
         let chunk = n.div_ceil(workers);
         let f = &f;
         std::thread::scope(|s| {
-            for chunk in self.items.chunks_mut(chunk) {
+            let mut chunks = self.items.chunks_mut(chunk);
+            // The caller thread works the first chunk itself instead of
+            // idling at the scope join: workers-1 spawns, not workers.
+            let first = chunks.next();
+            for chunk in chunks {
                 s.spawn(move || {
                     for item in chunk {
                         f(item);
                     }
                 });
+            }
+            if let Some(chunk) = first {
+                for item in chunk {
+                    f(item);
+                }
             }
         });
     }

@@ -8,6 +8,16 @@
 # shared-runner jitter. VFC_BENCH_GATE_SCALE (default 1.0) multiplies
 # every budget for unusually slow machines.
 #
+# In addition to the per-row budgets, the baseline's "sharding_gate"
+# entry pins the sharded-loop scaling claim (ROADMAP open item 1): on
+# runners with >= min_cores cores, the sharded 1000-vCPU row must beat
+# the single-threaded loop's linearly-extrapolated p50 (from the
+# 160-vCPU row of the same run) by >= min_speedup. On smaller runners —
+# where the scoped-thread fan-out degenerates to the serial fallback —
+# the gate enforces the shard-overhead bound instead: sharding may cost
+# at most max_overhead_single_core over the unsharded loop at the same
+# vCPU count.
+#
 # Usage: tools/bench_gate.sh [baseline.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -28,7 +38,9 @@ baseline_path, run_path = sys.argv[1], sys.argv[2]
 scale = float(os.environ.get("VFC_BENCH_GATE_SCALE", "1.0"))
 
 with open(baseline_path) as f:
-    budgets = {b["bench"]: b["budget_us"] for b in json.load(f)["benches"]}
+    baseline = json.load(f)
+budgets = {b["bench"]: b["budget_us"] for b in baseline["benches"]}
+shards = {b["bench"]: b.get("shards", 1) for b in baseline["benches"]}
 
 # The shim appends one line per bench; keep the last run of each.
 measured = {}
@@ -40,24 +52,81 @@ with open(run_path) as f:
             measured[rec["bench"]] = rec
 
 failed = []  # (bench, reason) pairs, one per failing row
-print(f"{'bench':<32} {'p50_us':>8} {'budget_us':>10}  verdict")
+print(f"{'bench':<32} {'shards':>6} {'p50_us':>8} {'budget_us':>10}  verdict")
 for bench, budget in sorted(budgets.items()):
     allowed = budget * scale
+    n_shards = shards[bench]
     rec = measured.get(bench)
     if rec is None:
-        failed.append((bench, f"no measurement in the run output (budget {allowed:.0f} µs)"))
-        print(f"{bench:<32} {'-':>8} {allowed:>10.0f}  MISSING")
+        failed.append(
+            (bench, f"[{n_shards} shard(s)] no measurement in the run output (budget {allowed:.0f} µs)")
+        )
+        print(f"{bench:<32} {n_shards:>6} {'-':>8} {allowed:>10.0f}  MISSING")
         continue
     p50 = rec["p50_us"]
     ok = p50 <= allowed
     if not ok:
         failed.append(
-            (bench, f"p50 {p50} µs vs budget {allowed:.0f} µs ({p50 / allowed:.2f}x over)")
+            (
+                bench,
+                f"[{n_shards} shard(s)] p50 {p50} µs vs budget {allowed:.0f} µs "
+                f"({p50 / allowed:.2f}x over)",
+            )
         )
-    print(f"{bench:<32} {p50:>8} {allowed:>10.0f}  {'ok' if ok else 'OVER BUDGET'}")
+    print(f"{bench:<32} {n_shards:>6} {p50:>8} {allowed:>10.0f}  {'ok' if ok else 'OVER BUDGET'}")
+
+# ---- sharded scaling gate ------------------------------------------------
+gate = baseline.get("sharding_gate")
+if gate:
+    cores = os.cpu_count() or 1
+    s_bench, s_shards = gate["sharded"], shards.get(gate["sharded"], 1)
+    ref, (ref_v, tgt_v) = gate["reference"], gate["scale_vcpus"]
+    have = all(b in measured for b in (s_bench, ref, gate["overhead_reference"]))
+    if not have:
+        failed.append((s_bench, "sharding gate: required rows missing from the run"))
+    elif cores >= gate["min_cores"]:
+        extrapolated = measured[ref]["p50_us"] * tgt_v / ref_v
+        target = extrapolated / gate["min_speedup"]
+        p50 = measured[s_bench]["p50_us"]
+        verdict = "ok" if p50 <= target else "TOO SLOW"
+        print(
+            f"\nsharding gate ({cores} cores): {s_bench} [{s_shards} shard(s)] "
+            f"p50 {p50} µs vs extrapolated single-thread {extrapolated:.0f} µs "
+            f"/ {gate['min_speedup']} = {target:.0f} µs  {verdict}"
+        )
+        if p50 > target:
+            failed.append(
+                (
+                    s_bench,
+                    f"[{s_shards} shard(s)] p50 {p50} µs misses the >={gate['min_speedup']}x "
+                    f"speedup target {target:.0f} µs (single-thread extrapolated "
+                    f"{extrapolated:.0f} µs from {ref})",
+                )
+            )
+    else:
+        # Few-core runner: the parallel fan-out cannot win; bound the
+        # price of sharding instead of the speedup.
+        base = measured[gate["overhead_reference"]]["p50_us"]
+        limit = base * gate["max_overhead_single_core"]
+        p50 = measured[s_bench]["p50_us"]
+        verdict = "ok" if p50 <= limit else "OVERHEAD"
+        print(
+            f"\nsharding gate ({cores} cores < {gate['min_cores']}: speedup check skipped): "
+            f"{s_bench} [{s_shards} shard(s)] p50 {p50} µs vs overhead bound "
+            f"{limit:.0f} µs ({gate['max_overhead_single_core']}x unsharded)  {verdict}"
+        )
+        if p50 > limit:
+            failed.append(
+                (
+                    s_bench,
+                    f"[{s_shards} shard(s)] p50 {p50} µs exceeds the few-core "
+                    f"shard-overhead bound {limit:.0f} µs "
+                    f"({gate['max_overhead_single_core']}x {gate['overhead_reference']})",
+                )
+            )
 
 if failed:
-    print(f"\nbench gate FAILED ({len(failed)} of {len(budgets)} benches):", file=sys.stderr)
+    print(f"\nbench gate FAILED ({len(failed)} check(s)):", file=sys.stderr)
     for bench, reason in failed:
         print(f"  {bench}: {reason}", file=sys.stderr)
     if scale != 1.0:

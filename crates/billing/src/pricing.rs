@@ -1,0 +1,347 @@
+//! Price curves and SLA classes: how metered virtual-frequency usage
+//! becomes money.
+//!
+//! Following Lučanin et al.'s performance-based pricing, the billable
+//! quantity is CPU frequency actually provisioned over time — here
+//! MHz·seconds of virtual frequency, the exact quantity the controller
+//! enforces. All arithmetic is integer (µ¢, microcents) so invoices are
+//! bit-deterministic across runs and platforms; curves and classes are
+//! serde round-trippable so deployments can load them from JSON.
+
+use serde::{Deserialize, Serialize};
+
+/// One step of a [`PriceCurve::TieredStep`] curve.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PriceTier {
+    /// The tier applies to guaranteed frequencies up to this, MHz
+    /// (inclusive). Tiers must be sorted ascending; frequencies above
+    /// the last tier pay the last tier's rate.
+    pub up_to_mhz: u32,
+    /// Rate for the tier, µ¢ per GHz·second.
+    pub microcents_per_ghz_s: u64,
+}
+
+/// A frequency-tiered price curve: µ¢ per GHz·second as a function of
+/// the VM's guaranteed virtual frequency `F_v`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PriceCurve {
+    /// One flat rate regardless of `F_v`.
+    Linear {
+        /// Rate, µ¢ per GHz·second.
+        microcents_per_ghz_s: u64,
+    },
+    /// Stepwise rates by `F_v` bracket (small/medium/large pricing).
+    TieredStep {
+        /// Brackets, sorted ascending by [`PriceTier::up_to_mhz`].
+        tiers: Vec<PriceTier>,
+    },
+    /// Convex in `F_v`: high guarantees pay a superlinear premium, the
+    /// shape both Lučanin papers argue matches scarcity of fast cores:
+    /// `base + premium × (F_v / F^MAX)²`.
+    Convex {
+        /// Rate floor, µ¢ per GHz·second.
+        base_microcents_per_ghz_s: u64,
+        /// Premium at `F_v = F^MAX`, µ¢ per GHz·second.
+        premium_microcents_per_ghz_s: u64,
+    },
+}
+
+impl PriceCurve {
+    /// The rate (µ¢ per GHz·s) for a VM guaranteed `vfreq_mhz` on hosts
+    /// with `fmax_mhz` cores.
+    pub fn rate_microcents_per_ghz_s(&self, vfreq_mhz: u32, fmax_mhz: u32) -> u64 {
+        match self {
+            PriceCurve::Linear {
+                microcents_per_ghz_s,
+            } => *microcents_per_ghz_s,
+            PriceCurve::TieredStep { tiers } => tiers
+                .iter()
+                .find(|t| vfreq_mhz <= t.up_to_mhz)
+                .or_else(|| tiers.last())
+                .map(|t| t.microcents_per_ghz_s)
+                .unwrap_or(0),
+            PriceCurve::Convex {
+                base_microcents_per_ghz_s,
+                premium_microcents_per_ghz_s,
+            } => {
+                let f = vfreq_mhz.min(fmax_mhz) as u128;
+                let fmax = (fmax_mhz as u128).max(1);
+                let premium = *premium_microcents_per_ghz_s as u128 * f * f / (fmax * fmax);
+                base_microcents_per_ghz_s + premium as u64
+            }
+        }
+    }
+
+    /// Charge for `mhz_s` MHz·seconds delivered/reserved at tier
+    /// `vfreq_mhz`: `rate × mhz_s / 1000` (µ¢), floor-rounded.
+    pub fn charge_microcents(&self, vfreq_mhz: u32, fmax_mhz: u32, mhz_s: u64) -> u64 {
+        let rate = self.rate_microcents_per_ghz_s(vfreq_mhz, fmax_mhz) as u128;
+        (rate * mhz_s as u128 / 1_000) as u64
+    }
+
+    /// Short identifier for reports (`linear` / `tiered` / `convex`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PriceCurve::Linear { .. } => "linear",
+            PriceCurve::TieredStep { .. } => "tiered",
+            PriceCurve::Convex { .. } => "convex",
+        }
+    }
+}
+
+/// The service class a tenant buys. Determines *what* is billed: the
+/// reservation (with a compensation scheme) or the delivery (with a
+/// spot market for bursts).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SlaClass {
+    /// Fixed `F_v`: the tenant pays the curve on *reserved* MHz·s
+    /// whether used or not, and receives a penalty credit for every
+    /// violated VM-period (the guarantee is the product).
+    Guaranteed {
+        /// Credit per violated VM-period, µ¢.
+        penalty_microcents_per_violation: u64,
+    },
+    /// Cheap base `F_v`: the tenant pays a discounted curve on
+    /// *delivered* MHz·s (capped at the guarantee) and pays auction-won
+    /// burst cycles at a spot multiplier. No violation compensation.
+    Burstable {
+        /// Percent off the curve for base (guaranteed-tier) delivery.
+        base_discount_pct: u32,
+        /// Spot price for auction-won cycles, percent of the curve rate
+        /// (e.g. 150 = 1.5×).
+        spot_multiplier_pct: u32,
+    },
+}
+
+impl SlaClass {
+    /// Class label used in telemetry and invoices.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SlaClass::Guaranteed { .. } => "guaranteed",
+            SlaClass::Burstable { .. } => "burstable",
+        }
+    }
+}
+
+impl Default for SlaClass {
+    /// Tenants default to the paper's implicit contract: a hard
+    /// guarantee, with a 1 ¢ credit per violated VM-period.
+    fn default() -> Self {
+        SlaClass::Guaranteed {
+            penalty_microcents_per_violation: 10_000,
+        }
+    }
+}
+
+/// Everything needed to price a usage ledger: the curve, each tenant's
+/// SLA class (absent tenants default to [`SlaClass::default`]), and the
+/// host `F^MAX` that converts auction µs into MHz·s.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PricingConfig {
+    /// The price curve in force.
+    pub curve: PriceCurve,
+    /// Tenant → SLA class.
+    pub classes: std::collections::BTreeMap<String, SlaClass>,
+    /// Host core frequency `F^MAX`, MHz (auction cycles are µs of this).
+    pub fmax_mhz: u32,
+}
+
+impl PricingConfig {
+    /// A linear-curve config with no per-tenant overrides.
+    pub fn linear(microcents_per_ghz_s: u64, fmax_mhz: u32) -> Self {
+        PricingConfig {
+            curve: PriceCurve::Linear {
+                microcents_per_ghz_s,
+            },
+            classes: Default::default(),
+            fmax_mhz,
+        }
+    }
+
+    /// The SLA class in force for `tenant`.
+    pub fn class_of(&self, tenant: &str) -> SlaClass {
+        self.classes.get(tenant).cloned().unwrap_or_default()
+    }
+
+    /// Convert auction-won µs of `F^MAX` time into MHz·s.
+    pub fn auction_usec_to_mhz_s(&self, usec: u64) -> u64 {
+        (usec as u128 * self.fmax_mhz as u128 / 1_000_000) as u64
+    }
+}
+
+/// The priced outcome of one [`crate::ledger::UsageRecord`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecordCharge {
+    /// Curve charge for the base usage (reserved or delivered MHz·s,
+    /// by class), µ¢.
+    pub base_microcents: u64,
+    /// Spot charge for auction-won cycles (burstable only), µ¢.
+    pub spot_microcents: u64,
+    /// Penalty credit owed back to the tenant (guaranteed only), µ¢.
+    pub penalty_microcents: u64,
+}
+
+impl RecordCharge {
+    /// Gross revenue (before penalty credits), µ¢.
+    pub fn gross(&self) -> u64 {
+        self.base_microcents + self.spot_microcents
+    }
+
+    /// Net revenue after penalty credits, µ¢ (may be negative).
+    pub fn net(&self) -> i64 {
+        self.gross() as i64 - self.penalty_microcents as i64
+    }
+}
+
+/// Price one usage record under `cfg`. Pure and integer-only: the same
+/// record and config produce the same charge on every platform.
+pub fn price_record(cfg: &PricingConfig, r: &crate::ledger::UsageRecord) -> RecordCharge {
+    match cfg.class_of(&r.tenant) {
+        SlaClass::Guaranteed {
+            penalty_microcents_per_violation,
+        } => RecordCharge {
+            base_microcents: cfg.curve.charge_microcents(
+                r.vfreq_mhz,
+                cfg.fmax_mhz,
+                r.guaranteed_mhz_s,
+            ),
+            spot_microcents: 0,
+            penalty_microcents: penalty_microcents_per_violation * r.violated_vm_periods,
+        },
+        SlaClass::Burstable {
+            base_discount_pct,
+            spot_multiplier_pct,
+        } => {
+            let base_mhz_s = r.delivered_mhz_s.min(r.guaranteed_mhz_s);
+            let full = cfg
+                .curve
+                .charge_microcents(r.vfreq_mhz, cfg.fmax_mhz, base_mhz_s)
+                as u128;
+            let discounted = full * (100u128.saturating_sub(base_discount_pct as u128)) / 100;
+            let burst_mhz_s = cfg.auction_usec_to_mhz_s(r.auction_usec);
+            let spot = cfg
+                .curve
+                .charge_microcents(r.vfreq_mhz, cfg.fmax_mhz, burst_mhz_s)
+                as u128
+                * spot_multiplier_pct as u128
+                / 100;
+            RecordCharge {
+                base_microcents: discounted as u64,
+                spot_microcents: spot as u64,
+                penalty_microcents: 0,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ledger::UsageRecord;
+
+    fn rec(tenant: &str) -> UsageRecord {
+        UsageRecord {
+            seq: 0,
+            period: 1,
+            tenant: tenant.to_owned(),
+            vfreq_mhz: 1_200,
+            vm_periods: 1,
+            guaranteed_mhz_s: 4_800,
+            delivered_mhz_s: 5_200,
+            auction_usec: 100_000, // 0.1 s of F_MAX
+            minted_usec: 0,
+            wasted_share_usec: 0,
+            demanding_vm_periods: 1,
+            violated_vm_periods: 1,
+        }
+    }
+
+    #[test]
+    fn tiered_curve_picks_the_bracket() {
+        let c = PriceCurve::TieredStep {
+            tiers: vec![
+                PriceTier {
+                    up_to_mhz: 500,
+                    microcents_per_ghz_s: 100,
+                },
+                PriceTier {
+                    up_to_mhz: 1_200,
+                    microcents_per_ghz_s: 250,
+                },
+            ],
+        };
+        assert_eq!(c.rate_microcents_per_ghz_s(400, 2_400), 100);
+        assert_eq!(c.rate_microcents_per_ghz_s(500, 2_400), 100);
+        assert_eq!(c.rate_microcents_per_ghz_s(501, 2_400), 250);
+        // Above the last tier: last rate.
+        assert_eq!(c.rate_microcents_per_ghz_s(1_800, 2_400), 250);
+    }
+
+    #[test]
+    fn convex_curve_is_quadratic_in_vfreq() {
+        let c = PriceCurve::Convex {
+            base_microcents_per_ghz_s: 100,
+            premium_microcents_per_ghz_s: 400,
+        };
+        assert_eq!(c.rate_microcents_per_ghz_s(0, 2_400), 100);
+        assert_eq!(c.rate_microcents_per_ghz_s(1_200, 2_400), 200); // +400/4
+        assert_eq!(c.rate_microcents_per_ghz_s(2_400, 2_400), 500);
+    }
+
+    #[test]
+    fn guaranteed_bills_reservation_and_credits_violations() {
+        let mut cfg = PricingConfig::linear(1_000, 2_400);
+        cfg.classes.insert(
+            "acme".to_owned(),
+            SlaClass::Guaranteed {
+                penalty_microcents_per_violation: 77,
+            },
+        );
+        let ch = price_record(&cfg, &rec("acme"));
+        // 4800 MHz·s = 4.8 GHz·s at 1000 µ¢ → 4800 µ¢, delivery ignored.
+        assert_eq!(ch.base_microcents, 4_800);
+        assert_eq!(ch.spot_microcents, 0);
+        assert_eq!(ch.penalty_microcents, 77);
+        assert_eq!(ch.net(), 4_800 - 77);
+    }
+
+    #[test]
+    fn burstable_bills_delivery_plus_spot() {
+        let mut cfg = PricingConfig::linear(1_000, 2_400);
+        cfg.classes.insert(
+            "acme".to_owned(),
+            SlaClass::Burstable {
+                base_discount_pct: 50,
+                spot_multiplier_pct: 150,
+            },
+        );
+        let ch = price_record(&cfg, &rec("acme"));
+        // Base: min(5200, 4800) = 4.8 GHz·s × 1000 × 50 % = 2400 µ¢.
+        assert_eq!(ch.base_microcents, 2_400);
+        // Spot: 0.1 s × 2400 MHz = 240 MHz·s = 0.24 GHz·s × 1000 × 150 %.
+        assert_eq!(ch.spot_microcents, 360);
+        assert_eq!(ch.penalty_microcents, 0);
+    }
+
+    #[test]
+    fn config_round_trips_through_json() {
+        let mut cfg = PricingConfig {
+            curve: PriceCurve::Convex {
+                base_microcents_per_ghz_s: 10,
+                premium_microcents_per_ghz_s: 90,
+            },
+            classes: Default::default(),
+            fmax_mhz: 2_400,
+        };
+        cfg.classes.insert(
+            "b".to_owned(),
+            SlaClass::Burstable {
+                base_discount_pct: 40,
+                spot_multiplier_pct: 200,
+            },
+        );
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: PricingConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
+    }
+}

@@ -1,0 +1,137 @@
+//! Golden-file test: the rendered invoice JSON is pinned byte-for-byte.
+//!
+//! The invoice is an interface — `GET /tenants/{id}/bill` serves these
+//! exact bytes, and downstream billing exports parse them — so the test
+//! compares against committed fixtures instead of spot-checking fields,
+//! mirroring the telemetry crate's `.prom` golden convention.
+//! Regenerate deliberately with:
+//!
+//! ```text
+//! VFC_BLESS=1 cargo test -p vfc-billing --test golden_invoice
+//! ```
+//!
+//! and review the diff like any other interface change.
+
+use std::path::PathBuf;
+use vfc_billing::{
+    generate_invoice, PriceCurve, PriceTier, PricingConfig, SlaClass, SpecAudit, UsageLedger,
+    UsageRecord,
+};
+
+/// A fixed two-tenant ledger exercising both SLA classes, two
+/// frequency tiers, violations and auction cycles.
+fn golden_ledger() -> UsageLedger {
+    let mut ledger = UsageLedger::new();
+    for period in 1..=4u64 {
+        for (tenant, vfreq, vms) in [
+            ("acme", 500u32, 3u64),
+            ("acme", 1_200, 1),
+            ("bolt", 1_800, 2),
+        ] {
+            ledger.push(UsageRecord {
+                seq: 0, // assigned by push
+                period,
+                tenant: tenant.to_owned(),
+                vfreq_mhz: vfreq,
+                vm_periods: vms,
+                guaranteed_mhz_s: vfreq as u64 * 2 * vms,
+                delivered_mhz_s: vfreq as u64 * 2 * vms - 150 * period,
+                auction_usec: 40_000 * period,
+                minted_usec: 9_000,
+                wasted_share_usec: 1_250,
+                demanding_vm_periods: vms,
+                violated_vm_periods: u64::from(period == 3),
+            });
+        }
+    }
+    ledger
+}
+
+fn golden_config() -> PricingConfig {
+    let mut cfg = PricingConfig {
+        curve: PriceCurve::TieredStep {
+            tiers: vec![
+                PriceTier {
+                    up_to_mhz: 800,
+                    microcents_per_ghz_s: 700,
+                },
+                PriceTier {
+                    up_to_mhz: 2_400,
+                    microcents_per_ghz_s: 1_400,
+                },
+            ],
+        },
+        classes: Default::default(),
+        fmax_mhz: 2_400,
+    };
+    cfg.classes.insert(
+        "acme".to_owned(),
+        SlaClass::Guaranteed {
+            penalty_microcents_per_violation: 10_000,
+        },
+    );
+    cfg.classes.insert(
+        "bolt".to_owned(),
+        SlaClass::Burstable {
+            base_discount_pct: 40,
+            spot_multiplier_pct: 250,
+        },
+    );
+    cfg
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn compare_or_bless(name: &str, got: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("VFC_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "read {}: {e} (run with VFC_BLESS=1 to create)",
+            path.display()
+        )
+    });
+    assert!(
+        got == want,
+        "invoice drifted from {} — if intentional, re-bless with VFC_BLESS=1\n--- got ---\n{got}\n--- want ---\n{want}",
+        path.display()
+    );
+}
+
+#[test]
+fn guaranteed_invoice_matches_golden() {
+    let inv = generate_invoice(
+        "acme",
+        SpecAudit {
+            creates: 4,
+            resizes: 2,
+            deletes: 1,
+        },
+        &golden_ledger(),
+        &golden_config(),
+    );
+    compare_or_bless("invoice_guaranteed.json", &inv.render_json());
+}
+
+#[test]
+fn burstable_invoice_matches_golden() {
+    let inv = generate_invoice(
+        "bolt",
+        SpecAudit {
+            creates: 2,
+            resizes: 0,
+            deletes: 0,
+        },
+        &golden_ledger(),
+        &golden_config(),
+    );
+    compare_or_bless("invoice_burstable.json", &inv.render_json());
+}

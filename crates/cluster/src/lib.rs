@@ -33,8 +33,8 @@ pub mod trace;
 pub use events::{EventDrivenCluster, EventStats, WorkloadFactory};
 pub use faults::{FaultModel, FaultReport, RestartPolicy};
 pub use manager::{
-    ClusterError, ClusterManager, ClusterReport, GlobalVmId, NodeLoad, PeriodSample, ResizeOutcome,
-    Strategy,
+    ClusterError, ClusterManager, ClusterReport, GlobalVmId, NodeLoad, PeriodSample, PeriodUsage,
+    ResizeOutcome, Strategy, VmPeriodUsage,
 };
 pub use slo::{SloTracker, VmSlo};
 pub use trace::{CsvTraceReader, SyntheticTrace, TraceError, TraceReader, TraceVmSpec};

@@ -177,6 +177,9 @@ struct SloSample {
     rec_served: f64,
     in_recovery: bool,
     uncontrolled: bool,
+    /// Σ exact per-vCPU frequency over the period (MHz·s of work the VM
+    /// actually received) — the quantity a metering layer bills on.
+    delivered_mhz: u64,
 }
 
 struct NodeRuntime {
@@ -269,6 +272,74 @@ struct VmRecord {
     parked: Option<Box<dyn Workload>>,
 }
 
+/// One VM's metered usage for one period, exported when
+/// [`ClusterManager::enable_usage_export`] is on. All quantities are
+/// ground truth read node-side while the period's state is hot: the
+/// delivered work comes from the exact per-vCPU frequencies, the credit
+/// flows are deltas of the node controller's cumulative Eq. 4 counters,
+/// and the SLO flags apply the same predicate as [`SloTracker`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VmPeriodUsage {
+    /// The VM (stable across migrations).
+    pub vm: GlobalVmId,
+    /// Template/class name (the SLO-tracker key).
+    pub class: String,
+    /// Guaranteed virtual frequency per vCPU (`F_v`), MHz.
+    pub vfreq_mhz: u32,
+    /// vCPU count (`k_v`).
+    pub vcpus: u32,
+    /// Work actually received this period: Σ per-vCPU exact frequency,
+    /// MHz·s (periods are 1 s).
+    pub delivered_mhz_s: u64,
+    /// Reserved work this period: `k_v × F_v`, MHz·s.
+    pub guaranteed_mhz_s: u64,
+    /// Credits earned this period (Eq. 4 mint), µs of `F^MAX` cycles.
+    pub minted_usec: u64,
+    /// Credits spent in the auction this period (Alg. 1), µs.
+    pub spent_usec: u64,
+    /// The VM demanded at least its guarantee this period.
+    pub demanding: bool,
+    /// Demanding but delivered below tolerance (an SLO violation).
+    pub violated: bool,
+    /// Offline the whole period (migration downtime / stranded) —
+    /// always a demanding violation, with zero delivered work.
+    pub offline: bool,
+}
+
+/// One period's metered usage across the whole cluster.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeriodUsage {
+    /// Period index (1-based).
+    pub period: u64,
+    /// Per-VM usage, resident VMs first (node order) then offline VMs.
+    pub vms: Vec<VmPeriodUsage>,
+    /// Market cycles wasted cluster-wide this period (Eq. 6 leftovers
+    /// that neither the auction nor free distribution placed), µs.
+    pub wasted_market_usec: u64,
+    /// Credit-flow deltas that could not be attributed to a resident VM
+    /// (the VM departed within the period), µs. Kept visible so a biller
+    /// can see metering is conservative rather than silently lossy.
+    pub unattributed_usec: u64,
+}
+
+/// Per-node snapshot of the controller's cumulative economy counters,
+/// diffed each period to produce [`VmPeriodUsage`] credit flows. A
+/// rebuilt controller (crash restart) resets its counters to zero; a
+/// current value below the snapshot therefore means "fresh counter" and
+/// the delta is the current value itself.
+#[derive(Debug, Default)]
+struct NodeEconSnapshot {
+    minted: std::collections::BTreeMap<String, u64>,
+    spent: std::collections::BTreeMap<String, u64>,
+    wasted: u64,
+}
+
+#[derive(Debug, Default)]
+struct UsageExportState {
+    node_econ: Vec<NodeEconSnapshot>,
+    pending: Vec<PeriodUsage>,
+}
+
 /// One period's cluster-wide sample (for time-series reporting).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PeriodSample {
@@ -354,6 +425,10 @@ pub struct ClusterManager {
     /// enabled via [`ClusterManager::enable_deadline_ladder`]; applied
     /// to every controller built from here on (restarts included).
     ladder: Option<(f64, u32)>,
+    /// Per-period usage metering, when enabled via
+    /// [`ClusterManager::enable_usage_export`]. `None` = off (the
+    /// default): the hot path pays nothing.
+    usage_export: Option<UsageExportState>,
 }
 
 impl ClusterManager {
@@ -400,6 +475,7 @@ impl ClusterManager {
             landing_scratch: Vec::new(),
             lease: None,
             ladder: None,
+            usage_export: None,
         }
     }
 
@@ -1032,9 +1108,11 @@ impl ClusterManager {
             // of the *demanded* time was actually served.
             let mut rec_demand = f64::NEG_INFINITY;
             let mut rec_served = f64::INFINITY;
+            let mut delivered_mhz = 0u64;
             for j in 0..nr_vcpus {
                 let demanded = node.host.vcpu_demand_last_window(local, VcpuId::new(j));
                 let freq = node.host.vcpu_freq_exact(local, VcpuId::new(j));
+                delivered_mhz += freq.as_u32() as u64;
                 let demand_ratio = demanded.as_u64() as f64 / c_i.as_u64() as f64;
                 let delivery_ratio = freq.as_f64() / vfreq.as_f64().max(1.0);
                 // Track the vCPU that demanded most but got least.
@@ -1060,6 +1138,7 @@ impl ClusterManager {
                 rec_served,
                 in_recovery,
                 uncontrolled,
+                delivered_mhz,
             });
         }
     }
@@ -1104,6 +1183,9 @@ impl ClusterManager {
     /// integer counters per class, so merge order cannot affect them.
     pub(crate) fn close_period_for(&mut self, active: &[usize]) {
         debug_assert!(active.windows(2).all(|w| w[0] < w[1]), "active not sorted");
+        if self.usage_export.is_some() {
+            self.export_usage(active);
+        }
         for &n in active {
             for k in 0..self.nodes[n].slo_scratch.len() {
                 let s = self.nodes[n].slo_scratch[k];
@@ -1188,6 +1270,139 @@ impl ClusterManager {
                 }
             }
         }
+    }
+
+    /// Turn on per-period usage metering: every closed period appends a
+    /// [`PeriodUsage`] record for [`ClusterManager::drain_usage`] to
+    /// collect. Off by default — the hot path pays nothing then.
+    pub fn enable_usage_export(&mut self) {
+        if self.usage_export.is_none() {
+            self.usage_export = Some(UsageExportState::default());
+        }
+    }
+
+    /// Collect the usage records accumulated since the last drain (empty
+    /// when metering is off). Call between periods; a billing layer is
+    /// expected to drain every period or every few periods.
+    pub fn drain_usage(&mut self) -> Vec<PeriodUsage> {
+        self.usage_export
+            .as_mut()
+            .map(|e| std::mem::take(&mut e.pending))
+            .unwrap_or_default()
+    }
+
+    /// Build this period's [`PeriodUsage`] record: per-VM delivered work
+    /// and SLO flags off the nodes' hot SLO scratch, offline VMs as
+    /// zero-delivery violations, and credit flows as deltas of each
+    /// active node controller's cumulative mint/spend counters
+    /// (attributed back to VM records via the hosts' instance names).
+    fn export_usage(&mut self, active: &[usize]) {
+        let Some(mut exp) = self.usage_export.take() else {
+            return;
+        };
+        if exp.node_econ.len() < self.nodes.len() {
+            exp.node_econ
+                .resize_with(self.nodes.len(), NodeEconSnapshot::default);
+        }
+        let mut vms: Vec<VmPeriodUsage> = Vec::new();
+        // VM-record index -> position in `vms`, for credit attribution.
+        let mut by_vm: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
+        for &n in active {
+            for s in &self.nodes[n].slo_scratch {
+                let t = &self.vms[s.vm].template;
+                let demanding = s.worst_demand.is_finite() && s.worst_demand >= 1.0;
+                let violated = demanding && s.worst_delivery < self.slo.tolerance();
+                by_vm.insert(s.vm, vms.len());
+                vms.push(VmPeriodUsage {
+                    vm: GlobalVmId(s.vm as u32),
+                    class: t.name.clone(),
+                    vfreq_mhz: t.vfreq.as_u32(),
+                    vcpus: t.vcpus,
+                    delivered_mhz_s: s.delivered_mhz,
+                    guaranteed_mhz_s: t.vfreq.as_u32() as u64 * t.vcpus as u64,
+                    minted_usec: 0,
+                    spent_usec: 0,
+                    demanding,
+                    violated,
+                    offline: false,
+                });
+            }
+        }
+        for &i in &self.offline_vms {
+            let t = &self.vms[i].template;
+            by_vm.insert(i, vms.len());
+            vms.push(VmPeriodUsage {
+                vm: GlobalVmId(i as u32),
+                class: t.name.clone(),
+                vfreq_mhz: t.vfreq.as_u32(),
+                vcpus: t.vcpus,
+                delivered_mhz_s: 0,
+                guaranteed_mhz_s: t.vfreq.as_u32() as u64 * t.vcpus as u64,
+                minted_usec: 0,
+                spent_usec: 0,
+                demanding: true,
+                violated: true,
+                offline: true,
+            });
+        }
+        let mut wasted = 0u64;
+        let mut unattributed = 0u64;
+        for &n in active {
+            let node = &self.nodes[n];
+            let snap = &mut exp.node_econ[n];
+            let Some(ctl) = node.controller.as_ref() else {
+                continue;
+            };
+            let tm = ctl.telemetry();
+            for pass in 0..2usize {
+                let series: Vec<(&str, u64)> = if pass == 0 {
+                    tm.credits_minted_by_vm().collect()
+                } else {
+                    tm.credits_spent_by_vm().collect()
+                };
+                for (label, cur) in series {
+                    let book = if pass == 0 {
+                        &mut snap.minted
+                    } else {
+                        &mut snap.spent
+                    };
+                    let prev = book.get(label).copied().unwrap_or(0);
+                    // A rebuilt controller restarts its counters at zero.
+                    let delta = if cur >= prev { cur - prev } else { cur };
+                    if cur != prev {
+                        book.insert(label.to_owned(), cur);
+                    }
+                    if delta == 0 {
+                        continue;
+                    }
+                    let owner = node
+                        .residents
+                        .iter()
+                        .find(|r| node.host.instance(r.1).name == label)
+                        .and_then(|r| by_vm.get(&r.0));
+                    match owner {
+                        Some(&at) if pass == 0 => vms[at].minted_usec += delta,
+                        Some(&at) => vms[at].spent_usec += delta,
+                        None => unattributed += delta,
+                    }
+                }
+            }
+            let cur = tm.market_wasted_usec();
+            let delta = if cur >= snap.wasted {
+                cur - snap.wasted
+            } else {
+                cur
+            };
+            snap.wasted = cur;
+            wasted += delta;
+        }
+        exp.pending.push(PeriodUsage {
+            period: self.period,
+            vms,
+            wasted_market_usec: wasted,
+            unattributed_usec: unattributed,
+        });
+        self.usage_export = Some(exp);
     }
 
     /// Land migrations whose downtime elapsed (possibly failing and

@@ -60,6 +60,12 @@ impl SloTracker {
         }
     }
 
+    /// The delivered/guaranteed ratio below which a demanding period is
+    /// violated (so per-VM meters can apply the exact same predicate).
+    pub fn tolerance(&self) -> f64 {
+        self.tolerance
+    }
+
     /// A VM that was demanding but entirely offline (migration downtime).
     pub fn record_offline_demanding(&mut self, class: &str) {
         let entry = self.per_class.entry(class.to_owned()).or_default();

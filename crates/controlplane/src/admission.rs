@@ -29,6 +29,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::PathBuf;
+use vfc_billing::SlaClass;
 use vfc_cluster::NodeLoad;
 use vfc_simcore::MHz;
 use vfc_vmm::VmTemplate;
@@ -139,6 +140,7 @@ pub struct ControlPlane {
     store: SpecStore,
     quotas: BTreeMap<String, TenantQuota>,
     buckets: BTreeMap<String, TokenBucket>,
+    slas: BTreeMap<String, SlaClass>,
     rate: RateLimit,
     persist: Option<PathBuf>,
     /// Admission / reconcile metric families.
@@ -159,6 +161,7 @@ impl ControlPlane {
             store: SpecStore::new(),
             quotas: BTreeMap::new(),
             buckets: BTreeMap::new(),
+            slas: BTreeMap::new(),
             rate: RateLimit::default(),
             persist: None,
             metrics: ControlPlaneMetrics::new(),
@@ -192,6 +195,25 @@ impl ControlPlane {
         self.buckets
             .entry(name.to_owned())
             .or_insert_with(|| TokenBucket::new(self.rate.burst, self.rate.per_tick));
+    }
+
+    /// Register a tenant with its quota *and* SLA class. Plain
+    /// [`add_tenant`](ControlPlane::add_tenant) leaves the tenant on the
+    /// default class ([`SlaClass::default`]: guaranteed).
+    pub fn add_tenant_with_sla(&mut self, name: &str, quota: TenantQuota, sla: SlaClass) {
+        self.add_tenant(name, quota);
+        self.slas.insert(name.to_owned(), sla);
+    }
+
+    /// The SLA class the tenant is billed under (default when none was
+    /// registered explicitly).
+    pub fn sla_of(&self, tenant: &str) -> SlaClass {
+        self.slas.get(tenant).cloned().unwrap_or_default()
+    }
+
+    /// All explicitly registered SLA classes, tenant-ordered.
+    pub fn slas(&self) -> impl Iterator<Item = (&str, &SlaClass)> {
+        self.slas.iter().map(|(t, c)| (t.as_str(), c))
     }
 
     /// The desired-state store (read-only; mutations go through the

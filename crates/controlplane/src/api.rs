@@ -16,9 +16,15 @@
 //! | `POST /vms` | `{"tenant","name","vcpus","vfreq_mhz","mem_gb"?}` | `201 {"id","generation"}` |
 //! | `DELETE /vms/{id}` | — | `200 {"id"}` |
 //! | `PUT /vms/{id}/vfreq` | `{"vfreq_mhz"}` | `200 {"id","generation"}` |
+//! | `GET /vms/{id}` | — | `200 {"id","tenant","name","vcpus","vfreq_mhz","mem_gb","generation","bound","applied_generation","converged"}` |
 //! | `GET /tenants/{name}/usage` | — | `200 {"tenant","usage","quota"}` |
+//! | `GET /tenants/{name}/bill` | — | `200` invoice JSON (see `docs/BILLING.md`) |
+//! | `GET /tenants/{name}/usage/history` | — | `200 {"tenant","records"}` — the tenant's ledger rows |
 //! | `GET /healthz` | — | `200 {"status","desired_vms","bound_vms","log_seq"}` |
-//! | `GET /metrics` | — | control-plane metric families, Prometheus text |
+//! | `GET /metrics` | — | control-plane (+ `vfc_bill_*` when attached) metric families, Prometheus text |
+//!
+//! The billing routes answer `404` until a [`BillingEngine`] is
+//! attached ([`ControlPlaneRuntime::attach_billing`]).
 //!
 //! Rejections map [`AdmissionError::http_status`]: `400` invalid shape,
 //! `403` unknown tenant / quota, `404` unknown id, `429` rate limited,
@@ -48,6 +54,7 @@ use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::mpsc::{self, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
+use vfc_billing::BillingEngine;
 use vfc_cluster::ClusterManager;
 use vfc_simcore::MHz;
 use vfc_vmm::VmTemplate;
@@ -61,25 +68,78 @@ pub struct ControlPlaneRuntime {
     pub cluster: ClusterManager,
     /// The reconcile loop state.
     pub reconciler: Reconciler,
+    /// Metering + pricing, when billing is attached.
+    pub billing: Option<BillingEngine>,
 }
 
 impl ControlPlaneRuntime {
-    /// Bundle a control plane, cluster and reconciler.
+    /// Bundle a control plane, cluster and reconciler. Billing is off
+    /// until [`attach_billing`](ControlPlaneRuntime::attach_billing).
     pub fn new(plane: ControlPlane, cluster: ClusterManager, reconciler: Reconciler) -> Self {
         ControlPlaneRuntime {
             plane,
             cluster,
             reconciler,
+            billing: None,
         }
     }
 
-    /// One control period: reconcile, then run the cluster for a period.
+    /// Attach a billing engine: the tenants' registered SLA classes are
+    /// synced into its pricing config, the cluster starts exporting
+    /// per-VM usage, and every [`step`](ControlPlaneRuntime::step) from
+    /// now on meters the period into the engine's ledger. The engine
+    /// may come from [`BillingEngine::new`] or — for a ledger that
+    /// survives restarts — [`BillingEngine::with_ledger`].
+    pub fn attach_billing(&mut self, mut engine: BillingEngine) {
+        let slas: Vec<(String, vfc_billing::SlaClass)> = self
+            .plane
+            .slas()
+            .map(|(t, c)| (t.to_owned(), c.clone()))
+            .collect();
+        for (tenant, class) in slas {
+            engine.set_class(&tenant, class);
+        }
+        self.cluster.enable_usage_export();
+        self.billing = Some(engine);
+    }
+
+    /// One control period: reconcile, run the cluster for a period,
+    /// then — with billing attached — meter the period's usage into
+    /// the ledger (and checkpoint it, when the engine is persistent).
     pub fn step(&mut self) -> ReconcileSummary {
         let summary = self
             .reconciler
             .reconcile(&mut self.plane, &mut self.cluster);
         self.cluster.run_period();
+        if self.billing.is_some() {
+            self.meter();
+        }
         summary
+    }
+
+    /// Drain the cluster's usage export into the billing engine,
+    /// attributing VMs to tenants through the reconciler's bindings.
+    fn meter(&mut self) {
+        // Reverse map binding.vm → tenant over the live specs. Specs
+        // deleted earlier this period have already been undeployed, so
+        // their residual cycles land in `unattributed_usec` by design.
+        let mut owner: std::collections::BTreeMap<vfc_cluster::GlobalVmId, String> =
+            std::collections::BTreeMap::new();
+        for spec in self.plane.store().specs() {
+            if let Some(binding) = self.reconciler.binding(spec.id) {
+                owner.insert(binding.vm, spec.tenant.clone());
+            }
+        }
+        let Some(engine) = self.billing.as_mut() else {
+            return;
+        };
+        for usage in self.cluster.drain_usage() {
+            let rows = crate::billing::aggregate_usage(&usage, |vm| owner.get(&vm).cloned());
+            engine.meter_period(usage.period, rows);
+        }
+        if engine.checkpoint().is_err() {
+            self.plane.metrics.billing_checkpoint_failed();
+        }
     }
 }
 
@@ -113,6 +173,26 @@ struct UsageResp {
     tenant: String,
     usage: TenantUsage,
     quota: TenantQuota,
+}
+
+#[derive(Serialize)]
+struct VmResp {
+    id: u64,
+    tenant: String,
+    name: String,
+    vcpus: u32,
+    vfreq_mhz: u32,
+    mem_gb: u32,
+    generation: u64,
+    bound: bool,
+    applied_generation: u64,
+    converged: bool,
+}
+
+#[derive(Serialize)]
+struct HistoryResp {
+    tenant: String,
+    records: Vec<vfc_billing::UsageRecord>,
 }
 
 #[derive(Serialize)]
@@ -439,6 +519,62 @@ fn route(
                 Err(e) => admission_err(&e),
             }
         }
+        ("GET", ["vms", id]) => {
+            let Ok(id) = id.parse::<u64>() else {
+                return (400, err_body("vm id must be an integer"), None);
+            };
+            match rt.plane.store().get(SpecId(id)) {
+                Some(spec) => {
+                    let binding = rt.reconciler.binding(spec.id);
+                    ok_json(
+                        200,
+                        &VmResp {
+                            id,
+                            tenant: spec.tenant.clone(),
+                            name: spec.template.name.clone(),
+                            vcpus: spec.template.vcpus,
+                            vfreq_mhz: spec.template.vfreq.as_u32(),
+                            mem_gb: spec.template.mem_gb,
+                            generation: spec.generation,
+                            bound: binding.is_some(),
+                            applied_generation: binding
+                                .as_ref()
+                                .map(|b| b.applied_generation)
+                                .unwrap_or(0),
+                            converged: binding
+                                .map(|b| b.applied_generation == spec.generation)
+                                .unwrap_or(false),
+                        },
+                    )
+                }
+                None => (404, err_body(&format!("no such vm spec-{id}")), None),
+            }
+        }
+        ("GET", ["tenants", name, "bill"]) => match (&rt.billing, rt.plane.quota(name)) {
+            (Some(engine), Some(_)) => {
+                let audit = crate::billing::spec_audit(rt.plane.store().log(), name);
+                (200, engine.invoice(name, audit).render_json(), None)
+            }
+            (None, _) => (404, err_body("billing is not enabled"), None),
+            (_, None) => (404, err_body(&format!("unknown tenant {name:?}")), None),
+        },
+        ("GET", ["tenants", name, "usage", "history"]) => {
+            match (&rt.billing, rt.plane.quota(name)) {
+                (Some(engine), Some(_)) => {
+                    let records: Vec<vfc_billing::UsageRecord> =
+                        engine.history(name).into_iter().cloned().collect();
+                    ok_json(
+                        200,
+                        &HistoryResp {
+                            tenant: (*name).to_owned(),
+                            records,
+                        },
+                    )
+                }
+                (None, _) => (404, err_body("billing is not enabled"), None),
+                (_, None) => (404, err_body(&format!("unknown tenant {name:?}")), None),
+            }
+        }
         ("GET", ["tenants", name, "usage"]) => match rt.plane.quota(name) {
             Some(quota) => ok_json(
                 200,
@@ -459,7 +595,15 @@ fn route(
                 log_seq: rt.plane.store().seq(),
             },
         ),
-        ("GET", ["metrics"]) => (200, rt.plane.metrics.render(), None),
+        ("GET", ["metrics"]) => {
+            // One merged exposition: control-plane families, plus the
+            // `vfc_bill_*` families once billing is attached.
+            let mut page = rt.plane.metrics.render();
+            if let Some(engine) = &rt.billing {
+                page.push_str(&engine.render_telemetry());
+            }
+            (200, page, None)
+        }
         _ => (404, err_body(&format!("no route {method} {path}")), None),
     }
 }
@@ -677,6 +821,94 @@ mod tests {
             body.contains("vfc_cp_admission_accepted_total{tenant=\"acme\"} 3"),
             "{body}"
         );
+    }
+
+    #[test]
+    fn vm_detail_reports_spec_and_reconcile_state() {
+        let rt = runtime();
+        let server = ApiServer::bind("127.0.0.1:0", Arc::clone(&rt)).unwrap();
+        let addr = server.local_addr();
+
+        let (status, _) = post(
+            addr,
+            "POST",
+            "/vms",
+            r#"{"tenant":"acme","name":"web","vcpus":2,"vfreq_mhz":1200}"#,
+        );
+        assert_eq!(status, 201);
+
+        // Admitted but not yet reconciled: unbound, not converged.
+        let (status, body) = http(addr, "GET /vms/0 HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"bound\":false"), "{body}");
+        assert!(body.contains("\"converged\":false"), "{body}");
+
+        rt.lock().unwrap().step();
+
+        let (status, body) = http(addr, "GET /vms/0 HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"tenant\":\"acme\""), "{body}");
+        assert!(body.contains("\"vfreq_mhz\":1200"), "{body}");
+        assert!(body.contains("\"bound\":true"), "{body}");
+        assert!(body.contains("\"applied_generation\":1"), "{body}");
+        assert!(body.contains("\"converged\":true"), "{body}");
+
+        let (status, _) = http(addr, "GET /vms/99 HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(status, 404);
+        let (status, _) = http(addr, "GET /vms/zebra HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(status, 400);
+    }
+
+    #[test]
+    fn billing_routes_serve_invoices_and_history_once_attached() {
+        let rt = runtime();
+        let server = ApiServer::bind("127.0.0.1:0", Arc::clone(&rt)).unwrap();
+        let addr = server.local_addr();
+
+        // Without an engine the billing routes are a typed miss.
+        let (status, body) = http(addr, "GET /tenants/acme/bill HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(status, 404, "{body}");
+        assert!(body.contains("billing is not enabled"), "{body}");
+
+        rt.lock()
+            .unwrap()
+            .attach_billing(vfc_billing::BillingEngine::new(
+                vfc_billing::PricingConfig::linear(1_000, 2_400),
+            ));
+
+        let (status, _) = post(
+            addr,
+            "POST",
+            "/vms",
+            r#"{"tenant":"acme","name":"web","vcpus":2,"vfreq_mhz":1200}"#,
+        );
+        assert_eq!(status, 201);
+        for _ in 0..3 {
+            rt.lock().unwrap().step();
+        }
+
+        let (status, body) = http(addr, "GET /tenants/acme/bill HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"tenant\": \"acme\""), "{body}");
+        assert!(body.contains("reserved capacity @ 1200 MHz"), "{body}");
+        assert!(body.contains("\"creates\": 1"), "{body}");
+
+        let (status, body) = http(
+            addr,
+            "GET /tenants/acme/usage/history HTTP/1.1\r\nHost: x\r\n\r\n",
+        );
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"records\""), "{body}");
+        assert!(body.contains("\"vfreq_mhz\":1200"), "{body}");
+
+        let (status, _) = http(addr, "GET /tenants/ghost/bill HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(status, 404);
+
+        // The merged exposition carries the billing families too.
+        let (status, body) = http(addr, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(status, 200);
+        assert!(body.contains("vfc_cp_desired_vms"), "{body}");
+        assert!(body.contains("vfc_bill_periods_metered_total"), "{body}");
     }
 
     #[test]

@@ -35,6 +35,7 @@
 
 pub mod admission;
 pub mod api;
+pub mod billing;
 pub mod quota;
 pub mod reconcile;
 pub mod spec;
@@ -42,6 +43,7 @@ pub mod telemetry;
 
 pub use admission::{AdmissionError, ControlPlane, RateLimit};
 pub use api::{ApiServer, ApiServerConfig, ControlPlaneRuntime, OverloadError};
+pub use billing::{aggregate_usage, spec_audit};
 pub use quota::{TenantQuota, TenantUsage, TokenBucket};
 pub use reconcile::{Binding, ReconcileSummary, Reconciler, ReconcilerConfig, WorkloadFactory};
 pub use spec::{SpecEvent, SpecId, SpecStore, VmSpec};

@@ -18,6 +18,7 @@
 //! | `vfc_cp_reconcile_duration_seconds` | histogram | — |
 //! | `vfc_cp_resize_duration_seconds` | histogram | — |
 //! | `vfc_cp_shed_total` | counter | `reason` |
+//! | `vfc_cp_billing_checkpoint_failures_total` | counter | — |
 //!
 //! Rate-limited rejections count **only** toward
 //! `…_ratelimited_total`, not `…_rejected_total`, so the two series
@@ -89,6 +90,7 @@ pub struct ControlPlaneMetrics {
     reconcile_duration: MetricId,
     resize_duration: MetricId,
     shed: MetricId,
+    billing_checkpoint_failures: MetricId,
 }
 
 impl Default for ControlPlaneMetrics {
@@ -158,6 +160,10 @@ impl ControlPlaneMetrics {
             "reason",
             &SHED_LABELS,
         );
+        let billing_checkpoint_failures = r.counter(
+            "vfc_cp_billing_checkpoint_failures_total",
+            "Usage-ledger checkpoints that failed to persist (billing keeps metering in memory)",
+        );
         ControlPlaneMetrics {
             registry: r,
             accepted,
@@ -172,6 +178,7 @@ impl ControlPlaneMetrics {
             reconcile_duration,
             resize_duration,
             shed,
+            billing_checkpoint_failures,
         }
     }
 
@@ -243,6 +250,16 @@ impl ControlPlaneMetrics {
     /// Read back one shed counter (tests, rollups).
     pub fn sheds(&self, reason: ShedReason) -> u64 {
         self.registry.value(self.shed, reason as usize)
+    }
+
+    /// Count a usage-ledger checkpoint that failed to persist.
+    pub fn billing_checkpoint_failed(&mut self) {
+        self.registry.inc(self.billing_checkpoint_failures, 0, 1);
+    }
+
+    /// Read back the failed-checkpoint counter (tests, rollups).
+    pub fn billing_checkpoint_failures(&self) -> u64 {
+        self.registry.value(self.billing_checkpoint_failures, 0)
     }
 
     /// Render the registry as a Prometheus text page.

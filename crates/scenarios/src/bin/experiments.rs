@@ -19,6 +19,7 @@
 //!   churn                         control-plane admission + reconcile churn
 //!   trace                         trace-driven event-core scale evaluation
 //!   overload                      deadline ladder + leases + API shedding under overload
+//!   pricing                       billing revenue-vs-SLO frontier sweep
 //!   recovery                      warm vs cold controller restart under faults
 //!   ablation                      design-parameter quality sweeps
 //!   factor-sweep                  §III.C consolidation factor on Eq. 7
@@ -48,6 +49,41 @@ use vfc_scenarios::eval2;
 use vfc_scenarios::runner::{Scale, ScenarioOutcome};
 use vfc_scenarios::{cfs_sides, overhead, placement_eval};
 use vfc_simcore::Micros;
+
+/// Every registered subcommand, in suite order. `all` runs the whole
+/// list; the bare-invocation usage text is generated from it, so a new
+/// command registers itself here exactly once.
+const ALL_COMMANDS: [&str; 29] = [
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "placement",
+    "cfs-sides",
+    "overhead",
+    "variance",
+    "baselines",
+    "cluster",
+    "recovery",
+    "ablation",
+    "factor-sweep",
+    "churn",
+    "trace",
+    "overload",
+    "pricing",
+];
 
 struct Ctx {
     out: PathBuf,
@@ -116,7 +152,11 @@ fn main() -> ExitCode {
     }
     let Some(command) = command else {
         eprintln!("usage: experiments <command> [--out DIR] [--quick]");
-        eprintln!("       (see the module docs; `all` runs everything)");
+        eprintln!("commands:");
+        for chunk in ALL_COMMANDS.chunks(6) {
+            eprintln!("  {}", chunk.join(" "));
+        }
+        eprintln!("  all (everything above + EXPERIMENTS data)");
         return ExitCode::FAILURE;
     };
 
@@ -126,39 +166,9 @@ fn main() -> ExitCode {
         registry: Registry::new(),
     };
 
-    let all = [
-        "table2",
-        "table3",
-        "table4",
-        "table5",
-        "fig3",
-        "fig4",
-        "fig5",
-        "fig6",
-        "fig7",
-        "fig8",
-        "fig9",
-        "fig10",
-        "fig11",
-        "fig12",
-        "fig13",
-        "fig14",
-        "placement",
-        "cfs-sides",
-        "overhead",
-        "variance",
-        "baselines",
-        "cluster",
-        "recovery",
-        "ablation",
-        "factor-sweep",
-        "churn",
-        "trace",
-        "overload",
-    ];
     let commands: Vec<&str> = if command == "all" {
-        all.to_vec()
-    } else if all.contains(&command.as_str()) {
+        ALL_COMMANDS.to_vec()
+    } else if ALL_COMMANDS.contains(&command.as_str()) {
         vec![command.as_str()]
     } else {
         eprintln!("unknown command: {command}");
@@ -285,6 +295,11 @@ fn main() -> ExitCode {
             }
             "overload" => {
                 if !overload_cmd(&mut ctx) {
+                    return ExitCode::FAILURE;
+                }
+            }
+            "pricing" => {
+                if !pricing_cmd(&mut ctx) {
                     return ExitCode::FAILURE;
                 }
             }
@@ -1928,6 +1943,150 @@ fn overload_cmd(ctx: &mut Ctx) -> bool {
     }
     true
 }
+
+/// Revenue-vs-SLO pricing sweep: every `vfc-billing` price curve ×
+/// every SLA-class mix over the churn fleet on the event-driven core,
+/// with a light crash model supplying the SLO pressure. Emits the
+/// frontier to `pricing_eval.csv`. Returns `false` (CI failure) when a
+/// cell meters nothing, bills zero revenue, or — with
+/// `VFC_PRICING_MIN_PERIODS` set — meters fewer distinct periods than
+/// the floor.
+fn pricing_cmd(ctx: &mut Ctx) -> bool {
+    use vfc_scenarios::pricing_eval::{run, PricingScenario};
+    let scenario = if ctx.scale.0 < 1.0 {
+        PricingScenario {
+            periods: 40,
+            vms: 16,
+            ..PricingScenario::default()
+        }
+    } else {
+        PricingScenario::default()
+    };
+    println!(
+        "  {} VMs / {} tenants over {} periods on {} nodes (crash rate {}), 3 curves × 3 mixes…",
+        scenario.vms, scenario.tenants, scenario.periods, scenario.nodes, scenario.node_crash_rate
+    );
+    let outcomes = run(&scenario);
+
+    let mut t = TextTable::new(&[
+        "curve",
+        "mix",
+        "class",
+        "revenue µ¢",
+        "penalty µ¢",
+        "net µ¢",
+        "SLO viol.",
+    ]);
+    let mut rows = Vec::new();
+    let mut min_periods = u64::MAX;
+    let mut total_net = 0i64;
+    let mut total_violated = 0u64;
+    let mut total_demanding = 0u64;
+    for o in &outcomes {
+        min_periods = min_periods.min(o.periods_metered);
+        for r in &o.rollups {
+            t.row_strs(&[
+                o.curve,
+                o.mix,
+                r.class,
+                &r.revenue_microcents.to_string(),
+                &r.penalty_microcents.to_string(),
+                &r.net_microcents.to_string(),
+                &format!("{:.4}", r.violation_rate()),
+            ]);
+            rows.push(vec![
+                o.curve.to_owned(),
+                o.mix.to_owned(),
+                r.class.to_owned(),
+                r.tenants.to_string(),
+                o.periods_metered.to_string(),
+                r.guaranteed_mhz_s.to_string(),
+                r.delivered_mhz_s.to_string(),
+                r.auction_usec.to_string(),
+                r.revenue_microcents.to_string(),
+                r.penalty_microcents.to_string(),
+                r.net_microcents.to_string(),
+                r.demanding_vm_periods.to_string(),
+                r.violated_vm_periods.to_string(),
+                format!("{:.6}", r.violation_rate()),
+            ]);
+            total_net += r.net_microcents;
+            total_violated += r.violated_vm_periods;
+            total_demanding += r.demanding_vm_periods;
+        }
+    }
+    print!("{}", t.render());
+    ctx.save_rows("pricing_eval", PRICING_EVAL_HEADERS, &rows);
+
+    let metered = min_periods != u64::MAX && min_periods > 0;
+    let billed = outcomes
+        .iter()
+        .all(|o| o.rollups.iter().any(|r| r.revenue_microcents > 0));
+    let overall_violation_rate = if total_demanding > 0 {
+        total_violated as f64 / total_demanding as f64
+    } else {
+        0.0
+    };
+    ctx.registry.add(
+        ExperimentRecord::new(
+            "pricing",
+            "Performance-based pricing (revenue vs SLO frontier)",
+            "Charging for the virtual frequency actually provisioned turns the \
+             credit/market economy into revenue; penalties must track violated \
+             guarantees, and burstable tenants must pay spot for auction cycles",
+        )
+        .metric("net_revenue_microcents", total_net as f64)
+        .metric("violation_rate", overall_violation_rate)
+        .metric("min_periods_metered", min_periods as f64)
+        .measured(format!(
+            "{} frontier points over {} curve×mix cells; net {total_net} µ¢, \
+             overall violation rate {overall_violation_rate:.4}",
+            rows.len(),
+            outcomes.len(),
+        ))
+        .verdict(if metered && billed {
+            Verdict::Reproduced
+        } else {
+            Verdict::Diverged
+        }),
+    );
+    if !metered || !billed {
+        eprintln!("FAIL: a pricing cell metered no periods or billed no revenue");
+        return false;
+    }
+    if let Ok(floor) = std::env::var("VFC_PRICING_MIN_PERIODS") {
+        if let Ok(floor) = floor.parse::<u64>() {
+            if min_periods < floor {
+                eprintln!(
+                    "FAIL: a cell metered only {min_periods} distinct periods, \
+                     below the {floor}-period floor"
+                );
+                return false;
+            }
+            println!("  metering floor met: {min_periods} ≥ {floor} periods");
+        }
+    }
+    true
+}
+
+/// Header row of `pricing_eval.csv`; the CI smoke job asserts the
+/// committed artifact's header matches the regenerated one.
+const PRICING_EVAL_HEADERS: &[&str] = &[
+    "curve",
+    "mix",
+    "class",
+    "tenants",
+    "periods",
+    "guaranteed_mhz_s",
+    "delivered_mhz_s",
+    "auction_usec",
+    "revenue_microcents",
+    "penalty_microcents",
+    "net_microcents",
+    "demanding_vm_periods",
+    "violated_vm_periods",
+    "violation_rate",
+];
 
 // Avoid unused warning for Path (used in helper signatures only on some
 // platforms).

@@ -28,6 +28,7 @@ pub mod factor_sweep;
 pub mod overhead;
 pub mod overload_eval;
 pub mod placement_eval;
+pub mod pricing_eval;
 pub mod recovery_eval;
 pub mod runner;
 pub mod trace_eval;

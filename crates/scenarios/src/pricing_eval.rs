@@ -1,0 +1,376 @@
+//! Revenue-vs-SLO pricing evaluation.
+//!
+//! Sweeps the `vfc-billing` price curves (linear / tiered-step /
+//! convex) and SLA-class mixes (guaranteed / burstable) over a
+//! churn-shaped tenant population replayed on the event-driven cluster
+//! core, and reports the **revenue-vs-SLO-violation frontier**: what
+//! each pricing regime earns and what it pays back in penalty credits
+//! when faults push delivery below the guarantee.
+//!
+//! The cluster is the churn fleet (8 × 1-socket/2-core/2-thread nodes
+//! @ 2400 MHz) with a light node-crash fault model, so violated
+//! VM-periods actually occur: a frontier measured on a fault-free
+//! cluster would price penalties at zero and say nothing. Every run is
+//! seeded and deterministic — same scenario, same CSV.
+
+use std::collections::BTreeMap;
+use vfc_billing::{BillingEngine, PriceCurve, PriceTier, PricingConfig, SlaClass, SpecAudit};
+use vfc_cluster::{
+    ClusterManager, EventDrivenCluster, FaultModel, GlobalVmId, Strategy, TraceVmSpec,
+};
+use vfc_controlplane::aggregate_usage;
+use vfc_cpusched::topology::NodeSpec;
+use vfc_simcore::{MHz, SplitMix64};
+use vfc_vmm::VmTemplate;
+
+/// Virtual frequency ceiling of the churn fleet's cores.
+pub const F_MAX_MHZ: u32 = 2_400;
+
+/// Shape of one pricing run.
+#[derive(Debug, Clone, Copy)]
+pub struct PricingScenario {
+    /// Nodes in the cluster (churn preset: 1 socket × 2 cores ×
+    /// 2 threads @ 2400 MHz each).
+    pub nodes: usize,
+    /// Periods to replay.
+    pub periods: u64,
+    /// Tenants sharing the cluster (SLA classes are assigned per
+    /// tenant by the mix).
+    pub tenants: usize,
+    /// VM lifetimes scheduled over the horizon.
+    pub vms: usize,
+    /// Seed of the lifetime stream (faults derive their own).
+    pub seed: u64,
+    /// Per-node, per-period crash probability — the SLO pressure.
+    pub node_crash_rate: f64,
+}
+
+impl Default for PricingScenario {
+    fn default() -> Self {
+        PricingScenario {
+            nodes: 8,
+            periods: 200,
+            tenants: 4,
+            vms: 48,
+            seed: 42,
+            node_crash_rate: 0.004,
+        }
+    }
+}
+
+/// The three price curves the sweep compares, `(label, curve)`.
+pub fn curves() -> Vec<(&'static str, PriceCurve)> {
+    vec![
+        (
+            "linear",
+            PriceCurve::Linear {
+                microcents_per_ghz_s: 1_000,
+            },
+        ),
+        (
+            "tiered",
+            PriceCurve::TieredStep {
+                tiers: vec![
+                    PriceTier {
+                        up_to_mhz: 800,
+                        microcents_per_ghz_s: 700,
+                    },
+                    PriceTier {
+                        up_to_mhz: 1_600,
+                        microcents_per_ghz_s: 1_000,
+                    },
+                    PriceTier {
+                        up_to_mhz: F_MAX_MHZ,
+                        microcents_per_ghz_s: 1_400,
+                    },
+                ],
+            },
+        ),
+        (
+            "convex",
+            PriceCurve::Convex {
+                base_microcents_per_ghz_s: 600,
+                premium_microcents_per_ghz_s: 900,
+            },
+        ),
+    ]
+}
+
+/// An SLA-class mix: which class each tenant index is billed under.
+#[derive(Debug, Clone)]
+pub struct SlaMix {
+    /// Mix label in the CSV (`all-guaranteed` / `mixed` /
+    /// `all-burstable`).
+    pub name: &'static str,
+    /// Class of tenant `i` = `classes[i % classes.len()]`.
+    pub classes: Vec<SlaClass>,
+}
+
+/// The three mixes the sweep compares.
+pub fn mixes() -> Vec<SlaMix> {
+    let guaranteed = SlaClass::Guaranteed {
+        penalty_microcents_per_violation: 10_000,
+    };
+    let burstable = SlaClass::Burstable {
+        base_discount_pct: 40,
+        spot_multiplier_pct: 250,
+    };
+    vec![
+        SlaMix {
+            name: "all-guaranteed",
+            classes: vec![guaranteed.clone()],
+        },
+        SlaMix {
+            name: "mixed",
+            classes: vec![guaranteed, burstable.clone()],
+        },
+        SlaMix {
+            name: "all-burstable",
+            classes: vec![burstable],
+        },
+    ]
+}
+
+/// Per-class roll-up of one run — one frontier point.
+#[derive(Debug, Clone)]
+pub struct ClassRollup {
+    /// SLA class (`guaranteed` / `burstable`).
+    pub class: &'static str,
+    /// Tenants billed under the class.
+    pub tenants: usize,
+    /// Σ reserved work, MHz·s.
+    pub guaranteed_mhz_s: u64,
+    /// Σ delivered work, MHz·s.
+    pub delivered_mhz_s: u64,
+    /// Σ auction-won cycles, µs of `F^MAX`.
+    pub auction_usec: u64,
+    /// Gross charges, µ¢.
+    pub revenue_microcents: u64,
+    /// Penalty credits, µ¢.
+    pub penalty_microcents: u64,
+    /// Net (charges − credits), µ¢.
+    pub net_microcents: i64,
+    /// VM-periods that demanded the guarantee.
+    pub demanding_vm_periods: u64,
+    /// Of those, violated.
+    pub violated_vm_periods: u64,
+}
+
+impl ClassRollup {
+    /// Violated share of demanding VM-periods (0 when none demanded).
+    pub fn violation_rate(&self) -> f64 {
+        if self.demanding_vm_periods == 0 {
+            0.0
+        } else {
+            self.violated_vm_periods as f64 / self.demanding_vm_periods as f64
+        }
+    }
+}
+
+/// One `(curve, mix)` cell of the sweep.
+#[derive(Debug, Clone)]
+pub struct PricingRunOutcome {
+    /// Price-curve label.
+    pub curve: &'static str,
+    /// SLA-mix label.
+    pub mix: &'static str,
+    /// Distinct periods the billing engine metered.
+    pub periods_metered: u64,
+    /// VM lifetimes admitted onto the cluster.
+    pub admitted: u64,
+    /// Frontier points, one per class present in the mix.
+    pub rollups: Vec<ClassRollup>,
+}
+
+fn tenant_name(i: usize) -> String {
+    format!("tenant-{i}")
+}
+
+/// Generate the churn-shaped lifetime stream: `s.vms` VMs round-robin
+/// across tenants, paper-preset sizes, seeded arrivals and departures
+/// inside the horizon. Returns `(spec, tenant index)` pairs.
+pub fn lifetimes(s: &PricingScenario) -> Vec<(TraceVmSpec, usize)> {
+    let mut rng = SplitMix64::new(s.seed ^ 0x9B1C_1A6E);
+    let mut out = Vec::with_capacity(s.vms);
+    for k in 0..s.vms {
+        let ti = k % s.tenants;
+        let base = match rng.next_below(3) {
+            0 => VmTemplate::small(),
+            1 => VmTemplate::medium(),
+            _ => VmTemplate::large(),
+        };
+        // Re-name per tenant so per-class SLO tracking separates them.
+        let template = VmTemplate::new(&format!("t{ti}-{}", base.name), base.vcpus, base.vfreq)
+            .with_mem_gb(base.mem_gb);
+        let arrival = rng.next_below((s.periods * 3 / 4).max(1));
+        let lifetime = 20 + rng.next_below((s.periods / 2).max(1));
+        out.push((
+            TraceVmSpec {
+                trace_id: format!("t{ti}-vm{k}"),
+                arrival,
+                departure: Some((arrival + lifetime).min(s.periods)),
+                template,
+            },
+            ti,
+        ));
+    }
+    out
+}
+
+/// Run one `(curve, mix)` cell: replay the lifetimes on the
+/// event-driven core with usage export on, meter every period into a
+/// fresh [`BillingEngine`], and roll the tenants' invoices up per
+/// class.
+pub fn run_cell(
+    s: &PricingScenario,
+    curve_label: &'static str,
+    curve: PriceCurve,
+    mix: &SlaMix,
+) -> PricingRunOutcome {
+    // Pricing config: the mix assigns each tenant its class.
+    let mut cfg = PricingConfig {
+        curve,
+        classes: BTreeMap::new(),
+        fmax_mhz: F_MAX_MHZ,
+    };
+    for i in 0..s.tenants {
+        cfg.classes
+            .insert(tenant_name(i), mix.classes[i % mix.classes.len()].clone());
+    }
+    let mut engine = BillingEngine::new(cfg);
+
+    // The churn fleet under a light crash model, usage export enabled.
+    let mut mgr = ClusterManager::with_faults(
+        vec![NodeSpec::custom("churn", 1, 2, 2, MHz(F_MAX_MHZ)); s.nodes],
+        Strategy::FrequencyControl,
+        s.seed,
+        FaultModel {
+            seed: s.seed ^ 0xFA17,
+            node_crash_rate: s.node_crash_rate,
+            ..FaultModel::none()
+        },
+    );
+    mgr.enable_usage_export();
+    let mut cluster = EventDrivenCluster::new(mgr);
+
+    let specs = lifetimes(s);
+    let slots: Vec<(usize, usize)> = specs
+        .iter()
+        .map(|(spec, ti)| (cluster.schedule_vm(spec.clone()), *ti))
+        .collect();
+    cluster.run_until(s.periods);
+
+    // Attribute cluster VM ids to tenants through the trace slots.
+    let mut owner: BTreeMap<GlobalVmId, String> = BTreeMap::new();
+    let mut admitted = 0u64;
+    for (slot, ti) in &slots {
+        if let Some(vm) = cluster.vm_id_of(*slot) {
+            owner.insert(vm, tenant_name(*ti));
+            admitted += 1;
+        }
+    }
+
+    for usage in cluster.manager_mut().drain_usage() {
+        let rows = aggregate_usage(&usage, |vm| owner.get(&vm).cloned());
+        engine.meter_period(usage.period, rows);
+    }
+
+    // Roll the per-tenant invoices up per class.
+    let mut per_class: BTreeMap<&'static str, ClassRollup> = BTreeMap::new();
+    let mut periods_metered = 0u64;
+    for i in 0..s.tenants {
+        let tenant = tenant_name(i);
+        let inv = engine.invoice(&tenant, SpecAudit::default());
+        periods_metered = periods_metered.max(inv.periods);
+        let class = mix.classes[i % mix.classes.len()].name();
+        let r = per_class.entry(class).or_insert_with(|| ClassRollup {
+            class,
+            tenants: 0,
+            guaranteed_mhz_s: 0,
+            delivered_mhz_s: 0,
+            auction_usec: 0,
+            revenue_microcents: 0,
+            penalty_microcents: 0,
+            net_microcents: 0,
+            demanding_vm_periods: 0,
+            violated_vm_periods: 0,
+        });
+        r.tenants += 1;
+        r.guaranteed_mhz_s += inv.totals.guaranteed_mhz_s;
+        r.delivered_mhz_s += inv.totals.delivered_mhz_s;
+        r.auction_usec += inv.totals.auction_usec;
+        r.revenue_microcents += inv.totals.charges_microcents;
+        r.penalty_microcents += inv.totals.penalty_microcents;
+        r.net_microcents += inv.totals.net_microcents;
+        r.demanding_vm_periods += inv.totals.demanding_vm_periods;
+        r.violated_vm_periods += inv.totals.violated_vm_periods;
+    }
+
+    PricingRunOutcome {
+        curve: curve_label,
+        mix: mix.name,
+        periods_metered,
+        admitted,
+        rollups: per_class.into_values().collect(),
+    }
+}
+
+/// Run the full sweep: every curve × every mix.
+pub fn run(s: &PricingScenario) -> Vec<PricingRunOutcome> {
+    let mut out = Vec::new();
+    for (label, curve) in curves() {
+        for mix in mixes() {
+            out.push(run_cell(s, label, curve.clone(), &mix));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> PricingScenario {
+        PricingScenario {
+            periods: 40,
+            vms: 16,
+            ..PricingScenario::default()
+        }
+    }
+
+    #[test]
+    fn cell_meters_usage_and_bills_revenue() {
+        let s = quick();
+        let (label, curve) = curves().remove(0);
+        let o = run_cell(&s, label, curve, &mixes()[0]);
+        assert!(o.admitted > 0);
+        assert!(o.periods_metered > 0, "{o:?}");
+        assert_eq!(o.rollups.len(), 1);
+        assert!(o.rollups[0].revenue_microcents > 0, "{o:?}");
+        assert!(o.rollups[0].guaranteed_mhz_s > 0);
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let s = quick();
+        let (label, curve) = curves().remove(0);
+        let mix = &mixes()[1];
+        let a = run_cell(&s, label, curve.clone(), mix);
+        let b = run_cell(&s, label, curve, mix);
+        assert_eq!(a.periods_metered, b.periods_metered);
+        for (ra, rb) in a.rollups.iter().zip(&b.rollups) {
+            assert_eq!(ra.revenue_microcents, rb.revenue_microcents);
+            assert_eq!(ra.penalty_microcents, rb.penalty_microcents);
+            assert_eq!(ra.violated_vm_periods, rb.violated_vm_periods);
+        }
+    }
+
+    #[test]
+    fn mixed_mix_produces_both_classes() {
+        let s = quick();
+        let (label, curve) = curves().remove(1);
+        let o = run_cell(&s, label, curve, &mixes()[1]);
+        let classes: Vec<&str> = o.rollups.iter().map(|r| r.class).collect();
+        assert_eq!(classes, vec!["burstable", "guaranteed"]);
+    }
+}

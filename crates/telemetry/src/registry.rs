@@ -329,6 +329,21 @@ impl Registry {
             .unwrap_or(0)
     }
 
+    /// Iterate over every (label, value) pair of a counter/gauge family
+    /// in series order (histogram series are skipped). For dynamic
+    /// families this is the only way to enumerate labels that appeared
+    /// at runtime — e.g. the per-VM credit counters a metering layer
+    /// folds into per-tenant usage.
+    pub fn series_values(&self, id: MetricId) -> impl Iterator<Item = (&str, u64)> {
+        self.metrics[id.0]
+            .series
+            .iter()
+            .filter_map(|s| match &s.data {
+                SeriesData::Value(v) => Some((s.label.as_str(), *v)),
+                SeriesData::Hist(_) => None,
+            })
+    }
+
     /// Borrow a histogram series (None for value series / missing idx).
     pub fn histogram_at(&self, id: MetricId, idx: usize) -> Option<&Histogram> {
         match self.metrics[id.0].series.get(idx).map(|s| &s.data) {

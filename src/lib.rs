@@ -56,6 +56,7 @@
 //! ```
 
 pub use vfc_baselines as baselines;
+pub use vfc_billing as billing;
 pub use vfc_cgroupfs as cgroupfs;
 pub use vfc_cluster as cluster;
 pub use vfc_controller as controller;

@@ -21,7 +21,8 @@ else
     # The glob silently shrinks if a core doc is deleted or renamed, so
     # pin the set that must always be scanned (and therefore exist).
     for required in README.md DESIGN.md EXPERIMENTS.md \
-        docs/PERFORMANCE.md docs/OBSERVABILITY.md docs/CONTROLPLANE.md; do
+        docs/PERFORMANCE.md docs/OBSERVABILITY.md docs/CONTROLPLANE.md \
+        docs/BILLING.md; do
         if [ ! -f "$required" ]; then
             echo "check_doc_links: required doc missing -> $required" >&2
             exit 1

@@ -163,6 +163,20 @@ fn bench_event_core(c: &mut Criterion) {
     let mut group = c.benchmark_group("events");
 
     let trace = SyntheticTrace::new(60, 60, 7).generate();
+    {
+        let mgr = ClusterManager::new(
+            vec![NodeSpec::custom("bench", 1, 4, 2, MHz(2400)); 8],
+            Strategy::FrequencyControl,
+            7,
+        );
+        let mut cluster = EventDrivenCluster::new(mgr).with_algorithm(PlacementAlgorithm::BestFit);
+        cluster.load_trace(trace.clone());
+        cluster.run_until(60);
+        eprintln!(
+            "events/replay_60vms_8nodes: {} events per sample",
+            cluster.stats().events_processed
+        );
+    }
     group.bench_function("replay_60vms_8nodes", |b| {
         b.iter_custom(|| {
             let mgr = ClusterManager::new(
@@ -179,6 +193,53 @@ fn bench_event_core(c: &mut Criterion) {
             black_box(cluster.stats().events_processed);
             d
         });
+    });
+
+    // Datacenter scale: the 1200-node fleet of the `trace` experiment,
+    // shrunk to a per-sample trace so the indexed-placement + event-core
+    // fast path is timed at full fleet width. The `_serial` twin forces
+    // one worker through the same replay; BENCH_controller.json's
+    // events_gate compares the two — >= 2x parallel speedup on >= 4
+    // cores, <= 1.1x parallel overhead on few-core runners.
+    let dc_trace = SyntheticTrace::new(800, 25, 11).generate();
+    let dc_nodes = vec![NodeSpec::custom("dc", 1, 4, 2, MHz(2400)); 1200];
+    let dc_replay = |cluster_threads: usize| {
+        let trace = dc_trace.clone();
+        let nodes = dc_nodes.clone();
+        move || {
+            vfc_cluster::set_parallelism(cluster_threads);
+            let mgr = ClusterManager::new(nodes.clone(), Strategy::FrequencyControl, 7);
+            let mut cluster =
+                EventDrivenCluster::new(mgr).with_algorithm(PlacementAlgorithm::FirstFit);
+            cluster.load_trace(trace.clone());
+            let t = Instant::now();
+            cluster.run_until(25);
+            let d = t.elapsed();
+            black_box(cluster.stats().events_processed);
+            vfc_cluster::set_parallelism(0);
+            d
+        }
+    };
+    // Events per replay is a pure function of the fixed trace + seed
+    // (stable across machines); BENCH_controller.json pins it as
+    // events_per_sample so the gate can print events/s from p50.
+    {
+        let mgr = ClusterManager::new(dc_nodes.clone(), Strategy::FrequencyControl, 7);
+        let mut cluster = EventDrivenCluster::new(mgr).with_algorithm(PlacementAlgorithm::FirstFit);
+        cluster.load_trace(dc_trace.clone());
+        cluster.run_until(25);
+        eprintln!(
+            "events/replay_1200nodes: {} events per sample",
+            cluster.stats().events_processed
+        );
+    }
+    group.bench_function("replay_1200nodes", |b| {
+        let mut sample = dc_replay(0);
+        b.iter_custom(&mut sample);
+    });
+    group.bench_function("replay_1200nodes_serial", |b| {
+        let mut sample = dc_replay(1);
+        b.iter_custom(&mut sample);
     });
 
     let quiet: Vec<TraceVmSpec> = (0..8)

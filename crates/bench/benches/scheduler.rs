@@ -2,18 +2,17 @@
 //! sizes, and the water-filling fair share in isolation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::collections::HashMap;
 use std::hint::black_box;
 use vfc_cgroupfs::tree::{CgroupTree, ROOT};
 use vfc_cpusched::engine::Engine;
 use vfc_cpusched::fair::{water_fill, Entity};
 use vfc_cpusched::topology::NodeSpec;
-use vfc_simcore::{Micros, Tid};
+use vfc_simcore::{FastMap, Micros, Tid};
 
 /// Tree of `vms` two-level scopes with `vcpus` single-thread leaves each.
-fn build(vms: u32, vcpus: u32) -> (CgroupTree, HashMap<Tid, Micros>) {
+fn build(vms: u32, vcpus: u32) -> (CgroupTree, FastMap<Tid, Micros>) {
     let mut tree = CgroupTree::new();
-    let mut demands = HashMap::new();
+    let mut demands = FastMap::default();
     let mut tid = 100u32;
     for v in 0..vms {
         let scope = tree.mkdir(ROOT, &format!("vm{v}")).expect("fresh name");

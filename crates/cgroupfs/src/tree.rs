@@ -225,16 +225,33 @@ impl CgroupTree {
     /// Depth-first iteration over all live nodes, root included.
     pub fn iter_dfs(&self) -> Vec<NodeIdx> {
         let mut out = Vec::with_capacity(self.nodes.len());
-        let mut stack = vec![ROOT];
-        while let Some(idx) = stack.pop() {
-            out.push(idx);
-            for c in self.nodes[idx.0].children.iter().rev() {
-                if self.nodes[c.0].alive {
-                    stack.push(*c);
-                }
+        self.iter_dfs_into(&mut out);
+        out
+    }
+
+    /// Like [`CgroupTree::iter_dfs`], into a caller-owned buffer — the
+    /// per-tick scheduling engine reuses one across ticks, so the
+    /// steady-state traversal allocates nothing. Recursion depth is the
+    /// hierarchy depth (root → VM group → vCPU group, a small constant).
+    pub fn iter_dfs_into(&self, out: &mut Vec<NodeIdx>) {
+        out.clear();
+        self.dfs_push(ROOT, out);
+    }
+
+    fn dfs_push(&self, idx: NodeIdx, out: &mut Vec<NodeIdx>) {
+        out.push(idx);
+        for c in &self.nodes[idx.0].children {
+            if self.nodes[c.0].alive {
+                self.dfs_push(*c, out);
             }
         }
-        out
+    }
+
+    /// Size of the node arena (live + tombstoned) — the exclusive upper
+    /// bound on every [`NodeIdx`] this tree has ever issued. Lets hot
+    /// paths use dense per-node scratch arrays instead of hash maps.
+    pub fn arena_size(&self) -> usize {
+        self.nodes.len()
     }
 
     /// Attach a thread to a (leaf) group.

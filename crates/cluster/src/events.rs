@@ -33,7 +33,15 @@
 //! Same construction + same scheduled specs ⇒ byte-identical event
 //! journals and reports: every queue tie-break is FIFO, every RNG is
 //! seeded, and the parallel node advance only touches per-node state
-//! that is merged serially in node order.
+//! that is merged serially in node order. The worker count
+//! ([`crate::set_parallelism`], env `VFC_TRACE_THREADS` under
+//! `experiments trace`) is therefore invisible in every output — the
+//! same-instant batch is sorted *before* the fan-out, each worker owns
+//! disjoint `NodeRuntime`s with their own RNG streams, and all
+//! cross-node accounting (`close_period_for`, fault draws, the journal)
+//! runs on the event-loop thread in that sorted shard order. The
+//! `events_parallel_equivalence` proptest pins serial vs forced-4-thread
+//! runs to byte-identical journals and reports.
 //!
 //! Against the legacy driver, [`ClusterManager::report`] is
 //! **bit-identical** for runs where no VM ever lands on a host that the

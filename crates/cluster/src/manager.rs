@@ -13,6 +13,7 @@ use vfc_cpusched::topology::NodeSpec;
 use vfc_placement::algo::PlacementAlgorithm;
 use vfc_placement::constraint::ConstraintMode;
 use vfc_placement::model::{NodeBin, PlacementRequest};
+use vfc_placement::ResidualIndex;
 use vfc_simcore::{MHz, Micros, SplitMix64, VcpuId, VmId};
 use vfc_vmm::workload::Workload;
 use vfc_vmm::{SimHost, VmTemplate};
@@ -216,6 +217,13 @@ struct NodeRuntime {
     /// serially afterwards. Both buffers keep their capacity across
     /// periods.
     slo_scratch: Vec<SloSample>,
+    /// Last values folded into the cluster-wide incremental tallies
+    /// (`used_node_count`, `violating_node_count`, `committed_mhz`) —
+    /// [`ClusterManager::refresh_node`] applies the delta against these
+    /// and overwrites them, so the rollups never re-walk the fleet.
+    tallied_used: bool,
+    tallied_violating: bool,
+    tallied_mhz: u64,
 }
 
 impl NodeRuntime {
@@ -237,6 +245,9 @@ impl NodeRuntime {
             residents: Vec::new(),
             run_mark: false,
             slo_scratch: Vec::new(),
+            tallied_used: false,
+            tallied_violating: false,
+            tallied_mhz: 0,
         }
     }
 
@@ -429,6 +440,25 @@ pub struct ClusterManager {
     /// [`ClusterManager::enable_usage_export`]. `None` = off (the
     /// default): the hot path pays nothing.
     usage_export: Option<UsageExportState>,
+    /// The strategy's placement constraint, cached (it never changes
+    /// after construction) so the placement fast path skips the match.
+    mode: ConstraintMode,
+    /// Residual-capacity index over the node bins: every placement
+    /// question (admission, evacuation, migration fallback) answers in
+    /// O(log n) instead of an O(n) bin scan. Kept in sync by
+    /// [`ClusterManager::refresh_node`] after every bin or up/down
+    /// transition; down nodes are deactivated. See DESIGN.md §16.
+    index: ResidualIndex,
+    /// Incrementally-maintained count of nodes hosting ≥ 1 VM
+    /// (= [`ClusterManager::active_nodes`], O(1)).
+    used_node_count: usize,
+    /// Incrementally-maintained count of nodes with `used_mhz >
+    /// capacity_mhz` (= [`ClusterManager::eq7_violations`], O(1)).
+    violating_node_count: usize,
+    /// Incrementally-maintained Σ over nodes of committed Eq. 7 MHz.
+    committed_mhz: u64,
+    /// Static Σ over nodes of `k_n·F_n^MAX` (MHz).
+    capacity_mhz_total: u64,
 }
 
 impl ClusterManager {
@@ -454,7 +484,10 @@ impl ClusterManager {
             .collect();
         let node_ids = (0..nodes.len()).collect();
         let frng = SplitMix64::new(faults.seed ^ 0x5EED_F417);
-        ClusterManager {
+        let mode = strategy.constraint();
+        let index = ResidualIndex::new(nodes.len());
+        let capacity_mhz_total = nodes.iter().map(|n| n.bin.spec.freq_capacity_mhz()).sum();
+        let mut mgr = ClusterManager {
             strategy,
             nodes,
             vms: Vec::new(),
@@ -476,6 +509,48 @@ impl ClusterManager {
             lease: None,
             ladder: None,
             usage_export: None,
+            mode,
+            index,
+            used_node_count: 0,
+            violating_node_count: 0,
+            committed_mhz: 0,
+            capacity_mhz_total,
+        };
+        for i in 0..mgr.nodes.len() {
+            mgr.refresh_node(i);
+        }
+        mgr
+    }
+
+    /// Re-derive one node's contribution to the incremental tallies and
+    /// its residual-capacity index entry, after any bin mutation or
+    /// up/down transition. The *only* write path into the index and the
+    /// cluster-wide counters — every placement transition (deploy,
+    /// undeploy, resize, landing, crash, repair) funnels through here.
+    fn refresh_node(&mut self, i: usize) {
+        let rt = &self.nodes[i];
+        let used = rt.bin.is_used();
+        let mhz = rt.bin.used_freq_mhz();
+        let violating = mhz > rt.bin.spec.freq_capacity_mhz();
+        let down = rt.is_down();
+        let units = self.mode.remaining(&rt.bin);
+        let mem = (rt.bin.spec.mem_gb as u64).saturating_sub(rt.bin.used_mem_gb());
+
+        self.used_node_count -= rt.tallied_used as usize;
+        self.used_node_count += used as usize;
+        self.violating_node_count -= rt.tallied_violating as usize;
+        self.violating_node_count += violating as usize;
+        self.committed_mhz -= rt.tallied_mhz;
+        self.committed_mhz += mhz;
+        let rt = &mut self.nodes[i];
+        rt.tallied_used = used;
+        rt.tallied_violating = violating;
+        rt.tallied_mhz = mhz;
+
+        if down {
+            self.index.deactivate(i);
+        } else {
+            self.index.set(i, units, mem);
         }
     }
 
@@ -758,6 +833,7 @@ impl ClusterManager {
         let local = self.nodes[node].host.provision(template);
         self.nodes[node].host.attach_workload(local, workload);
         self.nodes[node].bin.place(&request);
+        self.refresh_node(node);
         let id = GlobalVmId(self.vms.len() as u32);
         self.vms.push(VmRecord {
             template: template.clone(),
@@ -768,9 +844,22 @@ impl ClusterManager {
         Ok(id)
     }
 
-    /// Number of nodes currently hosting at least one VM.
+    /// Number of nodes currently hosting at least one VM. O(1): the
+    /// count is maintained incrementally at every placement transition.
     pub fn active_nodes(&self) -> usize {
-        self.nodes.iter().filter(|n| n.bin.is_used()).count()
+        self.used_node_count
+    }
+
+    /// Σ committed Eq. 7 MHz across all nodes (`Σ_n Σ_{i∈I_n} k_i·F_i`),
+    /// maintained incrementally — the O(1) replacement for summing
+    /// [`ClusterManager::node_loads`] every period.
+    pub fn committed_mhz(&self) -> u64 {
+        self.committed_mhz
+    }
+
+    /// Σ `k_n·F_n^MAX` across all nodes (MHz), fixed at construction.
+    pub fn capacity_mhz_total(&self) -> u64 {
+        self.capacity_mhz_total
     }
 
     /// Migrations performed so far.
@@ -795,10 +884,43 @@ impl ClusterManager {
         }
     }
 
+    /// A request's demand in the constraint's residual unit: vCPU slots
+    /// under core-count, `k_v·F_v` MHz under the frequency modes —
+    /// exactly the quantity [`ConstraintMode::fits`] compares against
+    /// the bin's remaining capacity.
+    fn demand_units(&self, request: &PlacementRequest) -> u64 {
+        match self.mode {
+            ConstraintMode::CoreCount { .. } => request.vcpus as u64,
+            ConstraintMode::Frequency | ConstraintMode::FrequencyFactor { .. } => {
+                request.freq_demand_mhz()
+            }
+        }
+    }
+
     /// Placement under the strategy's constraint with the chosen
     /// heuristic, skipping crashed nodes (and optionally one more — a
-    /// migration source).
+    /// migration source). Answered by the residual-capacity index in
+    /// O(log n); `tests/placement_index_equivalence.rs` pins it
+    /// byte-identical to [`ClusterManager::place_with_linear`].
     fn place_with(
+        &self,
+        algorithm: PlacementAlgorithm,
+        request: &PlacementRequest,
+        exclude: Option<usize>,
+    ) -> Option<usize> {
+        let units = self.demand_units(request);
+        let mem = request.mem_gb as u64;
+        match algorithm {
+            PlacementAlgorithm::FirstFit => self.index.first_fit(units, mem, exclude),
+            PlacementAlgorithm::BestFit => self.index.best_fit(units, mem, exclude),
+            PlacementAlgorithm::WorstFit => self.index.worst_fit(units, mem, exclude),
+        }
+    }
+
+    /// The pre-index O(n) bin scan, kept as the oracle for the
+    /// index-equivalence proptests. Not part of the public API.
+    #[doc(hidden)]
+    pub fn place_with_linear(
         &self,
         algorithm: PlacementAlgorithm,
         request: &PlacementRequest,
@@ -819,6 +941,18 @@ impl ClusterManager {
                 .max_by_key(|(i, n)| (mode.remaining(&n.bin), usize::MAX - *i))
                 .map(|(i, _)| i),
         }
+    }
+
+    /// The indexed placement answer, exposed for the equivalence
+    /// proptests. Not part of the public API.
+    #[doc(hidden)]
+    pub fn place_with_indexed(
+        &self,
+        algorithm: PlacementAlgorithm,
+        request: &PlacementRequest,
+        exclude: Option<usize>,
+    ) -> Option<usize> {
+        self.place_with(algorithm, request, exclude)
     }
 
     /// Best-Fit placement (the internal default for migrations and
@@ -843,6 +977,7 @@ impl ClusterManager {
             Location::OnNode { node, local } => {
                 let _ = self.nodes[node].host.deprovision(local);
                 self.nodes[node].bin.remove(&request);
+                self.refresh_node(node);
                 self.remove_resident(node, id.0 as usize);
                 Ok(())
             }
@@ -900,6 +1035,7 @@ impl ClusterManager {
             ok
         };
         if fits_in_place {
+            self.refresh_node(node);
             let rt = &mut self.nodes[node];
             rt.host.set_vfreq(local, new_vfreq);
             if let Some(ctl) = &mut rt.controller {
@@ -920,6 +1056,7 @@ impl ClusterManager {
         };
         let workload = self.nodes[node].host.deprovision(local);
         self.nodes[node].bin.remove(&old_request);
+        self.refresh_node(node);
         self.remove_resident(node, id.0 as usize);
         let arrive = self.period + 1;
         let record = &mut self.vms[id.0 as usize];
@@ -975,12 +1112,10 @@ impl ClusterManager {
 
     /// Number of nodes currently violating Eq. 7 (`Σ k_i·F_i` above
     /// `k_n·F_n^MAX`). Always 0 under the frequency strategies — the
-    /// churn proptest pins this.
+    /// churn proptest pins this. O(1): maintained as deltas on
+    /// residency changes instead of re-walking the fleet.
     pub fn eq7_violations(&self) -> usize {
-        self.node_loads()
-            .iter()
-            .filter(|l| l.used_mhz > l.capacity_mhz)
-            .count()
+        self.violating_node_count
     }
 
     /// Advance the whole cluster by one controller period (1 s).
@@ -1498,6 +1633,7 @@ impl ClusterManager {
         self.nodes[dest]
             .bin
             .place(&PlacementRequest::from(&template));
+        self.refresh_node(dest);
         self.vms[idx].location = Location::OnNode { node: dest, local };
         self.remove_offline(idx);
         self.add_resident(dest, idx, local);
@@ -1509,8 +1645,10 @@ impl ClusterManager {
         for i in 0..self.nodes.len() {
             if self.nodes[i].repairs_at == Some(p) {
                 // The node rejoins empty (its VMs were evacuated at crash
-                // time) with the cold controller built back then.
+                // time) with the cold controller built back then — and
+                // re-enters the placement index as a candidate.
                 self.nodes[i].repairs_at = None;
+                self.refresh_node(i);
             }
             if self.nodes[i].controller_returns_at == Some(p) && !self.nodes[i].is_down() {
                 self.nodes[i].controller_returns_at = None;
@@ -1604,6 +1742,10 @@ impl ClusterManager {
         // Whatever controller state existed died with the node.
         rt.controller = cfg
             .map(|cfg| Controller::new(cfg.with_mode(ControlMode::Full), rt.host.topology_info()));
+        // One refresh covers the whole evacuation: the loop above always
+        // excludes this node from placement, and no other bin changes
+        // (evacuees go in flight, they do not land here).
+        self.refresh_node(node);
     }
 
     /// Decide controller crashes for this period (scripted + random).
@@ -1660,7 +1802,6 @@ impl ClusterManager {
 
     /// Migrate the largest VM off `src` to the emptiest node that fits.
     fn try_migrate_from(&mut self, src: usize, downtime: u32) -> bool {
-        let mode = self.strategy.constraint();
         // Largest frequency-demand VM currently on src, off the resident
         // index (sorted ascending, so ties break exactly like the old
         // full-fleet scan: last maximal VM-record index wins).
@@ -1673,13 +1814,7 @@ impl ClusterManager {
             return false;
         };
         let request = PlacementRequest::from(&self.vms[vm_idx].template);
-        let dest = self
-            .nodes
-            .iter()
-            .enumerate()
-            .filter(|(i, n)| *i != src && !n.is_down() && mode.fits(&n.bin, &request))
-            .max_by_key(|(i, n)| (mode.remaining(&n.bin), usize::MAX - *i))
-            .map(|(i, _)| i);
+        let dest = self.place_with(PlacementAlgorithm::WorstFit, &request, Some(src));
         let Some(dest) = dest else {
             return false; // nowhere to go; stay hot
         };
@@ -1690,6 +1825,7 @@ impl ClusterManager {
         debug_assert_eq!(node, src);
         let workload = self.nodes[src].host.deprovision(local);
         self.nodes[src].bin.remove(&request);
+        self.refresh_node(src);
         self.remove_resident(src, vm_idx);
         self.vms[vm_idx].parked = Some(workload);
         let arrive = self.period + downtime as u64;

@@ -21,13 +21,12 @@
 //! and per-thread demands, exactly like the kernel.
 
 use crate::dvfs::Governor;
-use crate::fair::{water_fill, Entity};
-use crate::place::Placer;
+use crate::fair::{water_fill_into, Entity, FillScratch};
+use crate::place::{PlacementBuf, Placer};
 use crate::power::node_power_w;
 use crate::topology::NodeSpec;
-use std::collections::HashMap;
 use vfc_cgroupfs::tree::{CgroupTree, NodeIdx, ROOT};
-use vfc_simcore::{CpuId, Cycles, MHz, Micros, Tid};
+use vfc_simcore::{CpuId, Cycles, FastMap, MHz, Micros, Tid};
 
 /// What one thread got out of a tick.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,10 +40,10 @@ pub struct ThreadSlice {
 }
 
 /// Aggregate result of one engine tick.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct TickOutcome {
     /// Per-thread outcome of the tick.
-    pub threads: HashMap<Tid, ThreadSlice>,
+    pub threads: FastMap<Tid, ThreadSlice>,
     /// Frequency each core reported this tick.
     pub core_freqs: Vec<MHz>,
     /// Busy time per core.
@@ -99,6 +98,32 @@ impl CacheModel {
     }
 }
 
+/// Reusable per-tick working memory. Every buffer here used to be a
+/// fresh allocation inside [`Engine::tick`]; at cluster scale (1,200
+/// hosts × 10 ticks × 300 periods) those dominated the replay profile,
+/// so the engine now owns one set and [`Engine::tick_into`] reuses it.
+#[derive(Debug, Default)]
+struct Scratch {
+    /// Pre-order DFS of the live tree.
+    dfs: Vec<NodeIdx>,
+    /// Demand-side cap per node, dense by arena index.
+    caps: Vec<u64>,
+    /// Granted budget per group, dense by arena index.
+    group_alloc: Vec<u64>,
+    /// Children of the group currently being filled.
+    children: Vec<NodeIdx>,
+    /// Water-filling entities of the current group.
+    entities: Vec<Entity>,
+    /// Water-filling output of the current group.
+    shares: Vec<u64>,
+    fill: FillScratch,
+    /// Granted CPU time per thread.
+    thread_alloc: FastMap<Tid, Micros>,
+    /// Every known thread with its allocation, DFS order.
+    all_threads: Vec<(Tid, Micros)>,
+    place: PlacementBuf,
+}
+
 /// Host scheduling engine. See module docs.
 #[derive(Debug)]
 pub struct Engine {
@@ -109,6 +134,7 @@ pub struct Engine {
     /// Frequencies from the last tick (idle cores keep reporting).
     core_freqs: Vec<MHz>,
     cache_model: Option<CacheModel>,
+    scratch: Scratch,
 }
 
 impl Engine {
@@ -135,6 +161,7 @@ impl Engine {
             tick,
             governor,
             cache_model: None,
+            scratch: Scratch::default(),
         }
     }
 
@@ -172,10 +199,43 @@ impl Engine {
     /// `demands` maps each thread to the CPU time it *wants* this tick
     /// (clamped to `tick`); absent threads are idle. Usage and throttling
     /// are accounted into `tree`.
-    pub fn tick(&mut self, tree: &mut CgroupTree, demands: &HashMap<Tid, Micros>) -> TickOutcome {
+    pub fn tick(&mut self, tree: &mut CgroupTree, demands: &FastMap<Tid, Micros>) -> TickOutcome {
+        let mut out = TickOutcome::default();
+        self.tick_into(tree, demands, &mut out);
+        out
+    }
+
+    /// [`Engine::tick`] into a caller-owned [`TickOutcome`], reusing the
+    /// engine's internal scratch buffers. Behaviour (allocations granted,
+    /// accounting, RNG draw sequence, outcome values) is identical to
+    /// [`Engine::tick`]; only the allocation profile differs — the
+    /// steady-state tick performs no heap allocation, which is what makes
+    /// the 1,200-node trace replay fast.
+    pub fn tick_into(
+        &mut self,
+        tree: &mut CgroupTree,
+        demands: &FastMap<Tid, Micros>,
+        out: &mut TickOutcome,
+    ) {
+        let tick = self.tick;
+        let arena = tree.arena_size();
+        let Scratch {
+            dfs,
+            caps,
+            group_alloc,
+            children,
+            entities,
+            shares,
+            fill,
+            thread_alloc,
+            all_threads,
+            place,
+        } = &mut self.scratch;
+
         // ---- 1. demand-side caps, bottom-up -------------------------------
-        let mut caps: HashMap<NodeIdx, u64> = HashMap::new();
-        let dfs = tree.iter_dfs();
+        tree.iter_dfs_into(dfs);
+        caps.clear();
+        caps.resize(arena, 0);
         for &idx in dfs.iter().rev() {
             let node = tree.node(idx);
             let thread_demand: u64 = node
@@ -186,80 +246,82 @@ impl Engine {
                         .get(t)
                         .copied()
                         .unwrap_or(Micros::ZERO)
-                        .min(self.tick)
+                        .min(tick)
                         .as_u64()
                 })
                 .sum();
-            let child_demand: u64 = tree.children(idx).map(|c| caps[&c]).sum();
+            let child_demand: u64 = tree.children(idx).map(|c| caps[c.0]).sum();
             let raw = thread_demand + child_demand;
-            let quota = node.cpu_max.budget_for(self.tick).as_u64();
-            caps.insert(idx, raw.min(quota));
+            let quota = node.cpu_max.budget_for(tick).as_u64();
+            caps[idx.0] = raw.min(quota);
         }
 
         // ---- 2. allocation, top-down --------------------------------------
-        let capacity = (self.spec.nr_threads() as u64) * self.tick.as_u64();
-        let mut thread_alloc: HashMap<Tid, Micros> = HashMap::with_capacity(demands.len());
-        let mut group_alloc: HashMap<NodeIdx, u64> = HashMap::new();
-        let root_budget = capacity.min(caps[&ROOT]);
-        group_alloc.insert(ROOT, root_budget);
+        let capacity = (self.spec.nr_threads() as u64) * tick.as_u64();
+        thread_alloc.clear();
+        group_alloc.clear();
+        group_alloc.resize(arena, 0);
+        group_alloc[ROOT.0] = capacity.min(caps[ROOT.0]);
 
         // Pre-order traversal (parents before children); iter_dfs is one.
-        for &idx in &dfs {
-            let budget = group_alloc[&idx];
+        for &idx in dfs.iter() {
+            let budget = group_alloc[idx.0];
             let node = tree.node(idx);
-            let children: Vec<NodeIdx> = tree.children(idx).collect();
+            children.clear();
+            children.extend(tree.children(idx));
             // Entities: child groups first, then direct threads.
-            let mut entities: Vec<Entity> = Vec::with_capacity(children.len() + node.threads.len());
-            for &c in &children {
-                entities.push(Entity::new(tree.node(c).weight, caps[&c]));
+            entities.clear();
+            for &c in children.iter() {
+                entities.push(Entity::new(tree.node(c).weight, caps[c.0]));
             }
-            let thread_list = node.threads.clone();
-            for t in &thread_list {
-                let d = demands
-                    .get(t)
-                    .copied()
-                    .unwrap_or(Micros::ZERO)
-                    .min(self.tick);
+            for t in &node.threads {
+                let d = demands.get(t).copied().unwrap_or(Micros::ZERO).min(tick);
                 entities.push(Entity::new(node.weight, d.as_u64()));
             }
             if entities.is_empty() {
                 continue;
             }
-            let shares = water_fill(budget, &entities);
+            water_fill_into(budget, entities, shares, fill);
             for (i, &c) in children.iter().enumerate() {
-                group_alloc.insert(c, shares[i]);
+                group_alloc[c.0] = shares[i];
             }
-            for (k, t) in thread_list.iter().enumerate() {
+            for (k, t) in node.threads.iter().enumerate() {
                 thread_alloc.insert(*t, Micros(shares[children.len() + k]));
             }
         }
 
         // ---- 3. usage + throttling accounting ------------------------------
         // Leaf usage, then per-group periods for limited groups.
-        for &idx in &dfs {
-            let node_threads = tree.node(idx).threads.clone();
-            if !node_threads.is_empty() {
-                let used: Micros = node_threads
-                    .iter()
-                    .map(|t| thread_alloc.get(t).copied().unwrap_or(Micros::ZERO))
-                    .sum();
-                tree.node_mut(idx).cpu_stat.account_usage(used);
-            }
+        for &idx in dfs.iter() {
             let node = tree.node(idx);
-            if !node.cpu_max.is_unlimited() {
-                let raw_demand: u64 = node_threads
+            let has_threads = !node.threads.is_empty();
+            let used: Micros = node
+                .threads
+                .iter()
+                .map(|t| thread_alloc.get(t).copied().unwrap_or(Micros::ZERO))
+                .sum();
+            let unlimited = node.cpu_max.is_unlimited();
+            let quota = node.cpu_max.budget_for(tick).as_u64();
+            let raw_demand: u64 = if unlimited {
+                0
+            } else {
+                node.threads
                     .iter()
                     .map(|t| {
                         demands
                             .get(t)
                             .copied()
                             .unwrap_or(Micros::ZERO)
-                            .min(self.tick)
+                            .min(tick)
                             .as_u64()
                     })
                     .sum::<u64>()
-                    + tree.children(idx).map(|c| caps[&c]).sum::<u64>();
-                let quota = node.cpu_max.budget_for(self.tick).as_u64();
+                    + tree.children(idx).map(|c| caps[c.0]).sum::<u64>()
+            };
+            if has_threads {
+                tree.node_mut(idx).cpu_stat.account_usage(used);
+            }
+            if !unlimited {
                 let throttled_for = if raw_demand > quota {
                     Micros(raw_demand - quota)
                 } else {
@@ -271,17 +333,18 @@ impl Engine {
 
         // ---- 4. placement ---------------------------------------------------
         // Include every known thread so idle ones keep a location.
-        let mut all_threads: Vec<(Tid, Micros)> = Vec::new();
-        for &idx in &dfs {
+        all_threads.clear();
+        for &idx in dfs.iter() {
             for t in &tree.node(idx).threads {
                 all_threads.push((*t, thread_alloc.get(t).copied().unwrap_or(Micros::ZERO)));
             }
         }
-        let (placements, core_busy) = self.placer.place(&all_threads, self.tick);
+        self.placer.place_into(all_threads, tick, place);
+        let core_busy = &place.core_busy;
 
         // ---- 5. DVFS ---------------------------------------------------------
         for (i, busy) in core_busy.iter().enumerate() {
-            let util = busy.ratio_of(self.tick);
+            let util = busy.ratio_of(tick);
             self.core_freqs[i] = self.governor.core_freq(util);
         }
 
@@ -326,18 +389,22 @@ impl Engine {
                 }
             };
 
-        let mut threads = HashMap::with_capacity(all_threads.len());
-        for (tid, placement) in &placements {
+        out.threads.clear();
+        for e in place.entries.iter() {
+            let slices = place.slices_of(e);
+            let mut ran = Micros::ZERO;
             let mut work = Cycles::ZERO;
-            for (cpu, us) in &placement.slices {
+            for (cpu, us) in slices {
+                ran += *us;
                 work += Cycles::from_time_at(*us, self.core_freqs[cpu.as_usize()]);
             }
             let work = Cycles((work.as_u64() as f64 * cache_multiplier) as u64);
-            threads.insert(
-                *tid,
+            let last_cpu = slices.first().map(|(c, _)| *c).unwrap_or(CpuId::new(0));
+            out.threads.insert(
+                e.tid,
                 ThreadSlice {
-                    ran: placement.total(),
-                    last_cpu: placement.primary(),
+                    ran,
+                    last_cpu,
                     work,
                 },
             );
@@ -359,13 +426,12 @@ impl Engine {
         };
         let power_w = node_power_w(&self.spec, utilization, active_freq);
 
-        TickOutcome {
-            threads,
-            core_freqs: self.core_freqs.clone(),
-            core_busy,
-            utilization,
-            power_w,
-        }
+        out.core_freqs.clear();
+        out.core_freqs.extend_from_slice(&self.core_freqs);
+        out.core_busy.clear();
+        out.core_busy.extend_from_slice(core_busy);
+        out.utilization = utilization;
+        out.power_w = power_w;
     }
 }
 
@@ -409,7 +475,7 @@ mod tests {
         (tree, tids)
     }
 
-    fn full_demand(tids: &[Vec<Tid>]) -> HashMap<Tid, Micros> {
+    fn full_demand(tids: &[Vec<Tid>]) -> FastMap<Tid, Micros> {
         tids.iter().flatten().map(|t| (*t, TICK)).collect()
     }
 
@@ -417,7 +483,7 @@ mod tests {
     fn single_thread_gets_its_demand() {
         let mut e = engine(4);
         let (mut tree, tids) = build_tree(&[1]);
-        let demands: HashMap<_, _> = [(tids[0][0], Micros(40_000))].into();
+        let demands: FastMap<_, _> = [(tids[0][0], Micros(40_000))].into_iter().collect();
         let out = e.tick(&mut tree, &demands);
         assert_eq!(out.threads[&tids[0][0]].ran, Micros(40_000));
         // Performance governor at 2400: work = 40_000 µs × 2400 MHz.
@@ -533,7 +599,7 @@ mod tests {
     fn idle_node_uses_no_time() {
         let mut e = engine(2);
         let (mut tree, tids) = build_tree(&[2]);
-        let demands: HashMap<Tid, Micros> = tids[0].iter().map(|t| (*t, Micros::ZERO)).collect();
+        let demands: FastMap<Tid, Micros> = tids[0].iter().map(|t| (*t, Micros::ZERO)).collect();
         let out = e.tick(&mut tree, &demands);
         assert_eq!(out.utilization, 0.0);
         let total: Micros = tids[0].iter().map(|t| out.threads[t].ran).sum();
@@ -666,7 +732,7 @@ mod tests {
                 let mut engine = Engine::with_parts(spec, TICK, gov, 5);
 
                 let mut tree = CgroupTree::new();
-                let mut demands = HashMap::new();
+                let mut demands = FastMap::default();
                 let mut groups = Vec::new();
                 let mut tid_n = 100u32;
                 for (k, (_, quota, ds)) in vms.iter().enumerate() {

@@ -32,6 +32,14 @@ impl Entity {
     }
 }
 
+/// Reusable scratch for [`water_fill_into`]: the active/next index lists
+/// that [`water_fill`] would otherwise allocate per round.
+#[derive(Debug, Default)]
+pub struct FillScratch {
+    active: Vec<usize>,
+    next: Vec<usize>,
+}
+
 /// Progressive-filling allocation. See module docs for invariants.
 ///
 /// Runs in `O(k·n)` where `k` is the number of filling rounds (bounded by
@@ -39,10 +47,27 @@ impl Entity {
 /// weight receive nothing until all positively-weighted entities are
 /// saturated, then share the remainder equally (degenerate but total).
 pub fn water_fill(capacity: u64, entities: &[Entity]) -> Vec<u64> {
+    let mut alloc = Vec::new();
+    let mut scratch = FillScratch::default();
+    water_fill_into(capacity, entities, &mut alloc, &mut scratch);
+    alloc
+}
+
+/// [`water_fill`] into caller-owned buffers. `alloc` is cleared and
+/// resized to `entities.len()`; `scratch` holds the round bookkeeping.
+/// The per-tick engine calls this at every hierarchy level, so reusing
+/// the buffers removes the dominant allocation in the share pass.
+pub fn water_fill_into(
+    capacity: u64,
+    entities: &[Entity],
+    alloc: &mut Vec<u64>,
+    scratch: &mut FillScratch,
+) {
     let n = entities.len();
-    let mut alloc = vec![0u64; n];
+    alloc.clear();
+    alloc.resize(n, 0);
     if n == 0 || capacity == 0 {
-        return alloc;
+        return;
     }
 
     let mut remaining = capacity.min(
@@ -51,11 +76,13 @@ pub fn water_fill(capacity: u64, entities: &[Entity]) -> Vec<u64> {
             .fold(0u64, |acc, e| acc.saturating_add(e.cap)),
     );
     // Active = not yet saturated.
-    let mut active: Vec<usize> = (0..n).filter(|&i| entities[i].cap > 0).collect();
+    let FillScratch { active, next } = scratch;
+    active.clear();
+    active.extend((0..n).filter(|&i| entities[i].cap > 0));
 
     while remaining > 0 && !active.is_empty() {
         let total_weight: u64 = active.iter().map(|&i| entities[i].weight as u64).sum();
-        let mut next_active = Vec::with_capacity(active.len());
+        next.clear();
         let mut distributed = 0u64;
 
         if total_weight == 0 {
@@ -66,19 +93,19 @@ pub fn water_fill(capacity: u64, entities: &[Entity]) -> Vec<u64> {
                 for &i in active.iter().take(remaining as usize) {
                     alloc[i] += 1;
                 }
-                return alloc;
+                return;
             }
-            for &i in &active {
+            for &i in active.iter() {
                 let headroom = entities[i].cap - alloc[i];
                 let got = share.min(headroom);
                 alloc[i] += got;
                 distributed += got;
                 if alloc[i] < entities[i].cap {
-                    next_active.push(i);
+                    next.push(i);
                 }
             }
         } else {
-            for &i in &active {
+            for &i in active.iter() {
                 let fair =
                     (remaining as u128 * entities[i].weight as u128 / total_weight as u128) as u64;
                 let headroom = entities[i].cap - alloc[i];
@@ -86,7 +113,7 @@ pub fn water_fill(capacity: u64, entities: &[Entity]) -> Vec<u64> {
                 alloc[i] += got;
                 distributed += got;
                 if alloc[i] < entities[i].cap {
-                    next_active.push(i);
+                    next.push(i);
                 }
             }
         }
@@ -96,7 +123,7 @@ pub fn water_fill(capacity: u64, entities: &[Entity]) -> Vec<u64> {
             // round-robin, until the dust is gone or everyone saturates.
             'dust: loop {
                 let mut progressed = false;
-                for &i in &next_active {
+                for &i in next.iter() {
                     if remaining == 0 {
                         break 'dust;
                     }
@@ -114,10 +141,8 @@ pub fn water_fill(capacity: u64, entities: &[Entity]) -> Vec<u64> {
         }
 
         remaining -= distributed;
-        active = next_active;
+        std::mem::swap(active, next);
     }
-
-    alloc
 }
 
 /// Convenience wrapper: equal weights.

@@ -12,7 +12,7 @@
 //! in field 39, and is what we record.
 
 use std::collections::HashMap;
-use vfc_simcore::{CpuId, Micros, SplitMix64, Tid};
+use vfc_simcore::{CpuId, FastMap, Micros, SplitMix64, Tid};
 
 /// Per-thread placement result for one tick.
 #[derive(Debug, Clone)]
@@ -37,12 +37,46 @@ impl ThreadPlacement {
     }
 }
 
+/// One thread's placement inside a [`PlacementBuf`]: a `(start, len)`
+/// window into the buffer's flat slice array.
+#[derive(Debug, Clone, Copy)]
+pub struct PlacedThread {
+    /// The thread.
+    pub tid: Tid,
+    start: u32,
+    len: u32,
+}
+
+/// Reusable output and scratch buffers for [`Placer::place_into`].
+///
+/// The per-tick engine calls the placer once per host tick; routing the
+/// result through one flat buffer (instead of a fresh
+/// `HashMap<Tid, ThreadPlacement>` with a `Vec` per thread) removes a
+/// per-thread allocation from every simulated tick.
+#[derive(Debug, Default)]
+pub struct PlacementBuf {
+    /// One entry per placed thread, in packing order (largest first).
+    pub entries: Vec<PlacedThread>,
+    /// Busy time per core.
+    pub core_busy: Vec<Micros>,
+    slices: Vec<(CpuId, Micros)>,
+    order: Vec<(Tid, Micros)>,
+    remaining: Vec<Micros>,
+}
+
+impl PlacementBuf {
+    /// Per-core time slices of one entry, largest first.
+    pub fn slices_of(&self, e: &PlacedThread) -> &[(CpuId, Micros)] {
+        &self.slices[e.start as usize..(e.start + e.len) as usize]
+    }
+}
+
 /// Sticky, load-aware placer.
 #[derive(Debug)]
 pub struct Placer {
     nr_cpus: u32,
     /// Preferred (last primary) core per thread.
-    sticky: HashMap<Tid, CpuId>,
+    sticky: FastMap<Tid, CpuId>,
     /// Base migration probability for an idle thread; a fully-loaded
     /// thread migrates with probability `base × (1 − load)² ≈ 0`.
     base_migration: f64,
@@ -54,7 +88,7 @@ impl Placer {
     pub fn new(nr_cpus: u32, seed: u64) -> Self {
         Placer {
             nr_cpus,
-            sticky: HashMap::new(),
+            sticky: FastMap::default(),
             base_migration: 0.8,
             rng: SplitMix64::new(seed),
         }
@@ -78,15 +112,38 @@ impl Placer {
         allocs: &[(Tid, Micros)],
         tick: Micros,
     ) -> (HashMap<Tid, ThreadPlacement>, Vec<Micros>) {
+        let mut buf = PlacementBuf::default();
+        self.place_into(allocs, tick, &mut buf);
+        let mut out = HashMap::with_capacity(buf.entries.len());
+        for e in &buf.entries {
+            out.insert(
+                e.tid,
+                ThreadPlacement {
+                    slices: buf.slices_of(e).to_vec(),
+                },
+            );
+        }
+        (out, buf.core_busy)
+    }
+
+    /// [`Placer::place`] into a caller-owned [`PlacementBuf`]. Packing
+    /// order, tie-breaks, and RNG draw sequence are identical to
+    /// [`Placer::place`]; only the result representation differs.
+    pub fn place_into(&mut self, allocs: &[(Tid, Micros)], tick: Micros, buf: &mut PlacementBuf) {
         let n = self.nr_cpus as usize;
-        let mut remaining = vec![tick; n];
-        let mut out = HashMap::with_capacity(allocs.len());
+        buf.entries.clear();
+        buf.slices.clear();
+        buf.remaining.clear();
+        buf.remaining.resize(n, tick);
 
         // Largest first for tight packing; tid tiebreak for determinism.
-        let mut order: Vec<(Tid, Micros)> = allocs.to_vec();
-        order.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        buf.order.clear();
+        buf.order.extend_from_slice(allocs);
+        buf.order.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
 
-        for (tid, want) in order {
+        for oi in 0..buf.order.len() {
+            let (tid, want) = buf.order[oi];
+            let start = buf.slices.len() as u32;
             if want.is_zero() {
                 // Idle threads still have a location; maybe migrate it.
                 let cur = *self
@@ -99,12 +156,8 @@ impl Placer {
                     cur
                 };
                 self.sticky.insert(tid, cur);
-                out.insert(
-                    tid,
-                    ThreadPlacement {
-                        slices: vec![(cur, Micros::ZERO)],
-                    },
-                );
+                buf.slices.push((cur, Micros::ZERO));
+                buf.entries.push(PlacedThread { tid, start, len: 1 });
                 continue;
             }
 
@@ -115,22 +168,22 @@ impl Placer {
                 _ => None,
             };
 
-            let mut slices: Vec<(CpuId, Micros)> = Vec::with_capacity(2);
             let mut left = want;
 
             // Try the sticky core first.
             if let Some(c) = preferred {
-                let got = left.min(remaining[c.as_usize()]);
+                let got = left.min(buf.remaining[c.as_usize()]);
                 if !got.is_zero() {
-                    remaining[c.as_usize()] -= got;
-                    slices.push((c, got));
+                    buf.remaining[c.as_usize()] -= got;
+                    buf.slices.push((c, got));
                     left -= got;
                 }
             }
 
             // Spill to the emptiest cores.
             while !left.is_zero() {
-                let (idx, &room) = remaining
+                let (idx, &room) = buf
+                    .remaining
                     .iter()
                     .enumerate()
                     .max_by_key(|(i, r)| (**r, usize::MAX - *i))
@@ -143,20 +196,23 @@ impl Placer {
                     break;
                 }
                 let got = left.min(room);
-                remaining[idx] -= got;
-                slices.push((CpuId::new(idx as u32), got));
+                buf.remaining[idx] -= got;
+                buf.slices.push((CpuId::new(idx as u32), got));
                 left -= got;
             }
 
+            let slices = &mut buf.slices[start as usize..];
             slices.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
             if let Some((primary, _)) = slices.first() {
                 self.sticky.insert(tid, *primary);
             }
-            out.insert(tid, ThreadPlacement { slices });
+            let len = buf.slices.len() as u32 - start;
+            buf.entries.push(PlacedThread { tid, start, len });
         }
 
-        let busy: Vec<Micros> = remaining.iter().map(|r| tick - *r).collect();
-        (out, busy)
+        buf.core_busy.clear();
+        buf.core_busy
+            .extend(buf.remaining.iter().map(|r| tick - *r));
     }
 
     /// Last primary core of a thread (procfs emulation between ticks).

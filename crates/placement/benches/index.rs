@@ -1,0 +1,73 @@
+//! Residual-index microbenchmarks: the O(log n) placement queries at
+//! the `trace` experiment's fleet width, isolated from the full replay
+//! so a placement regression is caught even when the event core hides
+//! it. One sample = one query + one incremental `set` churn, the exact
+//! per-admission work `ClusterManager::place_with` performs.
+//!
+//! `placement/ff_1200` and `placement/bf_1200` are budget rows in
+//! BENCH_controller.json, re-run by tools/bench_gate.sh.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vfc_placement::index::ResidualIndex;
+use vfc_simcore::SplitMix64;
+
+/// A 1200-slot index with a realistic residual spread: a third of the
+/// fleet nearly full, a third half-used, a third nearly empty.
+fn fleet_index(rng: &mut SplitMix64) -> ResidualIndex {
+    let mut index = ResidualIndex::new(1200);
+    for slot in 0..1200 {
+        let units = match slot % 3 {
+            0 => rng.next_below(2_000),
+            1 => 8_000 + rng.next_below(4_000),
+            _ => 16_000 + rng.next_below(3_200),
+        };
+        index.set(slot, units, 8 + rng.next_below(56));
+    }
+    index
+}
+
+fn bench_index(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placement");
+
+    let mut rng = SplitMix64::new(0x1DEC_5EED);
+    let index = fleet_index(&mut rng);
+    let demands: Vec<(u64, u64)> = (0..512)
+        .map(|_| (600 + rng.next_below(7_200), 4 + rng.next_below(12)))
+        .collect();
+
+    let mut i = 0usize;
+    let mut churn = index.clone();
+    group.bench_function("ff_1200", |b| {
+        b.iter(|| {
+            let (units, mem) = demands[i % demands.len()];
+            i += 1;
+            let hit = churn.first_fit(black_box(units), black_box(mem), None);
+            if let Some(slot) = hit {
+                // Claim + release: the incremental maintenance the
+                // manager pays on every placement transition.
+                churn.set(slot, units.saturating_sub(1), mem);
+            }
+            black_box(hit)
+        });
+    });
+
+    let mut i = 0usize;
+    let mut churn = index.clone();
+    group.bench_function("bf_1200", |b| {
+        b.iter(|| {
+            let (units, mem) = demands[i % demands.len()];
+            i += 1;
+            let hit = churn.best_fit(black_box(units), black_box(mem), None);
+            if let Some(slot) = hit {
+                churn.set(slot, units.saturating_sub(1), mem);
+            }
+            black_box(hit)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_index);
+criterion_main!(benches);

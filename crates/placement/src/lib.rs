@@ -19,6 +19,8 @@
 //! * [`constraint`] — the two constraint modes (classic core-count with an
 //!   optional consolidation factor, and Eq. 7);
 //! * [`algo`] — First-Fit / Best-Fit / Worst-Fit placement;
+//! * [`index`] — the residual-capacity index answering the same three
+//!   heuristics in O(log n) for incremental (deploy/undeploy) callers;
 //! * [`cluster`] — the evaluation cluster (12 *chetemi* + 10 *chiclet*)
 //!   and workload (250 small + 50 medium + 100 large), with several
 //!   arrival orders;
@@ -28,9 +30,11 @@ pub mod algo;
 pub mod cluster;
 pub mod constraint;
 pub mod energy;
+pub mod index;
 pub mod model;
 
 pub use algo::{PlacementAlgorithm, PlacementResult, Placer};
 pub use cluster::{ArrivalOrder, Cluster};
 pub use constraint::ConstraintMode;
+pub use index::ResidualIndex;
 pub use model::{NodeBin, PlacementRequest};

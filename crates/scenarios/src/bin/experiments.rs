@@ -1649,6 +1649,14 @@ fn trace_cmd(ctx: &mut Ctx) -> bool {
     if let Some(n) = env_usize("VFC_TRACE_PERIODS") {
         scenario.horizon_s = (n as u64).max(1);
     }
+    // Worker count for the parallel node advance: 0/unset = one per
+    // core, 1 = serial, n = exactly n workers. Thread count never
+    // changes the replay's results (the event core's determinism
+    // contract), only wall-clock.
+    if let Some(n) = env_usize("VFC_TRACE_THREADS") {
+        vfc_cluster::set_parallelism(n);
+        println!("  VFC_TRACE_THREADS={n} (0 = one worker per core)");
+    }
     let trace = scenario.trace();
     let vm_events: u64 = trace.iter().map(|s| s.event_count() as u64).sum();
     println!(
@@ -1696,6 +1704,7 @@ fn trace_cmd(ctx: &mut Ctx) -> bool {
             format!("{:.1}", o.report.energy_wh),
             o.events_processed.to_string(),
             format!("{:.0}", o.events_per_sec),
+            format!("{:.3}", o.wall.as_secs_f64()),
         ]);
         outcomes.push(o);
     }
@@ -1714,6 +1723,7 @@ fn trace_cmd(ctx: &mut Ctx) -> bool {
             "energy_wh",
             "events_processed",
             "events_per_sec",
+            "wall_s",
         ],
         &rows,
     );

@@ -23,9 +23,9 @@ use vfc_cgroupfs::backend::{HostBackend, TopologyInfo, VmCgroupInfo};
 use vfc_cgroupfs::error::{CgroupError, Result};
 use vfc_cgroupfs::model::CpuMax;
 use vfc_cgroupfs::tree::{kvm_layout, CgroupTree};
-use vfc_cpusched::engine::Engine;
+use vfc_cpusched::engine::{Engine, TickOutcome};
 use vfc_cpusched::topology::NodeSpec;
-use vfc_simcore::{CpuId, Cycles, MHz, Micros, Tid, VcpuAddr, VcpuId, VmId};
+use vfc_simcore::{CpuId, Cycles, FastMap, MHz, Micros, Tid, VcpuId, VmId};
 
 /// A workload event, stamped with time and emitting VM.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,6 +60,19 @@ struct WindowAcc {
     demanded: Micros,
 }
 
+/// Ground-truth frequency windows of one VM, one slot per vCPU.
+#[derive(Debug, Clone, Default)]
+struct VmWindows {
+    cur: Vec<WindowAcc>,
+    last: Vec<WindowAcc>,
+}
+
+/// Ticks of telemetry history kept per host. Consumers only ever read
+/// the tail (the cluster's energy accounting averages the last window's
+/// 10 ticks); keeping the full history made every host grow without
+/// bound over a 1,200-node trace replay.
+const TELEMETRY_CAP: usize = 64;
+
 /// See module documentation.
 pub struct SimHost {
     spec: NodeSpec,
@@ -72,8 +85,8 @@ pub struct SimHost {
     now: Micros,
     tick_count: u64,
     period_ticks: u32,
-    cur_win: HashMap<VcpuAddr, WindowAcc>,
-    last_win: HashMap<VcpuAddr, WindowAcc>,
+    /// Per-VM frequency windows, parallel to `vms`.
+    wins: Vec<VmWindows>,
     events: Vec<HostEvent>,
     telemetry: Vec<TickTelemetry>,
     pending_deprovision: Vec<VmId>,
@@ -81,6 +94,11 @@ pub struct SimHost {
     /// deprovision, vfreq resize) — the [`HostBackend::vms_epoch`]
     /// inventory cookie.
     inventory_epoch: u64,
+    // Reusable per-tick buffers (see `tick`).
+    demands: FastMap<Tid, Micros>,
+    frac_buf: Vec<f64>,
+    delivered: Vec<Cycles>,
+    outcome: TickOutcome,
 }
 
 impl SimHost {
@@ -98,12 +116,15 @@ impl SimHost {
             now: Micros::ZERO,
             tick_count: 0,
             period_ticks: 10,
-            cur_win: HashMap::new(),
-            last_win: HashMap::new(),
+            wins: Vec::new(),
             events: Vec::new(),
             telemetry: Vec::new(),
             pending_deprovision: Vec::new(),
             inventory_epoch: 0,
+            demands: FastMap::default(),
+            frac_buf: Vec::new(),
+            delivered: Vec::new(),
+            outcome: TickOutcome::default(),
         }
     }
 
@@ -198,6 +219,10 @@ impl SimHost {
             vcpu_groups,
             tids,
         ));
+        self.wins.push(VmWindows {
+            cur: vec![WindowAcc::default(); template.vcpus as usize],
+            last: vec![WindowAcc::default(); template.vcpus as usize],
+        });
         self.inventory_epoch += 1;
         id
     }
@@ -248,8 +273,7 @@ impl SimHost {
         }
         self.tree.rmdir(scope).expect("scope is empty");
         // Drop ground-truth windows for the departed vCPUs.
-        self.cur_win.retain(|a, _| a.vm != vm);
-        self.last_win.retain(|a, _| a.vm != vm);
+        self.wins[vm.as_usize()] = VmWindows::default();
         self.inventory_epoch += 1;
         workload
     }
@@ -291,6 +315,10 @@ impl SimHost {
     }
 
     /// Advance the host by one engine tick.
+    ///
+    /// The steady-state tick performs no heap allocation: demands,
+    /// delivered cycles, and the engine outcome all live in buffers the
+    /// host reuses across ticks.
     pub fn tick(&mut self) {
         for vm in std::mem::take(&mut self.pending_deprovision) {
             if self.is_alive(vm) {
@@ -299,38 +327,41 @@ impl SimHost {
         }
         let tick = self.engine.tick_len();
         // 1. demands
-        let mut demands: HashMap<Tid, Micros> = HashMap::new();
+        self.demands.clear();
         for inst in &mut self.vms {
             if !inst.alive {
                 continue;
             }
-            let fracs = inst.workload.demand(self.now, inst.nr_vcpus());
-            for (j, frac) in fracs.iter().enumerate() {
-                demands.insert(inst.tids[j], tick.scale(frac.clamp(0.0, 1.0)));
+            inst.workload
+                .demand_into(self.now, inst.nr_vcpus(), &mut self.frac_buf);
+            for (j, frac) in self.frac_buf.iter().enumerate() {
+                self.demands
+                    .insert(inst.tids[j], tick.scale(frac.clamp(0.0, 1.0)));
             }
         }
 
         // 2. schedule
-        let outcome = self.engine.tick(&mut self.tree, &demands);
+        self.engine
+            .tick_into(&mut self.tree, &self.demands, &mut self.outcome);
         let end = self.now + tick;
 
         // 3. deliver + events
-        for inst in &mut self.vms {
+        for i in 0..self.vms.len() {
+            let inst = &mut self.vms[i];
             if !inst.alive {
                 continue;
             }
-            let delivered: Vec<Cycles> = inst
-                .tids
-                .iter()
-                .map(|t| {
-                    outcome
+            self.delivered.clear();
+            for t in &inst.tids {
+                self.delivered.push(
+                    self.outcome
                         .threads
                         .get(t)
                         .map(|s| s.work)
-                        .unwrap_or(Cycles::ZERO)
-                })
-                .collect();
-            inst.workload.deliver(end, &delivered);
+                        .unwrap_or(Cycles::ZERO),
+                );
+            }
+            inst.workload.deliver(end, &self.delivered);
             for event in inst.workload.poll_events() {
                 self.events.push(HostEvent {
                     at: end,
@@ -340,30 +371,36 @@ impl SimHost {
                 });
             }
             // 4. ground-truth windows
+            let win = &mut self.wins[i];
             for (j, t) in inst.tids.iter().enumerate() {
-                if let Some(slice) = outcome.threads.get(t) {
-                    let acc = self
-                        .cur_win
-                        .entry(VcpuAddr::new(inst.id, VcpuId::new(j as u32)))
-                        .or_default();
+                if let Some(slice) = self.outcome.threads.get(t) {
+                    let acc = &mut win.cur[j];
                     acc.ran += slice.ran;
                     acc.work += slice.work;
-                    acc.demanded += demands.get(t).copied().unwrap_or(Micros::ZERO);
+                    acc.demanded += self.demands.get(t).copied().unwrap_or(Micros::ZERO);
                 }
             }
         }
 
         self.telemetry.push(TickTelemetry {
             at: end,
-            utilization: outcome.utilization,
-            power_w: outcome.power_w,
-            mean_core_freq: outcome.mean_core_freq(),
+            utilization: self.outcome.utilization,
+            power_w: self.outcome.power_w,
+            mean_core_freq: self.outcome.mean_core_freq(),
         });
+        // Amortized tail-keep: drain in bulk so the per-tick cost stays O(1).
+        if self.telemetry.len() >= 2 * TELEMETRY_CAP {
+            let drop = self.telemetry.len() - TELEMETRY_CAP;
+            self.telemetry.drain(..drop);
+        }
 
         self.now = end;
         self.tick_count += 1;
         if self.tick_count.is_multiple_of(self.period_ticks as u64) {
-            self.last_win = std::mem::take(&mut self.cur_win);
+            for w in &mut self.wins {
+                std::mem::swap(&mut w.cur, &mut w.last);
+                w.cur.fill(WindowAcc::default());
+            }
         }
     }
 
@@ -386,8 +423,9 @@ impl SimHost {
     /// window: placement-weighted hardware cycles / wall time.
     pub fn vcpu_freq_exact(&self, vm: VmId, vcpu: VcpuId) -> MHz {
         let window = self.engine.tick_len() * self.period_ticks as u64;
-        self.last_win
-            .get(&VcpuAddr::new(vm, vcpu))
+        self.wins
+            .get(vm.as_usize())
+            .and_then(|w| w.last.get(vcpu.as_usize()))
             .map(|acc| acc.work.avg_freq_over(window))
             .unwrap_or(MHz::ZERO)
     }
@@ -397,8 +435,9 @@ impl SimHost {
     /// by the cluster SLO accounting to distinguish "did not want" from
     /// "could not get".
     pub fn vcpu_demand_last_window(&self, vm: VmId, vcpu: VcpuId) -> Micros {
-        self.last_win
-            .get(&VcpuAddr::new(vm, vcpu))
+        self.wins
+            .get(vm.as_usize())
+            .and_then(|w| w.last.get(vcpu.as_usize()))
             .map(|acc| acc.demanded)
             .unwrap_or(Micros::ZERO)
     }
@@ -407,7 +446,11 @@ impl SimHost {
     /// window × current frequency of the core the vCPU last ran on.
     pub fn vcpu_freq_estimate(&self, vm: VmId, vcpu: VcpuId) -> MHz {
         let window = self.engine.tick_len() * self.period_ticks as u64;
-        let Some(acc) = self.last_win.get(&VcpuAddr::new(vm, vcpu)) else {
+        let Some(acc) = self
+            .wins
+            .get(vm.as_usize())
+            .and_then(|w| w.last.get(vcpu.as_usize()))
+        else {
             return MHz::ZERO;
         };
         let tid = self.vms[vm.as_usize()].tids[vcpu.as_usize()];

@@ -72,21 +72,27 @@ impl BurstyWeb {
 
 impl Workload for BurstyWeb {
     fn demand(&mut self, now: Micros, vcpus: u32) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.demand_into(now, vcpus, &mut out);
+        out
+    }
+
+    fn demand_into(&mut self, now: Micros, vcpus: u32, out: &mut Vec<f64>) {
         let base = if self.bursting(now) {
             self.peak
         } else {
             self.baseline
         };
-        (0..vcpus)
-            .map(|_| {
-                let noise = if self.jitter > 0.0 {
-                    self.rng.normal(0.0, self.jitter)
-                } else {
-                    0.0
-                };
-                (base + noise).clamp(0.0, 1.0)
-            })
-            .collect()
+        out.clear();
+        // Per-vCPU draw order matches `demand` exactly (vCPU 0 first).
+        for _ in 0..vcpus {
+            let noise = if self.jitter > 0.0 {
+                self.rng.normal(0.0, self.jitter)
+            } else {
+                0.0
+            };
+            out.push((base + noise).clamp(0.0, 1.0));
+        }
     }
 
     fn deliver(&mut self, _now: Micros, _delivered: &[Cycles]) {}

@@ -90,6 +90,17 @@ pub trait Workload: Send + Sync {
     /// the tick starting at `now`.
     fn demand(&mut self, now: Micros, vcpus: u32) -> Vec<f64>;
 
+    /// Like [`Workload::demand`], but written into a caller-owned buffer
+    /// (cleared first). The host calls this once per VM per tick; the
+    /// hot-path workloads override it so the steady-state tick performs
+    /// no per-VM allocation. Overrides must produce the same values (and
+    /// draw from any internal RNG in the same order) as
+    /// [`Workload::demand`].
+    fn demand_into(&mut self, now: Micros, vcpus: u32, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.demand(now, vcpus));
+    }
+
     /// Account the work each vCPU performed during the tick that just
     /// ended at `now` (`delivered[j]` = hardware cycles of vCPU j).
     fn deliver(&mut self, now: Micros, delivered: &[Cycles]);
@@ -133,6 +144,11 @@ impl Workload for SteadyDemand {
         vec![self.frac; vcpus as usize]
     }
 
+    fn demand_into(&mut self, _now: Micros, vcpus: u32, out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(vcpus as usize, self.frac);
+    }
+
     fn deliver(&mut self, _now: Micros, _delivered: &[Cycles]) {}
 
     fn name(&self) -> &'static str {
@@ -147,6 +163,11 @@ pub struct IdleWorkload;
 impl Workload for IdleWorkload {
     fn demand(&mut self, _now: Micros, vcpus: u32) -> Vec<f64> {
         vec![0.0; vcpus as usize]
+    }
+
+    fn demand_into(&mut self, _now: Micros, vcpus: u32, out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(vcpus as usize, 0.0);
     }
 
     fn deliver(&mut self, _now: Micros, _delivered: &[Cycles]) {}
@@ -193,7 +214,13 @@ impl TraceWorkload {
 }
 
 impl Workload for TraceWorkload {
-    fn demand(&mut self, _now: Micros, vcpus: u32) -> Vec<f64> {
+    fn demand(&mut self, now: Micros, vcpus: u32) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.demand_into(now, vcpus, &mut out);
+        out
+    }
+
+    fn demand_into(&mut self, _now: Micros, vcpus: u32, out: &mut Vec<f64>) {
         let v = if self.pos < self.trace.len() {
             let v = self.trace[self.pos];
             self.pos += 1;
@@ -203,7 +230,8 @@ impl Workload for TraceWorkload {
         } else {
             0.0
         };
-        vec![v.clamp(0.0, 1.0); vcpus as usize]
+        out.clear();
+        out.resize(vcpus as usize, v.clamp(0.0, 1.0));
     }
 
     fn deliver(&mut self, _now: Micros, _delivered: &[Cycles]) {}

@@ -6,10 +6,37 @@
 //! per available core and each chunk runs on its own scoped thread.
 
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 pub mod prelude {
     //! One-stop import mirroring `rayon::prelude`.
     pub use crate::{IntoParallelRefMutIterator, ParIterMut};
+}
+
+/// Process-wide worker cap: 0 = auto (one worker per available core).
+static MAX_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Cap (or force) the worker count of every subsequent `for_each`.
+///
+/// `0` restores the default (one worker per available core). A value
+/// above the core count is honoured as given — scoped threads are
+/// cheap, and forcing e.g. 4 workers on a 1-core machine is exactly how
+/// the parallel-vs-serial equivalence tests exercise the real parallel
+/// split without multi-core hardware.
+pub fn set_max_threads(n: usize) {
+    MAX_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The worker count the next `for_each` would use for `n` items.
+pub fn current_max_threads() -> usize {
+    let cap = MAX_THREADS.load(Ordering::Relaxed);
+    if cap != 0 {
+        cap
+    } else {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    }
 }
 
 /// Entry point: `.par_iter_mut()` on slices and `Vec`s.
@@ -46,10 +73,7 @@ impl<'a, T: Send> ParIterMut<'a, T> {
         if n == 0 {
             return;
         }
-        let workers = std::thread::available_parallelism()
-            .map(NonZeroUsize::get)
-            .unwrap_or(1)
-            .min(n);
+        let workers = current_max_threads().min(n);
         if workers <= 1 {
             for item in self.items {
                 f(item);
@@ -88,6 +112,19 @@ mod tests {
         let mut xs: Vec<u64> = (0..1000).collect();
         xs.par_iter_mut().for_each(|x| *x *= 2);
         assert!(xs.iter().enumerate().all(|(i, x)| *x == 2 * i as u64));
+    }
+
+    #[test]
+    fn thread_cap_is_honoured_and_harmless() {
+        // Any cap (including one above the core count) must leave the
+        // results identical to the serial loop.
+        crate::set_max_threads(3);
+        assert_eq!(crate::current_max_threads(), 3);
+        let mut xs: Vec<u64> = (0..100).collect();
+        xs.par_iter_mut().for_each(|x| *x += 1);
+        assert!(xs.iter().enumerate().all(|(i, x)| *x == i as u64 + 1));
+        crate::set_max_threads(0);
+        assert!(crate::current_max_threads() >= 1);
     }
 
     #[test]
